@@ -1,0 +1,1 @@
+bench/ablation.ml: List Printf Rcc_core Rcc_runtime Rcc_sim

@@ -1,0 +1,1 @@
+bench/fig11.ml: List Rcc_runtime Tables

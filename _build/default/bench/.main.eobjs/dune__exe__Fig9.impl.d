@@ -1,0 +1,1 @@
+bench/fig9.ml: Printf Rcc_runtime Tables

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig10 Fig11 Fig12 Fig9 Gc List Micro Printf Rcc_runtime Sizes String Sys

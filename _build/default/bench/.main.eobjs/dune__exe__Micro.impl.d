@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Char Hashtbl Instance List Measure Printf Rcc_common Rcc_crypto Rcc_sim Rcc_workload Staged String Test Time Toolkit

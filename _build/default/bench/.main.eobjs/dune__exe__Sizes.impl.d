@@ -1,0 +1,1 @@
+bench/sizes.ml: Array List Printf Rcc_common Rcc_crypto Rcc_messages Rcc_workload String

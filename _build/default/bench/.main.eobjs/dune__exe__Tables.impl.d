@@ -1,0 +1,1 @@
+bench/tables.ml: Array List Printf Rcc_runtime

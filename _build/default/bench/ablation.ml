@@ -1,0 +1,138 @@
+(* Ablations over RCC's design decisions (DESIGN.md):
+
+   - abl-z: number of concurrent instances. §3.1 argues z = f+1 balances
+     parallelism against core contention and byzantine exposure; the sweep
+     shows throughput rising with z until contention flattens it.
+   - abl-order: fixed instance-order execution vs the digest-seeded
+     permutation of §3.4.1. The permutation removes any instance's control
+     over execution order at (near) zero throughput cost.
+   - abl-recovery: optimistic vs pessimistic recovery vs view-shifting
+     under the fig. 12 attack. Pessimistic pays contract traffic every
+     round; view-shifting restarts every instance and loses continuous
+     ordering (why the paper rejects it). *)
+
+module Config = Rcc_runtime.Config
+module Experiment = Rcc_runtime.Experiment
+module Report = Rcc_runtime.Report
+
+let run_z profile =
+  let n = match profile with `Full -> 32 | `Quick -> 16 in
+  let zs =
+    match profile with `Full -> [ 1; 2; 4; 8; 11; 16 ] | `Quick -> [ 1; 4 ]
+  in
+  let zs = List.filter (fun z -> z <= ((n - 1) / 3) + 1 + 5 && z < n) zs in
+  let results = Experiment.z_sweep profile ~n ~batch_size:100 ~zs in
+  Printf.printf "\n## Ablation: instances per replica (multip, n=%d, f+1=%d)\n\n"
+    n (((n - 1) / 3) + 1);
+  Printf.printf "%-6s %12s %12s\n" "z" "tput" "avg_lat";
+  List.iter
+    (fun (z, (r : Report.t)) ->
+      Printf.printf "%-6d %11.1fK %10.1fms\n" z (r.Report.throughput /. 1e3)
+        (r.Report.avg_latency *. 1e3))
+    results
+
+let run_order profile =
+  let n = match profile with `Full -> 32 | `Quick -> 16 in
+  Printf.printf
+    "\n## Ablation: execution order (multip, n=%d, batch=100)\n\n" n;
+  Printf.printf "%-22s %12s %12s\n" "order" "tput" "avg_lat";
+  List.iter
+    (fun (name, use_permutation) ->
+      let cfg =
+        Config.make ~protocol:Config.MultiP ~n ~batch_size:100
+          ~duration:(Experiment.duration profile)
+          ~warmup:(Experiment.warmup profile) ~use_permutation ()
+      in
+      let r = Experiment.run_one ~label:("order=" ^ name) cfg in
+      Printf.printf "%-22s %11.1fK %10.1fms\n" name
+        (r.Report.throughput /. 1e3)
+        (r.Report.avg_latency *. 1e3))
+    [ ("instance-order", false); ("digest-permutation", true) ]
+
+let run_recovery profile =
+  let n = match profile with `Full -> 32 | `Quick -> 16 in
+  let results = Experiment.recovery_comparison profile ~n ~batch_size:100 in
+  Printf.printf
+    "\n## Ablation: recovery strategy under the collusion attack (multip, n=%d)\n\n"
+    n;
+  Printf.printf "%-14s %12s %14s %14s %12s\n" "strategy" "tput" "contractB"
+    "collusions" "replacements";
+  List.iter
+    (fun (mode, (r : Report.t)) ->
+      let name =
+        match mode with
+        | Rcc_core.Coordinator.Optimistic -> "optimistic"
+        | Rcc_core.Coordinator.Pessimistic -> "pessimistic"
+        | Rcc_core.Coordinator.View_shift -> "view-shift"
+      in
+      Printf.printf "%-14s %11.1fK %14d %14d %12d\n" name
+        (r.Report.throughput /. 1e3)
+        r.Report.contract_bytes r.Report.collusions_detected
+        r.Report.replacements)
+    results
+
+(* The byzantine premium: the same RCC machinery over a crash-fault
+   primary-backup protocol (§8's extension) versus MultiP, and the
+   standalone pair. CFT's two linear phases versus PBFT's two quadratic
+   ones measure what byzantine tolerance costs on this workload. *)
+let run_cft profile =
+  let n = match profile with `Full -> 32 | `Quick -> 16 in
+  Printf.printf "\n## Ablation: crash-fault vs byzantine (n=%d, batch=100)\n\n" n;
+  Printf.printf "%-10s %12s %12s\n" "protocol" "tput" "avg_lat";
+  List.iter
+    (fun protocol ->
+      let cfg =
+        Config.make ~protocol ~n ~batch_size:100
+          ~duration:(Experiment.duration profile)
+          ~warmup:(Experiment.warmup profile) ()
+      in
+      let r = Experiment.run_one cfg in
+      Printf.printf "%-10s %11.1fK %10.1fms\n"
+        (Config.protocol_name protocol)
+        (r.Report.throughput /. 1e3)
+        (r.Report.avg_latency *. 1e3))
+    [ Config.MultiC; Config.MultiP; Config.Cft; Config.Pbft ]
+
+(* Link-latency sweep: RCC's pipelined instances keep the execute thread
+   fed even on slow links, so throughput should hold while client latency
+   grows — until in-flight concurrency (Little's law) becomes the limit. *)
+let run_wan profile =
+  let n = match profile with `Full -> 32 | `Quick -> 16 in
+  Printf.printf "\n## Ablation: link latency (n=%d, batch=100)\n\n" n;
+  Printf.printf "%-10s %10s %12s %12s\n" "protocol" "latency" "tput" "avg_lat";
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun latency_us ->
+          let base =
+            Config.make ~protocol ~n ~batch_size:100
+              ~duration:(Experiment.duration profile)
+              ~warmup:(Experiment.warmup profile) ()
+          in
+          let cfg =
+            { base with Config.latency = Rcc_sim.Engine.us latency_us }
+          in
+          let r =
+            Experiment.run_one
+              ~label:
+                (Printf.sprintf "%s link=%dus"
+                   (Config.protocol_name protocol)
+                   latency_us)
+              cfg
+          in
+          Printf.printf "%-10s %8dus %11.1fK %10.1fms\n"
+            (Config.protocol_name protocol)
+            latency_us
+            (r.Report.throughput /. 1e3)
+            (r.Report.avg_latency *. 1e3))
+        (match profile with
+        | `Full -> [ 100; 1_000; 5_000 ]
+        | `Quick -> [ 100; 1_000 ]))
+    [ Config.MultiP; Config.Pbft ]
+
+let run profile =
+  run_z profile;
+  run_order profile;
+  run_recovery profile;
+  run_cft profile;
+  run_wan profile

@@ -1,0 +1,40 @@
+(* Figure 11: throughput under failures, batch size 100.
+
+   (a) One non-primary replica fails (crash, or kept in the dark by a
+       malicious primary). Paper shape: MultiP / PBFT / HotStuff
+       unaffected; Zyzzyva and MultiZ collapse to ~zero because their
+       clients wait on responses from all n replicas until the 15 s client
+       timeout.
+
+   (b) f replicas fail simultaneously. Paper shape: every protocol slows
+       (quorums now need the slowest surviving replicas); the Zyzzyva
+       family stays collapsed. *)
+
+let ns profile =
+  match profile with `Full -> [ 8; 16; 32; 46 ] | `Quick -> [ 8; 16 ]
+
+(* The failed replica must not host a primary: primaries start on replicas
+   0..z-1 and z <= f+1 <= (n-1)/3 + 1 < n-1, so replica n-1 is free. *)
+let one_crash ~n ~f:_ = Rcc_runtime.Config.Crash [ n - 1 ]
+
+let f_crashes ~n ~f =
+  Rcc_runtime.Config.Crash (List.init f (fun i -> n - 1 - i))
+
+let run profile =
+  let ns = ns profile in
+  let one =
+    Rcc_runtime.Experiment.sweep_failures profile
+      ~protocols:Rcc_runtime.Config.all_protocols ~ns ~batch_size:100
+      ~failures:one_crash
+  in
+  Tables.print_matrix
+    ~title:"Figure 11(a): throughput with one failed replica (batch=100)"
+    ~row_name:"n" ~rows:ns ~value:Tables.ktxn one;
+  let many =
+    Rcc_runtime.Experiment.sweep_failures profile
+      ~protocols:Rcc_runtime.Config.all_protocols ~ns ~batch_size:100
+      ~failures:f_crashes
+  in
+  Tables.print_matrix
+    ~title:"Figure 11(b): throughput with f failed replicas (batch=100)"
+    ~row_name:"n" ~rows:ns ~value:Tables.ktxn many

@@ -1,0 +1,31 @@
+(* Figure 9: system performance as a function of the batch size, n = 32.
+
+   Paper-reported shape (§7.3): MultiZ highest throughput at every batch
+   size, up to 74% over Zyzzyva; MultiP up to 2x PBFT and 3.2x HotStuff;
+   MultiP and MultiZ converge at large batches (execute-thread ceiling);
+   throughput rises with batch size and saturates. Latency: MultiP lowest;
+   PBFT highest at small batches, dropping steeply as batches grow;
+   HotStuff ~3.2x MultiP. *)
+
+let batch_sizes profile =
+  match profile with
+  | `Full -> [ 10; 50; 100; 200; 400; 800 ]
+  | `Quick -> [ 10; 100 ]
+
+let n profile = match profile with `Full -> 32 | `Quick -> 16
+
+let run profile =
+  let n = n profile in
+  let batch_sizes = batch_sizes profile in
+  let results =
+    Rcc_runtime.Experiment.sweep_batch profile
+      ~protocols:Rcc_runtime.Config.all_protocols ~n ~batch_sizes
+  in
+  Tables.print_matrix
+    ~title:
+      (Printf.sprintf "Figure 9(a): throughput vs batch size (n=%d)" n)
+    ~row_name:"batch" ~rows:batch_sizes ~value:Tables.ktxn results;
+  Tables.print_matrix
+    ~title:
+      (Printf.sprintf "Figure 9(b): avg client latency vs batch size (n=%d)" n)
+    ~row_name:"batch" ~rows:batch_sizes ~value:Tables.ms results

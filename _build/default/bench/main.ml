@@ -1,0 +1,55 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation (see DESIGN.md's experiment index).
+
+     dune exec bench/main.exe                 # everything, full profile
+     dune exec bench/main.exe -- --quick      # smaller, faster sweep
+     dune exec bench/main.exe -- --only fig9  # one experiment
+*)
+
+let sections : (string * (Rcc_runtime.Experiment.profile -> unit)) list =
+  [
+    ("sizes", Sizes.run);
+    ("fig9", Fig9.run);
+    ("fig10", Fig10.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("ablation", Ablation.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024; space_overhead = 200 };
+  let quick = ref false in
+  let only = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--only" :: name :: rest ->
+        only := Some name;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %S\nusage: main.exe [--quick] [--only SECTION]\nsections: %s\n"
+          arg
+          (String.concat " " (List.map fst sections));
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let profile = if !quick then `Quick else `Full in
+  Printf.printf "RCC / MultiBFT benchmark harness (%s profile)\n"
+    (if !quick then "quick" else "full");
+  let selected =
+    match !only with
+    | None -> sections
+    | Some name -> (
+        match List.assoc_opt name sections with
+        | Some f -> [ (name, f) ]
+        | None ->
+            Printf.eprintf "unknown section %S; sections: %s\n" name
+              (String.concat " " (List.map fst sections));
+            exit 2)
+  in
+  List.iter (fun (_, f) -> f profile) selected

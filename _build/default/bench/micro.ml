@@ -1,0 +1,71 @@
+(* Substrate microbenchmarks (Bechamel): the crypto primitives whose
+   relative costs drive the protocol cost model, the Zipfian generator,
+   and the simulation engine's event loop. *)
+
+open Bechamel
+open Toolkit
+
+let payload = String.init 5400 (fun i -> Char.chr (i land 0xff))
+let small = String.init 250 (fun i -> Char.chr ((i * 7) land 0xff))
+
+let cmac_key = Rcc_crypto.Cmac.of_aes_key (String.init 16 Char.chr)
+
+let signing_key, public_key =
+  Rcc_crypto.Signature.keygen (Rcc_common.Rng.create 99)
+
+let signature = Rcc_crypto.Signature.sign signing_key small
+
+let zipf = Rcc_workload.Zipf.create ~n:500_000 ~theta:0.9
+let zipf_rng = Rcc_common.Rng.create 5
+
+let engine_events () =
+  let engine = Rcc_sim.Engine.create () in
+  let rec tick i =
+    if i < 1000 then
+      Rcc_sim.Engine.schedule_after engine 10 (fun () -> tick (i + 1))
+  in
+  tick 0;
+  Rcc_sim.Engine.run engine ~until:max_int
+
+let tests =
+  [
+    Test.make ~name:"sha256-5400B"
+      (Staged.stage (fun () -> ignore (Rcc_crypto.Sha256.digest payload)));
+    Test.make ~name:"sha256-250B"
+      (Staged.stage (fun () -> ignore (Rcc_crypto.Sha256.digest small)));
+    Test.make ~name:"cmac-aes-250B"
+      (Staged.stage (fun () -> ignore (Rcc_crypto.Cmac.mac cmac_key small)));
+    Test.make ~name:"hmac-sha256-250B"
+      (Staged.stage (fun () -> ignore (Rcc_crypto.Hmac.mac ~key:"k" small)));
+    Test.make ~name:"sign-250B"
+      (Staged.stage (fun () ->
+           ignore (Rcc_crypto.Signature.sign signing_key small)));
+    Test.make ~name:"verify-250B"
+      (Staged.stage (fun () ->
+           ignore (Rcc_crypto.Signature.verify public_key small signature)));
+    Test.make ~name:"zipf-draw"
+      (Staged.stage (fun () -> ignore (Rcc_workload.Zipf.next zipf zipf_rng)));
+    Test.make ~name:"engine-1000-events"
+      (Staged.stage engine_events);
+  ]
+
+let run _profile =
+  Printf.printf "\n## Substrate microbenchmarks (Bechamel)\n\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-24s %12.0f ns/op\n" name est
+          | Some _ | None -> Printf.printf "%-24s %12s\n" name "n/a")
+        analyzed)
+    tests

@@ -1,0 +1,38 @@
+(* Matrix printing shared by the figure benches: protocols as columns,
+   sweep variable as rows — the same series the paper plots. *)
+
+let protocol_columns = [ "multiz"; "multip"; "zyzzyva"; "pbft"; "hotstuff" ]
+
+let print_matrix ~title ~row_name ~rows ~value
+    (results : (Rcc_runtime.Config.protocol * int * Rcc_runtime.Report.t) list) =
+  Printf.printf "\n## %s\n\n" title;
+  Printf.printf "%-8s" row_name;
+  List.iter (Printf.printf " %12s") protocol_columns;
+  print_newline ();
+  List.iter
+    (fun row ->
+      Printf.printf "%-8d" row;
+      List.iter
+        (fun col ->
+          let cell =
+            List.find_opt
+              (fun (p, r, _) ->
+                r = row && Rcc_runtime.Config.protocol_name p = col)
+              results
+          in
+          match cell with
+          | Some (_, _, report) -> Printf.printf " %12s" (value report)
+          | None -> Printf.printf " %12s" "-")
+        protocol_columns;
+      print_newline ())
+    rows
+
+let ktxn report = Printf.sprintf "%.1fK" (report.Rcc_runtime.Report.throughput /. 1e3)
+
+let ms report = Printf.sprintf "%.1fms" (report.Rcc_runtime.Report.avg_latency *. 1e3)
+
+let print_timeline ~title series =
+  Printf.printf "\n## %s\n\n%-8s %12s\n" title "t(s)" "txn/s";
+  Array.iter
+    (fun (t, rate) -> Printf.printf "%-8.1f %12.0f\n" t rate)
+    series

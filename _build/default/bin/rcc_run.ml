@@ -1,0 +1,122 @@
+(* rcc-run: run one simulated deployment from the command line.
+
+     dune exec bin/rcc_run.exe -- --protocol multip -n 32 --batch 100
+     dune exec bin/rcc_run.exe -- --protocol zyzzyva -n 16 --fault crash:15
+     dune exec bin/rcc_run.exe -- --protocol multip -n 32 --fault collusion:12 \
+         --duration 5 --replica-timeout 1 --timeline
+*)
+
+open Cmdliner
+
+let protocol_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "pbft" -> Ok Rcc_runtime.Config.Pbft
+    | "zyzzyva" | "zyz" -> Ok Rcc_runtime.Config.Zyzzyva
+    | "hotstuff" | "hs" -> Ok Rcc_runtime.Config.Hotstuff
+    | "multip" -> Ok Rcc_runtime.Config.MultiP
+    | "multiz" -> Ok Rcc_runtime.Config.MultiZ
+    | "cft" -> Ok Rcc_runtime.Config.Cft
+    | "multic" -> Ok Rcc_runtime.Config.MultiC
+    | other -> Error (`Msg (Printf.sprintf "unknown protocol %S" other))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Rcc_runtime.Config.protocol_name p))
+
+(* crash:ID[,ID..] | dark:INSTANCE:VICTIM[,VICTIM..] | collusion:VICTIM[:ROUND]
+   | dos:INSTANCE *)
+let fault_conv =
+  let parse s =
+    let ids part = List.map int_of_string (String.split_on_char ',' part) in
+    match String.split_on_char ':' s with
+    | [ "none" ] -> Ok Rcc_runtime.Config.No_fault
+    | [ "crash"; list ] -> Ok (Rcc_runtime.Config.Crash (ids list))
+    | [ "dark"; instance; victims ] ->
+        Ok
+          (Rcc_runtime.Config.Dark
+             { instance = int_of_string instance; victims = ids victims })
+    | [ "collusion"; victim ] ->
+        Ok
+          (Rcc_runtime.Config.Collusion
+             { victim = int_of_string victim; at_round = 100 })
+    | [ "collusion"; victim; round ] ->
+        Ok
+          (Rcc_runtime.Config.Collusion
+             { victim = int_of_string victim; at_round = int_of_string round })
+    | [ "dos"; instance ] ->
+        Ok (Rcc_runtime.Config.Client_dos { instance = int_of_string instance })
+    | _ -> Error (`Msg (Printf.sprintf "cannot parse fault %S" s))
+  in
+  let print fmt = function
+    | Rcc_runtime.Config.No_fault -> Format.pp_print_string fmt "none"
+    | Rcc_runtime.Config.Crash l ->
+        Format.fprintf fmt "crash:%s" (String.concat "," (List.map string_of_int l))
+    | Rcc_runtime.Config.Dark { instance; victims } ->
+        Format.fprintf fmt "dark:%d:%s" instance
+          (String.concat "," (List.map string_of_int victims))
+    | Rcc_runtime.Config.Collusion { victim; at_round } ->
+        Format.fprintf fmt "collusion:%d:%d" victim at_round
+    | Rcc_runtime.Config.Client_dos { instance } -> Format.fprintf fmt "dos:%d" instance
+  in
+  Arg.conv ~docv:"FAULT" (parse, print)
+
+let run protocol n batch_size clients duration warmup replica_timeout
+    client_timeout collusion_wait z seed fault timeline quiet =
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
+  let seconds f = Rcc_sim.Engine.of_seconds f in
+  let cfg =
+    Rcc_runtime.Config.make ~protocol ~n ~batch_size ~clients
+      ~duration:(seconds duration) ~warmup:(seconds warmup)
+      ?replica_timeout:(Option.map seconds replica_timeout)
+      ?client_timeout:(Option.map seconds client_timeout)
+      ?collusion_wait:(Option.map seconds collusion_wait)
+      ?z ~seed ~fault ()
+  in
+  if not quiet then
+    Printf.eprintf "running %s n=%d f=%d z=%d batch=%d clients=%d for %.1fs...\n%!"
+      (Rcc_runtime.Config.protocol_name protocol)
+      cfg.Rcc_runtime.Config.n cfg.Rcc_runtime.Config.f cfg.Rcc_runtime.Config.z
+      batch_size clients duration;
+  let report = Rcc_runtime.Cluster.run_config cfg in
+  Format.printf "%a@." Rcc_runtime.Report.pp report;
+  if timeline then begin
+    Format.printf "@.timeline (client txn/s per 100ms):@.";
+    Array.iter
+      (fun (t, rate) -> Format.printf "  %6.1fs %12.0f@." t rate)
+      report.Rcc_runtime.Report.timeline
+  end
+
+let cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv Rcc_runtime.Config.MultiP
+         & info [ "p"; "protocol" ] ~doc:"Protocol: pbft, zyzzyva, hotstuff, multip, multiz.")
+  in
+  let n = Arg.(value & opt int 16 & info [ "n"; "replicas" ] ~doc:"Number of replicas.") in
+  let batch = Arg.(value & opt int 100 & info [ "b"; "batch" ] ~doc:"Transactions per batch.") in
+  let clients = Arg.(value & opt int 120 & info [ "clients" ] ~doc:"Total closed-loop clients.") in
+  let duration = Arg.(value & opt float 1.0 & info [ "duration" ] ~doc:"Simulated seconds.") in
+  let warmup = Arg.(value & opt float 0.3 & info [ "warmup" ] ~doc:"Warmup seconds (excluded from stats).") in
+  let replica_timeout =
+    Arg.(value & opt (some float) None & info [ "replica-timeout" ] ~doc:"Replica watchdog seconds (default 10).")
+  in
+  let client_timeout =
+    Arg.(value & opt (some float) None & info [ "client-timeout" ] ~doc:"Client retry timeout seconds (default 15).")
+  in
+  let collusion_wait =
+    Arg.(value & opt (some float) None & info [ "collusion-wait" ] ~doc:"Coordinator collusion wait seconds (default 5).")
+  in
+  let z = Arg.(value & opt (some int) None & info [ "z"; "instances" ] ~doc:"Concurrent instances (default f+1 for RCC).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let fault =
+    Arg.(value & opt fault_conv Rcc_runtime.Config.No_fault
+         & info [ "fault" ] ~doc:"Fault injection: none, crash:IDS, dark:INST:VICTIMS, collusion:VICTIM[:ROUND], dos:INST.")
+  in
+  let timeline = Arg.(value & flag & info [ "timeline" ] ~doc:"Print the throughput timeline.") in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the progress line.") in
+  let term =
+    Term.(const run $ protocol $ n $ batch $ clients $ duration $ warmup
+          $ replica_timeout $ client_timeout $ collusion_wait $ z $ seed $ fault
+          $ timeline $ quiet)
+  in
+  Cmd.v (Cmd.info "rcc-run" ~doc:"Run one RCC/BFT deployment in the simulator") term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/client_dos.ml: Printf Rcc_replica Rcc_runtime Rcc_sim

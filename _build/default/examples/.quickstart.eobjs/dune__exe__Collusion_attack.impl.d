@@ -1,0 +1,1 @@
+examples/collusion_attack.ml: Array Float Printf Rcc_runtime Rcc_sim Rcc_storage

@@ -1,0 +1,1 @@
+examples/ledger_audit.ml: Filename Fun List Option Printf Rcc_messages Rcc_runtime Rcc_sim Rcc_storage String Sys

@@ -1,0 +1,1 @@
+examples/protocol_comparison.ml: List Printf Rcc_runtime Rcc_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Rcc_common Rcc_runtime Rcc_sim Rcc_storage String

@@ -1,0 +1,57 @@
+(* The paper's Figure 12 scenario in miniature: a malicious primary keeps
+   one replica in the dark for a single round while the remaining
+   byzantine replicas falsely accuse non-faulty primaries. RCC detects the
+   inconsistent accusations as a collusion attack, replicas exchange
+   recovery contracts, the victim catches up — and client throughput never
+   dips, because the f+1 concurrent instances keep ordering.
+
+     dune exec examples/collusion_attack.exe
+*)
+
+module Config = Rcc_runtime.Config
+module Cluster = Rcc_runtime.Cluster
+module Report = Rcc_runtime.Report
+module Engine = Rcc_sim.Engine
+
+let () =
+  let n = 7 in
+  let victim = 4 in
+  let cfg =
+    Config.make ~protocol:Config.MultiP ~n ~batch_size:10 ~clients:42
+      ~records:5_000
+      ~duration:(Engine.of_seconds 2.0)
+      ~warmup:(Engine.of_seconds 0.2)
+      ~replica_timeout:(Engine.ms 300)
+      ~collusion_wait:(Engine.ms 150)
+      ~fault:(Config.Collusion { victim; at_round = 40 })
+      ()
+  in
+  let cluster = Cluster.build cfg in
+  let report = Cluster.run cluster in
+
+  Printf.printf "== collusion attack on MultiP (n=%d, f=%d, z=%d) ==\n\n" n
+    cfg.Config.f cfg.Config.z;
+  Printf.printf "victim replica %d was skipped by instance 0's primary at round 40\n"
+    victim;
+  Printf.printf "while %d byzantine replicas blamed non-faulty primaries.\n\n"
+    (cfg.Config.f - 1);
+
+  Printf.printf "client throughput over time (should stay flat):\n";
+  Array.iter
+    (fun (t, rate) ->
+      if Float.rem t 0.2 < 0.05 then Printf.printf "  t=%.1fs  %8.0f txn/s\n" t rate)
+    report.Report.timeline;
+
+  Printf.printf "\nexecution rate at the victim (stall + catch-up burst):\n";
+  Array.iter
+    (fun (t, rate) ->
+      if Float.rem t 0.2 < 0.05 then Printf.printf "  t=%.1fs  %8.0f txn/s\n" t rate)
+    report.Report.exec_timeline;
+
+  Printf.printf "\ncollusion detections: %d\n" report.Report.collusions_detected;
+  Printf.printf "recovery contract bytes: %d\n" report.Report.contract_bytes;
+  Printf.printf "primaries replaced (false alarm avoided if 0): %d\n"
+    report.Report.replacements;
+  Printf.printf "victim ledger rounds: %d (leader: %d)\n"
+    (Rcc_storage.Ledger.length (Cluster.ledger cluster victim))
+    (Rcc_storage.Ledger.length (Cluster.ledger cluster 0))

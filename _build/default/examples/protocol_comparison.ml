@@ -1,0 +1,30 @@
+(* Compare all five protocols on the same deployment — the shape of the
+   paper's Figure 9 at one point: the RCC variants lead, PBFT pays its
+   quadratic phases, HotStuff pays its signatures.
+
+     dune exec examples/protocol_comparison.exe
+*)
+
+module Config = Rcc_runtime.Config
+module Cluster = Rcc_runtime.Cluster
+module Report = Rcc_runtime.Report
+
+let () =
+  let n = 8 in
+  Printf.printf "== protocol comparison: n=%d, batch=50, YCSB ==\n\n" n;
+  Printf.printf "%-10s %14s %12s %10s\n" "protocol" "tput(txn/s)" "avg lat" "rounds";
+  List.iter
+    (fun protocol ->
+      let cfg =
+        Config.make ~protocol ~n ~batch_size:50 ~clients:64 ~records:10_000
+          ~duration:(Rcc_sim.Engine.of_seconds 0.5)
+          ~warmup:(Rcc_sim.Engine.of_seconds 0.1)
+          ()
+      in
+      let report = Cluster.run_config cfg in
+      Printf.printf "%-10s %14.0f %10.2fms %10d\n"
+        (Config.protocol_name protocol)
+        report.Report.throughput
+        (report.Report.avg_latency *. 1e3)
+        report.Report.ledger_rounds)
+    Config.all_protocols

@@ -1,0 +1,1 @@
+lib/cft/cft_instance.mli: Rcc_common Rcc_replica

@@ -1,0 +1,348 @@
+module Engine = Rcc_sim.Engine
+module Costs = Rcc_sim.Costs
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+module Bitset = Rcc_common.Bitset
+module Env = Rcc_replica.Instance_env
+
+type slot = {
+  seq : int;
+  mutable batch : Batch.t option;
+  acks : Bitset.t;  (* primary side *)
+  mutable acked : bool;  (* backup side: we logged and acked *)
+  mutable notified : bool;  (* primary side: commit-notify sent *)
+  mutable accepted : bool;
+  created_at : Engine.time;
+}
+
+type t = {
+  env : Env.t;
+  mutable view : int;
+  mutable primary : int;
+  mutable next_seq : int;
+  mutable max_seen : int;
+  slots : (int, slot) Hashtbl.t;
+  mutable exec_upto : int;
+  mutable last_progress : Engine.time;
+  vc_votes : (int, Bitset.t) Hashtbl.t;
+  mutable vc_sent_for : int;
+  mutable last_failure_report : int;
+  mutable running : bool;
+}
+
+let create env =
+  {
+    env;
+    view = 0;
+    primary = env.Env.instance;
+    next_seq = 0;
+    max_seen = -1;
+    slots = Hashtbl.create 512;
+    exec_upto = -1;
+    last_progress = 0;
+    vc_votes = Hashtbl.create 8;
+    vc_sent_for = 0;
+    last_failure_report = -1;
+    running = false;
+  }
+
+let primary t = t.primary
+let view t = t.view
+let proposed_upto t = t.next_seq - 1
+let is_primary t = t.primary = t.env.Env.self
+
+(* Crash-fault majority. *)
+let majority t = (t.env.Env.n / 2) + 1
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          seq;
+          batch = None;
+          acks = Bitset.create t.env.Env.n;
+          acked = false;
+          notified = false;
+          accepted = false;
+          created_at = Engine.now t.env.Env.engine;
+        }
+      in
+      Hashtbl.replace t.slots seq s;
+      if seq > t.max_seen then t.max_seen <- seq;
+      s
+
+let acked_round t ~round =
+  match Hashtbl.find_opt t.slots round with
+  | Some s -> s.acked
+  | None -> false
+
+let advance_exec_upto t =
+  let rec go seq =
+    match Hashtbl.find_opt t.slots seq with
+    | Some s when s.accepted ->
+        t.exec_upto <- seq;
+        Hashtbl.remove t.slots (seq - 4096);
+        go (seq + 1)
+    | Some _ | None -> ()
+  in
+  go (t.exec_upto + 1);
+  t.last_progress <- Engine.now t.env.Env.engine
+
+let accept t s =
+  if not s.accepted then
+    match s.batch with
+    | None -> ()
+    | Some batch ->
+        s.accepted <- true;
+        advance_exec_upto t;
+        t.env.Env.accept
+          {
+            Rcc_replica.Acceptance.instance = t.env.Env.instance;
+            round = s.seq;
+            batch;
+            cert = Bitset.to_list s.acks;
+            speculative = false;
+            history = "";
+          }
+
+(* --- primary side -------------------------------------------------------- *)
+
+let on_ack t ~src ~seq =
+  if is_primary t then begin
+    let s = slot t seq in
+    Bitset.add s.acks src |> ignore;
+    if (not s.notified) && Bitset.count s.acks >= majority t then begin
+      s.notified <- true;
+      t.env.Env.broadcast
+        (Msg.Commit
+           {
+             instance = t.env.Env.instance;
+             view = t.view;
+             seq;
+             digest = (match s.batch with Some b -> b.Batch.digest | None -> "");
+           });
+      accept t s
+    end
+  end
+
+let propose t batch =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let s = slot t seq in
+  s.batch <- Some batch;
+  Bitset.add s.acks t.env.Env.self |> ignore;
+  let exclude dst = Rcc_replica.Byz.excludes t.env.Env.byz ~round:seq dst in
+  t.env.Env.broadcast ~exclude
+    (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch })
+
+let submit_batch t batch = if is_primary t then propose t batch
+
+(* --- backup side ----------------------------------------------------------- *)
+
+let on_propose t ~src ~view ~seq batch =
+  if src = t.primary && view = t.view then begin
+    let s = slot t seq in
+    if Option.is_none s.batch then begin
+      s.batch <- Some batch;
+      if not s.acked then begin
+        s.acked <- true;
+        (* Linear: the ack goes only to the primary. *)
+        t.env.Env.send ~dst:t.primary
+          (Msg.Prepare
+             { instance = t.env.Env.instance; view; seq; digest = batch.Batch.digest })
+      end
+    end
+  end
+
+let on_commit_notify t ~src ~view ~seq =
+  if src = t.primary && view = t.view then begin
+    let s = slot t seq in
+    (* Commit-notify implies a majority logged the batch. *)
+    Bitset.add s.acks src |> ignore;
+    accept t s
+  end
+
+(* --- view change -------------------------------------------------------------- *)
+
+let broadcast_view_change t ~round =
+  let new_view = t.view + 1 in
+  t.vc_sent_for <- max t.vc_sent_for new_view;
+  t.env.Env.broadcast
+    (Msg.View_change
+       {
+         instance = t.env.Env.instance;
+         new_view;
+         blamed = t.primary;
+         round;
+         last_exec = t.exec_upto;
+       });
+  if not t.env.Env.unified then begin
+    let votes =
+      match Hashtbl.find_opt t.vc_votes new_view with
+      | Some v -> v
+      | None ->
+          let v = Bitset.create t.env.Env.n in
+          Hashtbl.replace t.vc_votes new_view v;
+          v
+    in
+    Bitset.add votes t.env.Env.self |> ignore
+  end
+
+let detect_failure t ~round =
+  if t.last_failure_report < round then begin
+    t.last_failure_report <- round;
+    broadcast_view_change t ~round;
+    t.env.Env.report_failure ~round ~blamed:t.primary
+  end
+
+let repropose_incomplete t =
+  t.next_seq <- max t.next_seq (t.max_seen + 1);
+  let reproposals = ref [] in
+  for seq = t.exec_upto + 1 to t.max_seen do
+    let batch =
+      match Hashtbl.find_opt t.slots seq with
+      | Some { batch = Some b; _ } -> b
+      | Some _ | None -> Batch.null ~round:seq
+    in
+    reproposals := (seq, batch) :: !reproposals
+  done;
+  let reproposals = List.rev !reproposals in
+  (* Announce the new view even with nothing to re-propose, so backups
+     adopt the new primary and accept its future proposals. *)
+  t.env.Env.broadcast
+    (Msg.New_view { instance = t.env.Env.instance; view = t.view; reproposals });
+  List.iter
+    (fun (seq, batch) ->
+      let s = slot t seq in
+      s.batch <- Some batch;
+      s.notified <- false;
+      Bitset.clear s.acks;
+      Bitset.add s.acks t.env.Env.self |> ignore;
+      t.env.Env.broadcast
+        (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch }))
+    reproposals
+
+let install_view t ~view ~primary =
+  t.view <- view;
+  t.primary <- primary;
+  t.last_failure_report <- -1;
+  t.last_progress <- Engine.now t.env.Env.engine;
+  Hashtbl.filter_map_inplace
+    (fun v votes -> if v <= view then None else Some votes)
+    t.vc_votes;
+  if is_primary t then repropose_incomplete t
+
+let set_primary t replica ~view = install_view t ~view ~primary:replica
+
+let on_view_change t ~src ~new_view =
+  if (not t.env.Env.unified) && new_view > t.view then begin
+    let votes =
+      match Hashtbl.find_opt t.vc_votes new_view with
+      | Some v -> v
+      | None ->
+          let v = Bitset.create t.env.Env.n in
+          Hashtbl.replace t.vc_votes new_view v;
+          v
+    in
+    Bitset.add votes src |> ignore;
+    if Bitset.count votes >= majority t then begin
+      let primary = new_view mod t.env.Env.n in
+      if primary = t.env.Env.self then install_view t ~view:new_view ~primary
+    end
+  end
+
+let on_new_view t ~src ~view reproposals =
+  if view > t.view then begin
+    t.view <- view;
+    t.primary <- src;
+    t.last_failure_report <- -1;
+    List.iter (fun (seq, batch) -> on_propose t ~src ~view ~seq batch) reproposals
+  end
+
+(* --- recovery ------------------------------------------------------------------- *)
+
+let adopt t ~round batch ~cert =
+  let s = slot t round in
+  if not s.accepted then begin
+    s.batch <- Some batch;
+    List.iter (fun r -> Bitset.add s.acks r |> ignore) cert;
+    accept t s
+  end
+
+let accepted_batch t ~round =
+  match Hashtbl.find_opt t.slots round with
+  | Some ({ accepted = true; batch = Some b; _ } as s) ->
+      Some (b, Bitset.to_list s.acks)
+  | Some _ | None -> None
+
+let incomplete_rounds t =
+  let acc = ref [] in
+  for seq = t.max_seen downto t.exec_upto + 1 do
+    match Hashtbl.find_opt t.slots seq with
+    | Some s when not s.accepted -> acc := seq :: !acc
+    | Some _ -> ()
+    | None -> acc := seq :: !acc
+  done;
+  !acc
+
+(* --- watchdog --------------------------------------------------------------------- *)
+
+let oldest_incomplete t =
+  let rec go seq =
+    if seq > t.max_seen then None
+    else
+      match Hashtbl.find_opt t.slots seq with
+      | Some s when not s.accepted -> Some (seq, s.created_at)
+      | Some _ -> go (seq + 1)
+      | None -> Some (seq, t.last_progress)
+  in
+  go (t.exec_upto + 1)
+
+let rec watchdog t =
+  if t.running then begin
+    let timeout = t.env.Env.timeout in
+    (match oldest_incomplete t with
+    | Some (round, since) when Engine.now t.env.Env.engine - since > timeout ->
+        detect_failure t ~round
+    | Some _ | None -> ());
+    Engine.schedule_after t.env.Env.engine (timeout / 2) (fun () -> watchdog t)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Engine.schedule_after t.env.Env.engine t.env.Env.timeout (fun () -> watchdog t)
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Msg.Pre_prepare { view; seq; batch; _ } -> on_propose t ~src ~view ~seq batch
+  | Msg.Prepare { seq; _ } -> on_ack t ~src ~seq
+  | Msg.Commit { view; seq; _ } -> on_commit_notify t ~src ~view ~seq
+  | Msg.View_change { new_view; _ } -> on_view_change t ~src ~new_view
+  | Msg.New_view { view; reproposals; _ } -> on_new_view t ~src ~view reproposals
+  | Msg.Checkpoint _ | Msg.Client_request _ | Msg.Order_request _
+  | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Hs_proposal _ | Msg.Hs_vote _
+  | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
+  | Msg.Instance_change _ ->
+      ()
+
+let cost_of (costs : Costs.t) msg =
+  match msg with
+  | Msg.Pre_prepare { batch; _ } ->
+      costs.Costs.worker_msg + costs.Costs.mac_verify
+      + Costs.hash_cost costs (Batch.size batch)
+  | Msg.New_view { reproposals; _ } ->
+      costs.Costs.worker_msg + costs.Costs.mac_verify
+      + List.fold_left
+          (fun acc (_, b) -> acc + Costs.hash_cost costs (Batch.size b))
+          0 reproposals
+  | Msg.Prepare _ | Msg.Commit _ | Msg.View_change _ ->
+      costs.Costs.worker_msg + costs.Costs.mac_verify
+  | Msg.Checkpoint _ | Msg.Client_request _ | Msg.Order_request _
+  | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Hs_proposal _ | Msg.Hs_vote _
+  | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
+  | Msg.Instance_change _ ->
+      costs.Costs.worker_msg

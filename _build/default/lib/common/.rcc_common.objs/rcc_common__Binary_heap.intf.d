@@ -1,0 +1,1 @@
+lib/common/binary_heap.mli:

@@ -1,0 +1,1 @@
+lib/common/bytes_util.ml: Bytes Char Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/common/bytes_util.mli:

@@ -1,0 +1,1 @@
+lib/common/ids.ml: Format

@@ -1,0 +1,1 @@
+lib/common/ids.mli: Format

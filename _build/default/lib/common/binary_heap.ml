@@ -1,0 +1,105 @@
+type 'a t = {
+  mutable size : int;
+  mutable prio : int array;
+  mutable seq : int array;
+  mutable data : 'a option array;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 256) () =
+  let capacity = max capacity 16 in
+  {
+    size = 0;
+    prio = Array.make capacity 0;
+    seq = Array.make capacity 0;
+    data = Array.make capacity None;
+    next_seq = 0;
+  }
+
+let is_empty t = t.size = 0
+
+let size t = t.size
+
+let grow t =
+  let n = Array.length t.prio in
+  let n' = n * 2 in
+  let prio = Array.make n' 0 in
+  let seq = Array.make n' 0 in
+  let data = Array.make n' None in
+  Array.blit t.prio 0 prio 0 n;
+  Array.blit t.seq 0 seq 0 n;
+  Array.blit t.data 0 data 0 n;
+  t.prio <- prio;
+  t.seq <- seq;
+  t.data <- data
+
+(* (p1, s1) < (p2, s2) lexicographically. *)
+let less t i j =
+  let pi = t.prio.(i) and pj = t.prio.(j) in
+  pi < pj || (pi = pj && t.seq.(i) < t.seq.(j))
+
+let swap t i j =
+  let p = t.prio.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.prio.(j) <- p;
+  let s = t.seq.(i) in
+  t.seq.(i) <- t.seq.(j);
+  t.seq.(j) <- s;
+  let d = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  let r = l + 1 in
+  let smallest = if l < t.size && less t l i then l else i in
+  let smallest = if r < t.size && less t r smallest then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let push t ~priority v =
+  if t.size = Array.length t.prio then grow t;
+  let i = t.size in
+  t.prio.(i) <- priority;
+  t.seq.(i) <- t.next_seq;
+  t.data.(i) <- Some v;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let p = t.prio.(0) in
+    let v =
+      match t.data.(0) with
+      | Some v -> v
+      | None -> assert false
+    in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.prio.(0) <- t.prio.(t.size);
+      t.seq.(0) <- t.seq.(t.size);
+      t.data.(0) <- t.data.(t.size)
+    end;
+    t.data.(t.size) <- None;
+    sift_down t 0;
+    Some (p, v)
+  end
+
+let peek_priority t = if t.size = 0 then None else Some t.prio.(0)
+
+let clear t =
+  Array.fill t.data 0 t.size None;
+  t.size <- 0

@@ -1,0 +1,22 @@
+(** Array-backed min-heap keyed by [(priority, sequence)].
+
+    The sequence number is assigned at insertion time, making extraction
+    order deterministic among equal priorities (FIFO among ties). This is
+    the event queue of the simulator, so determinism here is load-bearing. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> priority:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum [(priority, value)]. *)
+
+val peek_priority : 'a t -> int option
+
+val clear : 'a t -> unit

@@ -1,0 +1,42 @@
+type t = { words : int array; capacity : int; mutable count : int }
+
+let create n =
+  assert (n >= 0);
+  { words = Array.make ((n + 62) / 63) 0; capacity = n; count = 0 }
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let add t i =
+  check t i;
+  let w = i / 63 and b = i mod 63 in
+  let mask = 1 lsl b in
+  if t.words.(w) land mask <> 0 then false
+  else begin
+    t.words.(w) <- t.words.(w) lor mask;
+    t.count <- t.count + 1;
+    true
+  end
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let count t = t.count
+let capacity t = t.capacity
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.count <- 0
+
+let iter t f =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

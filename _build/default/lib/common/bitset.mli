@@ -1,0 +1,16 @@
+(** Fixed-capacity bitsets for quorum tracking (one bit per replica). *)
+
+type t
+
+val create : int -> t
+(** [create n] supports members [0 .. n-1]. *)
+
+val add : t -> int -> bool
+(** [add t i] sets bit [i]; returns [true] iff it was newly set. *)
+
+val mem : t -> int -> bool
+val count : t -> int
+val capacity : t -> int
+val clear : t -> unit
+val iter : t -> (int -> unit) -> unit
+val to_list : t -> int list

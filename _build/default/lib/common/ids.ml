@@ -1,0 +1,12 @@
+type replica_id = int
+type client_id = int
+type instance_id = int
+type round = int
+type seqno = int
+type view = int
+
+let pp_replica fmt r = Format.fprintf fmt "R%d" r
+let pp_client fmt c = Format.fprintf fmt "C%d" c
+let pp_instance fmt i = Format.fprintf fmt "I%d" i
+let pp_round fmt r = Format.fprintf fmt "r%d" r
+let pp_view fmt v = Format.fprintf fmt "v%d" v

@@ -1,0 +1,29 @@
+(** Identifier vocabulary shared by every layer of the system.
+
+    Replicas, clients, protocol instances, rounds and sequence numbers are
+    all integers at runtime (the simulator is hot-path sensitive), but each
+    gets a named alias and a printer so signatures stay self-documenting. *)
+
+type replica_id = int
+(** Index of a replica, [0 .. n-1]. *)
+
+type client_id = int
+(** Index of a client, [0 .. |C|-1]. *)
+
+type instance_id = int
+(** Index of an RCC instance, [0 .. z-1]. *)
+
+type round = int
+(** RCC round number (one consensus per instance per round). *)
+
+type seqno = int
+(** Per-instance consensus sequence number (equals the round in RCC). *)
+
+type view = int
+(** Per-instance view number; the primary is a function of the view. *)
+
+val pp_replica : Format.formatter -> replica_id -> unit
+val pp_client : Format.formatter -> client_id -> unit
+val pp_instance : Format.formatter -> instance_id -> unit
+val pp_round : Format.formatter -> round -> unit
+val pp_view : Format.formatter -> view -> unit

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every source of nondeterminism in the reproduction — network jitter,
+    Zipfian draws, byzantine scheduling — is derived from one of these
+    generators, so experiments are exactly reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each replica / client / link its own stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp(1/mean). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

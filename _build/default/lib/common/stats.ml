@@ -1,0 +1,131 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.mean
+  let min t = if t.count = 0 then 0.0 else t.min
+  let max t = if t.count = 0 then 0.0 else t.max
+
+  let stddev t =
+    if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+  let merge a b =
+    if a.count = 0 then { b with count = b.count }
+    else if b.count = 0 then { a with count = a.count }
+    else begin
+      let n = a.count + b.count in
+      let fa = float_of_int a.count and fb = float_of_int b.count in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. fb /. float_of_int n) in
+      let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int n) in
+      {
+        count = n;
+        mean;
+        m2;
+        min = Stdlib.min a.min b.min;
+        max = Stdlib.max a.max b.max;
+      }
+    end
+end
+
+module Histogram = struct
+  (* Buckets grow geometrically by [growth]; bucket i covers
+     [base * growth^i, base * growth^(i+1)). Values below [base] land in
+     bucket 0. *)
+  let base = 1e-9
+  let growth = 1.02
+  let log_growth = log growth
+  let nbuckets = 2048
+
+  type t = {
+    counts : int array;
+    mutable total : int;
+    mutable sum : float;
+  }
+
+  let create () = { counts = Array.make nbuckets 0; total = 0; sum = 0.0 }
+
+  let bucket_of x =
+    if x <= base then 0
+    else
+      let i = int_of_float (log (x /. base) /. log_growth) in
+      if i >= nbuckets then nbuckets - 1 else i
+
+  let value_of i = base *. (growth ** float_of_int i)
+
+  let add t x =
+    let x = if x < 0.0 then 0.0 else x in
+    let i = bucket_of x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. x
+
+  let count t = t.total
+
+  let percentile t p =
+    if t.total = 0 then 0.0
+    else begin
+      let target = int_of_float (ceil (p *. float_of_int t.total)) in
+      let target = if target < 1 then 1 else target in
+      let rec scan i acc =
+        if i >= nbuckets then value_of (nbuckets - 1)
+        else
+          let acc = acc + t.counts.(i) in
+          if acc >= target then value_of i else scan (i + 1) acc
+      in
+      scan 0 0
+    end
+
+  let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+end
+
+module Series = struct
+  type t = {
+    width : float;
+    mutable totals : float array;
+    mutable used : int;
+  }
+
+  let create ~bucket_width () =
+    assert (bucket_width > 0.0);
+    { width = bucket_width; totals = Array.make 64 0.0; used = 0 }
+
+  let ensure t i =
+    if i >= Array.length t.totals then begin
+      let n = max (i + 1) (2 * Array.length t.totals) in
+      let totals = Array.make n 0.0 in
+      Array.blit t.totals 0 totals 0 t.used;
+      t.totals <- totals
+    end;
+    if i >= t.used then t.used <- i + 1
+
+  let add t ~time v =
+    let i = int_of_float (time /. t.width) in
+    let i = if i < 0 then 0 else i in
+    ensure t i;
+    t.totals.(i) <- t.totals.(i) +. v
+
+  let buckets t =
+    Array.init t.used (fun i -> (float_of_int i *. t.width, t.totals.(i)))
+
+  let rates t =
+    Array.init t.used (fun i ->
+        (float_of_int i *. t.width, t.totals.(i) /. t.width))
+end

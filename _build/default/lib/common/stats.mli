@@ -1,0 +1,54 @@
+(** Streaming statistics: summaries, latency histograms, time series.
+
+    The experiment harness feeds these from the simulator and the benches
+    print them as the rows/series of the paper's figures. *)
+
+module Summary : sig
+  (** Count / mean / min / max / variance in O(1) memory (Welford). *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+  val merge : t -> t -> t
+end
+
+module Histogram : sig
+  (** Log-bucketed histogram for latency percentiles. Values are
+      non-negative; resolution is ~1% per bucket. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] approximates the 99th percentile. Returns 0 when
+      empty. *)
+
+  val mean : t -> float
+end
+
+module Series : sig
+  (** Fixed-width time buckets accumulating a counter; used for
+      throughput-over-time plots (Figure 12). *)
+
+  type t
+
+  val create : bucket_width:float -> unit -> t
+  (** [bucket_width] is in seconds. *)
+
+  val add : t -> time:float -> float -> unit
+  val buckets : t -> (float * float) array
+  (** [(bucket_start_time, total)] pairs in time order, including empty
+      intermediate buckets. *)
+
+  val rates : t -> (float * float) array
+  (** Like {!buckets} but each total divided by the bucket width, i.e. a
+      rate per second. *)
+end

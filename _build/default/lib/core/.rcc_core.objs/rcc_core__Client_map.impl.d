@@ -1,0 +1,1 @@
+lib/core/client_map.ml: Array Hashtbl Rcc_common

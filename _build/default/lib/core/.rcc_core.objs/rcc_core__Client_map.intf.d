@@ -1,0 +1,1 @@
+lib/core/client_map.mli: Rcc_common

@@ -1,0 +1,1 @@
+lib/core/contract.ml: List Rcc_common Rcc_messages

@@ -1,0 +1,1 @@
+lib/core/contract.mli: Rcc_common Rcc_messages

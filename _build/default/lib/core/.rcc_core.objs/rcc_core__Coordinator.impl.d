@@ -1,0 +1,1 @@
+lib/core/coordinator.ml: Array Contract List Option Rcc_common Rcc_messages Rcc_replica Rcc_sim

@@ -1,0 +1,1 @@
+lib/core/coordinator.mli: Rcc_common Rcc_messages Rcc_replica Rcc_sim

@@ -1,0 +1,1 @@
+lib/core/permutation.ml: Array Int64 List Rcc_common Rcc_crypto String

@@ -1,0 +1,1 @@
+lib/core/replica_builder.ml: Array Client_map Coordinator List Permutation Rcc_common Rcc_crypto Rcc_messages Rcc_replica Rcc_sim Rcc_storage

@@ -1,0 +1,1 @@
+lib/core/replica_builder.mli: Coordinator Rcc_common Rcc_crypto Rcc_messages Rcc_replica Rcc_sim Rcc_storage

@@ -1,0 +1,36 @@
+type t = {
+  z : int;
+  cap : int;
+  moved : (Rcc_common.Ids.client_id, Rcc_common.Ids.instance_id) Hashtbl.t;
+  adopted : int array;  (* non-home clients per instance *)
+}
+
+let create ~z ~cap_per_instance =
+  assert (z > 0 && cap_per_instance >= 0);
+  { z; cap = cap_per_instance; moved = Hashtbl.create 64; adopted = Array.make z 0 }
+
+let home_instance t c = c mod t.z
+
+let current_instance t c =
+  match Hashtbl.find_opt t.moved c with
+  | Some x -> x
+  | None -> home_instance t c
+
+let population t x = t.adopted.(x)
+
+let request_change t ~client ~target =
+  let current = current_instance t client in
+  if target = current then Error `Same_instance
+  else if target <> home_instance t client && t.adopted.(target) >= t.cap then
+    Error `At_capacity
+  else begin
+    (* Release the slot held at the previous non-home instance. *)
+    if current <> home_instance t client then
+      t.adopted.(current) <- t.adopted.(current) - 1;
+    if target = home_instance t client then Hashtbl.remove t.moved client
+    else begin
+      Hashtbl.replace t.moved client target;
+      t.adopted.(target) <- t.adopted.(target) + 1
+    end;
+    Ok ()
+  end

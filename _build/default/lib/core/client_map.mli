@@ -1,0 +1,26 @@
+(** Client-to-instance mapping (§3.1) and instance-change (§3.6).
+
+    Clients are deterministically partitioned over the [z] instances
+    ([instance = id(C) mod z]) to prevent request-duplication attacks. A
+    client being starved by a malicious primary may defect to another
+    instance, which accepts it only while below a per-instance cap
+    (preventing targeted flooding by malicious clients). *)
+
+type t
+
+val create : z:int -> cap_per_instance:int -> t
+
+val home_instance : t -> Rcc_common.Ids.client_id -> Rcc_common.Ids.instance_id
+(** The deterministic initial assignment, [id mod z]. *)
+
+val current_instance : t -> Rcc_common.Ids.client_id -> Rcc_common.Ids.instance_id
+
+val request_change :
+  t ->
+  client:Rcc_common.Ids.client_id ->
+  target:Rcc_common.Ids.instance_id ->
+  (unit, [ `At_capacity | `Same_instance ]) result
+(** Move a client to [target] if the target still has room. *)
+
+val population : t -> Rcc_common.Ids.instance_id -> int
+(** Adopted (non-home) clients currently assigned to the instance. *)

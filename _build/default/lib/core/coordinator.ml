@@ -1,0 +1,277 @@
+open Rcc_common.Ids
+module Engine = Rcc_sim.Engine
+module Msg = Rcc_messages.Msg
+module Bitset = Rcc_common.Bitset
+module Exec = Rcc_replica.Exec
+module Acceptance = Rcc_replica.Acceptance
+module Metrics = Rcc_replica.Metrics
+
+type recovery_mode = Optimistic | Pessimistic | View_shift
+
+type instance_handle = {
+  h_set_primary : replica_id -> view:view -> unit;
+  h_adopt : round:round -> Rcc_messages.Batch.t -> cert:int list -> unit;
+  h_accepted : round:round -> (Rcc_messages.Batch.t * int list) option;
+  h_incomplete : unit -> round list;
+  h_primary : unit -> replica_id;
+}
+
+type config = {
+  n : int;
+  f : int;
+  z : int;
+  self : replica_id;
+  collusion_wait : Rcc_sim.Engine.time;
+  recovery : recovery_mode;
+  min_cert : int;
+  history_capacity : int;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  handles : instance_handle array;
+  exec : Exec.t;
+  metrics : Metrics.t;
+  broadcast : Msg.t -> unit;
+  send : dst:replica_id -> Msg.t -> unit;
+  primaries : replica_id array;
+  views : int array;
+  kmal : Bitset.t;
+  blames : Bitset.t array;  (* per instance: distinct accusers of its primary *)
+  blame_round : int array;  (* lowest blamed round per instance; max_int if none *)
+  mutable pending_replace : (round * instance_id) list;  (* sorted *)
+  mutable collusion_timer : Engine.timer option;
+  mutable replacements : int;
+  mutable shifts : int;
+  (* Ring of recently executed rounds, for building contracts about rounds
+     the execute thread has already passed. *)
+  history : (round * Acceptance.t array) option array;
+}
+
+let create cfg ~engine ~handles ~exec ~metrics ~broadcast ~send =
+  assert (Array.length handles = cfg.z);
+  {
+    cfg;
+    engine;
+    handles;
+    exec;
+    metrics;
+    broadcast;
+    send;
+    primaries = Array.init cfg.z (fun x -> (handles.(x)).h_primary ());
+    views = Array.make cfg.z 0;
+    kmal = Bitset.create cfg.n;
+    blames = Array.init cfg.z (fun _ -> Bitset.create cfg.n);
+    blame_round = Array.make cfg.z max_int;
+    pending_replace = [];
+    collusion_timer = None;
+    replacements = 0;
+    shifts = 0;
+    history = Array.make (max 16 cfg.history_capacity) None;
+  }
+
+let primaries t = Array.to_list t.primaries
+let primary_of t x = t.primaries.(x)
+let known_malicious t = Bitset.to_list t.kmal
+let replacements t = t.replacements
+
+(* --- round history ----------------------------------------------------- *)
+
+let history_store t round accs =
+  t.history.(round mod Array.length t.history) <- Some (round, accs)
+
+let history_find t round instance =
+  match t.history.(round mod Array.length t.history) with
+  | Some (r, accs) when r = round ->
+      Array.find_opt (fun (a : Acceptance.t) -> a.instance = instance) accs
+  | Some _ | None -> None
+
+(* This replica's knowledge of instance [x]'s round-[r] batch: a pending
+   acceptance at the execute thread, an already-executed round in the
+   history ring, or the instance's own log. *)
+let accepted_anywhere t ~round ~instance =
+  match Exec.accepted t.exec ~round ~instance with
+  | Some a -> Some (a.Acceptance.batch, a.Acceptance.cert)
+  | None -> (
+      match history_find t round instance with
+      | Some a -> Some (a.Acceptance.batch, a.Acceptance.cert)
+      | None -> (t.handles.(instance)).h_accepted ~round)
+
+(* --- unified replacement (§3.4.2) -------------------------------------- *)
+
+let clear_blames t x =
+  Bitset.clear t.blames.(x);
+  t.blame_round.(x) <- max_int
+
+let next_fresh_primary t =
+  let is_primary r = Array.exists (fun p -> p = r) t.primaries in
+  let rec scan r =
+    if r >= t.cfg.n then None
+    else if (not (Bitset.mem t.kmal r)) && not (is_primary r) then Some r
+    else scan (r + 1)
+  in
+  scan 0
+
+(* Handle [(r, x)]: only once every other instance has either replicated
+   round [r] or is itself awaiting replacement. *)
+let can_handle t (r, x) =
+  let awaiting y = List.exists (fun (_, x') -> x' = y) t.pending_replace in
+  let replicated y =
+    r < Exec.next_round t.exec
+    || Option.is_some (Exec.accepted t.exec ~round:r ~instance:y)
+  in
+  let rec check y =
+    y >= t.cfg.z || ((y = x || replicated y || awaiting y) && check (y + 1))
+  in
+  check 0
+
+let rec process_replacements t =
+  match t.pending_replace with
+  | [] -> ()
+  | ((_r, x) as entry) :: rest when can_handle t entry -> (
+      Bitset.add t.kmal t.primaries.(x) |> ignore;
+      match next_fresh_primary t with
+      | None -> () (* fewer than z honest non-primaries left; stall *)
+      | Some fresh ->
+          t.pending_replace <- rest;
+          t.primaries.(x) <- fresh;
+          t.views.(x) <- t.views.(x) + 1;
+          t.replacements <- t.replacements + 1;
+          Metrics.record_view_change t.metrics;
+          clear_blames t x;
+          (t.handles.(x)).h_set_primary fresh ~view:t.views.(x);
+          process_replacements t)
+  | _ :: _ -> ()
+
+let enqueue_replacement t ~instance ~round =
+  if not (List.exists (fun (_, x) -> x = instance) t.pending_replace) then begin
+    t.pending_replace <-
+      List.sort compare ((round, instance) :: t.pending_replace);
+    process_replacements t
+  end
+
+(* --- collusion detection (§3.4.3) --------------------------------------- *)
+
+let distinct_accusers t =
+  let seen = Bitset.create t.cfg.n in
+  Array.iter (fun b -> Bitset.iter b (fun r -> Bitset.add seen r |> ignore)) t.blames;
+  Bitset.count seen
+
+let stalled_rounds t =
+  (* Rounds named in blames, oldest first, capped to a small window. *)
+  let rounds =
+    Array.to_list t.blame_round
+    |> List.filter (fun r -> r <> max_int)
+    |> List.sort_uniq compare
+  in
+  match rounds with [] -> [ Exec.next_round t.exec ] | _ -> rounds
+
+let broadcast_contract t ~round =
+  let contract =
+    Contract.build ~round
+      ~accepted:(fun x -> accepted_anywhere t ~round ~instance:x)
+      ~z:t.cfg.z
+  in
+  if contract.Contract.entries <> [] then begin
+    let msg = Contract.to_msg contract in
+    Metrics.record_contract_bytes t.metrics (Msg.size msg);
+    t.broadcast msg
+  end
+
+let view_shift t =
+  (* Deterministically move to the next set of z primaries (§3.4.3(3)).
+     All instances restart under fresh primaries, so even healthy ones
+     lose continuous ordering — the cost the paper rejects. *)
+  t.shifts <- t.shifts + 1;
+  let base = t.shifts * t.cfg.z in
+  for x = 0 to t.cfg.z - 1 do
+    let rec pick k =
+      let candidate = (base + x + k) mod t.cfg.n in
+      if Bitset.mem t.kmal candidate then pick (k + 1) else candidate
+    in
+    let fresh = pick 0 in
+    t.primaries.(x) <- fresh;
+    t.views.(x) <- t.views.(x) + 1;
+    clear_blames t x;
+    (t.handles.(x)).h_set_primary fresh ~view:t.views.(x)
+  done
+
+let on_collusion_detected t =
+  Metrics.record_collusion_detected t.metrics;
+  match t.cfg.recovery with
+  | Optimistic | Pessimistic ->
+      List.iter (fun round -> broadcast_contract t ~round) (stalled_rounds t)
+  | View_shift -> view_shift t
+
+let rec arm_collusion_timer t =
+  match t.collusion_timer with
+  | Some timer when Engine.timer_pending timer -> ()
+  | Some _ | None ->
+      t.collusion_timer <-
+        Some
+          (Engine.timer_after t.engine t.cfg.collusion_wait (fun () ->
+               evaluate_collusion t))
+
+and evaluate_collusion t =
+  t.collusion_timer <- None;
+  let strongest = Array.fold_left (fun m b -> max m (Bitset.count b)) 0 t.blames in
+  let accusers = distinct_accusers t in
+  if accusers >= t.cfg.f + 1 && strongest < t.cfg.f + 1 then begin
+    (* f+1 replicas complain, yet no primary has f+1 accusers: the
+       evidence cannot come from a single failed primary. *)
+    on_collusion_detected t;
+    Array.iteri (fun x _ -> clear_blames t x) t.blames
+  end
+  else if accusers > 0 && strongest < t.cfg.f + 1 then
+    (* Inconclusive: keep waiting. *)
+    arm_collusion_timer t
+
+(* --- evidence intake ----------------------------------------------------- *)
+
+let register_blame t ~src ~instance ~blamed ~round =
+  if instance >= 0 && instance < t.cfg.z && blamed = t.primaries.(instance) then begin
+    Bitset.add t.blames.(instance) src |> ignore;
+    if round < t.blame_round.(instance) then t.blame_round.(instance) <- round;
+    if Bitset.count t.blames.(instance) >= t.cfg.f + 1 then
+      enqueue_replacement t ~instance ~round:t.blame_round.(instance)
+    else arm_collusion_timer t
+  end
+
+let on_local_failure t ~instance ~round ~blamed =
+  register_blame t ~src:t.cfg.self ~instance ~blamed ~round
+
+let on_view_change t ~src ~instance ~blamed ~round =
+  register_blame t ~src ~instance ~blamed ~round
+
+(* --- contracts ----------------------------------------------------------- *)
+
+let on_contract t msg =
+  match Contract.of_msg msg with
+  | None -> ()
+  | Some contract -> (
+      match Contract.validate contract ~n:t.cfg.n ~min_cert:t.cfg.min_cert with
+      | Error _ -> ()
+      | Ok () ->
+          List.iter
+            (fun (e : Msg.contract_entry) ->
+              if e.Msg.ce_instance < t.cfg.z then
+                (t.handles.(e.Msg.ce_instance)).h_adopt ~round:e.Msg.ce_round
+                  e.Msg.ce_batch ~cert:e.Msg.ce_cert_replicas)
+            contract.Contract.entries)
+
+let on_contract_request t ~src ~round =
+  let contract =
+    Contract.build ~round
+      ~accepted:(fun x -> accepted_anywhere t ~round ~instance:x)
+      ~z:t.cfg.z
+  in
+  if contract.Contract.entries <> [] then begin
+    let msg = Contract.to_msg contract in
+    Metrics.record_contract_bytes t.metrics (Msg.size msg);
+    t.send ~dst:src msg
+  end
+
+let on_round_executed t ~round accs =
+  history_store t round accs;
+  if t.cfg.recovery = Pessimistic then broadcast_contract t ~round

@@ -1,0 +1,80 @@
+(** The coordinator thread: unification (§3.4).
+
+    Maintains the paper's per-replica internal state
+    [(primary, kmal, replace)] and provides:
+
+    - {b Unified multi-leader election} (§3.4.2): view-change evidence is
+      counted per instance; once f+1 distinct replicas blame an instance's
+      primary, the replacement entry [(x, r)] is handled in deterministic
+      [(round, instance)] order (Lemma 5.1) — but only when every other
+      instance has either replicated round [r] or itself requested
+      replacement. The new primary is the first replica that is neither
+      known-malicious nor already a primary.
+
+    - {b Collusion detection} (§3.4.3, Example 3.3): if, after a waiting
+      period, f+1 distinct replicas have sent view-changes but no single
+      primary has f+1 accusers, the evidence is inconsistent with an
+      ordinary primary failure and a collusion attack is declared.
+
+    - {b Recovery}: [Optimistic] broadcasts contracts on detection;
+      [Pessimistic] broadcasts a contract after every executed round;
+      [View_shift] deterministically rotates the whole primary set
+      (implemented for the ablation; the paper rejects it because it
+      sacrifices continuous ordering). *)
+
+open Rcc_common.Ids
+
+type recovery_mode = Optimistic | Pessimistic | View_shift
+
+type instance_handle = {
+  h_set_primary : replica_id -> view:view -> unit;
+  h_adopt : round:round -> Rcc_messages.Batch.t -> cert:int list -> unit;
+  h_accepted : round:round -> (Rcc_messages.Batch.t * int list) option;
+  h_incomplete : unit -> round list;
+  h_primary : unit -> replica_id;
+}
+
+type config = {
+  n : int;
+  f : int;
+  z : int;
+  self : replica_id;
+  collusion_wait : Rcc_sim.Engine.time;  (** extra wait before declaring collusion (5 s in §7.5.3) *)
+  recovery : recovery_mode;
+  min_cert : int;  (** accept-proof threshold for incoming contracts *)
+  history_capacity : int;  (** executed rounds retained for contract building *)
+}
+
+type t
+
+val create :
+  config ->
+  engine:Rcc_sim.Engine.t ->
+  handles:instance_handle array ->
+  exec:Rcc_replica.Exec.t ->
+  metrics:Rcc_replica.Metrics.t ->
+  broadcast:(Rcc_messages.Msg.t -> unit) ->
+  send:(dst:replica_id -> Rcc_messages.Msg.t -> unit) ->
+  t
+
+val primaries : t -> replica_id list
+val primary_of : t -> instance_id -> replica_id
+val known_malicious : t -> replica_id list
+
+val on_local_failure : t -> instance:instance_id -> round:round -> blamed:replica_id -> unit
+(** An instance at this replica detected its primary faulty (R2). *)
+
+val on_view_change :
+  t -> src:replica_id -> instance:instance_id -> blamed:replica_id -> round:round -> unit
+(** Evidence from another replica's instance. *)
+
+val on_contract : t -> Rcc_messages.Msg.t -> unit
+
+val on_contract_request : t -> src:replica_id -> round:round -> unit
+
+val on_round_executed : t -> round:round -> Rcc_replica.Acceptance.t array -> unit
+(** Execute-thread hook: retains the round for contract building and, in
+    pessimistic mode, broadcasts the contract. *)
+
+val replacements : t -> int
+(** Unified primary replacements performed. *)

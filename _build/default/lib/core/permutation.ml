@@ -1,0 +1,55 @@
+let factorial n =
+  if n < 0 || n > 20 then invalid_arg "Permutation.factorial: out of range";
+  let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+  go 1 n
+
+(* Paper recursion: pick S[q], recurse on the rest, append S[q] at the
+   end. Items are therefore placed from the last position backwards. *)
+let of_index h ~len =
+  if len <= 0 then invalid_arg "Permutation.of_index: empty sequence";
+  if h < 0 || h >= factorial len then invalid_arg "Permutation.of_index: bad index";
+  let rec build s h =
+    match s with
+    | [] -> []
+    | [ x ] -> [ x ]
+    | _ ->
+        let k = List.length s in
+        let fact = factorial (k - 1) in
+        let q = h / fact in
+        let r = h mod fact in
+        let picked = List.nth s q in
+        let rest = List.filteri (fun i _ -> i <> q) s in
+        build rest r @ [ picked ]
+  in
+  Array.of_list (build (List.init len (fun i -> i)) h)
+
+let index_of perm =
+  let len = Array.length perm in
+  if len = 0 then invalid_arg "Permutation.index_of: empty";
+  (* Invert the recursion: the last element of the permutation was picked
+     first, with quotient = its position in the then-current sequence. *)
+  let rec go s i acc =
+    if i < 0 then acc
+    else
+      let x = perm.(i) in
+      let q =
+        match List.find_index (fun y -> y = x) s with
+        | Some q -> q
+        | None -> invalid_arg "Permutation.index_of: not a permutation"
+      in
+      let rest = List.filteri (fun j _ -> j <> q) s in
+      go rest (i - 1) (acc + (q * factorial (List.length s - 1)))
+  in
+  go (List.init len (fun i -> i)) (len - 1) 0
+
+let seed_of_digest digest ~len =
+  if String.length digest < 8 then invalid_arg "Permutation.seed_of_digest: short digest";
+  let v = Rcc_common.Bytes_util.get_u64be digest 0 in
+  let fact = Int64.of_int (factorial len) in
+  let m = Int64.rem v fact in
+  let m = if Int64.compare m 0L < 0 then Int64.add m fact else m in
+  Int64.to_int m
+
+let order_of_round ~digests ~len =
+  let d = Rcc_crypto.Sha256.digest_list digests in
+  of_index (seed_of_digest d ~len) ~len

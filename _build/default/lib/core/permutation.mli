@@ -1,0 +1,31 @@
+(** Deterministic execution-order selection (§3.4.1).
+
+    [f_S(h)] maps an integer [h] in [0, |S|!) to a unique permutation of
+    the sequence [S]:
+
+    {v
+      f_S(h) = S                          if |S| = 1
+             = f_{S \ S[q]}(r) ++ [S[q]]  if |S| > 1
+    v}
+
+    with [q = h div (|S|-1)!] and [r = h mod (|S|-1)!]. Seeding
+    [h = D(S) mod |S|!] with the digest of the round's replicated requests
+    gives every replica the same "fair" order on which no single instance
+    has reliable influence. *)
+
+val factorial : int -> int
+(** Raises [Invalid_argument] beyond 20 (int64 overflow). *)
+
+val of_index : int -> len:int -> int array
+(** [of_index h ~len] is the paper's [f_S(h)] over [S = [0; ...; len-1]],
+    returned as the array of positions. Requires [0 <= h < len!]. *)
+
+val index_of : int array -> int
+(** Inverse of {!of_index}: the [h] that generates a permutation. *)
+
+val seed_of_digest : string -> len:int -> int
+(** [D(S) mod len!] from a binary digest. *)
+
+val order_of_round : digests:string list -> len:int -> int array
+(** The round's execution order: digest the concatenated batch digests and
+    apply {!of_index}. *)

@@ -1,0 +1,400 @@
+open Rcc_common.Ids
+module Engine = Rcc_sim.Engine
+module Costs = Rcc_sim.Costs
+module Cpu = Rcc_sim.Cpu
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+module Node = Rcc_replica.Node
+module Exec = Rcc_replica.Exec
+module Env = Rcc_replica.Instance_env
+
+type config = {
+  n : int;
+  f : int;
+  z : int;
+  self : replica_id;
+  costs : Rcc_sim.Costs.t;
+  timeout : Rcc_sim.Engine.time;
+  heartbeat : Rcc_sim.Engine.time;
+  collusion_wait : Rcc_sim.Engine.time;
+  checkpoint_interval : int;
+  unified : bool;
+  recovery : Coordinator.recovery_mode;
+  min_cert : int;
+  history_capacity : int;
+  use_permutation : bool;
+  exec_on_worker : bool;
+  sign_speculative : bool;
+  records : int;
+  materialize_state : bool;
+  input_threads : int;
+  batch_threads : int;
+  client_node_of : client_id -> int;
+  byz : Rcc_replica.Byz.t;
+}
+
+module Make (P : Rcc_replica.Instance_intf.S) = struct
+  type t = {
+    cfg : config;
+    keychain : Rcc_crypto.Keychain.t;
+    node : Node.t;
+    instances : P.t array;
+    exec : Exec.t;
+    coordinator : Coordinator.t option;
+    store : Rcc_storage.Kv_store.t;
+    ledger : Rcc_storage.Ledger.t;
+    txn_table : Rcc_storage.Txn_table.t;
+    client_map : Client_map.t;
+    mutable false_blames_sent : bool;
+  }
+
+  let config t = t.cfg
+  let instance t x = t.instances.(x)
+  let exec t = t.exec
+  let coordinator t = t.coordinator
+  let store t = t.store
+  let ledger t = t.ledger
+  let txn_table t = t.txn_table
+
+  let exec_utilization t ~since =
+    Cpu.utilization (Node.exec_server t.node) ~since
+
+  let worker_utilization t x ~since = Cpu.utilization (Node.worker t.node x) ~since
+
+  let current_primary t x =
+    match t.coordinator with
+    | Some c -> Coordinator.primary_of c x
+    | None -> P.primary t.instances.(x)
+
+  (* Figure 12's false-alarm attack: on witnessing any view-change, a
+     byzantine replica accuses the non-faulty primaries on its list, each
+     exactly once. *)
+  let maybe_false_blame t broadcast =
+    match t.cfg.byz.Rcc_replica.Byz.false_blame with
+    | [] -> ()
+    | targets ->
+        if not t.false_blames_sent then begin
+          t.false_blames_sent <- true;
+          List.iter
+            (fun blamed ->
+              (* Locate the instance the target currently leads. *)
+              let rec find x =
+                if x >= t.cfg.z then None
+                else if current_primary t x = blamed then Some x
+                else find (x + 1)
+              in
+              match find 0 with
+              | None -> ()
+              | Some instance ->
+                  broadcast
+                    (Msg.View_change
+                       {
+                         instance;
+                         new_view = 1;
+                         blamed;
+                         round = Exec.next_round t.exec;
+                         last_exec = Exec.next_round t.exec - 1;
+                       }))
+            targets
+        end
+
+  let install_route t =
+    let cfg = t.cfg in
+    let costs = Node.costs t.node in
+    let exec_server = Node.exec_server t.node in
+    let worker_of instance =
+      Node.worker t.node (if instance < cfg.z then instance else 0)
+    in
+    let coordinator_cost (msg : Msg.t) =
+      costs.Costs.worker_msg + costs.Costs.mac_verify
+      + Costs.hash_cost costs (Msg.size msg)
+    in
+    Node.set_route t.node (fun ~src ~ready msg ->
+        match msg with
+        | Msg.Client_request { instance; batch } -> begin
+            let x = if instance < cfg.z then instance else 0 in
+            (* §3.1 request-duplication prevention: clients are partitioned
+               over instances deterministically, so a request is only
+               ordered by the instance the client currently maps to. *)
+            let mapped =
+              cfg.z = 1
+              || Client_map.current_instance t.client_map batch.Batch.client = x
+            in
+            match Node.batchers t.node with
+            | None -> ()
+            | Some _ when cfg.byz.Rcc_replica.Byz.ignore_clients ->
+                (* §3.6: a malicious primary starving its clients. *)
+                ()
+            | Some _ when not mapped -> ()
+            | Some pool ->
+                let batched =
+                  Cpu.pool_reserve pool ~ready
+                    ~cost:(costs.Costs.batch_create + costs.Costs.sig_verify)
+                in
+                Cpu.submit_ready (worker_of x) ~ready:batched
+                  ~cost:costs.Costs.worker_msg (fun () ->
+                    if Batch.verify batch ~public:(Rcc_crypto.Keychain.client_public t.keychain batch.Batch.client)
+                    then P.submit_batch t.instances.(x) batch)
+          end
+        | Msg.View_change { instance; blamed; round; _ } -> begin
+            (match t.coordinator with
+            | Some coordinator ->
+                Cpu.submit_ready exec_server ~ready ~cost:(coordinator_cost msg)
+                  (fun () ->
+                    Coordinator.on_view_change coordinator ~src ~instance
+                      ~blamed ~round)
+            | None ->
+                let x = if instance < cfg.z then instance else 0 in
+                Cpu.submit_ready (worker_of x) ~ready ~cost:(P.cost_of costs msg)
+                  (fun () -> P.handle t.instances.(x) ~src msg));
+            if cfg.byz.Rcc_replica.Byz.false_blame <> [] then
+              let _send, broadcast = Node.sender t.node ~worker:exec_server in
+              maybe_false_blame t (fun m -> broadcast ~n:cfg.n m)
+          end
+        | Msg.Contract _ -> begin
+            match t.coordinator with
+            | Some coordinator ->
+                Cpu.submit_ready exec_server ~ready ~cost:(coordinator_cost msg)
+                  (fun () -> Coordinator.on_contract coordinator msg)
+            | None -> ()
+          end
+        | Msg.Contract_request { round; _ } -> begin
+            match t.coordinator with
+            | Some coordinator ->
+                Cpu.submit_ready exec_server ~ready ~cost:(coordinator_cost msg)
+                  (fun () -> Coordinator.on_contract_request coordinator ~src ~round)
+            | None -> ()
+          end
+        | Msg.Instance_change { client; instance } ->
+            (* §3.6: accept the defection unless the instance is already
+               at its adopted-client capacity (anti-flooding). *)
+            if instance < cfg.z then
+              ignore
+                (Client_map.request_change t.client_map ~client ~target:instance)
+        | Msg.Response _ | Msg.Local_commit _ ->
+            (* Replica-to-client traffic; replicas ignore stray copies. *)
+            ()
+        | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+        | Msg.New_view _ | Msg.Order_request _ | Msg.Commit_cert _
+        | Msg.Hs_proposal _ | Msg.Hs_vote _ ->
+            let x =
+              match Msg.instance_of msg with
+              | Some instance when instance < cfg.z -> instance
+              | Some _ | None -> 0
+            in
+            Cpu.submit_ready (worker_of x) ~ready ~cost:(P.cost_of costs msg)
+              (fun () -> P.handle t.instances.(x) ~src msg))
+
+  let create ~engine ~net ~keychain ~metrics cfg =
+    let node =
+      Node.create ~engine ~net ~costs:cfg.costs ~self:cfg.self ~z:cfg.z
+        ~has_batchers:true ~input_threads:cfg.input_threads
+        ~batch_threads:cfg.batch_threads
+    in
+    let store = Rcc_storage.Kv_store.create () in
+    if cfg.materialize_state then
+      Rcc_storage.Kv_store.init_records store ~count:cfg.records;
+    let initial_primaries = List.init cfg.z (fun x -> x) in
+    let ledger = Rcc_storage.Ledger.create ~primaries:initial_primaries in
+    let txn_table = Rcc_storage.Txn_table.create () in
+    let coordinator_ref = ref None in
+    let primaries () =
+      match !coordinator_ref with
+      | Some c -> Coordinator.primaries c
+      | None -> initial_primaries
+    in
+    let respond client msg =
+      Node.send_direct node ~dst:(cfg.client_node_of client) msg
+    in
+    let reorder accs =
+      if cfg.use_permutation && Array.length accs > 1 then begin
+        let digests =
+          Array.to_list
+            (Array.map
+               (fun (a : Rcc_replica.Acceptance.t) -> a.batch.Batch.digest)
+               accs)
+        in
+        let order =
+          Permutation.order_of_round ~digests ~len:(Array.length accs)
+        in
+        Array.map (fun i -> accs.(i)) order
+      end
+      else accs
+    in
+    let exec_server =
+      if cfg.exec_on_worker then Node.worker node 0 else Node.exec_server node
+    in
+    let exec =
+      Exec.create ~engine ~costs:cfg.costs ~server:exec_server ~z:cfg.z
+        ~self:cfg.self ~store ~ledger ~txn_table ~current_primaries:primaries
+        ~respond ~metrics ~reorder ~materialize:cfg.materialize_state
+        ~sign_speculative:cfg.sign_speculative ()
+    in
+    let instances =
+      Array.init cfg.z (fun x ->
+          let worker = Node.worker node x in
+          let send, broadcast = Node.sender node ~worker in
+          let env =
+            {
+              Env.n = cfg.n;
+              f = cfg.f;
+              z = cfg.z;
+              instance = x;
+              self = cfg.self;
+              engine;
+              costs = cfg.costs;
+              timeout = cfg.timeout;
+              checkpoint_interval = cfg.checkpoint_interval;
+              send;
+              broadcast =
+                (fun ?sign ?exclude msg -> broadcast ?sign ?exclude ~n:cfg.n msg);
+              respond =
+                (fun client msg ->
+                  send ~dst:(cfg.client_node_of client) msg);
+              accept = (fun acceptance -> Exec.notify exec acceptance);
+              report_failure =
+                (fun ~round ~blamed ->
+                  match !coordinator_ref with
+                  | Some c ->
+                      Coordinator.on_local_failure c ~instance:x ~round ~blamed
+                  | None -> ());
+              byz = cfg.byz;
+              unified = cfg.unified;
+            }
+          in
+          P.create env)
+    in
+    let coordinator =
+      if cfg.unified then begin
+        let send, broadcast = Node.sender node ~worker:(Node.exec_server node) in
+        let handles =
+          Array.map
+            (fun inst ->
+              {
+                Coordinator.h_set_primary =
+                  (fun r ~view -> P.set_primary inst r ~view);
+                h_adopt = (fun ~round batch ~cert -> P.adopt inst ~round batch ~cert);
+                h_accepted = (fun ~round -> P.accepted_batch inst ~round);
+                h_incomplete = (fun () -> P.incomplete_rounds inst);
+                h_primary = (fun () -> P.primary inst);
+              })
+            instances
+        in
+        let c =
+          Coordinator.create
+            {
+              Coordinator.n = cfg.n;
+              f = cfg.f;
+              z = cfg.z;
+              self = cfg.self;
+              collusion_wait = cfg.collusion_wait;
+              recovery = cfg.recovery;
+              min_cert = cfg.min_cert;
+              history_capacity = cfg.history_capacity;
+            }
+            ~engine ~handles ~exec ~metrics
+            ~broadcast:(fun msg -> broadcast ~n:cfg.n msg)
+            ~send:(fun ~dst msg -> send ~dst msg)
+        in
+        coordinator_ref := Some c;
+        Exec.set_on_executed exec (fun round accs ->
+            Coordinator.on_round_executed c ~round accs);
+        Some c
+      end
+      else None
+    in
+    let t =
+      {
+        cfg;
+        keychain;
+        node;
+        instances;
+        exec;
+        coordinator;
+        store;
+        ledger;
+        txn_table;
+        (* Adopted-client cap per instance (§3.6 anti-flooding); generous
+           relative to the simulated client populations. *)
+        client_map = Client_map.create ~z:cfg.z ~cap_per_instance:4096;
+        false_blames_sent = false;
+      }
+    in
+    install_route t;
+    t
+
+  (* Round-lockstep liveness monitor. Execution waits for all z instances
+     each round (§3.4.1), so an instance without traffic — an idle or
+     client-ignoring primary, or a crashed one — would stall every
+     replica. Primaries fill short stalls of their own instances with
+     null batches; in unified mode a stall past the replica timeout blames
+     the missing instances' primaries so the coordinator can replace them. *)
+  let monitor t =
+    let cfg = t.cfg in
+    let engine = Node.engine t.node in
+    let last_round = ref (-1) in
+    let last_change = ref 0 in
+    let last_blamed = ref (-1) in
+    let last_heartbeat = Array.make cfg.z (-1) in
+    let _send, broadcast = Node.sender t.node ~worker:(Node.exec_server t.node) in
+    let rec tick () =
+      let round = Exec.next_round t.exec in
+      let now = Engine.now engine in
+      if round <> !last_round then begin
+        last_round := round;
+        last_change := now
+      end
+      else begin
+        let stalled = now - !last_change in
+        let missing = Exec.missing_instances t.exec ~round in
+        if stalled > cfg.heartbeat then
+          List.iter
+            (fun x ->
+              let inst = t.instances.(x) in
+              let upto = P.proposed_upto inst in
+              if
+                current_primary t x = cfg.self
+                && last_heartbeat.(x) < round
+                && upto < round (* max_int opts a protocol out entirely *)
+              then begin
+                last_heartbeat.(x) <- round;
+                (* Fill the idle instance up to the pipeline horizon so it
+                   never throttles the round rate; the proposed_upto guard
+                   keeps in-flight rounds untouched. *)
+                let horizon =
+                  max round (min (Exec.max_pending_round t.exec) (round + 64))
+                in
+                for r = max round (upto + 1) to horizon do
+                  P.submit_batch inst (Batch.null ~round:r)
+                done
+              end)
+            missing;
+        if cfg.unified && stalled > cfg.timeout && !last_blamed < round then begin
+          last_blamed := round;
+          List.iter
+            (fun x ->
+              let blamed = current_primary t x in
+              (match t.coordinator with
+              | Some c -> Coordinator.on_local_failure c ~instance:x ~round ~blamed
+              | None -> ());
+              broadcast ~n:cfg.n
+                (Msg.View_change
+                   { instance = x; new_view = 0; blamed; round; last_exec = round - 1 }))
+            missing;
+          (* State-exchange (§3.3's checkpoint recovery): ask peers for the
+             stalled round's contract directly; any replica that executed
+             it answers from its history ring. *)
+          match missing with
+          | x :: _ ->
+              broadcast ~n:cfg.n (Msg.Contract_request { round; instance = x })
+          | [] -> ()
+        end
+      end;
+      Engine.schedule_after engine (max 1 (cfg.heartbeat / 2)) tick
+    in
+    Engine.schedule_after engine cfg.heartbeat tick
+
+  let start t =
+    Array.iter P.start t.instances;
+    monitor t
+end

@@ -1,0 +1,77 @@
+(** Assembly of one full replica: [z] protocol instances + pipeline +
+    execute thread + coordinator.
+
+    [Make (P)] instantiates the RCC paradigm over any protocol satisfying
+    the black-box interface (MultiP = Make(Pbft), MultiZ = Make(Zyzzyva)).
+    With [z = 1] and [unified = false] the same assembly runs the
+    standalone protocol, which is how the baselines share the paper's
+    parallel-pipelined architecture (§7.1). *)
+
+open Rcc_common.Ids
+
+type config = {
+  n : int;
+  f : int;
+  z : int;
+  self : replica_id;
+  costs : Rcc_sim.Costs.t;
+  timeout : Rcc_sim.Engine.time;  (** replica watchdog (10 s in §7.5) *)
+  heartbeat : Rcc_sim.Engine.time;
+      (** if the execute thread stalls on an instance this replica leads
+          for longer than this, the primary proposes a null batch so idle
+          instances cannot block the round lockstep; a stall past
+          [timeout] escalates to a coordinator blame of the missing
+          instances' primaries *)
+  collusion_wait : Rcc_sim.Engine.time;  (** coordinator wait (5 s in §7.5.3) *)
+  checkpoint_interval : int;
+  unified : bool;  (** true = RCC unification; false = standalone protocol *)
+  recovery : Coordinator.recovery_mode;
+  min_cert : int;
+  history_capacity : int;
+  use_permutation : bool;  (** §3.4.1 digest-seeded execution order *)
+  exec_on_worker : bool;
+      (** standalone Zyzzyva: the single worker thread handles ordering
+          AND speculative execution (§7.1) *)
+  sign_speculative : bool;
+      (** sign speculative responses (standalone Zyzzyva commit path) *)
+  records : int;  (** YCSB table size *)
+  materialize_state : bool;  (** whether this replica applies txns for real *)
+  input_threads : int;
+  batch_threads : int;
+  client_node_of : client_id -> int;
+  byz : Rcc_replica.Byz.t;
+}
+
+module Make (P : Rcc_replica.Instance_intf.S) : sig
+  type t
+
+  val create :
+    engine:Rcc_sim.Engine.t ->
+    net:Rcc_messages.Msg.t Rcc_sim.Net.t ->
+    keychain:Rcc_crypto.Keychain.t ->
+    metrics:Rcc_replica.Metrics.t ->
+    config ->
+    t
+  (** Builds the node, installs routing, creates instances 0..z-1 (instance
+      x initially led by replica x) and, in unified mode, the coordinator. *)
+
+  val start : t -> unit
+  (** Arm all instance watchdogs. *)
+
+  val config : t -> config
+  val instance : t -> instance_id -> P.t
+  val exec : t -> Rcc_replica.Exec.t
+  val coordinator : t -> Coordinator.t option
+  val store : t -> Rcc_storage.Kv_store.t
+  val ledger : t -> Rcc_storage.Ledger.t
+  val txn_table : t -> Rcc_storage.Txn_table.t
+
+  val current_primary : t -> instance_id -> replica_id
+  (** The primary this replica currently believes leads the instance. *)
+
+  val exec_utilization : t -> since:Rcc_sim.Engine.time -> float
+  (** Busy fraction of the execute thread since [since] — the ceiling the
+      paper identifies for the MultiBFT variants. *)
+
+  val worker_utilization : t -> instance_id -> since:Rcc_sim.Engine.time -> float
+end

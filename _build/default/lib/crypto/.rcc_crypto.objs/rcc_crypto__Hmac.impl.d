@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Char Rcc_common Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/keychain.ml: Array Cmac Rcc_common Signature

@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Hashtbl Hmac Rcc_common Sha256 String

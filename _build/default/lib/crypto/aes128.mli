@@ -1,0 +1,14 @@
+(** AES-128 block cipher (FIPS 197), encryption direction only.
+
+    Only encryption is needed: {!Cmac} (the paper's CMAC-AES replica-to-
+    replica authenticator) uses the forward permutation exclusively.
+    Verified against the FIPS 197 appendix vectors. *)
+
+type key
+
+val expand_key : string -> key
+(** [expand_key k] expands a 16-byte key. Raises [Invalid_argument] on any
+    other length. *)
+
+val encrypt_block : key -> string -> string
+(** [encrypt_block key block] encrypts one 16-byte block. *)

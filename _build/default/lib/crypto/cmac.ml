@@ -1,0 +1,52 @@
+type key = { aes : Aes128.key; k1 : string; k2 : string }
+
+(* Doubling in GF(2^128) with the CMAC polynomial. *)
+let dbl block =
+  let n = String.length block in
+  let out = Bytes.create n in
+  let carry = ref 0 in
+  for i = n - 1 downto 0 do
+    let b = Char.code block.[i] in
+    Bytes.set out i (Char.chr (((b lsl 1) land 0xff) lor !carry));
+    carry := b lsr 7
+  done;
+  if !carry = 1 then
+    Bytes.set out (n - 1) (Char.chr (Char.code (Bytes.get out (n - 1)) lxor 0x87));
+  Bytes.unsafe_to_string out
+
+let of_aes_key k =
+  let aes = Aes128.expand_key k in
+  let l = Aes128.encrypt_block aes (String.make 16 '\x00') in
+  let k1 = dbl l in
+  let k2 = dbl k1 in
+  { aes; k1; k2 }
+
+let mac key msg =
+  let len = String.length msg in
+  let nblocks = if len = 0 then 1 else (len + 15) / 16 in
+  let complete = len > 0 && len mod 16 = 0 in
+  let last =
+    if complete then
+      Rcc_common.Bytes_util.xor (String.sub msg ((nblocks - 1) * 16) 16) key.k1
+    else begin
+      let rem = len - ((nblocks - 1) * 16) in
+      let padded = Bytes.make 16 '\x00' in
+      Bytes.blit_string msg ((nblocks - 1) * 16) padded 0 rem;
+      Bytes.set padded rem '\x80';
+      Rcc_common.Bytes_util.xor (Bytes.unsafe_to_string padded) key.k2
+    end
+  in
+  let x = ref (String.make 16 '\x00') in
+  for i = 0 to nblocks - 2 do
+    let block = String.sub msg (16 * i) 16 in
+    x := Aes128.encrypt_block key.aes (Rcc_common.Bytes_util.xor !x block)
+  done;
+  Aes128.encrypt_block key.aes (Rcc_common.Bytes_util.xor !x last)
+
+let verify key msg ~tag =
+  let expected = mac key msg in
+  String.length expected = String.length tag
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code tag.[i])) expected;
+  !acc = 0

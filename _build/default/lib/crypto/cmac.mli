@@ -1,0 +1,12 @@
+(** CMAC-AES128 (NIST SP 800-38B) — the paper's replica-to-replica message
+    authenticator. Verified against the SP 800-38B example vectors. *)
+
+type key
+
+val of_aes_key : string -> key
+(** [of_aes_key k] derives the CMAC subkeys from a 16-byte AES key. *)
+
+val mac : key -> string -> string
+(** 16-byte binary tag over an arbitrary-length message. *)
+
+val verify : key -> string -> tag:string -> bool

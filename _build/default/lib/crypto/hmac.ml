@@ -1,0 +1,29 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\x00'
+
+let pads key =
+  let k = normalize_key key in
+  let ipad = Rcc_common.Bytes_util.xor k (String.make block_size '\x36') in
+  let opad = Rcc_common.Bytes_util.xor k (String.make block_size '\x5c') in
+  (ipad, opad)
+
+let mac_list ~key parts =
+  let ipad, opad = pads key in
+  let inner = Sha256.digest_list (ipad :: parts) in
+  Sha256.digest_list [ opad; inner ]
+
+let mac ~key msg = mac_list ~key [ msg ]
+
+(* Constant-time-style comparison; timing channels are irrelevant in the
+   simulator but the discipline costs nothing. *)
+let verify ~key msg ~tag =
+  let expected = mac ~key msg in
+  String.length expected = String.length tag
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code tag.[i])) expected;
+  !acc = 0

@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104), built on {!Sha256}.
+
+    Used as the core of the simulated digital signatures; verified against
+    the RFC 4231 test vectors. *)
+
+val mac : key:string -> string -> string
+(** 32-byte binary tag. *)
+
+val mac_list : key:string -> string list -> string
+(** Tag over the concatenation of the parts. *)
+
+val verify : key:string -> string -> tag:string -> bool

@@ -1,0 +1,36 @@
+type t = {
+  n : int;
+  replica_keys : (Signature.secret_key * Signature.public_key) array;
+  client_keys : (Signature.secret_key * Signature.public_key) array;
+  mac_keys : Cmac.key array; (* upper-triangular pair index *)
+}
+
+(* Index of the unordered pair {i, j}, i <> j, in a triangular array. *)
+let pair_index n i j =
+  let i, j = if i < j then (i, j) else (j, i) in
+  assert (i <> j && j < n);
+  (i * n) - (i * (i + 1) / 2) + (j - i - 1)
+
+let create ~seed ~n ~clients =
+  let rng = Rcc_common.Rng.create seed in
+  let replica_keys = Array.init n (fun _ -> Signature.keygen rng) in
+  let client_keys = Array.init clients (fun _ -> Signature.keygen rng) in
+  let npairs = n * (n - 1) / 2 in
+  let mac_keys =
+    Array.init npairs (fun _ ->
+        let raw =
+          Rcc_common.Bytes_util.u64_string (Rcc_common.Rng.next_int64 rng)
+          ^ Rcc_common.Bytes_util.u64_string (Rcc_common.Rng.next_int64 rng)
+        in
+        Cmac.of_aes_key raw)
+  in
+  { n; replica_keys; client_keys; mac_keys }
+
+let n t = t.n
+let replica_secret t r = fst t.replica_keys.(r)
+let replica_public t r = snd t.replica_keys.(r)
+let client_secret t c = fst t.client_keys.(c)
+let client_public t c = snd t.client_keys.(c)
+let mac_key t i j = t.mac_keys.(pair_index t.n i j)
+let mac t ~src ~dst msg = Cmac.mac (mac_key t src dst) msg
+let mac_verify t ~src ~dst msg ~tag = Cmac.verify (mac_key t src dst) msg ~tag

@@ -1,0 +1,21 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used for message digests, the blockchain hash links, and as the
+    compression function of {!Hmac}. Verified against the FIPS test
+    vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+(** 32-byte binary digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot digest of a full message. *)
+
+val digest_list : string list -> string
+(** Digest of the concatenation, without materializing it. *)
+
+val hex_digest : string -> string
+(** Hex-encoded one-shot digest, for display and tests. *)

@@ -1,0 +1,41 @@
+type secret_key = { secret : string; public : string }
+type public_key = string
+type signature = string
+
+let signature_size = 64
+
+(* Process-local stand-in for the curve equations: verification looks up the
+   secret matching a public key. Signing code never touches this table. *)
+let registry : (public_key, string) Hashtbl.t = Hashtbl.create 64
+
+let keygen rng =
+  let secret =
+    String.concat ""
+      [
+        Rcc_common.Bytes_util.u64_string (Rcc_common.Rng.next_int64 rng);
+        Rcc_common.Bytes_util.u64_string (Rcc_common.Rng.next_int64 rng);
+        Rcc_common.Bytes_util.u64_string (Rcc_common.Rng.next_int64 rng);
+        Rcc_common.Bytes_util.u64_string (Rcc_common.Rng.next_int64 rng);
+      ]
+  in
+  let public = Sha256.digest ("rcc-pk" ^ secret) in
+  Hashtbl.replace registry public secret;
+  ({ secret; public }, public)
+
+let public_key sk = sk.public
+
+let sign sk msg =
+  let t1 = Hmac.mac ~key:sk.secret msg in
+  let t2 = Hmac.mac ~key:sk.secret (t1 ^ msg) in
+  t1 ^ t2
+
+let verify pk msg signature =
+  String.length signature = signature_size
+  &&
+  match Hashtbl.find_opt registry pk with
+  | None -> false
+  | Some secret ->
+      let t1 = String.sub signature 0 32 in
+      let t2 = String.sub signature 32 32 in
+      Hmac.verify ~key:secret msg ~tag:t1
+      && Hmac.verify ~key:secret (t1 ^ msg) ~tag:t2

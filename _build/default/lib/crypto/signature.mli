@@ -1,0 +1,31 @@
+(** Digital signatures with the shape and cost profile of ED25519.
+
+    SUBSTITUTION (see DESIGN.md): the paper uses ED25519 for client–replica
+    authentication. Curve arithmetic is not exercised by any experiment —
+    what matters is (a) unforgeability within the simulation, (b) the 64-byte
+    signature size, and (c) the large sign/verify CPU cost, which the
+    simulator charges separately. We therefore implement signatures as
+    HMAC-SHA256 tags under the signer's secret key, with a process-local
+    registry mapping public keys to their secrets standing in for the curve
+    equations during verification. Only code holding the [secret_key] can
+    produce a tag that verifies, so the byzantine-behaviour semantics are
+    exactly those of real signatures. *)
+
+type secret_key
+type public_key = string (** 32 bytes *)
+
+type signature = string (** 64 bytes, like ED25519 *)
+
+val signature_size : int
+
+val keygen : Rcc_common.Rng.t -> secret_key * public_key
+(** Deterministic from the generator state; registers the pair for
+    verification. *)
+
+val public_key : secret_key -> public_key
+
+val sign : secret_key -> string -> signature
+
+val verify : public_key -> string -> signature -> bool
+(** [verify pk msg sig] holds iff [sig] was produced by [sign sk msg] for
+    the [sk] matching [pk]. Unknown public keys never verify. *)

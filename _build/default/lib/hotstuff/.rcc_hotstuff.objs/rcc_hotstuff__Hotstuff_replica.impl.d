@@ -1,0 +1,1 @@
+lib/hotstuff/hotstuff_replica.ml: Array Hashtbl List Option Rcc_common Rcc_messages Rcc_replica Rcc_sim

@@ -1,0 +1,1 @@
+lib/hotstuff/hotstuff_replica.mli: Rcc_common Rcc_replica

@@ -1,0 +1,316 @@
+module Engine = Rcc_sim.Engine
+module Costs = Rcc_sim.Costs
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+module Bitset = Rcc_common.Bitset
+module Env = Rcc_replica.Instance_env
+
+let skip_phase = 9
+
+type slot = {
+  seq : int;
+  mutable batch : Batch.t option;
+  mutable digest : string;
+  votes : Bitset.t array;  (* leader side, phases 0-2 *)
+  mutable phase_sent : int;  (* leader: highest phase broadcast *)
+  mutable voted_upto : int;  (* replica: highest phase voted *)
+  mutable decided : bool;
+  skip_votes : Bitset.t;
+  mutable skip_voted : bool;
+  mutable stall_since : Engine.time;  (* frontier arrival time *)
+}
+
+type t = {
+  env : Env.t;
+  mutable next_propose : int;  (* next seq in our residue class *)
+  slots : (int, slot) Hashtbl.t;
+  mutable next_decide : int;  (* execution frontier *)
+  mutable max_seen : int;
+  blacklist : Bitset.t;
+  mutable last_skip : Engine.time;  (* most recent successful skip *)
+  mutable running : bool;
+}
+
+let create env =
+  {
+    env;
+    next_propose = env.Env.self;
+    slots = Hashtbl.create 512;
+    next_decide = 0;
+    max_seen = -1;
+    blacklist = Bitset.create env.Env.n;
+    last_skip = min_int / 2;
+    running = false;
+  }
+
+let leader_of t seq = seq mod t.env.Env.n
+let decided_upto t = t.next_decide - 1
+let blacklisted t r = Bitset.mem t.blacklist r
+
+(* The instance interface's notion of primary: ourselves (every replica
+   leads its own residue class). *)
+let primary t = t.env.Env.self
+let view _ = 0
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          seq;
+          batch = None;
+          digest = "";
+          votes = Array.init 3 (fun _ -> Bitset.create t.env.Env.n);
+          phase_sent = -1;
+          voted_upto = -1;
+          decided = false;
+          skip_votes = Bitset.create t.env.Env.n;
+          skip_voted = false;
+          stall_since = Engine.now t.env.Env.engine;
+        }
+      in
+      Hashtbl.replace t.slots seq s;
+      if seq > t.max_seen then t.max_seen <- seq;
+      s
+
+let quorum t = t.env.Env.n - t.env.Env.f
+
+(* Consecutive failures accelerate the pacemaker: shortly after a
+   successful skip, a stalled frontier is re-suspected after timeout/8
+   instead of a full timeout (PBFT's growing-view-change analogue, in the
+   other direction: we expect a batch of dead leaders at once). *)
+let stall_threshold t =
+  if Engine.now t.env.Env.engine - t.last_skip < 2 * t.env.Env.timeout then
+    t.env.Env.timeout / 8
+  else t.env.Env.timeout
+
+let decide t s null =
+  if not s.decided then begin
+    s.decided <- true;
+    let batch =
+      match (null, s.batch) with
+      | false, Some b -> b
+      | true, _ | false, None -> Batch.null ~round:s.seq
+    in
+    t.env.Env.accept
+      {
+        Rcc_replica.Acceptance.instance = 0;
+        round = s.seq;
+        batch;
+        cert = Bitset.to_list s.votes.(2);
+        speculative = false;
+        history = "";
+      }
+  end
+
+(* Advance the frontier; blacklisted leaders' pending rounds are skip-voted
+   without waiting for the timeout. *)
+let rec advance_frontier t =
+  match Hashtbl.find_opt t.slots t.next_decide with
+  | Some s when s.decided ->
+      t.next_decide <- t.next_decide + 1;
+      advance_frontier t
+  | Some s ->
+      s.stall_since <- min s.stall_since (Engine.now t.env.Env.engine);
+      maybe_auto_skip t s
+  | None ->
+      if t.next_decide <= t.max_seen then begin
+        let s = slot t t.next_decide in
+        maybe_auto_skip t s
+      end
+
+and send_skip_vote t s =
+  if not s.skip_voted then begin
+    s.skip_voted <- true;
+    Bitset.add s.skip_votes t.env.Env.self |> ignore;
+    t.env.Env.broadcast ~sign:true
+      (Msg.Hs_vote { view = 0; phase = skip_phase; seq = s.seq; digest = "" });
+    check_skip t s
+  end
+
+and check_skip t s =
+  if (not s.decided) && Bitset.count s.skip_votes >= quorum t then begin
+    Bitset.add t.blacklist (leader_of t s.seq) |> ignore;
+    t.last_skip <- Engine.now t.env.Env.engine;
+    decide t s true;
+    advance_frontier t;
+    eager_skip t
+  end
+
+and maybe_auto_skip t s =
+  if (not s.decided) && Bitset.mem t.blacklist (leader_of t s.seq) then
+    send_skip_vote t s
+
+(* Skip-vote every known round of a blacklisted leader at once, rather than
+   paying a round trip per round as each reaches the frontier. *)
+and eager_skip t =
+  let horizon = min t.max_seen (t.next_decide + 2048) in
+  for seq = t.next_decide to horizon do
+    if Bitset.mem t.blacklist (leader_of t seq) then begin
+      let s = slot t seq in
+      if not s.decided then send_skip_vote t s
+    end
+  done
+
+(* --- leader side ------------------------------------------------------ *)
+
+let broadcast_phase t s phase =
+  if s.phase_sent < phase then begin
+    s.phase_sent <- phase;
+    let batch = if phase = 0 then s.batch else None in
+    t.env.Env.broadcast ~sign:true
+      (Msg.Hs_proposal { view = 0; phase; seq = s.seq; batch; digest = s.digest });
+    if phase = 3 then begin
+      (* The leader's own decide: it does not receive its broadcasts. *)
+      decide t s false;
+      advance_frontier t
+    end
+  end
+
+let on_vote t ~src ~phase ~seq =
+  if phase = skip_phase then begin
+    let s = slot t seq in
+    Bitset.add s.skip_votes src |> ignore;
+    (* Join a skip that another replica initiated if we too see the round
+       stalled: its leader is blacklisted, or it is our frontier round and
+       has been stuck for at least half the timeout. *)
+    let stalled =
+      Bitset.mem t.blacklist (leader_of t seq)
+      || (seq = t.next_decide
+         && Engine.now t.env.Env.engine - s.stall_since > stall_threshold t / 2)
+    in
+    if (not s.decided) && seq >= t.next_decide && stalled then
+      send_skip_vote t s;
+    check_skip t s
+  end
+  else if phase >= 0 && phase < 3 then begin
+    let s = slot t seq in
+    if leader_of t seq = t.env.Env.self && not s.decided then begin
+      Bitset.add s.votes.(phase) src |> ignore;
+      if Bitset.count s.votes.(phase) >= quorum t && s.phase_sent = phase then
+        broadcast_phase t s (phase + 1)
+    end
+  end
+
+let submit_batch t batch =
+  let seq = t.next_propose in
+  t.next_propose <- seq + t.env.Env.n;
+  let s = slot t seq in
+  s.batch <- Some batch;
+  s.digest <- batch.Batch.digest;
+  (* Leader votes for itself in every phase. *)
+  Array.iter (fun v -> Bitset.add v t.env.Env.self |> ignore) s.votes;
+  broadcast_phase t s 0
+
+(* --- replica side ----------------------------------------------------- *)
+
+let on_proposal t ~src ~phase ~seq batch digest =
+  if src = leader_of t seq && phase >= 0 && phase <= 3 then begin
+    let s = slot t seq in
+    (match batch with
+    | Some b when Option.is_none s.batch ->
+        s.batch <- Some b;
+        s.digest <- b.Batch.digest
+    | Some _ | None -> ());
+    if s.digest = "" then s.digest <- digest;
+    if phase < 3 then begin
+      if s.voted_upto < phase then begin
+        s.voted_upto <- phase;
+        t.env.Env.send ~sign:true ~dst:src
+          (Msg.Hs_vote { view = 0; phase; seq; digest = s.digest })
+      end
+    end
+    else begin
+      decide t s false;
+      advance_frontier t
+    end
+  end
+
+(* --- pacemaker -------------------------------------------------------- *)
+
+let rec watchdog t =
+  if t.running then begin
+    (if t.next_decide <= t.max_seen then
+       let s = slot t t.next_decide in
+       if
+         (not s.decided)
+         && Engine.now t.env.Env.engine - s.stall_since > stall_threshold t
+       then send_skip_vote t s);
+    eager_skip t;
+    Engine.schedule_after t.env.Env.engine
+      (max 1 (t.env.Env.timeout / 8))
+      (fun () -> watchdog t)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Engine.schedule_after t.env.Env.engine t.env.Env.timeout (fun () -> watchdog t)
+  end
+
+(* --- instance interface ----------------------------------------------- *)
+
+let set_primary _ _ ~view:_ = ()
+
+let adopt t ~round batch ~cert =
+  let s = slot t round in
+  if not s.decided then begin
+    s.batch <- Some batch;
+    List.iter (fun r -> Bitset.add s.votes.(2) r |> ignore) cert;
+    decide t s false;
+    advance_frontier t
+  end
+
+(* HotStuff has its own skip-based pacemaker; opt out of the RCC
+   null-batch heartbeat. *)
+let proposed_upto _ = max_int
+
+let accepted_batch t ~round =
+  match Hashtbl.find_opt t.slots round with
+  | Some { decided = true; batch = Some b; _ } as slot_opt ->
+      ignore slot_opt;
+      Some (b, [])
+  | Some _ | None -> None
+
+let incomplete_rounds t =
+  let acc = ref [] in
+  for seq = t.max_seen downto t.next_decide do
+    match Hashtbl.find_opt t.slots seq with
+    | Some s when not s.decided -> acc := seq :: !acc
+    | Some _ -> ()
+    | None -> acc := seq :: !acc
+  done;
+  !acc
+
+let handle t ~src msg =
+  match msg with
+  | Msg.Hs_proposal { phase; seq; batch; digest; _ } ->
+      on_proposal t ~src ~phase ~seq batch digest
+  | Msg.Hs_vote { phase; seq; _ } -> on_vote t ~src ~phase ~seq
+  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+  | Msg.View_change _ | Msg.New_view _ | Msg.Order_request _
+  | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Client_request _
+  | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
+  | Msg.Instance_change _ ->
+      ()
+
+let cost_of (costs : Costs.t) msg =
+  match msg with
+  | Msg.Hs_proposal { phase; batch; _ } ->
+      (* Verify the leader's signature, plus (from PRE-COMMIT onward) the
+         carried quorum certificate. Matching the paper's optimistic
+         HotStuff setup — no threshold signatures — certificate checking
+         costs a few individual verifications rather than n - f. *)
+      let qc = if phase > 0 then 3 else 0 in
+      costs.Costs.worker_msg + ((1 + qc) * costs.Costs.sig_verify)
+      + (match batch with
+        | Some b -> Costs.hash_cost costs (Batch.size b)
+        | None -> 0)
+  | Msg.Hs_vote _ -> costs.Costs.worker_msg + costs.Costs.sig_verify
+  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+  | Msg.View_change _ | Msg.New_view _ | Msg.Order_request _
+  | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Client_request _
+  | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
+  | Msg.Instance_change _ ->
+      costs.Costs.worker_msg

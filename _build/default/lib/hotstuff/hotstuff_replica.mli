@@ -1,0 +1,24 @@
+(** HotStuff (Yin et al., PODC '19), in the paper's optimistic
+    configuration (§7.1).
+
+    Four phases (PREPARE, PRE-COMMIT, COMMIT, DECIDE), each a
+    leader-broadcast / replica-vote exchange. Every message carries a
+    digital signature — the CPU asymmetry versus the MAC-based protocols
+    that bounds HotStuff's throughput in the evaluation. Following the
+    paper's implementation: no threshold signatures, quorum certificates
+    cost one verification, no proof summaries, and all replicas act as
+    leaders in parallel (the leader of consensus [s] is [s mod n];
+    consensuses pipeline freely and execute in sequence order).
+
+    Pacemaker: a stalled frontier round (dead or silent leader) is skipped
+    by a quorum of SKIP votes after a timeout, and the offending leader is
+    blacklisted so its later rounds skip immediately.
+
+    Implements the common instance interface with [z = 1], [instance = 0]
+    and round = sequence number, so the runtime drives it like any other
+    protocol. *)
+
+include Rcc_replica.Instance_intf.S
+
+val decided_upto : t -> Rcc_common.Ids.round
+val blacklisted : t -> Rcc_common.Ids.replica_id -> bool

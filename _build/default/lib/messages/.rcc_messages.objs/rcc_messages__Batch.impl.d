@@ -1,0 +1,1 @@
+lib/messages/batch.ml: Array Rcc_common Rcc_crypto Rcc_workload String

@@ -1,0 +1,1 @@
+lib/messages/batch.mli: Rcc_common Rcc_crypto Rcc_workload

@@ -1,0 +1,1 @@
+lib/messages/codec.ml: Array Batch Buffer Char Int64 List Msg Printf Rcc_common Rcc_workload String

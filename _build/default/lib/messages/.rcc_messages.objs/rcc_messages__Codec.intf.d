@@ -1,0 +1,1 @@
+lib/messages/codec.mli: Msg

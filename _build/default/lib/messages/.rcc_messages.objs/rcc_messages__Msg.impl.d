@@ -1,0 +1,1 @@
+lib/messages/msg.ml: Batch Format List Rcc_common

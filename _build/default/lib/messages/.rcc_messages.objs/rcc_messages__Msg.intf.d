@@ -1,0 +1,1 @@
+lib/messages/msg.mli: Batch Format Rcc_common

@@ -1,0 +1,36 @@
+type t = {
+  id : int;
+  client : Rcc_common.Ids.client_id;
+  txns : Rcc_workload.Txn.t array;
+  digest : string;
+  signature : Rcc_crypto.Signature.signature;
+}
+
+let digest_of_txns txns =
+  let parts = Array.to_list (Array.map Rcc_workload.Txn.encode txns) in
+  Rcc_crypto.Sha256.digest_list parts
+
+let create ~id ~client ~txns ~secret =
+  let digest = digest_of_txns txns in
+  { id; client; txns; digest; signature = Rcc_crypto.Signature.sign secret digest }
+
+let null_client = -1
+
+let null ~round =
+  {
+    id = -round - 1;
+    client = null_client;
+    txns = [||];
+    digest = Rcc_crypto.Sha256.digest ("rcc-null" ^ string_of_int round);
+    signature = String.make Rcc_crypto.Signature.signature_size '\x00';
+  }
+
+let is_null t = t.client = null_client
+
+let verify t ~public =
+  String.equal t.digest (digest_of_txns t.txns)
+  && Rcc_crypto.Signature.verify public t.digest t.signature
+
+let wire_size ~ntxns = ntxns * Rcc_workload.Txn.wire_size
+
+let size t = wire_size ~ntxns:(Array.length t.txns)

@@ -1,0 +1,39 @@
+(** Client request batches.
+
+    A batch is one client's request: an ordered array of transactions, a
+    SHA-256 digest over their encoding, and the client's signature over the
+    digest (§6 "Batching"). Batches are the unit of consensus. *)
+
+type t = {
+  id : int;  (** globally unique request identifier *)
+  client : Rcc_common.Ids.client_id;
+  txns : Rcc_workload.Txn.t array;
+  digest : string;  (** SHA-256 over the encoded transactions *)
+  signature : Rcc_crypto.Signature.signature;  (** client's, over the digest *)
+}
+
+val create :
+  id:int ->
+  client:Rcc_common.Ids.client_id ->
+  txns:Rcc_workload.Txn.t array ->
+  secret:Rcc_crypto.Signature.secret_key ->
+  t
+
+val null : round:Rcc_common.Ids.round -> t
+(** The no-op batch a new primary proposes to fill a hole left by its
+    predecessor (client is {!null_client}, no transactions). *)
+
+val null_client : Rcc_common.Ids.client_id
+(** Sentinel (-1): responses are not sent for null batches. *)
+
+val is_null : t -> bool
+
+val digest_of_txns : Rcc_workload.Txn.t array -> string
+
+val verify : t -> public:Rcc_crypto.Signature.public_key -> bool
+(** Recompute the digest and check the client signature. *)
+
+val size : t -> int
+val wire_size : ntxns:int -> int
+(** Bytes a batch occupies inside a message; 100 transactions give the
+    paper's 5000-byte batch payload. *)

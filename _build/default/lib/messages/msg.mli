@@ -1,0 +1,95 @@
+(** Wire messages for every protocol in the system.
+
+    One shared vocabulary keeps the network, replica pipeline, and all four
+    protocol families (PBFT, Zyzzyva, HotStuff, RCC unification) on a
+    single bus. Sizes follow the paper's §7.2 measurements: with a batch of
+    100 transactions a PRE-PREPARE is 5400 bytes, a RESPONSE 1748 bytes,
+    and every other message 250 bytes. *)
+
+open Rcc_common.Ids
+
+(** Zyzzyva commit certificate: the client's proof that [2f+1] replicas
+    returned matching speculative responses. *)
+type commit_cert = {
+  cc_instance : instance_id;
+  cc_seq : seqno;
+  cc_digest : string;
+  cc_replicas : int list;
+}
+
+(** One instance's round result inside an RCC recovery contract: the batch
+    plus the set of replicas whose accept proofs back it. *)
+type contract_entry = {
+  ce_instance : instance_id;
+  ce_round : round;
+  ce_batch : Batch.t;
+  ce_cert_replicas : int list;
+}
+
+type t =
+  | Client_request of { instance : instance_id; batch : Batch.t }
+  (* PBFT (also the replication stage of MultiP) *)
+  | Pre_prepare of { instance : instance_id; view : view; seq : seqno; batch : Batch.t }
+  | Prepare of { instance : instance_id; view : view; seq : seqno; digest : string }
+  | Commit of { instance : instance_id; view : view; seq : seqno; digest : string }
+  | Checkpoint of { instance : instance_id; seq : seqno; state_digest : string }
+  | View_change of {
+      instance : instance_id;
+      new_view : view;
+      blamed : replica_id;
+      round : round;  (** round in which the failure was detected *)
+      last_exec : seqno;
+    }
+  | New_view of {
+      instance : instance_id;
+      view : view;
+      reproposals : (seqno * Batch.t) list;
+    }
+  (* Zyzzyva (also the replication stage of MultiZ) *)
+  | Order_request of {
+      instance : instance_id;
+      view : view;
+      seq : seqno;
+      batch : Batch.t;
+      history : string;  (** chained digest of the ordering history *)
+    }
+  | Commit_cert of commit_cert  (* client -> replicas *)
+  | Local_commit of { instance : instance_id; seq : seqno; client : client_id }
+  (* HotStuff *)
+  | Hs_proposal of {
+      view : view;
+      phase : int;  (** 0 prepare, 1 pre-commit, 2 commit, 3 decide *)
+      seq : seqno;
+      batch : Batch.t option;  (** carried in phase 0 only *)
+      digest : string;
+    }
+  | Hs_vote of { view : view; phase : int; seq : seqno; digest : string }
+  (* Replica -> client *)
+  | Response of {
+      client : client_id;
+      batch_id : int;
+      round : round;
+      result_digest : string;
+      txn_count : int;
+      speculative : bool;  (** true for Zyzzyva spec-responses *)
+      history : string;  (** Zyzzyva history digest; "" elsewhere *)
+    }
+  (* RCC unification *)
+  | Contract of { round : round; entries : contract_entry list }
+  | Contract_request of { round : round; instance : instance_id }
+  | Instance_change of { client : client_id; instance : instance_id }
+
+val header_size : int
+(** 250 bytes — the paper's size for batch-free protocol messages. *)
+
+val size : t -> int
+(** Wire size in bytes under the §7.2 model. *)
+
+val kind : t -> string
+(** Constructor name, for routing statistics and traces. *)
+
+val instance_of : t -> instance_id option
+(** The RCC instance a message belongs to, when it has one (HotStuff and
+    contract messages do not). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pbft/pbft_instance.ml: Hashtbl List Option Rcc_common Rcc_messages Rcc_replica Rcc_sim Rcc_storage String

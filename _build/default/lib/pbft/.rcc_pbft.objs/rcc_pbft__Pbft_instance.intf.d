@@ -1,0 +1,1 @@
+lib/pbft/pbft_instance.mli: Rcc_common Rcc_replica Rcc_storage

@@ -1,0 +1,553 @@
+module Engine = Rcc_sim.Engine
+module Costs = Rcc_sim.Costs
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+module Bitset = Rcc_common.Bitset
+module Env = Rcc_replica.Instance_env
+
+type slot = {
+  seq : int;
+  mutable batch : Batch.t option;
+  mutable digest : string option;
+  prepares : Bitset.t;
+  commits : Bitset.t;
+  mutable prepared : bool;
+  mutable accepted : bool;
+  mutable prepare_sent : bool;
+  mutable commit_sent : bool;
+  created_at : Engine.time;
+}
+
+type t = {
+  env : Env.t;
+  mutable view : int;
+  mutable primary : int;
+  mutable next_seq : int;  (* primary: next round to propose *)
+  mutable max_seen : int;  (* highest round with any activity *)
+  slots : (int, slot) Hashtbl.t;
+  mutable exec_upto : int;  (* all rounds <= this accepted *)
+  mutable in_view_change : bool;
+  vc_votes : (int, Bitset.t) Hashtbl.t;  (* new_view -> voters *)
+  mutable vc_sent_for : int;  (* highest new_view we voted for *)
+  mutable last_failure_report : int;  (* round of last report, -1 if none *)
+  ckpt_votes : (int, Bitset.t) Hashtbl.t;
+  ckpt_digests : (int, string) Hashtbl.t;  (* first digest seen per seq *)
+  checkpoint_log : Rcc_storage.Checkpoint_store.t;
+  mutable stable : int;  (* stable checkpoint round *)
+  mutable provable_stable : int;  (* highest seq with f+1 checkpoint votes *)
+  mutable last_progress : Engine.time;  (* last accept or view install *)
+  mutable running : bool;
+}
+
+let create env =
+  {
+    env;
+    view = 0;
+    primary = env.Env.instance;  (* P_x initially runs on replica x (§4) *)
+    next_seq = 0;
+    max_seen = -1;
+    slots = Hashtbl.create 512;
+    exec_upto = -1;
+    in_view_change = false;
+    vc_votes = Hashtbl.create 8;
+    vc_sent_for = 0;
+    last_failure_report = -1;
+    ckpt_votes = Hashtbl.create 8;
+    ckpt_digests = Hashtbl.create 8;
+    checkpoint_log = Rcc_storage.Checkpoint_store.create ();
+    stable = -1;
+    provable_stable = -1;
+    last_progress = 0;
+    running = false;
+  }
+
+let primary t = t.primary
+let view t = t.view
+let in_view_change t = t.in_view_change
+let stable_checkpoint t = t.stable
+let is_primary t = t.primary = t.env.Env.self
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          seq;
+          batch = None;
+          digest = None;
+          prepares = Bitset.create t.env.Env.n;
+          commits = Bitset.create t.env.Env.n;
+          prepared = false;
+          accepted = false;
+          prepare_sent = false;
+          commit_sent = false;
+          created_at = Engine.now t.env.Env.engine;
+        }
+      in
+      Hashtbl.replace t.slots seq s;
+      if seq > t.max_seen then t.max_seen <- seq;
+      s
+
+let checkpoint_log t = t.checkpoint_log
+
+let prepared_round t ~round =
+  match Hashtbl.find_opt t.slots round with
+  | Some s -> s.prepared
+  | None -> false
+
+(* --- checkpointing ------------------------------------------------- *)
+
+let rec advance_exec_upto t =
+  let rec go seq =
+    match Hashtbl.find_opt t.slots seq with
+    | Some s when s.accepted ->
+        t.exec_upto <- seq;
+        go (seq + 1)
+    | Some _ | None -> ()
+  in
+  go (t.exec_upto + 1);
+  t.last_progress <- Engine.now t.env.Env.engine;
+  adopt_stable t
+
+and adopt_stable t =
+  if t.provable_stable > t.stable && t.provable_stable <= t.exec_upto then begin
+    t.stable <- t.provable_stable;
+    (match Hashtbl.find_opt t.ckpt_votes t.stable with
+    | Some votes ->
+        Rcc_storage.Checkpoint_store.record t.checkpoint_log
+          {
+            Rcc_storage.Checkpoint_store.seq = t.stable;
+            state_digest =
+              Option.value ~default:""
+                (Hashtbl.find_opt t.ckpt_digests t.stable);
+            attesters = Rcc_common.Bitset.to_list votes;
+          }
+    | None -> ());
+    garbage_collect t (t.stable - 1)
+  end
+
+and garbage_collect t upto =
+  Hashtbl.filter_map_inplace
+    (fun seq s -> if seq <= upto then None else Some s)
+    t.slots;
+  Hashtbl.filter_map_inplace
+    (fun seq v -> if seq <= upto then None else Some v)
+    t.ckpt_votes;
+  Hashtbl.filter_map_inplace
+    (fun seq d -> if seq <= upto then None else Some d)
+    t.ckpt_digests
+
+let maybe_checkpoint t =
+  let interval = t.env.Env.checkpoint_interval in
+  if interval > 0 then begin
+    let target = t.exec_upto - (t.exec_upto mod interval) in
+    if target > t.stable && t.exec_upto >= target && target > 0 then begin
+      let digest =
+        match (slot t target).digest with Some d -> d | None -> ""
+      in
+      t.env.Env.broadcast
+        (Msg.Checkpoint
+           { instance = t.env.Env.instance; seq = target; state_digest = digest })
+    end
+  end
+
+let on_checkpoint t ~src seq digest =
+  if seq > t.stable then begin
+    if not (Hashtbl.mem t.ckpt_digests seq) then
+      Hashtbl.replace t.ckpt_digests seq digest;
+    let votes =
+      match Hashtbl.find_opt t.ckpt_votes seq with
+      | Some v -> v
+      | None ->
+          let v = Bitset.create t.env.Env.n in
+          Hashtbl.replace t.ckpt_votes seq v;
+          v
+    in
+    (* A checkpoint only becomes stable locally once this replica holds
+       the state it covers (seq <= exec_upto); a replica kept in the dark
+       must keep its incomplete slots so the watchdog can blame the
+       primary instead of silently skipping the round. *)
+    if Bitset.add votes src && Bitset.count votes >= t.env.Env.f + 1 then begin
+      if seq > t.provable_stable then t.provable_stable <- seq;
+      adopt_stable t
+    end
+  end
+
+(* --- normal case ---------------------------------------------------- *)
+
+let accept t s =
+  if not s.accepted then begin
+    match s.batch with
+    | None -> ()
+    | Some batch ->
+        s.accepted <- true;
+        advance_exec_upto t;
+        t.env.Env.accept
+          {
+            Rcc_replica.Acceptance.instance = t.env.Env.instance;
+            round = s.seq;
+            batch;
+            cert = Bitset.to_list s.commits;
+            speculative = false;
+            history = "";
+          };
+        maybe_checkpoint t
+  end
+
+let check_committed t s =
+  if
+    (not s.accepted)
+    && Bitset.count s.commits >= Env.quorum_2f1 t.env
+    && Option.is_some s.batch
+  then accept t s
+
+let send_commit t s =
+  if not s.commit_sent then begin
+    s.commit_sent <- true;
+    Bitset.add s.commits t.env.Env.self |> ignore;
+    match s.digest with
+    | Some digest ->
+        t.env.Env.broadcast
+          (Msg.Commit
+             { instance = t.env.Env.instance; view = t.view; seq = s.seq; digest });
+        check_committed t s
+    | None -> ()
+  end
+
+let check_prepared t s =
+  if (not s.prepared) && Bitset.count s.prepares >= Env.quorum_2f1 t.env then begin
+    s.prepared <- true;
+    send_commit t s
+  end
+
+let on_pre_prepare t ~src ~view ~seq batch =
+  if src = t.primary && view = t.view && (not t.in_view_change) && seq > t.stable
+  then begin
+    let s = slot t seq in
+    match s.digest with
+    | Some d when not (String.equal d batch.Batch.digest) ->
+        (* Equivocation evidence: the primary proposed two different
+           batches for one round. *)
+        t.env.Env.report_failure ~round:seq ~blamed:t.primary
+    | Some _ | None ->
+        if Option.is_none s.batch then begin
+          s.batch <- Some batch;
+          s.digest <- Some batch.Batch.digest;
+          Bitset.add s.prepares src |> ignore;
+          if not s.prepare_sent then begin
+            s.prepare_sent <- true;
+            Bitset.add s.prepares t.env.Env.self |> ignore;
+            t.env.Env.broadcast
+              (Msg.Prepare
+                 {
+                   instance = t.env.Env.instance;
+                   view;
+                   seq;
+                   digest = batch.Batch.digest;
+                 })
+          end;
+          check_prepared t s;
+          check_committed t s
+        end
+  end
+
+let on_prepare t ~src ~view ~seq ~digest =
+  if view = t.view && seq > t.stable then begin
+    let s = slot t seq in
+    if Option.is_none s.digest && src <> t.primary then s.digest <- Some digest;
+    match s.digest with
+    | Some d when String.equal d digest ->
+        Bitset.add s.prepares src |> ignore;
+        check_prepared t s
+    | Some _ | None -> ()
+  end
+
+let on_commit t ~src ~view ~seq ~digest =
+  if view = t.view && seq > t.stable then begin
+    let s = slot t seq in
+    if Option.is_none s.digest && src <> t.primary then s.digest <- Some digest;
+    match s.digest with
+    | Some d when String.equal d digest ->
+        Bitset.add s.commits src |> ignore;
+        check_committed t s
+    | Some _ | None -> ()
+  end
+
+(* --- proposing ------------------------------------------------------ *)
+
+let propose t batch =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let s = slot t seq in
+  s.batch <- Some batch;
+  s.digest <- Some batch.Batch.digest;
+  Bitset.add s.prepares t.env.Env.self |> ignore;
+  s.prepare_sent <- true;
+  if t.env.Env.byz.Rcc_replica.Byz.equivocate then begin
+    (* Equivocation: conflicting proposals to the two halves of the
+       backups. Neither half can assemble 2f+1 matching PREPAREs, so no
+       honest replica accepts and the timeout blames the primary. *)
+    let conflicting = Batch.null ~round:seq in
+    let lower dst = dst < t.env.Env.n / 2 in
+    t.env.Env.broadcast
+      ~exclude:(fun dst -> not (lower dst))
+      (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch });
+    t.env.Env.broadcast ~exclude:lower
+      (Msg.Pre_prepare
+         { instance = t.env.Env.instance; view = t.view; seq; batch = conflicting })
+  end
+  else begin
+    (* A byzantine primary may keep selected replicas in the dark
+       (Example 3.3): they receive no PRE-PREPARE, only the other backups'
+       PREPAREs, which never suffice for them to accept. *)
+    let exclude dst = Rcc_replica.Byz.excludes t.env.Env.byz ~round:seq dst in
+    t.env.Env.broadcast ~exclude
+      (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch })
+  end;
+  check_prepared t s
+
+let submit_batch t batch =
+  if is_primary t && not t.in_view_change then propose t batch
+
+(* --- view changes ---------------------------------------------------- *)
+
+let broadcast_view_change t ~round =
+  let new_view = t.view + 1 in
+  t.vc_sent_for <- max t.vc_sent_for new_view;
+  let msg =
+    Msg.View_change
+      {
+        instance = t.env.Env.instance;
+        new_view;
+        blamed = t.primary;
+        round;
+        last_exec = t.exec_upto;
+      }
+  in
+  t.env.Env.broadcast msg;
+  (* Count our own vote. *)
+  if not t.env.Env.unified then begin
+    let votes =
+      match Hashtbl.find_opt t.vc_votes new_view with
+      | Some v -> v
+      | None ->
+          let v = Bitset.create t.env.Env.n in
+          Hashtbl.replace t.vc_votes new_view v;
+          v
+    in
+    Bitset.add votes t.env.Env.self |> ignore
+  end
+
+let detect_failure t ~round =
+  if t.last_failure_report < round then begin
+    t.last_failure_report <- round;
+    t.in_view_change <- not t.env.Env.unified;
+    broadcast_view_change t ~round;
+    t.env.Env.report_failure ~round ~blamed:t.primary
+  end
+
+(* Re-propose every incomplete round in the new view; rounds this replica
+   never learned get null batches (hole filling). Only the new primary
+   calls this. *)
+let repropose_incomplete t =
+  let reproposals = ref [] in
+  for seq = t.exec_upto + 1 to t.max_seen do
+    match Hashtbl.find_opt t.slots seq with
+    | Some s when not s.accepted ->
+        let batch =
+          match s.batch with Some b -> b | None -> Batch.null ~round:seq
+        in
+        reproposals := (seq, batch) :: !reproposals
+    | Some _ -> ()
+    | None -> reproposals := (seq, Batch.null ~round:seq) :: !reproposals
+  done;
+  let reproposals = List.rev !reproposals in
+  t.next_seq <- max t.next_seq (t.max_seen + 1);
+  (* Announce the new view even with nothing to re-propose, so backups
+     adopt the new primary and accept its future proposals. *)
+  t.env.Env.broadcast
+    (Msg.New_view { instance = t.env.Env.instance; view = t.view; reproposals });
+  (* Treat our own reproposals as fresh proposals in the new view. *)
+  List.iter
+    (fun (seq, batch) ->
+      let s = slot t seq in
+      s.batch <- Some batch;
+      s.digest <- Some batch.Batch.digest;
+      s.prepared <- false;
+      s.commit_sent <- false;
+      s.prepare_sent <- true;
+      Bitset.clear s.prepares;
+      Bitset.clear s.commits;
+      Bitset.add s.prepares t.env.Env.self |> ignore;
+      t.env.Env.broadcast
+        (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch }))
+    reproposals
+
+let install_view t ~view ~primary =
+  t.view <- view;
+  t.primary <- primary;
+  t.in_view_change <- false;
+  t.last_failure_report <- -1;
+  Hashtbl.filter_map_inplace
+    (fun v votes -> if v <= view then None else Some votes)
+    t.vc_votes;
+  if is_primary t then repropose_incomplete t
+
+let set_primary t replica ~view = install_view t ~view ~primary:replica
+
+let on_view_change t ~src ~new_view =
+  (* Standalone PBFT election: the new primary is view mod n. Under RCC the
+     router sends VIEW-CHANGE messages to the coordinator instead. *)
+  if (not t.env.Env.unified) && new_view > t.view then begin
+    let votes =
+      match Hashtbl.find_opt t.vc_votes new_view with
+      | Some v -> v
+      | None ->
+          let v = Bitset.create t.env.Env.n in
+          Hashtbl.replace t.vc_votes new_view v;
+          v
+    in
+    Bitset.add votes src |> ignore;
+    let count = Bitset.count votes in
+    (* Join a view change supported by f+1 others (one must be honest). *)
+    if count >= t.env.Env.f + 1 && t.vc_sent_for < new_view then begin
+      t.in_view_change <- true;
+      t.view <- new_view - 1;
+      broadcast_view_change t ~round:(t.exec_upto + 1);
+      Bitset.add votes t.env.Env.self |> ignore
+    end;
+    if Bitset.count votes >= Env.quorum_2f1 t.env then begin
+      let primary = new_view mod t.env.Env.n in
+      if primary = t.env.Env.self then install_view t ~view:new_view ~primary
+      (* Backups adopt the view when the NEW-VIEW arrives. *)
+    end
+  end
+
+let on_new_view t ~src ~view reproposals =
+  if view > t.view || (view = t.view && t.in_view_change) then begin
+    let primary = src in
+    t.view <- view;
+    t.primary <- primary;
+    t.in_view_change <- false;
+    t.last_failure_report <- -1;
+    List.iter
+      (fun (seq, batch) ->
+        (match Hashtbl.find_opt t.slots seq with
+        | Some s when not s.accepted ->
+            s.batch <- None;
+            s.digest <- None;
+            s.prepared <- false;
+            s.prepare_sent <- false;
+            s.commit_sent <- false;
+            Bitset.clear s.prepares;
+            Bitset.clear s.commits
+        | Some _ | None -> ());
+        on_pre_prepare t ~src ~view ~seq batch)
+      reproposals
+  end
+
+(* --- recovery (contracts) -------------------------------------------- *)
+
+let adopt t ~round batch ~cert =
+  let s = slot t round in
+  if not s.accepted then begin
+    s.batch <- Some batch;
+    s.digest <- Some batch.Batch.digest;
+    List.iter (fun r -> Bitset.add s.commits r |> ignore) cert;
+    s.accepted <- true;
+    advance_exec_upto t;
+    t.env.Env.accept
+      {
+        Rcc_replica.Acceptance.instance = t.env.Env.instance;
+        round;
+        batch;
+        cert;
+        speculative = false;
+        history = "";
+      }
+  end
+
+let proposed_upto t = t.next_seq - 1
+
+let accepted_batch t ~round =
+  match Hashtbl.find_opt t.slots round with
+  | Some ({ accepted = true; batch = Some b; _ } as s) ->
+      Some (b, Bitset.to_list s.commits)
+  | Some _ | None -> None
+
+let incomplete_rounds t =
+  let acc = ref [] in
+  for seq = t.max_seen downto t.exec_upto + 1 do
+    match Hashtbl.find_opt t.slots seq with
+    | Some s when not s.accepted -> acc := seq :: !acc
+    | Some _ -> ()
+    | None -> acc := seq :: !acc
+  done;
+  !acc
+
+(* --- failure detection ------------------------------------------------ *)
+
+(* The oldest round blocking progress, with the time since when it has
+   been stalled: a slot this replica has partial evidence for uses its
+   creation time; a round it never heard of at all (fully in the dark)
+   falls back to the instance's last progress. *)
+let oldest_incomplete t =
+  let rec go seq =
+    if seq > t.max_seen then None
+    else
+      match Hashtbl.find_opt t.slots seq with
+      | Some s when not s.accepted -> Some (seq, s.created_at)
+      | Some _ -> go (seq + 1)
+      | None -> Some (seq, t.last_progress)
+  in
+  go (t.exec_upto + 1)
+
+let rec watchdog t =
+  if t.running then begin
+    let timeout = t.env.Env.timeout in
+    (match oldest_incomplete t with
+    | Some (round, since) when Engine.now t.env.Env.engine - since > timeout ->
+        detect_failure t ~round
+    | Some _ | None -> ());
+    Engine.schedule_after t.env.Env.engine (timeout / 2) (fun () -> watchdog t)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Engine.schedule_after t.env.Env.engine t.env.Env.timeout (fun () -> watchdog t)
+  end
+
+(* --- dispatch --------------------------------------------------------- *)
+
+let handle t ~src msg =
+  match msg with
+  | Msg.Pre_prepare { view; seq; batch; _ } -> on_pre_prepare t ~src ~view ~seq batch
+  | Msg.Prepare { view; seq; digest; _ } -> on_prepare t ~src ~view ~seq ~digest
+  | Msg.Commit { view; seq; digest; _ } -> on_commit t ~src ~view ~seq ~digest
+  | Msg.Checkpoint { seq; state_digest; _ } -> on_checkpoint t ~src seq state_digest
+  | Msg.View_change { new_view; _ } -> on_view_change t ~src ~new_view
+  | Msg.New_view { view; reproposals; _ } -> on_new_view t ~src ~view reproposals
+  | Msg.Client_request _ | Msg.Order_request _ | Msg.Commit_cert _
+  | Msg.Local_commit _ | Msg.Hs_proposal _ | Msg.Hs_vote _ | Msg.Response _
+  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ ->
+      ()
+
+let cost_of (costs : Costs.t) msg =
+  match msg with
+  | Msg.Pre_prepare { batch; _ } ->
+      costs.Costs.worker_msg + costs.Costs.mac_verify
+      + Costs.hash_cost costs (Batch.size batch)
+  | Msg.New_view { reproposals; _ } ->
+      costs.Costs.worker_msg + costs.Costs.mac_verify
+      + List.fold_left
+          (fun acc (_, b) -> acc + Costs.hash_cost costs (Batch.size b))
+          0 reproposals
+  | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _ | Msg.View_change _
+  | Msg.Commit_cert _ | Msg.Local_commit _ ->
+      costs.Costs.worker_msg + costs.Costs.mac_verify
+  | Msg.Client_request _ | Msg.Order_request _ | Msg.Hs_proposal _
+  | Msg.Hs_vote _ | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
+  | Msg.Instance_change _ ->
+      costs.Costs.worker_msg

@@ -1,0 +1,1 @@
+lib/replica/acceptance.ml: Rcc_common Rcc_messages

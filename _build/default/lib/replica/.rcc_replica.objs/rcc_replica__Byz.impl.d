@@ -1,0 +1,1 @@
+lib/replica/byz.ml: List Rcc_common

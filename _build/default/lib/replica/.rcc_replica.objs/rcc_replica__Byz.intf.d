@@ -1,0 +1,1 @@
+lib/replica/byz.mli: Rcc_common

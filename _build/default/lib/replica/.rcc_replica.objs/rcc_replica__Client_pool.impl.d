@@ -1,0 +1,1 @@
+lib/replica/client_pool.ml: Array List Metrics Option Rcc_common Rcc_crypto Rcc_messages Rcc_sim Rcc_workload String

@@ -1,0 +1,1 @@
+lib/replica/client_pool.mli: Metrics Rcc_common Rcc_crypto Rcc_messages Rcc_sim

@@ -1,0 +1,1 @@
+lib/replica/exec.ml: Acceptance Array Hashtbl Int64 List Metrics Option Rcc_common Rcc_crypto Rcc_messages Rcc_sim Rcc_storage Rcc_workload

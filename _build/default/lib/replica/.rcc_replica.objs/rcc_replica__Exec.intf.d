@@ -1,0 +1,1 @@
+lib/replica/exec.mli: Acceptance Metrics Rcc_common Rcc_messages Rcc_sim Rcc_storage

@@ -1,0 +1,1 @@
+lib/replica/instance_env.ml: Acceptance Byz Rcc_common Rcc_messages Rcc_sim

@@ -1,0 +1,1 @@
+lib/replica/instance_intf.ml: Instance_env Rcc_common Rcc_messages Rcc_sim

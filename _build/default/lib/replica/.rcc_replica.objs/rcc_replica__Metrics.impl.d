@@ -1,0 +1,1 @@
+lib/replica/metrics.ml: Array Rcc_common Rcc_sim

@@ -1,0 +1,1 @@
+lib/replica/metrics.mli: Rcc_common Rcc_sim

@@ -1,0 +1,1 @@
+lib/replica/node.ml: Array List Printf Rcc_common Rcc_messages Rcc_sim

@@ -1,0 +1,1 @@
+lib/replica/node.mli: Rcc_common Rcc_messages Rcc_sim

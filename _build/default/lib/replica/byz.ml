@@ -1,0 +1,47 @@
+open Rcc_common.Ids
+
+type dark = {
+  victims : replica_id list;
+  from_round : round;
+  until_round : round option;
+}
+
+type t = {
+  byzantine : bool;
+  dark : dark option;
+  false_blame : replica_id list;
+  ignore_clients : bool;
+  equivocate : bool;
+}
+
+let honest =
+  {
+    byzantine = false;
+    dark = None;
+    false_blame = [];
+    ignore_clients = false;
+    equivocate = false;
+  }
+
+let dark_primary ~victims ?(from_round = 0) ?until_round () =
+  {
+    byzantine = true;
+    dark = Some { victims; from_round; until_round };
+    false_blame = [];
+    ignore_clients = false;
+    equivocate = false;
+  }
+
+let false_blamer ~blames = { honest with byzantine = true; false_blame = blames }
+
+let client_ignorer = { honest with byzantine = true; ignore_clients = true }
+
+let equivocator = { honest with byzantine = true; equivocate = true }
+
+let excludes t ~round victim =
+  match t.dark with
+  | None -> false
+  | Some d ->
+      round >= d.from_round
+      && (match d.until_round with None -> true | Some last -> round <= last)
+      && List.mem victim d.victims

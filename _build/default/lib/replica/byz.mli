@@ -1,0 +1,45 @@
+(** Byzantine behaviour specifications for experiments.
+
+    A spec describes how a replica misbehaves *when it is a primary* and
+    whether it emits false view-change accusations. Honest replicas use
+    {!honest}. The attack of the paper's Example 3.3 / Figure 12 is a
+    combination: a malicious primary keeps selected replicas in the dark
+    while the remaining byzantine replicas blame non-faulty primaries. *)
+
+open Rcc_common.Ids
+
+type dark = {
+  victims : replica_id list;  (** replicas excluded from proposals *)
+  from_round : round;  (** first affected round *)
+  until_round : round option;  (** [Some r]: last affected round; [None]: forever *)
+}
+
+type t = {
+  byzantine : bool;
+  dark : dark option;
+  (** As a primary, exclude [victims] from proposals in the round span. *)
+  false_blame : replica_id list;
+  (** Send view-change messages blaming these (non-faulty) primaries when
+      prompted (fig. 12 false-alarm attack). *)
+  ignore_clients : bool;
+  (** As a primary, silently drop client requests (§3.6 denial of
+      service; resolved by instance-change). *)
+  equivocate : bool;
+  (** As a primary, propose conflicting batches to different halves of
+      the backups; honest replicas must never accept either. *)
+}
+
+val honest : t
+
+val dark_primary :
+  victims:replica_id list -> ?from_round:round -> ?until_round:round -> unit -> t
+
+val false_blamer : blames:replica_id list -> t
+
+val client_ignorer : t
+
+val equivocator : t
+
+val excludes : t -> round:round -> replica_id -> bool
+(** [excludes spec ~round victim] — should a primary with this spec omit
+    [victim] from its round-[round] proposal? *)

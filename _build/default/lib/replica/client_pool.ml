@@ -1,0 +1,232 @@
+module Engine = Rcc_sim.Engine
+module Net = Rcc_sim.Net
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+module Bitset = Rcc_common.Bitset
+
+type quorum = Majority_fplus1 | All_n_speculative
+
+type config = {
+  n : int;
+  f : int;
+  z : int;
+  clients : int;
+  machines : int;
+  batch_size : int;
+  quorum : quorum;
+  request_timeout : Rcc_sim.Engine.time;
+  instance_change_after : int;
+  first_node : int;
+  records : int;
+  write_ratio : float;
+  theta : float;
+  seed : int;
+}
+
+type outstanding = {
+  batch : Batch.t;
+  sent_at : Engine.time;
+  (* response-digest key -> replicas that sent it *)
+  mutable responses : (string * Bitset.t) list;
+  mutable resp_round : int;  (* round reported by the first response *)
+  mutable commit_acks : Bitset.t option;  (* Zyzzyva commit phase *)
+  mutable timer : Engine.timer;
+}
+
+type client = {
+  id : Rcc_common.Ids.client_id;
+  machine : int;
+  secret : Rcc_crypto.Signature.secret_key;
+  gen : Rcc_workload.Ycsb.t;
+  mutable instance : Rcc_common.Ids.instance_id;
+  mutable out : outstanding option;
+  mutable resends : int;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Msg.t Net.t;
+  metrics : Metrics.t;
+  cfg : config;
+  primary_of_instance : Rcc_common.Ids.instance_id -> Rcc_common.Ids.replica_id;
+  clients : client array;
+  mutable next_batch_id : int;
+  mutable completed : int;
+  mutable instance_changes : int;
+}
+
+let send_request t client (batch : Batch.t) =
+  let dst = t.primary_of_instance client.instance in
+  let msg = Msg.Client_request { instance = client.instance; batch } in
+  Net.send t.net ~src:client.machine ~dst ~size:(Msg.size msg) msg
+
+let rec complete t client out =
+  Engine.cancel out.timer;
+  client.out <- None;
+  client.resends <- 0;
+  t.completed <- t.completed + 1;
+  let now = Engine.now t.engine in
+  Metrics.record_completion t.metrics ~now
+    ~ntxns:(Array.length out.batch.Batch.txns)
+    ~latency:(now - out.sent_at);
+  send_next t client
+
+and arm_timer t client out =
+  out.timer <-
+    Engine.timer_after t.engine t.cfg.request_timeout (fun () ->
+        on_timeout t client out)
+
+and on_timeout t client out =
+  match client.out with
+  | Some current when current == out -> begin
+      let cc_quorum = (2 * t.cfg.f) + 1 in
+      let strong = List.find_opt (fun (_, set) -> Bitset.count set >= cc_quorum) in
+      match (t.cfg.quorum, out.commit_acks, strong out.responses) with
+      | All_n_speculative, None, Some (key, set) ->
+          (* Zyzzyva second phase: enough matching speculative responses to
+             form a commit certificate. *)
+          out.commit_acks <- Some (Bitset.create t.cfg.n);
+          let cert =
+            Msg.Commit_cert
+              {
+                cc_instance = client.instance;
+                cc_seq = out.resp_round;
+                cc_digest = String.sub key 0 (min 32 (String.length key));
+                cc_replicas = Bitset.to_list set;
+              }
+          in
+          let size = Msg.size cert in
+          for dst = 0 to t.cfg.n - 1 do
+            Net.send t.net ~src:client.machine ~dst ~size cert
+          done;
+          arm_timer t client out
+      | (Majority_fplus1 | All_n_speculative), _, _ ->
+          (* Resend; after enough failures, defect to another instance
+             (§3.6 instance-change). *)
+          client.resends <- client.resends + 1;
+          if
+            t.cfg.instance_change_after > 0
+            && client.resends mod t.cfg.instance_change_after = 0
+            && t.cfg.z > 1
+          then begin
+            client.instance <- (client.instance + 1) mod t.cfg.z;
+            t.instance_changes <- t.instance_changes + 1;
+            let notice =
+              Msg.Instance_change { client = client.id; instance = client.instance }
+            in
+            Net.send t.net ~src:client.machine
+              ~dst:(t.primary_of_instance client.instance)
+              ~size:(Msg.size notice) notice
+          end;
+          send_request t client out.batch;
+          arm_timer t client out
+    end
+  | Some _ | None -> ()
+
+and send_next t client =
+  let txns = Rcc_workload.Ycsb.batch client.gen ~size:t.cfg.batch_size in
+  let id = t.next_batch_id in
+  t.next_batch_id <- id + 1;
+  let batch = Batch.create ~id ~client:client.id ~txns ~secret:client.secret in
+  let out =
+    {
+      batch;
+      sent_at = Engine.now t.engine;
+      responses = [];
+      resp_round = -1;
+      commit_acks = None;
+      timer = Engine.timer_after t.engine 0 (fun () -> ());
+    }
+  in
+  Engine.cancel out.timer;
+  client.out <- Some out;
+  send_request t client batch;
+  arm_timer t client out
+
+let handle_response t client_id ~src result_digest history batch_id round =
+  let client = t.clients.(client_id) in
+  match client.out with
+  | Some out
+    when batch_id = out.batch.Batch.id && Option.is_none out.commit_acks ->
+      if out.resp_round < 0 then out.resp_round <- round;
+      let key = result_digest ^ history in
+      let set =
+        match List.assoc_opt key out.responses with
+        | Some set -> set
+        | None ->
+            let set = Bitset.create t.cfg.n in
+            out.responses <- (key, set) :: out.responses;
+            set
+      in
+      if Bitset.add set src then begin
+        let needed =
+          match t.cfg.quorum with
+          | Majority_fplus1 -> t.cfg.f + 1
+          | All_n_speculative -> t.cfg.n
+        in
+        if Bitset.count set >= needed then complete t client out
+      end
+  | Some _ | None -> ()
+
+let handle_local_commit t client_id ~src =
+  let client = t.clients.(client_id) in
+  match client.out with
+  | Some ({ commit_acks = Some acks; _ } as out) ->
+      if Bitset.add acks src && Bitset.count acks >= (2 * t.cfg.f) + 1 then
+        complete t client out
+  | Some _ | None -> ()
+
+let create ~engine ~net ~keychain ~metrics ~primary_of_instance cfg =
+  let zipf = Rcc_workload.Zipf.create ~n:cfg.records ~theta:cfg.theta in
+  let gens =
+    Array.init cfg.machines (fun m ->
+        Rcc_workload.Ycsb.create_shared ~zipf ~write_ratio:cfg.write_ratio
+          ~seed:(cfg.seed + (7919 * m)))
+  in
+  let clients =
+    Array.init cfg.clients (fun c ->
+        {
+          id = c;
+          machine = cfg.first_node + (c mod cfg.machines);
+          secret = Rcc_crypto.Keychain.client_secret keychain c;
+          gen = gens.(c mod cfg.machines);
+          instance = c mod cfg.z;
+          out = None;
+          resends = 0;
+        })
+  in
+  let t =
+    {
+      engine;
+      net;
+      metrics;
+      cfg;
+      primary_of_instance;
+      clients;
+      next_batch_id = 0;
+      completed = 0;
+      instance_changes = 0;
+    }
+  in
+  (* All clients of a machine share its delivery handler; dispatch on the
+     client id carried in every replica->client message. *)
+  for m = 0 to cfg.machines - 1 do
+    Net.register net (cfg.first_node + m) (fun ~src ~size:_ msg ->
+        match msg with
+        | Msg.Response { client; batch_id; result_digest; history; round; _ } ->
+            handle_response t client ~src result_digest history batch_id round
+        | Msg.Local_commit { client; _ } -> handle_local_commit t client ~src
+        | _ -> ())
+  done;
+  t
+
+let start t =
+  Array.iteri
+    (fun i client ->
+      Engine.schedule_after t.engine (Engine.us (i mod 1000)) (fun () ->
+          send_next t client))
+    t.clients
+
+let completed_batches t = t.completed
+let instance_changes t = t.instance_changes
+let client_instance t c = t.clients.(c).instance

@@ -1,0 +1,56 @@
+(** Closed-loop simulated clients (§7.2's up-to-1M clients on 50 machines).
+
+    Each logical client sends one batched request at a time to the primary
+    of its assigned instance (§3.1 client-replica mapping: client [c] is
+    served by instance [c mod z]) and waits for its completion quorum:
+
+    - [Majority_fplus1] — PBFT / MultiP / HotStuff: f+1 matching responses.
+    - [All_n_speculative] — Zyzzyva / MultiZ: n matching speculative
+      responses; on timeout with at least 2f+1 matching, fall back to the
+      COMMIT-CERTIFICATE phase and wait for 2f+1 LOCAL-COMMIT acks.
+
+    The 15-second client timeout (§7.5) is what collapses the
+    Zyzzyva-family throughput under failures. Clients stuck past
+    [instance_change_after] resends switch instances (§3.6). *)
+
+type quorum = Majority_fplus1 | All_n_speculative
+
+type config = {
+  n : int;
+  f : int;
+  z : int;
+  clients : int;
+  machines : int;  (** client machines = network nodes *)
+  batch_size : int;
+  quorum : quorum;
+  request_timeout : Rcc_sim.Engine.time;
+  instance_change_after : int;  (** resends before switching instance; 0 disables *)
+  first_node : int;  (** first client-machine node id on the network *)
+  records : int;
+  write_ratio : float;
+  theta : float;
+  seed : int;
+}
+
+type t
+
+val create :
+  engine:Rcc_sim.Engine.t ->
+  net:Rcc_messages.Msg.t Rcc_sim.Net.t ->
+  keychain:Rcc_crypto.Keychain.t ->
+  metrics:Metrics.t ->
+  primary_of_instance:(Rcc_common.Ids.instance_id -> Rcc_common.Ids.replica_id) ->
+  config ->
+  t
+(** Registers the client machines' delivery handlers. *)
+
+val start : t -> unit
+(** Every client sends its first request (staggered over the first
+    millisecond). *)
+
+val completed_batches : t -> int
+
+val instance_changes : t -> int
+
+val client_instance : t -> Rcc_common.Ids.client_id -> Rcc_common.Ids.instance_id
+(** Current instance assignment (visible for the DoS-resolution tests). *)

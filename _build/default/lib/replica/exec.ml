@@ -1,0 +1,189 @@
+module Engine = Rcc_sim.Engine
+module Costs = Rcc_sim.Costs
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  server : Rcc_sim.Cpu.server;
+  z : int;
+  self : Rcc_common.Ids.replica_id;
+  store : Rcc_storage.Kv_store.t;
+  ledger : Rcc_storage.Ledger.t;
+  txn_table : Rcc_storage.Txn_table.t;
+  current_primaries : unit -> Rcc_common.Ids.replica_id list;
+  respond : Rcc_common.Ids.client_id -> Msg.t -> unit;
+  metrics : Metrics.t;
+  reorder : Acceptance.t array -> Acceptance.t array;
+  mutable on_executed : int -> Acceptance.t array -> unit;
+  materialize : bool;
+  sign_speculative : bool;
+  pending : (int, Acceptance.t option array) Hashtbl.t;
+  mutable next_round : int;
+  mutable executed_rounds : int;
+  mutable executed_txns : int;
+}
+
+let create ~engine ~costs ~server ~z ~self ~store ~ledger ~txn_table
+    ~current_primaries ~respond ~metrics ?(reorder = fun a -> a)
+    ?(on_executed = fun _ _ -> ()) ?(materialize = true)
+    ?(sign_speculative = false) () =
+  {
+    engine;
+    costs;
+    server;
+    z;
+    self;
+    store;
+    ledger;
+    txn_table;
+    current_primaries;
+    respond;
+    metrics;
+    reorder;
+    on_executed;
+    materialize;
+    sign_speculative;
+    pending = Hashtbl.create 256;
+    next_round = 0;
+    executed_rounds = 0;
+    executed_txns = 0;
+  }
+
+let set_on_executed t f = t.on_executed <- f
+
+let slots t round =
+  match Hashtbl.find_opt t.pending round with
+  | Some a -> a
+  | None ->
+      let a = Array.make t.z None in
+      Hashtbl.replace t.pending round a;
+      a
+
+let round_cost t accs =
+  Array.fold_left
+    (fun acc (a : Acceptance.t) ->
+      let ntxns = Array.length a.batch.Batch.txns in
+      acc
+      + t.costs.Costs.exec_batch_overhead
+      + (ntxns * t.costs.Costs.txn_exec)
+      + t.costs.Costs.response_create
+      + if a.speculative && t.sign_speculative then t.costs.Costs.sign else 0)
+    (Costs.hash_cost t.costs 256 (* block hash *))
+    accs
+
+let execute_round t round accs =
+  let ordered = t.reorder (Array.copy accs) in
+  let proofs = ref [] in
+  let clients = ref [] in
+  Array.iter
+    (fun (a : Acceptance.t) ->
+      let batch = a.batch in
+      if t.materialize then
+        Array.iter
+          (fun txn -> ignore (Rcc_workload.Txn.apply t.store txn))
+          batch.Batch.txns;
+      let result_digest =
+        Rcc_crypto.Sha256.digest_list
+          [ batch.Batch.digest; Rcc_common.Bytes_util.u64_string (Int64.of_int round) ]
+      in
+      let ntxns = Array.length batch.Batch.txns in
+      t.executed_txns <- t.executed_txns + ntxns;
+      Rcc_storage.Txn_table.record t.txn_table
+        {
+          Rcc_storage.Txn_table.round;
+          instance = a.instance;
+          client = batch.Batch.client;
+          batch_digest = batch.Batch.digest;
+          response_digest = result_digest;
+          txn_count = ntxns;
+        };
+      proofs :=
+        {
+          Rcc_storage.Block.instance = a.instance;
+          batch_digest = batch.Batch.digest;
+          certificate_digest =
+            Rcc_crypto.Sha256.digest_list
+              (batch.Batch.digest
+              :: List.map
+                   (fun r -> Rcc_common.Bytes_util.u64_string (Int64.of_int r))
+                   a.cert);
+        }
+        :: !proofs;
+      if not (Batch.is_null batch) then begin
+        clients := batch.Batch.client :: !clients;
+        t.respond batch.Batch.client
+          (Msg.Response
+             {
+               client = batch.Batch.client;
+               batch_id = batch.Batch.id;
+               round;
+               result_digest;
+               txn_count = ntxns;
+               speculative = a.speculative;
+               history = a.history;
+             })
+      end;
+      Metrics.record_exec t.metrics ~replica:t.self ~now:(Engine.now t.engine)
+        ~ntxns)
+    ordered;
+  let block =
+    {
+      Rcc_storage.Block.round;
+      prev_hash = Rcc_storage.Ledger.head_hash t.ledger;
+      proofs = List.rev !proofs;
+      primaries = t.current_primaries ();
+      clients = List.rev !clients;
+    }
+  in
+  Rcc_storage.Ledger.append_exn t.ledger block;
+  t.executed_rounds <- t.executed_rounds + 1;
+  t.on_executed round accs
+
+let rec try_advance t =
+  match Hashtbl.find_opt t.pending t.next_round with
+  | None -> ()
+  | Some slots ->
+      if Array.for_all Option.is_some slots then begin
+        let round = t.next_round in
+        let accs = Array.map Option.get slots in
+        Hashtbl.remove t.pending round;
+        t.next_round <- round + 1;
+        Rcc_sim.Cpu.submit t.server ~cost:(round_cost t accs) (fun () ->
+            execute_round t round accs);
+        try_advance t
+      end
+
+let notify t (a : Acceptance.t) =
+  if a.round >= t.next_round then begin
+    let slots = slots t a.round in
+    if Option.is_none slots.(a.instance) then begin
+      slots.(a.instance) <- Some a;
+      if a.round = t.next_round then try_advance t
+    end
+  end
+
+let next_round t = t.next_round
+
+let max_pending_round t =
+  Hashtbl.fold (fun round _ acc -> max round acc) t.pending (t.next_round - 1)
+let executed_rounds t = t.executed_rounds
+let executed_txns t = t.executed_txns
+
+let missing_instances t ~round =
+  if round < t.next_round then []
+  else
+    match Hashtbl.find_opt t.pending round with
+    | None -> List.init t.z (fun i -> i)
+    | Some slots ->
+        let missing = ref [] in
+        for i = t.z - 1 downto 0 do
+          if Option.is_none slots.(i) then missing := i :: !missing
+        done;
+        !missing
+
+let accepted t ~round ~instance =
+  match Hashtbl.find_opt t.pending round with
+  | Some slots when round >= t.next_round -> slots.(instance)
+  | Some _ | None -> None

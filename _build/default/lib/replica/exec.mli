@@ -1,0 +1,66 @@
+(** The execute thread (§3.4.1 / §6).
+
+    Collects per-instance acceptances, and once all [z] instances of a
+    round have replicated, executes the round's batches in the configured
+    deterministic order, appends the block to the ledger, and responds to
+    clients. Rounds execute strictly in order even when instances run
+    ahead (§3.5 pipelining), which is the only cross-instance coordination
+    in the fault-free case. *)
+
+type t
+
+val create :
+  engine:Rcc_sim.Engine.t ->
+  costs:Rcc_sim.Costs.t ->
+  server:Rcc_sim.Cpu.server ->
+  z:int ->
+  self:Rcc_common.Ids.replica_id ->
+  store:Rcc_storage.Kv_store.t ->
+  ledger:Rcc_storage.Ledger.t ->
+  txn_table:Rcc_storage.Txn_table.t ->
+  current_primaries:(unit -> Rcc_common.Ids.replica_id list) ->
+  respond:(Rcc_common.Ids.client_id -> Rcc_messages.Msg.t -> unit) ->
+  metrics:Metrics.t ->
+  ?reorder:(Acceptance.t array -> Acceptance.t array) ->
+  ?on_executed:(Rcc_common.Ids.round -> Acceptance.t array -> unit) ->
+  ?materialize:bool ->
+  ?sign_speculative:bool ->
+  unit ->
+  t
+(** [reorder] implements §3.4.1's execution-order selection; the default
+    is instance order. RCC installs the digest-seeded permutation.
+    [on_executed] fires after a round executes (the coordinator retains
+    the round for contracts and drives pessimistic recovery from it).
+    [materialize = false] (large-scale experiments) charges the CPU cost
+    of execution without mutating the KV store, so n replicas need not
+    hold n copies of the half-million-record YCSB table; the runtime keeps
+    replica 0 materialized.
+    [sign_speculative] charges a digital signature per speculative
+    response: standalone Zyzzyva clients assemble commit certificates from
+    signed responses, whereas under RCC recovery is unification's job and
+    responses carry MACs. *)
+
+val set_on_executed : t -> (Rcc_common.Ids.round -> Acceptance.t array -> unit) -> unit
+(** Late wiring for the coordinator, which is constructed after the
+    execute thread. *)
+
+val notify : t -> Acceptance.t -> unit
+(** An instance replicated its round-[r] batch. Idempotent per
+    (instance, round). *)
+
+val next_round : t -> Rcc_common.Ids.round
+(** The lowest round not yet scheduled for execution. *)
+
+val max_pending_round : t -> Rcc_common.Ids.round
+(** Highest round with any acceptance buffered (the pipeline horizon);
+    [next_round t - 1] when nothing is pending. *)
+
+val executed_rounds : t -> int
+
+val executed_txns : t -> int
+
+val missing_instances : t -> round:Rcc_common.Ids.round -> Rcc_common.Ids.instance_id list
+(** Instances whose acceptance for [round] has not arrived — the
+    collusion-detection signal read by the coordinator. *)
+
+val accepted : t -> round:Rcc_common.Ids.round -> instance:Rcc_common.Ids.instance_id -> Acceptance.t option

@@ -1,0 +1,51 @@
+(** Interface every pluggable BFT protocol instance implements.
+
+    RCC treats the protocol as a black box satisfying requirements R1–R4
+    (§3.3); this module type is that black box. PBFT and Zyzzyva implement
+    it; RCC composes [z] of them per replica. *)
+
+open Rcc_common.Ids
+
+module type S = sig
+  type t
+
+  val create : Instance_env.t -> t
+
+  val start : t -> unit
+  (** Arm the failure-detection watchdog. *)
+
+  val handle : t -> src:replica_id -> Rcc_messages.Msg.t -> unit
+  (** Process one protocol message (already charged to the worker). *)
+
+  val submit_batch : t -> Rcc_messages.Batch.t -> unit
+  (** Primary path: order a validated client batch. No-op on backups. *)
+
+  val primary : t -> replica_id
+
+  val view : t -> view
+
+  val set_primary : t -> replica_id -> view:view -> unit
+  (** Unified replacement (RCC coordinator) installs a new primary; the
+      instance resumes from its incomplete rounds. *)
+
+  val adopt : t -> round:round -> Rcc_messages.Batch.t -> cert:int list -> unit
+  (** Accept a round learned through a recovery contract: mark it
+      replicated and report it upward without re-running consensus. *)
+
+  val accepted_batch :
+    t -> round:round -> (Rcc_messages.Batch.t * int list) option
+  (** The batch this replica accepted in [round] with its certifiers, used
+      to build contracts. *)
+
+  val incomplete_rounds : t -> round list
+  (** Rounds started but not yet accepted, oldest first. *)
+
+  val proposed_upto : t -> round
+  (** Highest round this instance's primary has proposed (-1 if none);
+      used by the liveness monitor to fill idle instances with null
+      batches without double-proposing in-flight rounds. Protocols that
+      manage their own pacemaker (HotStuff) return [max_int] to opt out. *)
+
+  val cost_of : Rcc_sim.Costs.t -> Rcc_messages.Msg.t -> Rcc_sim.Engine.time
+  (** Worker CPU to charge for receiving a message of this protocol. *)
+end

@@ -1,0 +1,63 @@
+module Stats = Rcc_common.Stats
+module Engine = Rcc_sim.Engine
+
+type t = {
+  warmup : Engine.time;
+  mutable txns : int;
+  mutable batches : int;
+  latency : Stats.Histogram.t;
+  throughput : Stats.Series.t;
+  exec_per_replica : Stats.Series.t array;
+  mutable view_changes : int;
+  mutable collusions : int;
+  mutable contract_bytes : int;
+}
+
+let bucket = 0.1 (* seconds *)
+
+let create ~n ~warmup =
+  {
+    warmup;
+    txns = 0;
+    batches = 0;
+    latency = Stats.Histogram.create ();
+    throughput = Stats.Series.create ~bucket_width:bucket ();
+    exec_per_replica =
+      Array.init n (fun _ -> Stats.Series.create ~bucket_width:bucket ());
+    view_changes = 0;
+    collusions = 0;
+    contract_bytes = 0;
+  }
+
+let warmup t = t.warmup
+
+let record_completion t ~now ~ntxns ~latency =
+  Stats.Series.add t.throughput ~time:(Engine.to_seconds now) (float_of_int ntxns);
+  if now >= t.warmup then begin
+    t.txns <- t.txns + ntxns;
+    t.batches <- t.batches + 1;
+    Stats.Histogram.add t.latency (Engine.to_seconds latency)
+  end
+
+let record_exec t ~replica ~now ~ntxns =
+  Stats.Series.add t.exec_per_replica.(replica) ~time:(Engine.to_seconds now)
+    (float_of_int ntxns)
+
+let record_view_change t = t.view_changes <- t.view_changes + 1
+let record_collusion_detected t = t.collusions <- t.collusions + 1
+let record_contract_bytes t b = t.contract_bytes <- t.contract_bytes + b
+
+let committed_txns t = t.txns
+let committed_batches t = t.batches
+
+let throughput t ~duration =
+  let span = Engine.to_seconds (duration - t.warmup) in
+  if span <= 0.0 then 0.0 else float_of_int t.txns /. span
+
+let avg_latency t = Stats.Histogram.mean t.latency
+let latency_percentile t p = Stats.Histogram.percentile t.latency p
+let timeline t = Stats.Series.rates t.throughput
+let exec_timeline t ~replica = Stats.Series.rates t.exec_per_replica.(replica)
+let view_changes t = t.view_changes
+let collusions_detected t = t.collusions
+let contract_bytes t = t.contract_bytes

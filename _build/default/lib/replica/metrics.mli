@@ -1,0 +1,45 @@
+(** Experiment metrics.
+
+    Throughput is measured at the clients (a request counts when its
+    response quorum is met), which is what makes Zyzzyva's collapse under
+    failures visible even though replicas keep executing speculatively.
+    Per-replica execution series back the Figure 12 timeline. *)
+
+type t
+
+val create : n:int -> warmup:Rcc_sim.Engine.time -> t
+
+val warmup : t -> Rcc_sim.Engine.time
+
+val record_completion :
+  t -> now:Rcc_sim.Engine.time -> ntxns:int -> latency:Rcc_sim.Engine.time -> unit
+(** A client's request completed. Counted toward throughput/latency only
+    after warmup; always added to the timeline series. *)
+
+val record_exec :
+  t -> replica:Rcc_common.Ids.replica_id -> now:Rcc_sim.Engine.time -> ntxns:int -> unit
+
+val record_view_change : t -> unit
+val record_collusion_detected : t -> unit
+val record_contract_bytes : t -> int -> unit
+
+val committed_txns : t -> int
+val committed_batches : t -> int
+
+val throughput : t -> duration:Rcc_sim.Engine.time -> float
+(** Post-warmup committed transactions per second, where [duration] is the
+    full run length including warmup. *)
+
+val avg_latency : t -> float
+(** Seconds. *)
+
+val latency_percentile : t -> float -> float
+
+val timeline : t -> (float * float) array
+(** Client-side throughput per 100 ms bucket over the whole run, txns/s. *)
+
+val exec_timeline : t -> replica:Rcc_common.Ids.replica_id -> (float * float) array
+
+val view_changes : t -> int
+val collusions_detected : t -> int
+val contract_bytes : t -> int

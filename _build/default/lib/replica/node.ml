@@ -1,0 +1,82 @@
+module Cpu = Rcc_sim.Cpu
+module Net = Rcc_sim.Net
+module Msg = Rcc_messages.Msg
+
+type t = {
+  engine : Rcc_sim.Engine.t;
+  net : Msg.t Net.t;
+  costs : Rcc_sim.Costs.t;
+  self : Rcc_common.Ids.replica_id;
+  input : Cpu.pool;
+  batchers : Cpu.pool option;
+  workers : Cpu.server array;
+  exec_server : Cpu.server;
+  mutable route : src:int -> ready:Rcc_sim.Engine.time -> Msg.t -> unit;
+}
+
+let create ~engine ~net ~costs ~self ~z ~has_batchers ~input_threads ~batch_threads =
+  let name kind = Printf.sprintf "r%d-%s" self kind in
+  let t =
+    {
+      engine;
+      net;
+      costs;
+      self;
+      input = Cpu.pool engine ~name:(name "input") ~size:input_threads;
+      batchers =
+        (if has_batchers then
+           Some (Cpu.pool engine ~name:(name "batch") ~size:batch_threads)
+         else None);
+      workers =
+        Array.init z (fun i -> Cpu.server engine ~name:(Printf.sprintf "r%d-worker%d" self i));
+      exec_server = Cpu.server engine ~name:(name "exec");
+      route = (fun ~src:_ ~ready:_ _ -> ());
+    }
+  in
+  Net.register net self (fun ~src ~size:_ msg ->
+      (* Input-thread stage fused into the arrival event: the parse cost
+         queues virtually and the route schedules downstream work to start
+         no earlier than [ready]. *)
+      let ready =
+        Cpu.pool_reserve t.input
+          ~ready:(Rcc_sim.Engine.now engine)
+          ~cost:costs.Rcc_sim.Costs.input_parse
+      in
+      t.route ~src ~ready msg);
+  t
+
+let engine t = t.engine
+let costs t = t.costs
+let self t = t.self
+let worker t i = t.workers.(i)
+let exec_server t = t.exec_server
+let batchers t = t.batchers
+let set_route t route = t.route <- route
+
+let auth_cost t ~sign ndest =
+  let c = t.costs in
+  let per_dest =
+    c.Rcc_sim.Costs.send_per_dest
+    + if sign then 0 else c.Rcc_sim.Costs.mac_gen
+  in
+  (* One signature covers all copies of a broadcast; MACs are per pair. *)
+  (ndest * per_dest) + if sign then c.Rcc_sim.Costs.sign else 0
+
+let sender t ~worker =
+  let send ?(sign = false) ~dst msg =
+    Cpu.submit worker ~cost:(auth_cost t ~sign 1) (fun () ->
+        Net.send t.net ~src:t.self ~dst ~size:(Msg.size msg) msg)
+  in
+  let broadcast ?(sign = false) ?(exclude = fun _ -> false) ~n msg =
+    let dests = ref [] in
+    for dst = n - 1 downto 0 do
+      if dst <> t.self && not (exclude dst) then dests := dst :: !dests
+    done;
+    let dests = !dests in
+    Cpu.submit worker ~cost:(auth_cost t ~sign (List.length dests)) (fun () ->
+        let size = Msg.size msg in
+        List.iter (fun dst -> Net.send t.net ~src:t.self ~dst ~size msg) dests)
+  in
+  (send, broadcast)
+
+let send_direct t ~dst msg = Net.send t.net ~src:t.self ~dst ~size:(Msg.size msg) msg

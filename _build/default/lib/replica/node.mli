@@ -1,0 +1,52 @@
+(** Replica pipeline skeleton (§6, Figures 7–8).
+
+    A node owns the paper's thread set as simulated CPU servers: an
+    input-thread pool, an optional batch-thread pool (primaries only), one
+    worker per instance, and the execute thread (which doubles as the
+    coordinator). Protocol builders install the routing function that maps
+    parsed messages onto the right server with the right CPU cost. *)
+
+type t
+
+val create :
+  engine:Rcc_sim.Engine.t ->
+  net:Rcc_messages.Msg.t Rcc_sim.Net.t ->
+  costs:Rcc_sim.Costs.t ->
+  self:Rcc_common.Ids.replica_id ->
+  z:int ->
+  has_batchers:bool ->
+  input_threads:int ->
+  batch_threads:int ->
+  t
+(** Creates the servers and registers the node's delivery handler with the
+    network. Routing starts as a no-op; install it with {!set_route}. *)
+
+val engine : t -> Rcc_sim.Engine.t
+val costs : t -> Rcc_sim.Costs.t
+val self : t -> Rcc_common.Ids.replica_id
+val worker : t -> int -> Rcc_sim.Cpu.server
+val exec_server : t -> Rcc_sim.Cpu.server
+val batchers : t -> Rcc_sim.Cpu.pool option
+
+val set_route :
+  t -> (src:int -> ready:Rcc_sim.Engine.time -> Rcc_messages.Msg.t -> unit) -> unit
+(** The route function runs at message arrival; [ready] is when the input
+    thread finishes parsing it. The route must submit the message to a
+    worker/batcher/exec server with [Cpu.submit_ready ~ready]. *)
+
+val sender :
+  t ->
+  worker:Rcc_sim.Cpu.server ->
+  (?sign:bool -> dst:Rcc_common.Ids.replica_id -> Rcc_messages.Msg.t -> unit)
+  * (?sign:bool ->
+    ?exclude:(Rcc_common.Ids.replica_id -> bool) ->
+    n:int ->
+    Rcc_messages.Msg.t ->
+    unit)
+(** [(send, broadcast)] closures that charge marshalling + authentication
+    to [worker] before handing the message to the network. [broadcast]
+    sends to all replicas in [0, n) except self and exclusions. *)
+
+val send_direct : t -> dst:int -> Rcc_messages.Msg.t -> unit
+(** Raw network send with no CPU charge; for the execute thread, whose
+    response cost is part of the execution job. *)

@@ -1,0 +1,1 @@
+lib/runtime/cluster.ml: Array Config List Rcc_cft Rcc_common Rcc_core Rcc_crypto Rcc_hotstuff Rcc_messages Rcc_pbft Rcc_replica Rcc_sim Rcc_storage Rcc_zyzzyva Report Sys

@@ -1,0 +1,1 @@
+lib/runtime/cluster.mli: Config Rcc_common Rcc_replica Rcc_sim Rcc_storage Report

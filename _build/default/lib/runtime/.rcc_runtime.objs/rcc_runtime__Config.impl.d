@@ -1,0 +1,1 @@
+lib/runtime/config.ml: Rcc_common Rcc_core Rcc_replica Rcc_sim

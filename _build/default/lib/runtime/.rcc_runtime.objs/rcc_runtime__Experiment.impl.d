@@ -1,0 +1,1 @@
+lib/runtime/experiment.ml: Cluster Config List Printf Rcc_core Rcc_sim Report

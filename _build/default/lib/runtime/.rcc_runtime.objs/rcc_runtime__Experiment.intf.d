@@ -1,0 +1,1 @@
+lib/runtime/experiment.mli: Config Rcc_core Rcc_sim Report

@@ -1,0 +1,1 @@
+lib/runtime/report.ml: Format Printf

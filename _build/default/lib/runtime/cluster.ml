@@ -1,0 +1,285 @@
+module Engine = Rcc_sim.Engine
+module Net = Rcc_sim.Net
+module Msg = Rcc_messages.Msg
+module Metrics = Rcc_replica.Metrics
+module Client_pool = Rcc_replica.Client_pool
+module Byz = Rcc_replica.Byz
+module Builder = Rcc_core.Replica_builder
+
+module B_pbft = Builder.Make (Rcc_pbft.Pbft_instance)
+module B_zyz = Builder.Make (Rcc_zyzzyva.Zyzzyva_instance)
+module B_hs = Builder.Make (Rcc_hotstuff.Hotstuff_replica)
+module B_cft = Builder.Make (Rcc_cft.Cft_instance)
+
+type replicas =
+  | R_pbft of B_pbft.t array
+  | R_zyz of B_zyz.t array
+  | R_hs of B_hs.t array
+  | R_cft of B_cft.t array
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  net : Msg.t Net.t;
+  metrics : Metrics.t;
+  replicas : replicas;
+  pool : Client_pool.t;
+  machines : int;
+}
+
+let config t = t.cfg
+let metrics t = t.metrics
+let engine t = t.engine
+let client_pool t = t.pool
+
+let ledger t r =
+  match t.replicas with
+  | R_pbft a -> B_pbft.ledger a.(r)
+  | R_zyz a -> B_zyz.ledger a.(r)
+  | R_hs a -> B_hs.ledger a.(r)
+  | R_cft a -> B_cft.ledger a.(r)
+
+let store t r =
+  match t.replicas with
+  | R_pbft a -> B_pbft.store a.(r)
+  | R_zyz a -> B_zyz.store a.(r)
+  | R_hs a -> B_hs.store a.(r)
+  | R_cft a -> B_cft.store a.(r)
+
+let txn_table t r =
+  match t.replicas with
+  | R_pbft a -> B_pbft.txn_table a.(r)
+  | R_zyz a -> B_zyz.txn_table a.(r)
+  | R_hs a -> B_hs.txn_table a.(r)
+  | R_cft a -> B_cft.txn_table a.(r)
+
+let primary_lookup protocol replicas x =
+  match protocol with
+  | Config.Hotstuff -> x
+  | Config.Pbft | Config.Zyzzyva | Config.MultiP | Config.MultiZ | Config.Cft
+  | Config.MultiC -> (
+      match replicas with
+      | R_pbft a -> B_pbft.current_primary a.(0) x
+      | R_zyz a -> B_zyz.current_primary a.(0) x
+      | R_hs a -> B_hs.current_primary a.(0) x
+      | R_cft a -> B_cft.current_primary a.(0) x)
+
+let primary_of_instance t x = primary_lookup t.cfg.Config.protocol t.replicas x
+
+let replacements t =
+  let of_coordinator = function
+    | Some c -> Rcc_core.Coordinator.replacements c
+    | None -> 0
+  in
+  match t.replicas with
+  | R_pbft a -> of_coordinator (B_pbft.coordinator a.(0))
+  | R_zyz a -> of_coordinator (B_zyz.coordinator a.(0))
+  | R_hs a -> of_coordinator (B_hs.coordinator a.(0))
+  | R_cft a -> of_coordinator (B_cft.coordinator a.(0))
+
+(* --- fault wiring -------------------------------------------------------- *)
+
+(* Byzantine behaviour of replica [self] under the configured fault. *)
+let byz_of (cfg : Config.t) self =
+  match cfg.Config.fault with
+  | Config.No_fault | Config.Crash _ -> Byz.honest
+  | Config.Client_dos { instance } ->
+      if self = instance then Byz.client_ignorer else Byz.honest
+  | Config.Dark { instance; victims } ->
+      (* Instance x is initially led by replica x. *)
+      if self = instance then Byz.dark_primary ~victims ()
+      else Byz.honest
+  | Config.Collusion { victim; at_round } ->
+      (* The byzantine set: instance 0's primary (replica 0) plus the f-1
+         highest-id replicas, skipping the (honest) victim. Together with
+         the victim's own honest view-change they produce f+1 accusations
+         from distinct replicas, spread so no primary collects f+1. *)
+      if self = 0 then
+        {
+          Byz.byzantine = true;
+          dark =
+            Some
+              {
+                Byz.victims = [ victim ];
+                from_round = at_round;
+                until_round = Some at_round;
+              };
+          false_blame = (if cfg.Config.z > 1 then [ 1 ] else []);
+          ignore_clients = false;
+          equivocate = false;
+        }
+      else begin
+        let rec blamer_ids k id acc =
+          if k = 0 then acc
+          else if id = victim || id = 0 then blamer_ids k (id - 1) acc
+          else blamer_ids (k - 1) (id - 1) (id :: acc)
+        in
+        let blamers = blamer_ids (max 0 (cfg.Config.f - 1)) (cfg.Config.n - 1) [] in
+        match List.find_index (fun id -> id = self) blamers with
+        | Some idx when cfg.Config.z > 1 ->
+            Byz.false_blamer ~blames:[ (idx mod (cfg.Config.z - 1)) + 1 ]
+        | Some _ | None -> Byz.honest
+      end
+
+let apply_crashes t =
+  match t.cfg.Config.fault with
+  | Config.Crash dead -> List.iter (fun r -> Net.set_dead t.net r true) dead
+  | Config.No_fault | Config.Dark _ | Config.Collusion _ | Config.Client_dos _ ->
+      ()
+
+(* --- assembly -------------------------------------------------------------- *)
+
+let build (cfg : Config.t) =
+  let engine = Engine.create () in
+  let clients = Config.total_clients cfg in
+  let machines = max 1 (min 50 ((clients + 19) / 20)) in
+  let rng = Rcc_common.Rng.create cfg.Config.seed in
+  let net =
+    Net.create engine
+      ~nodes:(cfg.Config.n + machines)
+      ~latency:cfg.Config.latency ~jitter:cfg.Config.jitter ~gbps:cfg.Config.gbps
+      ~rng:(Rcc_common.Rng.split rng)
+  in
+  let keychain =
+    Rcc_crypto.Keychain.create ~seed:cfg.Config.seed ~n:cfg.Config.n ~clients
+  in
+  let metrics = Metrics.create ~n:cfg.Config.n ~warmup:cfg.Config.warmup in
+  let costs =
+    Rcc_sim.Costs.scaled Rcc_sim.Costs.default (Config.contention_factor cfg)
+  in
+  let client_node_of c = cfg.Config.n + (c mod machines) in
+  let builder_cfg self =
+    {
+      Builder.n = cfg.Config.n;
+      f = cfg.Config.f;
+      z = cfg.Config.z;
+      self;
+      costs;
+      timeout = cfg.Config.replica_timeout;
+      heartbeat = cfg.Config.heartbeat;
+      collusion_wait = cfg.Config.collusion_wait;
+      checkpoint_interval = cfg.Config.checkpoint_interval;
+      unified =
+        (match cfg.Config.protocol with
+        | Config.MultiP | Config.MultiZ | Config.MultiC -> true
+        | Config.Pbft | Config.Zyzzyva | Config.Hotstuff | Config.Cft -> false);
+      recovery = cfg.Config.recovery;
+      min_cert =
+        (match cfg.Config.protocol with
+        | Config.MultiZ -> 2 (* speculative accept proofs *)
+        | Config.Cft | Config.MultiC -> (cfg.Config.n / 2) + 1
+        | Config.Pbft | Config.Zyzzyva | Config.Hotstuff | Config.MultiP ->
+            cfg.Config.n - (2 * cfg.Config.f));
+      history_capacity = cfg.Config.history_capacity;
+      use_permutation = cfg.Config.use_permutation;
+      exec_on_worker = (cfg.Config.protocol = Config.Zyzzyva);
+      sign_speculative = (cfg.Config.protocol = Config.Zyzzyva);
+      records = cfg.Config.records;
+      materialize_state = (self = 0 || cfg.Config.n <= 8);
+      input_threads = 3;
+      batch_threads = 2;
+      client_node_of;
+      byz = byz_of cfg self;
+    }
+  in
+  let replicas =
+    match cfg.Config.protocol with
+    | Config.Pbft | Config.MultiP ->
+        R_pbft
+          (Array.init cfg.Config.n (fun self ->
+               B_pbft.create ~engine ~net ~keychain ~metrics (builder_cfg self)))
+    | Config.Zyzzyva | Config.MultiZ ->
+        R_zyz
+          (Array.init cfg.Config.n (fun self ->
+               B_zyz.create ~engine ~net ~keychain ~metrics (builder_cfg self)))
+    | Config.Hotstuff ->
+        R_hs
+          (Array.init cfg.Config.n (fun self ->
+               B_hs.create ~engine ~net ~keychain ~metrics (builder_cfg self)))
+    | Config.Cft | Config.MultiC ->
+        R_cft
+          (Array.init cfg.Config.n (fun self ->
+               B_cft.create ~engine ~net ~keychain ~metrics (builder_cfg self)))
+  in
+  let pool =
+    Client_pool.create ~engine ~net ~keychain ~metrics
+      ~primary_of_instance:(fun x ->
+        primary_lookup cfg.Config.protocol replicas x)
+      {
+        Client_pool.n = cfg.Config.n;
+        f = cfg.Config.f;
+        z = Config.client_instances cfg;
+        clients;
+        machines;
+        batch_size = cfg.Config.batch_size;
+        quorum = Config.quorum cfg;
+        request_timeout = cfg.Config.client_timeout;
+        instance_change_after = cfg.Config.instance_change_after;
+        first_node = cfg.Config.n;
+        records = cfg.Config.records;
+        write_ratio = cfg.Config.write_ratio;
+        theta = cfg.Config.theta;
+        seed = cfg.Config.seed + 1;
+      }
+  in
+  { cfg; engine; net; metrics; replicas; pool; machines }
+
+let affected_replica (cfg : Config.t) =
+  match cfg.Config.fault with
+  | Config.Collusion { victim; _ } -> victim
+  | Config.Dark { victims = v :: _; _ } -> v
+  | Config.Dark { victims = []; _ }
+  | Config.No_fault | Config.Crash _ | Config.Client_dos _ ->
+      0
+
+let run t =
+  let wall_start = Sys.time () in
+  apply_crashes t;
+  (match t.replicas with
+  | R_pbft a -> Array.iter B_pbft.start a
+  | R_zyz a -> Array.iter B_zyz.start a
+  | R_hs a -> Array.iter B_hs.start a
+  | R_cft a -> Array.iter B_cft.start a);
+  Client_pool.start t.pool;
+  Engine.run t.engine ~until:t.cfg.Config.duration;
+  let ledger0 = ledger t 0 in
+  {
+    Report.protocol = Config.protocol_name t.cfg.Config.protocol;
+    n = t.cfg.Config.n;
+    batch_size = t.cfg.Config.batch_size;
+    throughput = Metrics.throughput t.metrics ~duration:t.cfg.Config.duration;
+    avg_latency = Metrics.avg_latency t.metrics;
+    p50_latency = Metrics.latency_percentile t.metrics 0.5;
+    p99_latency = Metrics.latency_percentile t.metrics 0.99;
+    committed_txns = Metrics.committed_txns t.metrics;
+    timeline = Metrics.timeline t.metrics;
+    exec_timeline =
+      Metrics.exec_timeline t.metrics ~replica:(affected_replica t.cfg);
+    view_changes = Metrics.view_changes t.metrics;
+    collusions_detected = Metrics.collusions_detected t.metrics;
+    contract_bytes = Metrics.contract_bytes t.metrics;
+    replacements = replacements t;
+    messages = Net.messages_sent t.net;
+    bytes_sent = Net.bytes_sent t.net;
+    ledger_rounds = Rcc_storage.Ledger.length ledger0;
+    ledger_valid =
+      (match Rcc_storage.Ledger.validate ledger0 with
+      | Ok () -> true
+      | Error _ -> false);
+    exec_utilization =
+      (match t.replicas with
+      | R_pbft a -> B_pbft.exec_utilization a.(0) ~since:0
+      | R_zyz a -> B_zyz.exec_utilization a.(0) ~since:0
+      | R_hs a -> B_hs.exec_utilization a.(0) ~since:0
+      | R_cft a -> B_cft.exec_utilization a.(0) ~since:0);
+    worker_utilization =
+      (match t.replicas with
+      | R_pbft a -> B_pbft.worker_utilization a.(0) 0 ~since:0
+      | R_zyz a -> B_zyz.worker_utilization a.(0) 0 ~since:0
+      | R_hs a -> B_hs.worker_utilization a.(0) 0 ~since:0
+      | R_cft a -> B_cft.worker_utilization a.(0) 0 ~since:0);
+    sim_events = Engine.events_processed t.engine;
+    wall_seconds = Sys.time () -. wall_start;
+  }
+
+let run_config cfg = run (build cfg)

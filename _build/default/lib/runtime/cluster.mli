@@ -1,0 +1,27 @@
+(** Build and run one simulated deployment: n replicas, the client fleet,
+    the network, the fault injection — then collect a {!Report}. *)
+
+type t
+
+val build : Config.t -> t
+(** Constructs everything but does not start the clock. *)
+
+val run : t -> Report.t
+(** Starts replicas and clients, runs the simulation for the configured
+    duration and returns the measurements. *)
+
+val run_config : Config.t -> Report.t
+(** [build] + [run]. *)
+
+(* Introspection for tests and examples (valid after [run]). *)
+
+val config : t -> Config.t
+val metrics : t -> Rcc_replica.Metrics.t
+val ledger : t -> Rcc_common.Ids.replica_id -> Rcc_storage.Ledger.t
+val store : t -> Rcc_common.Ids.replica_id -> Rcc_storage.Kv_store.t
+val txn_table : t -> Rcc_common.Ids.replica_id -> Rcc_storage.Txn_table.t
+val primary_of_instance :
+  t -> Rcc_common.Ids.instance_id -> Rcc_common.Ids.replica_id
+val replacements : t -> int
+val client_pool : t -> Rcc_replica.Client_pool.t
+val engine : t -> Rcc_sim.Engine.t

@@ -1,0 +1,124 @@
+module Engine = Rcc_sim.Engine
+
+type protocol = Pbft | Zyzzyva | Hotstuff | MultiP | MultiZ | Cft | MultiC
+
+let protocol_name = function
+  | Pbft -> "pbft"
+  | Zyzzyva -> "zyzzyva"
+  | Hotstuff -> "hotstuff"
+  | MultiP -> "multip"
+  | MultiZ -> "multiz"
+  | Cft -> "cft"
+  | MultiC -> "multic"
+
+let all_protocols = [ MultiZ; MultiP; Zyzzyva; Pbft; Hotstuff ]
+
+type fault =
+  | No_fault
+  | Crash of Rcc_common.Ids.replica_id list
+  | Dark of {
+      instance : Rcc_common.Ids.instance_id;
+      victims : Rcc_common.Ids.replica_id list;
+    }
+  | Collusion of {
+      victim : Rcc_common.Ids.replica_id;
+      at_round : Rcc_common.Ids.round;
+    }
+  | Client_dos of { instance : Rcc_common.Ids.instance_id }
+
+type t = {
+  protocol : protocol;
+  n : int;
+  f : int;
+  z : int;
+  batch_size : int;
+  clients : int;  (* total logical clients, equal across protocols *)
+  duration : Rcc_sim.Engine.time;
+  warmup : Rcc_sim.Engine.time;
+  replica_timeout : Rcc_sim.Engine.time;
+  client_timeout : Rcc_sim.Engine.time;
+  collusion_wait : Rcc_sim.Engine.time;
+  heartbeat : Rcc_sim.Engine.time;
+  recovery : Rcc_core.Coordinator.recovery_mode;
+  use_permutation : bool;
+  records : int;
+  write_ratio : float;
+  theta : float;
+  latency : Rcc_sim.Engine.time;
+  jitter : Rcc_sim.Engine.time;
+  gbps : float;
+  cores : int;
+  checkpoint_interval : int;
+  history_capacity : int;
+  instance_change_after : int;
+  seed : int;
+  fault : fault;
+}
+
+let make ?(batch_size = 100) ?(clients = 240)
+    ?(duration = Engine.of_seconds 3.0) ?(warmup = Engine.of_seconds 1.0)
+    ?(replica_timeout = Engine.s 10) ?(client_timeout = Engine.s 15)
+    ?(collusion_wait = Engine.s 5) ?(heartbeat = Engine.ms 25)
+    ?(recovery = Rcc_core.Coordinator.Optimistic) ?(use_permutation = true)
+    ?(records = 500_000) ?(write_ratio = 0.9) ?(theta = 0.9) ?z ?(seed = 42)
+    ?(instance_change_after = 3) ?(fault = No_fault) ~protocol ~n () =
+  if n < 4 then invalid_arg "Config.make: need n >= 4";
+  let f = (n - 1) / 3 in
+  let z =
+    match z with
+    | Some z -> z
+    | None -> (
+        match protocol with
+        | MultiP | MultiZ | MultiC -> f + 1
+        | Pbft | Zyzzyva | Hotstuff | Cft -> 1)
+  in
+  {
+    protocol;
+    n;
+    f;
+    z;
+    batch_size;
+    clients;
+    duration;
+    warmup;
+    replica_timeout;
+    client_timeout;
+    collusion_wait;
+    heartbeat;
+    recovery;
+    use_permutation;
+    records;
+    write_ratio;
+    theta;
+    latency = Engine.us 100;
+    jitter = Engine.us 60;
+    gbps = 4.0;
+    cores = 16;
+    checkpoint_interval = 128;
+    history_capacity = 16_384;
+    instance_change_after;
+    seed;
+    fault;
+  }
+
+let client_instances t =
+  match t.protocol with
+  | Hotstuff -> t.n
+  | Pbft | Zyzzyva | MultiP | MultiZ | Cft | MultiC -> t.z
+
+let total_clients t = t.clients
+
+let quorum t =
+  match t.protocol with
+  | Zyzzyva | MultiZ -> Rcc_replica.Client_pool.All_n_speculative
+  | Pbft | Hotstuff | MultiP | Cft | MultiC ->
+      Rcc_replica.Client_pool.Majority_fplus1
+
+(* Input (3) + output (3) + batch (2) + z workers + execute + checkpoint
+   threads versus the machine's cores (§7.1 gives the baselines the same
+   12-thread layout). Oversubscription inflates CPU costs at half the
+   excess ratio: the workers are not all runnable at once. *)
+let contention_factor t =
+  let threads = 3 + 3 + 2 + t.z + 1 + 1 in
+  let pressure = float_of_int threads /. float_of_int t.cores in
+  if pressure <= 1.0 then 1.0 else 1.0 +. (0.5 *. (pressure -. 1.0))

@@ -1,0 +1,142 @@
+module Engine = Rcc_sim.Engine
+
+type profile = [ `Full | `Quick ]
+
+let duration = function
+  | `Full -> Engine.of_seconds 1.0
+  | `Quick -> Engine.of_seconds 0.4
+
+let warmup = function
+  | `Full -> Engine.of_seconds 0.34
+  | `Quick -> Engine.of_seconds 0.15
+
+let run_one ?label cfg =
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+        Printf.sprintf "%s n=%d batch=%d"
+          (Config.protocol_name cfg.Config.protocol)
+          cfg.Config.n cfg.Config.batch_size
+  in
+  Printf.eprintf "  [run] %s ...%!" label;
+  let report = Cluster.run_config cfg in
+  Printf.eprintf " %.0f txn/s (%.1fs wall)\n%!" report.Report.throughput
+    report.Report.wall_seconds;
+  report
+
+let sweep_batch profile ~protocols ~n ~batch_sizes =
+  List.concat_map
+    (fun protocol ->
+      List.map
+        (fun batch_size ->
+          let cfg =
+            Config.make ~protocol ~n ~batch_size ~duration:(duration profile)
+              ~warmup:(warmup profile) ()
+          in
+          (protocol, batch_size, run_one cfg))
+        batch_sizes)
+    protocols
+
+let sweep_replicas profile ~protocols ~ns ~batch_size =
+  List.concat_map
+    (fun protocol ->
+      List.map
+        (fun n ->
+          let cfg =
+            Config.make ~protocol ~n ~batch_size ~duration:(duration profile)
+              ~warmup:(warmup profile) ()
+          in
+          (protocol, n, run_one cfg))
+        ns)
+    protocols
+
+(* Failure runs scale the replica watchdog into the simulated window so
+   detection (and HotStuff's pacemaker) actually happens; the 15 s client
+   timeout is deliberately NOT scaled — the paper's Zyzzyva collapse is the
+   client-side wait. *)
+let failure_timeout profile = duration profile / 4
+
+let sweep_failures profile ~protocols ~ns ~batch_size ~failures =
+  List.concat_map
+    (fun protocol ->
+      List.map
+        (fun n ->
+          let f = (n - 1) / 3 in
+          let cfg =
+            Config.make ~protocol ~n ~batch_size ~duration:(duration profile)
+              ~warmup:(warmup profile)
+              ~replica_timeout:(failure_timeout profile)
+              ~fault:(failures ~n ~f) ()
+          in
+          (protocol, n, run_one cfg))
+        ns)
+    protocols
+
+let collusion_run profile ~n ~batch_size protocol =
+  let dur =
+    match profile with
+    | `Full -> Engine.of_seconds 5.0
+    | `Quick -> Engine.of_seconds 2.0
+  in
+  let replica_timeout = dur / 5 in
+  let collusion_wait = dur / 10 in
+  (* Aim the single-round attack at roughly 40% into the run; round rate is
+     throughput-dependent, so estimate from the execute ceiling. *)
+  let at_round =
+    match profile with `Full -> 450 | `Quick -> 150
+  in
+  (* The paper darkens replica 12 (n=32); at smaller n pick the first
+     replica that neither hosts a primary nor belongs to the byzantine
+     high-id set. *)
+  let f = (n - 1) / 3 in
+  let victim = if n > 24 then 12 else f + 2 in
+  let cfg =
+    Config.make ~protocol ~n ~batch_size ~duration:dur
+      ~warmup:(warmup profile) ~replica_timeout ~collusion_wait
+      ~fault:(Config.Collusion { victim; at_round })
+      ()
+  in
+  run_one ~label:"collusion attack (fig12)" cfg
+
+let z_sweep profile ~n ~batch_size ~zs =
+  List.map
+    (fun z ->
+      let cfg =
+        Config.make ~protocol:Config.MultiP ~n ~batch_size ~z
+          ~duration:(duration profile) ~warmup:(warmup profile) ()
+      in
+      (z, run_one ~label:(Printf.sprintf "multip n=%d z=%d" n z) cfg))
+    zs
+
+let recovery_comparison profile ~n ~batch_size =
+  let dur =
+    match profile with
+    | `Full -> Engine.of_seconds 4.0
+    | `Quick -> Engine.of_seconds 2.0
+  in
+  let f = (n - 1) / 3 in
+  let victim = if n > 24 then 12 else f + 2 in
+  List.map
+    (fun recovery ->
+      let cfg =
+        Config.make ~protocol:Config.MultiP ~n ~batch_size ~duration:dur
+          ~warmup:(warmup profile) ~replica_timeout:(dur / 5)
+          ~collusion_wait:(dur / 10) ~recovery
+          ~fault:
+            (Config.Collusion
+               { victim; at_round = (match profile with `Full -> 350 | `Quick -> 150) })
+          ()
+      in
+      let name =
+        match recovery with
+        | Rcc_core.Coordinator.Optimistic -> "optimistic"
+        | Rcc_core.Coordinator.Pessimistic -> "pessimistic"
+        | Rcc_core.Coordinator.View_shift -> "view-shift"
+      in
+      (recovery, run_one ~label:("recovery=" ^ name) cfg))
+    [
+      Rcc_core.Coordinator.Optimistic;
+      Rcc_core.Coordinator.Pessimistic;
+      Rcc_core.Coordinator.View_shift;
+    ]

@@ -1,0 +1,58 @@
+(** Parameter sweeps behind the paper's figures (§7).
+
+    Every function returns one {!Report} per configuration, in sweep
+    order, printing progress to stderr. [profile] scales simulated
+    duration: [`Full] for the recorded results, [`Quick] for smoke runs
+    and CI. *)
+
+type profile = [ `Full | `Quick ]
+
+val duration : profile -> Rcc_sim.Engine.time
+val warmup : profile -> Rcc_sim.Engine.time
+
+val run_one : ?label:string -> Config.t -> Report.t
+(** Run a single configuration, echoing a progress line to stderr. *)
+
+val sweep_batch :
+  profile ->
+  protocols:Config.protocol list ->
+  n:int ->
+  batch_sizes:int list ->
+  (Config.protocol * int * Report.t) list
+(** Figure 9: throughput/latency as a function of batch size. *)
+
+val sweep_replicas :
+  profile ->
+  protocols:Config.protocol list ->
+  ns:int list ->
+  batch_size:int ->
+  (Config.protocol * int * Report.t) list
+(** Figure 10: performance as a function of the number of replicas. *)
+
+val sweep_failures :
+  profile ->
+  protocols:Config.protocol list ->
+  ns:int list ->
+  batch_size:int ->
+  failures:(n:int -> f:int -> Config.fault) ->
+  (Config.protocol * int * Report.t) list
+(** Figure 11: like {!sweep_replicas} with a fault injected; the replica
+    watchdog is scaled down so detection fits in simulated time while the
+    15 s client timeout stays (it is what collapses the Zyzzyva family). *)
+
+val collusion_run :
+  profile -> n:int -> batch_size:int -> Config.protocol -> Report.t
+(** Figure 12: the collusion attack timeline under optimistic recovery,
+    with the paper's 10 s + 5 s waits scaled to the simulated duration. *)
+
+val z_sweep :
+  profile -> n:int -> batch_size:int -> zs:int list -> (int * Report.t) list
+(** Ablation: number of concurrent instances for MultiP. *)
+
+val recovery_comparison :
+  profile ->
+  n:int ->
+  batch_size:int ->
+  (Rcc_core.Coordinator.recovery_mode * Report.t) list
+(** Ablation: optimistic vs pessimistic vs view-shifting recovery under
+    the collusion attack. *)

@@ -1,0 +1,48 @@
+type t = {
+  protocol : string;
+  n : int;
+  batch_size : int;
+  throughput : float;
+  avg_latency : float;
+  p50_latency : float;
+  p99_latency : float;
+  committed_txns : int;
+  timeline : (float * float) array;
+  exec_timeline : (float * float) array;
+  view_changes : int;
+  collusions_detected : int;
+  contract_bytes : int;
+  replacements : int;
+  messages : int;
+  bytes_sent : int;
+  ledger_rounds : int;
+  ledger_valid : bool;
+  exec_utilization : float;
+  worker_utilization : float;
+  sim_events : int;
+  wall_seconds : float;
+}
+
+let header () =
+  Printf.sprintf "%-9s %4s %6s %12s %10s %10s %10s %8s"
+    "protocol" "n" "batch" "tput(txn/s)" "avg_lat" "p50_lat" "p99_lat" "rounds"
+
+let row t =
+  Printf.sprintf "%-9s %4d %6d %12.0f %9.2fms %9.2fms %9.2fms %8d"
+    t.protocol t.n t.batch_size t.throughput
+    (t.avg_latency *. 1e3) (t.p50_latency *. 1e3) (t.p99_latency *. 1e3)
+    t.ledger_rounds
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%s n=%d batch=%d: %.0f txn/s, lat avg %.2f ms (p50 %.2f, p99 %.2f)@,\
+     committed=%d rounds=%d ledger_valid=%b view_changes=%d collusions=%d@,\
+     contracts=%dB replacements=%d msgs=%d bytes=%d events=%d wall=%.1fs@,\
+     util: exec %.0f%% worker0 %.0f%%@]"
+    t.protocol t.n t.batch_size t.throughput (t.avg_latency *. 1e3)
+    (t.p50_latency *. 1e3) (t.p99_latency *. 1e3) t.committed_txns
+    t.ledger_rounds t.ledger_valid t.view_changes t.collusions_detected
+    t.contract_bytes t.replacements t.messages t.bytes_sent t.sim_events
+    t.wall_seconds
+    (t.exec_utilization *. 100.0)
+    (t.worker_utilization *. 100.0)

@@ -1,0 +1,30 @@
+(** Result of one experiment run, with printers for the bench tables. *)
+
+type t = {
+  protocol : string;
+  n : int;
+  batch_size : int;
+  throughput : float;  (** committed client txns / s, post-warmup *)
+  avg_latency : float;  (** seconds *)
+  p50_latency : float;
+  p99_latency : float;
+  committed_txns : int;
+  timeline : (float * float) array;  (** client throughput per 100 ms *)
+  exec_timeline : (float * float) array;  (** affected replica, fig. 12 *)
+  view_changes : int;
+  collusions_detected : int;
+  contract_bytes : int;
+  replacements : int;
+  messages : int;
+  bytes_sent : int;
+  ledger_rounds : int;
+  ledger_valid : bool;
+  exec_utilization : float;  (** replica 0's execute thread busy fraction *)
+  worker_utilization : float;  (** replica 0's instance-0 worker busy fraction *)
+  sim_events : int;
+  wall_seconds : float;
+}
+
+val header : unit -> string
+val row : t -> string
+val pp : Format.formatter -> t -> unit

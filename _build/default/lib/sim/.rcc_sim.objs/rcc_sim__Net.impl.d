@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Cpu Engine Printf Rcc_common

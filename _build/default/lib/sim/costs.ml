@@ -1,0 +1,56 @@
+type t = {
+  mac_gen : Engine.time;
+  mac_verify : Engine.time;
+  sign : Engine.time;
+  sig_verify : Engine.time;
+  hash_base : Engine.time;
+  hash_per_byte : float;
+  input_parse : Engine.time;
+  worker_msg : Engine.time;
+  send_per_dest : Engine.time;
+  batch_create : Engine.time;
+  txn_exec : Engine.time;
+  exec_batch_overhead : Engine.time;
+  response_create : Engine.time;
+}
+
+let default =
+  {
+    mac_gen = Engine.ns 900;
+    mac_verify = Engine.ns 1_000;
+    sign = Engine.us 21;
+    sig_verify = Engine.us 62;
+    hash_base = Engine.ns 400;
+    hash_per_byte = 0.75;
+    input_parse = Engine.ns 1_600;
+    worker_msg = Engine.ns 8_000;
+    send_per_dest = Engine.ns 1_300;
+    batch_create = Engine.us 6;
+    txn_exec = Engine.ns 2_500;
+    exec_batch_overhead = Engine.us 12;
+    response_create = Engine.us 3;
+  }
+
+let hash_cost t nbytes =
+  t.hash_base + int_of_float (t.hash_per_byte *. float_of_int nbytes)
+
+let scale_ns factor v = int_of_float (float_of_int v *. factor)
+
+let scaled t factor =
+  if factor <= 1.0 then t
+  else
+    {
+      mac_gen = scale_ns factor t.mac_gen;
+      mac_verify = scale_ns factor t.mac_verify;
+      sign = scale_ns factor t.sign;
+      sig_verify = scale_ns factor t.sig_verify;
+      hash_base = scale_ns factor t.hash_base;
+      hash_per_byte = t.hash_per_byte *. factor;
+      input_parse = scale_ns factor t.input_parse;
+      worker_msg = scale_ns factor t.worker_msg;
+      send_per_dest = scale_ns factor t.send_per_dest;
+      batch_create = scale_ns factor t.batch_create;
+      txn_exec = scale_ns factor t.txn_exec;
+      exec_batch_overhead = scale_ns factor t.exec_batch_overhead;
+      response_create = scale_ns factor t.response_create;
+    }

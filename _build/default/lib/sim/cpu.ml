@@ -1,0 +1,58 @@
+type server = {
+  engine : Engine.t;
+  name : string;
+  mutable free_at : Engine.time;
+  mutable busy_ns : Engine.time;
+}
+
+let server engine ~name = { engine; name; free_at = 0; busy_ns = 0 }
+
+let reserve t ~ready ~cost =
+  let cost = max 0 cost in
+  let start = max ready t.free_at in
+  let finish = start + cost in
+  t.free_at <- finish;
+  t.busy_ns <- t.busy_ns + cost;
+  finish
+
+let submit_ready t ~ready ~cost job =
+  let finish = reserve t ~ready ~cost in
+  Engine.schedule_at t.engine finish job
+
+let submit t ~cost job = submit_ready t ~ready:(Engine.now t.engine) ~cost job
+
+let free_at t = t.free_at
+
+let backlog t =
+  let lag = t.free_at - Engine.now t.engine in
+  if lag > 0 then lag else 0
+
+let busy_time t = t.busy_ns
+
+let utilization t ~since =
+  let span = Engine.now t.engine - since in
+  if span <= 0 then 0.0
+  else
+    let frac = float_of_int t.busy_ns /. float_of_int span in
+    if frac > 1.0 then 1.0 else frac
+
+type pool = { servers : server array }
+
+let pool engine ~name ~size =
+  assert (size > 0);
+  {
+    servers =
+      Array.init size (fun i ->
+          server engine ~name:(Printf.sprintf "%s-%d" name i));
+  }
+
+let earliest t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.servers - 1 do
+    if t.servers.(i).free_at < t.servers.(!best).free_at then best := i
+  done;
+  t.servers.(!best)
+
+let pool_submit t ~cost job = submit (earliest t) ~cost job
+let pool_reserve t ~ready ~cost = reserve (earliest t) ~ready ~cost
+let pool_servers t = t.servers

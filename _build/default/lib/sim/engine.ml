@@ -1,0 +1,53 @@
+type time = int
+
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let s x = x * 1_000_000_000
+let of_seconds f = int_of_float (f *. 1e9)
+let to_seconds t = float_of_int t *. 1e-9
+
+type t = {
+  mutable now : time;
+  queue : (unit -> unit) Rcc_common.Binary_heap.t;
+  mutable processed : int;
+}
+
+type timer = { mutable live : bool }
+
+let create () =
+  { now = 0; queue = Rcc_common.Binary_heap.create ~capacity:4096 (); processed = 0 }
+
+let now t = t.now
+
+let schedule_at t at f =
+  if at < t.now then invalid_arg "Engine.schedule_at: scheduling in the past";
+  Rcc_common.Binary_heap.push t.queue ~priority:at f
+
+let schedule_after t delay f = schedule_at t (t.now + max 0 delay) f
+
+let timer_after t delay f =
+  let tm = { live = true } in
+  schedule_after t delay (fun () -> if tm.live then (tm.live <- false; f ()));
+  tm
+
+let cancel tm = tm.live <- false
+let timer_pending tm = tm.live
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Rcc_common.Binary_heap.peek_priority t.queue with
+    | Some at when at <= until -> begin
+        match Rcc_common.Binary_heap.pop t.queue with
+        | Some (at, f) ->
+            t.now <- at;
+            t.processed <- t.processed + 1;
+            f ()
+        | None -> assert false
+      end
+    | Some _ | None -> continue := false
+  done;
+  if t.now < until then t.now <- until
+
+let events_processed t = t.processed

@@ -1,0 +1,72 @@
+type 'msg t = {
+  engine : Engine.t;
+  nics : Cpu.server array;
+  handlers : (src:int -> size:int -> 'msg -> unit) array;
+  dead : bool array;
+  latency : Engine.time;
+  jitter : Engine.time;
+  ns_per_byte : float;
+  rng : Rcc_common.Rng.t;
+  mutable drop_rule : (src:int -> dst:int -> 'msg -> bool) option;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let no_handler ~src:_ ~size:_ _ = ()
+
+let create engine ~nodes ~latency ~jitter ~gbps ~rng =
+  assert (nodes > 0 && gbps > 0.0);
+  {
+    engine;
+    nics = Array.init nodes (fun i -> Cpu.server engine ~name:(Printf.sprintf "nic-%d" i));
+    handlers = Array.make nodes no_handler;
+    dead = Array.make nodes false;
+    latency;
+    jitter;
+    (* gbps is Gbit/s; 8 bits per byte. *)
+    ns_per_byte = 8.0 /. gbps;
+    rng;
+    drop_rule = None;
+    messages = 0;
+    bytes = 0;
+  }
+
+let engine t = t.engine
+let register t node handler = t.handlers.(node) <- handler
+let set_dead t node dead = t.dead.(node) <- dead
+let is_dead t node = t.dead.(node)
+let set_drop_rule t rule = t.drop_rule <- rule
+let messages_sent t = t.messages
+let bytes_sent t = t.bytes
+
+let loopback_delay = Engine.us 2
+
+let deliver t ~src ~dst ~size msg =
+  if not t.dead.(dst) then t.handlers.(dst) ~src ~size msg
+
+let send t ~src ~dst ~size msg =
+  if t.dead.(src) || t.dead.(dst) then ()
+  else
+    let dropped =
+      match t.drop_rule with None -> false | Some rule -> rule ~src ~dst msg
+    in
+    if not dropped then begin
+      t.messages <- t.messages + 1;
+      t.bytes <- t.bytes + size;
+      if src = dst then
+        Engine.schedule_after t.engine loopback_delay (fun () ->
+            deliver t ~src ~dst ~size msg)
+      else begin
+        (* Virtual NIC: serialization queues on the sender's egress; one
+           event fires at arrival time. *)
+        let serialize = int_of_float (float_of_int size *. t.ns_per_byte) in
+        let serialized =
+          Cpu.reserve t.nics.(src) ~ready:(Engine.now t.engine) ~cost:serialize
+        in
+        let propagation =
+          t.latency + if t.jitter > 0 then Rcc_common.Rng.int t.rng t.jitter else 0
+        in
+        Engine.schedule_at t.engine (serialized + propagation) (fun () ->
+            deliver t ~src ~dst ~size msg)
+      end
+    end

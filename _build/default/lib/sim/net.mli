@@ -1,0 +1,44 @@
+(** Simulated datacenter network.
+
+    Each node owns an egress NIC (a {!Cpu.server} whose job cost is
+    transmission time = size / bandwidth); after serialization a message
+    propagates for latency + jitter and is handed to the destination's
+    registered handler. Per-destination copies of a broadcast each pay
+    serialization, so large batches at high fan-out saturate the sender's
+    NIC exactly as in the paper's setup.
+
+    Node address space is the caller's: the runtime uses [0, n) for
+    replicas and [n, n + client_machines) for client machines. *)
+
+type 'msg t
+
+val create :
+  Engine.t ->
+  nodes:int ->
+  latency:Engine.time ->
+  jitter:Engine.time ->
+  gbps:float ->
+  rng:Rcc_common.Rng.t ->
+  'msg t
+
+val engine : 'msg t -> Engine.t
+
+val register : 'msg t -> int -> (src:int -> size:int -> 'msg -> unit) -> unit
+(** Install the delivery handler for a node. Replaces any previous one. *)
+
+val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
+(** Transmit one message. Silently dropped if either endpoint is dead or a
+    drop rule matches. Sending to self delivers after a small loopback
+    delay without using the NIC. *)
+
+val set_dead : 'msg t -> int -> bool -> unit
+(** A dead node neither sends nor receives (crash fault). *)
+
+val is_dead : 'msg t -> int -> bool
+
+val set_drop_rule : 'msg t -> (src:int -> dst:int -> 'msg -> bool) option -> unit
+(** Drop rule consulted on every send; [true] means drop. Used for
+    partition and in-the-dark experiments. *)
+
+val messages_sent : 'msg t -> int
+val bytes_sent : 'msg t -> int

@@ -1,0 +1,1 @@
+lib/storage/block.ml: Format Int64 List Rcc_common Rcc_crypto String

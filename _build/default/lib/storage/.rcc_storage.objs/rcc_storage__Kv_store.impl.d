@@ -1,0 +1,1 @@
+lib/storage/kv_store.ml: Bytes Char Hashtbl Int64 Rcc_common Rcc_crypto String

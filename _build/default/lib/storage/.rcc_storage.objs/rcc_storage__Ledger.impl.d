@@ -1,0 +1,1 @@
+lib/storage/ledger.ml: Array Block Printf String

@@ -1,0 +1,1 @@
+lib/storage/ledger.mli: Block Rcc_common

@@ -1,0 +1,1 @@
+lib/storage/ledger_io.ml: Block Buffer Fun Int64 Ledger List Rcc_common String

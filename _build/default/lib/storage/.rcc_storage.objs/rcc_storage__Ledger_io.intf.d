@@ -1,0 +1,1 @@
+lib/storage/ledger_io.mli: Ledger Rcc_common

@@ -1,0 +1,1 @@
+lib/storage/txn_table.ml: Hashtbl List Rcc_common

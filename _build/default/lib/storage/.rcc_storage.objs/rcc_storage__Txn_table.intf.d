@@ -1,0 +1,1 @@
+lib/storage/txn_table.mli: Rcc_common

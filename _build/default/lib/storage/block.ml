@@ -1,0 +1,38 @@
+type proof = {
+  instance : Rcc_common.Ids.instance_id;
+  batch_digest : string;
+  certificate_digest : string;
+}
+
+type t = {
+  round : Rcc_common.Ids.round;
+  prev_hash : string;
+  proofs : proof list;
+  primaries : Rcc_common.Ids.replica_id list;
+  clients : Rcc_common.Ids.client_id list;
+}
+
+let u64 i = Rcc_common.Bytes_util.u64_string (Int64.of_int i)
+
+let genesis_hash ~primaries =
+  Rcc_crypto.Sha256.digest_list ("rcc-genesis" :: List.map u64 primaries)
+
+(* The certificate digest is intentionally excluded from the block
+   identity: different replicas accept a round with different (equally
+   valid) 2f+1 quorums, while the agreed content — the ordered batches —
+   must hash identically everywhere. *)
+let encode t =
+  let proof p = u64 p.instance ^ p.batch_digest in
+  String.concat ""
+    (u64 t.round :: t.prev_hash
+    :: (List.map proof t.proofs
+       @ List.map u64 t.primaries
+       @ List.map u64 t.clients))
+
+let hash t = Rcc_crypto.Sha256.digest (encode t)
+
+let pp fmt t =
+  Format.fprintf fmt "block[%a prev=%s.. proofs=%d primaries=%d]"
+    Rcc_common.Ids.pp_round t.round
+    (String.sub (Rcc_common.Bytes_util.hex t.prev_hash) 0 8)
+    (List.length t.proofs) (List.length t.primaries)

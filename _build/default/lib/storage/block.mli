@@ -1,0 +1,33 @@
+(** Blocks of the RESILIENTDB ledger (§6 "Storage and Ledger Management").
+
+    A block commits one RCC round: per-instance proof-of-replication
+    digests, the primaries of the round, and the clients served. Client
+    requests and responses live in a separate table ({!Txn_table}) indexed
+    by round, exactly as in the paper. *)
+
+type proof = {
+  instance : Rcc_common.Ids.instance_id;
+  batch_digest : string;  (** digest of the replicated request batch *)
+  certificate_digest : string;  (** digest of the prepare/commit certificate *)
+}
+
+type t = {
+  round : Rcc_common.Ids.round;
+  prev_hash : string;
+  proofs : proof list;  (** one per instance that replicated in the round *)
+  primaries : Rcc_common.Ids.replica_id list;
+  clients : Rcc_common.Ids.client_id list;
+}
+
+val genesis_hash : primaries:Rcc_common.Ids.replica_id list -> string
+(** B_G := H(P_1, ..., P_z). *)
+
+val hash : t -> string
+(** Hash of {!encode}. Covers the agreed content (round, chain link,
+    ordered batch digests, primaries, clients) but not the certificate
+    digests, which vary across replicas with the particular 2f+1 quorum
+    each one observed. *)
+
+val encode : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type proof = {
+  seq : Rcc_common.Ids.round;
+  state_digest : string;
+  attesters : Rcc_common.Ids.replica_id list;
+}
+
+type t = {
+  capacity : int;
+  ring : proof option array;
+  mutable used : int;  (* total recorded *)
+  mutable latest : proof option;
+}
+
+let create ?(capacity = 64) () =
+  { capacity = max 1 capacity; ring = Array.make (max 1 capacity) None; used = 0; latest = None }
+
+let stable t = t.latest
+
+let stable_seq t = match t.latest with Some p -> p.seq | None -> -1
+
+let record t proof =
+  if proof.seq > stable_seq t then begin
+    t.ring.(t.used mod t.capacity) <- Some proof;
+    t.used <- t.used + 1;
+    t.latest <- Some proof
+  end
+
+(* Slot [i] (0 <= i < used) is retrievable while it is among the last
+   [capacity] recordings. *)
+let in_window t i = i >= 0 && t.used - i <= t.capacity
+
+let find t ~seq =
+  let rec scan i =
+    if not (in_window t i) then None
+    else
+      match t.ring.(i mod t.capacity) with
+      | Some p when p.seq = seq -> Some p
+      | Some _ | None -> scan (i - 1)
+  in
+  scan (t.used - 1)
+
+(* Newest first. *)
+let recent t k =
+  let rec collect i n acc =
+    if n = 0 || not (in_window t i) then List.rev acc
+    else
+      match t.ring.(i mod t.capacity) with
+      | Some p -> collect (i - 1) (n - 1) (p :: acc)
+      | None -> List.rev acc
+  in
+  collect (t.used - 1) k []
+
+let count t = t.used

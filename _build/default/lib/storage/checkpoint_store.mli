@@ -1,0 +1,34 @@
+(** Stable-checkpoint log (PBFT's checkpoint protocol, §3.3).
+
+    Records each checkpoint that became stable — the round it covers, the
+    state digest agreed on, and the replicas whose CHECKPOINT messages
+    attested it — so a recovering replica can prove how far the service
+    had advanced. Bounded history; the newest [capacity] proofs are kept. *)
+
+type proof = {
+  seq : Rcc_common.Ids.round;
+  state_digest : string;
+  attesters : Rcc_common.Ids.replica_id list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val record : t -> proof -> unit
+(** Record a newly stable checkpoint. Proofs must arrive with increasing
+    [seq]; stale ones are ignored. *)
+
+val stable : t -> proof option
+(** The most recent stable checkpoint. *)
+
+val stable_seq : t -> Rcc_common.Ids.round
+(** Its round, or -1 when none. *)
+
+val find : t -> seq:Rcc_common.Ids.round -> proof option
+
+val recent : t -> int -> proof list
+(** The latest [k] proofs, newest first. *)
+
+val count : t -> int
+(** Checkpoints recorded over the store's lifetime. *)

@@ -1,0 +1,52 @@
+type record = { mutable value : int; mutable version : int }
+
+type t = {
+  table : (int, record) Hashtbl.t;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create () = { table = Hashtbl.create 4096; reads = 0; writes = 0 }
+
+let init_records t ~count =
+  for key = 0 to count - 1 do
+    Hashtbl.replace t.table key { value = key * 7; version = 0 }
+  done
+
+let read t key =
+  t.reads <- t.reads + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some r -> Some r.value
+  | None -> None
+
+let write t ~key ~value =
+  t.writes <- t.writes + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some r ->
+      r.value <- value;
+      r.version <- r.version + 1
+  | None -> Hashtbl.replace t.table key { value; version = 1 }
+
+let version t key =
+  match Hashtbl.find_opt t.table key with Some r -> r.version | None -> 0
+
+let size t = Hashtbl.length t.table
+let reads_performed t = t.reads
+let writes_performed t = t.writes
+
+let state_digest t =
+  (* Xor of per-entry digests is order-insensitive over the hash table. *)
+  let acc = Bytes.make 32 '\x00' in
+  Hashtbl.iter
+    (fun key r ->
+      let entry =
+        Rcc_common.Bytes_util.u64_string (Int64.of_int key)
+        ^ Rcc_common.Bytes_util.u64_string (Int64.of_int r.value)
+        ^ Rcc_common.Bytes_util.u64_string (Int64.of_int r.version)
+      in
+      let d = Rcc_crypto.Sha256.digest entry in
+      for i = 0 to 31 do
+        Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) lxor Char.code d.[i]))
+      done)
+    t.table;
+  Bytes.unsafe_to_string acc

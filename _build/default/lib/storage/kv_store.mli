@@ -1,0 +1,31 @@
+(** In-memory key-value store (§6 "Storage and Ledger Management").
+
+    Holds the YCSB table: integer keys to fixed-size records. Tracks a
+    monotone version per key and a state digest accumulator so replicas can
+    compare states cheaply in tests. *)
+
+type t
+
+val create : unit -> t
+
+val init_records : t -> count:int -> unit
+(** Load [count] records with deterministic initial contents, as the paper
+    initializes each replica with an identical copy of the YCSB table. *)
+
+val read : t -> int -> int option
+(** Current value, if the key exists. *)
+
+val write : t -> key:int -> value:int -> unit
+
+val version : t -> int -> int
+(** Number of writes ever applied to the key (0 if never written). *)
+
+val size : t -> int
+
+val reads_performed : t -> int
+val writes_performed : t -> int
+
+val state_digest : t -> string
+(** Order-insensitive digest of the current key/value/version state; equal
+    states yield equal digests. Intended for test assertions, not the hot
+    path. *)

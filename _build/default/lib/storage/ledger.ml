@@ -1,0 +1,59 @@
+type t = {
+  genesis : string;
+  blocks : Block.t array ref;
+  mutable used : int;
+}
+
+let create ~primaries =
+  {
+    genesis = Block.genesis_hash ~primaries;
+    blocks = ref [||];
+    used = 0;
+  }
+
+let head_hash t =
+  if t.used = 0 then t.genesis else Block.hash !(t.blocks).(t.used - 1)
+
+let next_round t = t.used
+
+let append t (block : Block.t) =
+  if block.Block.round <> t.used then
+    Error
+      (Printf.sprintf "ledger: expected round %d, got %d" t.used block.Block.round)
+  else if not (String.equal block.Block.prev_hash (head_hash t)) then
+    Error "ledger: prev_hash does not match head"
+  else begin
+    if t.used = Array.length !(t.blocks) then begin
+      let n = max 64 (2 * Array.length !(t.blocks)) in
+      let grown = Array.make n block in
+      Array.blit !(t.blocks) 0 grown 0 t.used;
+      t.blocks := grown
+    end;
+    !(t.blocks).(t.used) <- block;
+    t.used <- t.used + 1;
+    Ok ()
+  end
+
+let append_exn t block =
+  match append t block with Ok () -> () | Error e -> failwith e
+
+let length t = t.used
+
+let get t round = if round >= 0 && round < t.used then Some !(t.blocks).(round) else None
+
+let validate t =
+  let rec go i prev =
+    if i = t.used then Ok ()
+    else
+      let b = !(t.blocks).(i) in
+      if b.Block.round <> i then Error (Printf.sprintf "bad round at %d" i)
+      else if not (String.equal b.Block.prev_hash prev) then
+        Error (Printf.sprintf "hash chain broken at round %d" i)
+      else go (i + 1) (Block.hash b)
+  in
+  go 0 t.genesis
+
+let iter t f =
+  for i = 0 to t.used - 1 do
+    f !(t.blocks).(i)
+  done

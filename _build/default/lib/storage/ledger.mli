@@ -1,0 +1,26 @@
+(** An append-only blockchain of {!Block}s with hash-chain validation. *)
+
+type t
+
+val create : primaries:Rcc_common.Ids.replica_id list -> t
+(** Starts from the genesis hash derived from the initial primaries. *)
+
+val append : t -> Block.t -> (unit, string) result
+(** Fails if the block's round is not the next round or its [prev_hash]
+    does not match the current head. *)
+
+val append_exn : t -> Block.t -> unit
+
+val length : t -> int
+(** Number of non-genesis blocks. *)
+
+val head_hash : t -> string
+
+val next_round : t -> Rcc_common.Ids.round
+
+val get : t -> Rcc_common.Ids.round -> Block.t option
+
+val validate : t -> (unit, string) result
+(** Re-checks the whole hash chain. *)
+
+val iter : t -> (Block.t -> unit) -> unit

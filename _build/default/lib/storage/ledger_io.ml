@@ -1,0 +1,124 @@
+module Bytes_util = Rcc_common.Bytes_util
+
+let magic = "RCCL1\n"
+
+(* --- writer ----------------------------------------------------------- *)
+
+let w_int buf v = Buffer.add_string buf (Bytes_util.u64_string (Int64.of_int v))
+
+let w_string buf s =
+  w_int buf (String.length s);
+  Buffer.add_string buf s
+
+let w_int_list buf l =
+  w_int buf (List.length l);
+  List.iter (w_int buf) l
+
+let w_block buf (b : Block.t) =
+  w_int buf b.Block.round;
+  w_string buf b.Block.prev_hash;
+  w_int buf (List.length b.Block.proofs);
+  List.iter
+    (fun (p : Block.proof) ->
+      w_int buf p.Block.instance;
+      w_string buf p.Block.batch_digest;
+      w_string buf p.Block.certificate_digest)
+    b.Block.proofs;
+  w_int_list buf b.Block.primaries;
+  w_int_list buf b.Block.clients
+
+let save ledger ~primaries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  w_int_list buf primaries;
+  w_int buf (Ledger.length ledger);
+  Ledger.iter ledger (fun block -> w_block buf block);
+  Buffer.contents buf
+
+(* --- reader ------------------------------------------------------------ *)
+
+exception Malformed of string
+
+type reader = { buf : string; mutable pos : int }
+
+let need r n =
+  if r.pos + n > String.length r.buf then raise (Malformed "ledger file truncated")
+
+let r_int r =
+  need r 8;
+  let v = Int64.to_int (Bytes_util.get_u64be r.buf r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_string r =
+  let len = r_int r in
+  if len < 0 || len > 10_000_000 then raise (Malformed "bad string length");
+  need r len;
+  let s = String.sub r.buf r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let r_int_list r =
+  let len = r_int r in
+  if len < 0 || len > 1_000_000 then raise (Malformed "bad list length");
+  List.init len (fun _ -> r_int r)
+
+let r_block r =
+  let round = r_int r in
+  let prev_hash = r_string r in
+  let nproofs = r_int r in
+  if nproofs < 0 || nproofs > 100_000 then raise (Malformed "bad proof count");
+  let proofs =
+    List.init nproofs (fun _ ->
+        let instance = r_int r in
+        let batch_digest = r_string r in
+        let certificate_digest = r_string r in
+        { Block.instance; batch_digest; certificate_digest })
+  in
+  let primaries = r_int_list r in
+  let clients = r_int_list r in
+  { Block.round; prev_hash; proofs; primaries; clients }
+
+let load s =
+  match
+    (let mlen = String.length magic in
+     if String.length s < mlen || not (String.equal (String.sub s 0 mlen) magic)
+     then raise (Malformed "bad magic");
+     let r = { buf = s; pos = mlen } in
+     let primaries = r_int_list r in
+     let count = r_int r in
+     if count < 0 then raise (Malformed "negative block count");
+     let ledger = Ledger.create ~primaries in
+     for _ = 1 to count do
+       match Ledger.append ledger (r_block r) with
+       | Ok () -> ()
+       | Error e -> raise (Malformed e)
+     done;
+     if r.pos <> String.length s then raise (Malformed "trailing bytes");
+     ledger)
+  with
+  | ledger -> (
+      (* Appends already checked the chain, but re-validate end to end so
+         corruption inside a block body is also caught. *)
+      match Ledger.validate ledger with
+      | Ok () -> Ok ledger
+      | Error e -> Error e)
+  | exception Malformed e -> Error e
+
+(* --- files ----------------------------------------------------------------- *)
+
+let save_file ledger ~primaries ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (save ledger ~primaries))
+
+let load_file ~path =
+  match open_in_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          load (really_input_string ic len))
+  | exception Sys_error e -> Error e

@@ -1,0 +1,29 @@
+type entry = {
+  round : Rcc_common.Ids.round;
+  instance : Rcc_common.Ids.instance_id;
+  client : Rcc_common.Ids.client_id;
+  batch_digest : string;
+  response_digest : string;
+  txn_count : int;
+}
+
+type t = {
+  by_round : (int, entry list ref) Hashtbl.t;
+  mutable txns : int;
+}
+
+let create () = { by_round = Hashtbl.create 1024; txns = 0 }
+
+let record t entry =
+  t.txns <- t.txns + entry.txn_count;
+  match Hashtbl.find_opt t.by_round entry.round with
+  | Some l -> l := entry :: !l
+  | None -> Hashtbl.replace t.by_round entry.round (ref [ entry ])
+
+let find t ~round =
+  match Hashtbl.find_opt t.by_round round with
+  | None -> []
+  | Some l -> List.sort (fun a b -> compare a.instance b.instance) !l
+
+let total_txns t = t.txns
+let rounds t = Hashtbl.length t.by_round

@@ -1,0 +1,21 @@
+(** Side table of executed requests and responses, indexed by round
+    (the ledger stores proofs, not payloads — §6). *)
+
+type entry = {
+  round : Rcc_common.Ids.round;
+  instance : Rcc_common.Ids.instance_id;
+  client : Rcc_common.Ids.client_id;
+  batch_digest : string;
+  response_digest : string;
+  txn_count : int;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> entry -> unit
+val find : t -> round:Rcc_common.Ids.round -> entry list
+(** Entries of a round, in instance order. *)
+
+val total_txns : t -> int
+val rounds : t -> int

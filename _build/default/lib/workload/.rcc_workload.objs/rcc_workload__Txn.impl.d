@@ -1,0 +1,1 @@
+lib/workload/txn.ml: Format Int64 Printf Rcc_common Rcc_storage String

@@ -1,0 +1,1 @@
+lib/workload/txn.mli: Format Rcc_storage

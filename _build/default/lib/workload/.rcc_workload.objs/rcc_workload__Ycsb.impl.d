@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Rcc_common Rcc_storage Txn Zipf

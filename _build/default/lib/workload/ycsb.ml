@@ -1,0 +1,27 @@
+type t = {
+  write_ratio : float;
+  zipf : Zipf.t;
+  rng : Rcc_common.Rng.t;
+  mutable counter : int;
+}
+
+let create_shared ~zipf ~write_ratio ~seed =
+  { write_ratio; zipf; rng = Rcc_common.Rng.create seed; counter = 0 }
+
+let create ?(records = 500_000) ?(write_ratio = 0.9) ?(theta = 0.9) ~seed () =
+  create_shared ~zipf:(Zipf.create ~n:records ~theta) ~write_ratio ~seed
+
+let records t = Zipf.n t.zipf
+let write_ratio t = t.write_ratio
+
+let init_store t store =
+  Rcc_storage.Kv_store.init_records store ~count:(records t)
+
+let next_txn t =
+  let key = Zipf.next t.zipf t.rng in
+  t.counter <- t.counter + 1;
+  if Rcc_common.Rng.float t.rng 1.0 < t.write_ratio then
+    Txn.{ key; op = Write t.counter }
+  else Txn.{ key; op = Read }
+
+let batch t ~size = Array.init size (fun _ -> next_txn t)

@@ -1,0 +1,28 @@
+(** YCSB-style workload generator (§7.2).
+
+    Defaults match the paper: a table of half a million active records,
+    90% write operations, Zipfian key skew with theta 0.9.
+
+    The Zipf table is O(records) to build, so generators meant to be
+    created in bulk (one per client machine) should share one via
+    {!create_shared}. *)
+
+type t
+
+val create :
+  ?records:int -> ?write_ratio:float -> ?theta:float -> seed:int -> unit -> t
+
+val create_shared : zipf:Zipf.t -> write_ratio:float -> seed:int -> t
+(** Same behaviour, reusing a prebuilt key distribution. *)
+
+val records : t -> int
+val write_ratio : t -> float
+
+val init_store : t -> Rcc_storage.Kv_store.t -> unit
+(** Populate a replica's store with the identical initial table. *)
+
+val next_txn : t -> Txn.t
+(** Draw the next operation. *)
+
+val batch : t -> size:int -> Txn.t array
+(** Draw a client batch of [size] operations. *)

@@ -1,0 +1,1 @@
+lib/zyzzyva/zyzzyva_instance.ml: Hashtbl List Option Rcc_common Rcc_crypto Rcc_messages Rcc_replica Rcc_sim

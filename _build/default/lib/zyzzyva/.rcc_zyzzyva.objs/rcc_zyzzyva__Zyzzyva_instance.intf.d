@@ -1,0 +1,1 @@
+lib/zyzzyva/zyzzyva_instance.mli: Rcc_common Rcc_replica

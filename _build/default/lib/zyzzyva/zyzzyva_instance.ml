@@ -1,0 +1,325 @@
+module Engine = Rcc_sim.Engine
+module Costs = Rcc_sim.Costs
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+module Bitset = Rcc_common.Bitset
+module Env = Rcc_replica.Instance_env
+
+type slot = {
+  seq : int;
+  mutable batch : Batch.t option;
+  mutable accepted : bool;
+  mutable history : string;  (* chain head after accepting this slot *)
+  created_at : Engine.time;
+}
+
+type t = {
+  env : Env.t;
+  mutable view : int;
+  mutable primary : int;
+  mutable next_seq : int;  (* primary: next round to order *)
+  mutable next_accept : int;  (* backups accept strictly in order *)
+  mutable max_seen : int;
+  slots : (int, slot) Hashtbl.t;
+  mutable history : string;  (* running history digest *)
+  mutable committed : int;  (* highest round with a client commit cert *)
+  vc_votes : (int, Bitset.t) Hashtbl.t;
+  mutable vc_sent_for : int;
+  mutable last_failure_report : int;
+  mutable running : bool;
+}
+
+let create env =
+  {
+    env;
+    view = 0;
+    primary = env.Env.instance;
+    next_seq = 0;
+    next_accept = 0;
+    max_seen = -1;
+    slots = Hashtbl.create 512;
+    history = "";
+    committed = -1;
+    vc_votes = Hashtbl.create 8;
+    vc_sent_for = 0;
+    last_failure_report = -1;
+    running = false;
+  }
+
+let primary t = t.primary
+let view t = t.view
+let committed_upto t = t.committed
+let history_digest t = t.history
+let is_primary t = t.primary = t.env.Env.self
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          seq;
+          batch = None;
+          accepted = false;
+          history = "";
+          created_at = Engine.now t.env.Env.engine;
+        }
+      in
+      Hashtbl.replace t.slots seq s;
+      if seq > t.max_seen then t.max_seen <- seq;
+      s
+
+let extend_history t digest =
+  t.history <- Rcc_crypto.Sha256.digest_list [ t.history; digest ];
+  t.history
+
+(* Bound the slot log: speculative slots older than this are only needed
+   for contracts, which the coordinator serves from its own history. *)
+let retain_slots = 8_192
+
+(* Accept pending slots strictly in sequence order, chaining the history
+   digest (speculative execution). *)
+let drain_accepts t =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.slots t.next_accept with
+    | Some ({ batch = Some batch; accepted = false; _ } as s) ->
+        s.accepted <- true;
+        Hashtbl.remove t.slots (t.next_accept - retain_slots);
+        s.history <- extend_history t batch.Batch.digest;
+        t.env.Env.accept
+          {
+            Rcc_replica.Acceptance.instance = t.env.Env.instance;
+            round = s.seq;
+            batch;
+            cert = [ t.primary; t.env.Env.self ];
+            speculative = true;
+            history = s.history;
+          };
+        t.next_accept <- t.next_accept + 1
+    | Some _ | None -> continue := false
+  done
+
+let on_order_request t ~src ~view ~seq batch ~history:_ =
+  if src = t.primary && view = t.view then begin
+    let s = slot t seq in
+    if Option.is_none s.batch then begin
+      s.batch <- Some batch;
+      drain_accepts t
+    end
+  end
+
+let propose t batch =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let s = slot t seq in
+  s.batch <- Some batch;
+  let exclude dst = Rcc_replica.Byz.excludes t.env.Env.byz ~round:seq dst in
+  t.env.Env.broadcast ~exclude
+    (Msg.Order_request
+       {
+         instance = t.env.Env.instance;
+         view = t.view;
+         seq;
+         batch;
+         history = t.history;
+       });
+  drain_accepts t
+
+let submit_batch t batch = if is_primary t then propose t batch
+
+(* --- failure detection / view change --------------------------------- *)
+
+let broadcast_view_change t ~round =
+  let new_view = t.view + 1 in
+  t.vc_sent_for <- max t.vc_sent_for new_view;
+  t.env.Env.broadcast
+    (Msg.View_change
+       {
+         instance = t.env.Env.instance;
+         new_view;
+         blamed = t.primary;
+         round;
+         last_exec = t.next_accept - 1;
+       });
+  if not t.env.Env.unified then begin
+    let votes =
+      match Hashtbl.find_opt t.vc_votes new_view with
+      | Some v -> v
+      | None ->
+          let v = Bitset.create t.env.Env.n in
+          Hashtbl.replace t.vc_votes new_view v;
+          v
+    in
+    Bitset.add votes t.env.Env.self |> ignore
+  end
+
+let detect_failure t ~round =
+  if t.last_failure_report < round then begin
+    t.last_failure_report <- round;
+    broadcast_view_change t ~round;
+    t.env.Env.report_failure ~round ~blamed:t.primary
+  end
+
+(* A commit certificate for a sequence number we never accepted is proof
+   (relayed through a retrying client) that the primary skipped us. *)
+let on_commit_cert t ~seq ~replicas:_ =
+  if seq >= 0 && seq < t.next_accept then begin
+    if seq > t.committed then t.committed <- seq;
+    match (slot t seq).batch with
+    | Some batch when not (Batch.is_null batch) ->
+        t.env.Env.respond batch.Batch.client
+          (Msg.Local_commit
+             { instance = t.env.Env.instance; seq; client = batch.Batch.client })
+    | Some _ | None -> ()
+  end
+  else if seq >= t.next_accept then detect_failure t ~round:t.next_accept
+
+let repropose_incomplete t =
+  for seq = t.next_accept to t.max_seen do
+    let s = slot t seq in
+    let batch =
+      match s.batch with Some b -> b | None -> Batch.null ~round:seq
+    in
+    s.batch <- Some batch
+  done;
+  t.next_seq <- max t.next_seq (t.max_seen + 1);
+  (* Announce the new view so backups adopt the new primary even when
+     there is nothing to re-order. *)
+  t.env.Env.broadcast
+    (Msg.New_view { instance = t.env.Env.instance; view = t.view; reproposals = [] });
+  (* Re-order everything not yet speculatively accepted in the new view. *)
+  for seq = t.next_accept to t.max_seen do
+    match (slot t seq).batch with
+    | Some batch ->
+        t.env.Env.broadcast
+          (Msg.Order_request
+             {
+               instance = t.env.Env.instance;
+               view = t.view;
+               seq;
+               batch;
+               history = t.history;
+             })
+    | None -> ()
+  done;
+  drain_accepts t
+
+let install_view t ~view ~primary =
+  t.view <- view;
+  t.primary <- primary;
+  t.last_failure_report <- -1;
+  Hashtbl.filter_map_inplace
+    (fun v votes -> if v <= view then None else Some votes)
+    t.vc_votes;
+  if is_primary t then repropose_incomplete t
+
+let set_primary t replica ~view = install_view t ~view ~primary:replica
+
+let on_view_change t ~src ~new_view =
+  if (not t.env.Env.unified) && new_view > t.view then begin
+    let votes =
+      match Hashtbl.find_opt t.vc_votes new_view with
+      | Some v -> v
+      | None ->
+          let v = Bitset.create t.env.Env.n in
+          Hashtbl.replace t.vc_votes new_view v;
+          v
+    in
+    Bitset.add votes src |> ignore;
+    if Bitset.count votes >= t.env.Env.f + 1 && t.vc_sent_for < new_view then begin
+      broadcast_view_change t ~round:t.next_accept;
+      Bitset.add votes t.env.Env.self |> ignore
+    end;
+    if Bitset.count votes >= Env.quorum_2f1 t.env then begin
+      let primary = new_view mod t.env.Env.n in
+      if primary = t.env.Env.self then install_view t ~view:new_view ~primary
+    end
+  end
+
+let on_new_view t ~src ~view reproposals =
+  if view > t.view then begin
+    t.view <- view;
+    t.primary <- src;
+    t.last_failure_report <- -1;
+    List.iter
+      (fun (seq, batch) -> on_order_request t ~src ~view ~seq batch ~history:"")
+      reproposals
+  end
+
+(* --- recovery --------------------------------------------------------- *)
+
+let adopt t ~round batch ~cert:_ =
+  let s = slot t round in
+  if not s.accepted then begin
+    s.batch <- Some batch;
+    drain_accepts t
+  end
+
+let proposed_upto t = t.next_seq - 1
+
+let accepted_batch t ~round =
+  match Hashtbl.find_opt t.slots round with
+  | Some { accepted = true; batch = Some b; _ } ->
+      Some (b, [ t.primary; t.env.Env.self ])
+  | Some _ | None -> None
+
+let incomplete_rounds t =
+  let acc = ref [] in
+  for seq = t.max_seen downto t.next_accept do
+    acc := seq :: !acc
+  done;
+  !acc
+
+let oldest_incomplete t =
+  if t.next_accept > t.max_seen then None
+  else Some (slot t t.next_accept)
+
+let rec watchdog t =
+  if t.running then begin
+    let timeout = t.env.Env.timeout in
+    (match oldest_incomplete t with
+    | Some s when Engine.now t.env.Env.engine - s.created_at > timeout ->
+        detect_failure t ~round:s.seq
+    | Some _ | None -> ());
+    Engine.schedule_after t.env.Env.engine (timeout / 2) (fun () -> watchdog t)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Engine.schedule_after t.env.Env.engine t.env.Env.timeout (fun () -> watchdog t)
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Msg.Order_request { view; seq; batch; history; _ } ->
+      on_order_request t ~src ~view ~seq batch ~history
+  | Msg.Commit_cert { cc_seq; cc_replicas; _ } ->
+      on_commit_cert t ~seq:cc_seq ~replicas:cc_replicas
+  | Msg.View_change { new_view; _ } -> on_view_change t ~src ~new_view
+  | Msg.New_view { view; reproposals; _ } -> on_new_view t ~src ~view reproposals
+  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+  | Msg.Client_request _ | Msg.Local_commit _ | Msg.Hs_proposal _
+  | Msg.Hs_vote _ | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
+  | Msg.Instance_change _ ->
+      ()
+
+let cost_of (costs : Costs.t) msg =
+  match msg with
+  | Msg.Order_request { batch; _ } ->
+      (* Speculative execution leaves no later phase to catch an invalid
+         request, so every replica validates the client signature before
+         accepting an ordering — unlike PBFT, where the primary's
+         batch-threads validate (§6). *)
+      costs.Costs.worker_msg + costs.Costs.mac_verify + costs.Costs.sig_verify
+      + Costs.hash_cost costs (Batch.size batch)
+  | Msg.Commit_cert { cc_replicas; _ } ->
+      costs.Costs.worker_msg
+      + (costs.Costs.mac_verify * List.length cc_replicas)
+  | Msg.View_change _ | Msg.New_view _ | Msg.Local_commit _ ->
+      costs.Costs.worker_msg + costs.Costs.mac_verify
+  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+  | Msg.Client_request _ | Msg.Hs_proposal _ | Msg.Hs_vote _ | Msg.Response _
+  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ ->
+      costs.Costs.worker_msg

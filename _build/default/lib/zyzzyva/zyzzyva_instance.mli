@@ -1,0 +1,24 @@
+(** Zyzzyva (Kotla et al., SOSP '07) as a pluggable instance.
+
+    Speculative single-phase replication: the primary orders a batch with
+    an ORDER-REQUEST carrying a chained history digest; backups accept
+    speculatively in sequence order and respond to the client immediately.
+    Agreement is finished client-side: all [n] matching responses complete
+    a request on the fast path; otherwise the client assembles a
+    2f+1 commit certificate and gathers LOCAL-COMMIT acks (that logic
+    lives in {!Rcc_replica.Client_pool}).
+
+    Failure detection: out-of-order holes, equivocating histories, and
+    commit certificates for unaccepted sequence numbers (evidence from
+    retrying clients) raise a view-change / coordinator report. As the
+    paper notes, the Zyzzyva family keeps requirements R1–R4 only with a
+    correct client's help, and its throughput collapses when the fast path
+    dies — which is exactly what Figure 11 measures. *)
+
+include Rcc_replica.Instance_intf.S
+
+val committed_upto : t -> Rcc_common.Ids.round
+(** Highest round covered by a client commit certificate. *)
+
+val history_digest : t -> string
+(** Current speculative history chain head. *)

@@ -1,0 +1,1 @@
+test/harness.ml: Array Hashtbl Option Rcc_common Rcc_crypto Rcc_messages Rcc_replica Rcc_sim Rcc_workload

@@ -1,0 +1,1 @@
+test/test_cft.ml: Alcotest Harness List Option Printf QCheck2 QCheck_alcotest Rcc_cft Rcc_messages Rcc_replica Rcc_sim

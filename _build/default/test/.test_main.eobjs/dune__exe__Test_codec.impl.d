@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Bytes Char List QCheck2 QCheck_alcotest Rcc_common Rcc_crypto Rcc_messages Rcc_workload Result String

@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest Array List Option QCheck2 QCheck_alcotest Rcc_common String

@@ -1,0 +1,1 @@
+test/test_coordinator.ml: Alcotest Array List Rcc_common Rcc_core Rcc_crypto Rcc_messages Rcc_replica Rcc_sim Rcc_storage Rcc_workload

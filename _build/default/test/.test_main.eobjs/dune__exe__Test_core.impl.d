@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hashtbl List Option Printf QCheck2 QCheck_alcotest Rcc_common Rcc_core Rcc_crypto Rcc_messages Rcc_workload Result String

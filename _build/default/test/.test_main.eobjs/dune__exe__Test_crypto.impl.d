@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Lazy List Printf QCheck2 QCheck_alcotest Rcc_common Rcc_crypto String

@@ -1,0 +1,1 @@
+test/test_hotstuff.ml: Alcotest Harness Hashtbl List Printf Rcc_hotstuff Rcc_messages Rcc_replica Rcc_sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Option Printf Rcc_replica Rcc_runtime Rcc_sim Rcc_storage String

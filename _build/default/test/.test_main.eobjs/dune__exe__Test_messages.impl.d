@@ -1,0 +1,1 @@
+test/test_messages.ml: Alcotest Array Format List QCheck2 QCheck_alcotest Rcc_common Rcc_crypto Rcc_messages Rcc_workload String

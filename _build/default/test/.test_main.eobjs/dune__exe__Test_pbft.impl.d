@@ -1,0 +1,1 @@
+test/test_pbft.ml: Alcotest Harness List Option Printf QCheck2 QCheck_alcotest Rcc_messages Rcc_pbft Rcc_replica Rcc_sim Rcc_storage

@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest Array List Rcc_common Rcc_crypto Rcc_messages Rcc_replica Rcc_sim Rcc_storage Rcc_workload Result

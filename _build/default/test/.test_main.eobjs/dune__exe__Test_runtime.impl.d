@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Format List Rcc_replica Rcc_runtime Rcc_sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List QCheck2 QCheck_alcotest Rcc_common Rcc_sim

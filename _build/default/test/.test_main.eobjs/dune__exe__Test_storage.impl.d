@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Char Filename Fun List Option Printf QCheck2 QCheck_alcotest Rcc_common Rcc_crypto Rcc_storage Result String Sys

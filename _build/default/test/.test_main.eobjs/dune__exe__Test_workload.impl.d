@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Format Printf QCheck2 QCheck_alcotest Rcc_common Rcc_storage Rcc_workload

@@ -1,0 +1,1 @@
+test/test_zyzzyva.ml: Alcotest Harness Hashtbl List Option Printf QCheck2 QCheck_alcotest Rcc_common Rcc_messages Rcc_replica Rcc_sim Rcc_zyzzyva String

@@ -1,0 +1,108 @@
+(* Protocol-level test harness: n instances of one pluggable protocol wired
+   directly to each other over the simulation engine (fixed small latency,
+   no pipeline costs). Lets unit tests drive PBFT / Zyzzyva / HotStuff
+   message flows without building a whole cluster. *)
+
+module Engine = Rcc_sim.Engine
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+module Env = Rcc_replica.Instance_env
+
+let latency = Engine.us 50
+
+module Make (P : Rcc_replica.Instance_intf.S) = struct
+  type node = {
+    inst : P.t;
+    accepted : (int, Rcc_replica.Acceptance.t) Hashtbl.t;
+    mutable failures : (int * int) list;  (* (round, blamed) *)
+    mutable responses : Msg.t list;  (* replica -> client messages *)
+  }
+
+  type t = {
+    engine : Engine.t;
+    nodes : node array;
+    mutable dead : bool array;
+  }
+
+  let create ?(timeout = Engine.ms 200) ?(byz = fun (_ : int) -> Rcc_replica.Byz.honest)
+      ?(unified = false) ~n () =
+    let f = (n - 1) / 3 in
+    let engine = Engine.create () in
+    let dead = Array.make n false in
+    let nodes : node option array = Array.make n None in
+    let node_of i = match nodes.(i) with Some node -> node | None -> assert false in
+    let deliver ~src ~dst msg =
+      if (not dead.(src)) && not dead.(dst) then
+        Engine.schedule_after engine latency (fun () ->
+            if not dead.(dst) then P.handle (node_of dst).inst ~src msg)
+    in
+    for self = 0 to n - 1 do
+      let env =
+        {
+          Env.n;
+          f;
+          z = 1;
+          instance = 0;
+          self;
+          engine;
+          costs = Rcc_sim.Costs.default;
+          timeout;
+          checkpoint_interval = 64;
+          send = (fun ?sign:_ ~dst msg -> deliver ~src:self ~dst msg);
+          broadcast =
+            (fun ?sign:_ ?(exclude = fun _ -> false) msg ->
+              for dst = 0 to n - 1 do
+                if dst <> self && not (exclude dst) then deliver ~src:self ~dst msg
+              done);
+          respond =
+            (fun _client msg ->
+              let node = node_of self in
+              node.responses <- msg :: node.responses);
+          accept =
+            (fun acceptance ->
+              let node = node_of self in
+              Hashtbl.replace node.accepted acceptance.Rcc_replica.Acceptance.round
+                acceptance);
+          report_failure =
+            (fun ~round ~blamed ->
+              let node = node_of self in
+              node.failures <- (round, blamed) :: node.failures);
+          byz = byz self;
+          unified;
+        }
+      in
+      nodes.(self) <-
+        Some
+          {
+            inst = P.create env;
+            accepted = Hashtbl.create 64;
+            failures = [];
+            responses = [];
+          }
+    done;
+    let t = { engine; nodes = Array.map Option.get nodes; dead } in
+    Array.iter (fun node -> P.start node.inst) t.nodes;
+    t
+
+  let run t seconds = Engine.run t.engine ~until:(Engine.of_seconds seconds)
+  let node t i = t.nodes.(i)
+  let inst t i = t.nodes.(i).inst
+  let kill t i = t.dead.(i) <- true
+
+  let accepted_batch_id t ~replica ~round =
+    match Hashtbl.find_opt t.nodes.(replica).accepted round with
+    | Some a -> Some a.Rcc_replica.Acceptance.batch.Batch.id
+    | None -> None
+
+  let submit t ~replica batch = P.submit_batch t.nodes.(replica).inst batch
+end
+
+let rng = Rcc_common.Rng.create 2024
+let client_secret, _client_public = Rcc_crypto.Signature.keygen rng
+
+let make_batch ?(client = 0) ?(ntxns = 3) id =
+  let txns =
+    Array.init ntxns (fun i ->
+        Rcc_workload.Txn.{ key = (id * 17) + i; op = Write ((id * 100) + i) })
+  in
+  Batch.create ~id ~client ~txns ~secret:client_secret

@@ -1,0 +1,175 @@
+(* Wire codec tests: every constructor round-trips; corrupted and
+   truncated inputs are rejected with errors, not exceptions. *)
+
+module Msg = Rcc_messages.Msg
+module Codec = Rcc_messages.Codec
+module Batch = Rcc_messages.Batch
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let rng = Rcc_common.Rng.create 55
+let secret, _ = Rcc_crypto.Signature.keygen rng
+
+(* --- generators --------------------------------------------------------- *)
+
+let gen_txn =
+  QCheck2.Gen.(
+    let* key = int_range 0 1_000_000 in
+    let* write = bool in
+    if write then
+      let+ v = int_range 0 1_000_000 in
+      Rcc_workload.Txn.{ key; op = Write v }
+    else return Rcc_workload.Txn.{ key; op = Read })
+
+let gen_batch =
+  QCheck2.Gen.(
+    let* id = int_range (-100) 1_000_000 in
+    let* client = int_range (-1) 1_000 in
+    let+ txns = array_size (int_range 0 8) gen_txn in
+    Batch.{ (Batch.create ~id ~client:(max client 0) ~txns ~secret) with client })
+
+let gen_digest = QCheck2.Gen.(map Rcc_crypto.Sha256.digest string)
+let gen_small = QCheck2.Gen.int_range 0 10_000
+let gen_ids = QCheck2.Gen.(list_size (int_range 0 10) (int_range 0 100))
+
+let gen_msg =
+  QCheck2.Gen.(
+    oneof
+      [
+        (let* instance = gen_small and* batch = gen_batch in
+         return (Msg.Client_request { instance; batch }));
+        (let* instance = gen_small and* view = gen_small and* seq = gen_small
+         and* batch = gen_batch in
+         return (Msg.Pre_prepare { instance; view; seq; batch }));
+        (let* instance = gen_small and* view = gen_small and* seq = gen_small
+         and* digest = gen_digest in
+         return (Msg.Prepare { instance; view; seq; digest }));
+        (let* instance = gen_small and* view = gen_small and* seq = gen_small
+         and* digest = gen_digest in
+         return (Msg.Commit { instance; view; seq; digest }));
+        (let* instance = gen_small and* seq = gen_small and* state_digest = gen_digest in
+         return (Msg.Checkpoint { instance; seq; state_digest }));
+        (let* instance = gen_small and* new_view = gen_small and* blamed = gen_small
+         and* round = gen_small in
+         return
+           (Msg.View_change { instance; new_view; blamed; round; last_exec = round - 1 }));
+        (let* instance = gen_small and* view = gen_small
+         and* reproposals = list_size (int_range 0 3) (pair gen_small gen_batch) in
+         return (Msg.New_view { instance; view; reproposals }));
+        (let* instance = gen_small and* view = gen_small and* seq = gen_small
+         and* batch = gen_batch and* history = gen_digest in
+         return (Msg.Order_request { instance; view; seq; batch; history }));
+        (let* cc_instance = gen_small and* cc_seq = gen_small
+         and* cc_digest = gen_digest and* cc_replicas = gen_ids in
+         return (Msg.Commit_cert { cc_instance; cc_seq; cc_digest; cc_replicas }));
+        (let* instance = gen_small and* seq = gen_small and* client = gen_small in
+         return (Msg.Local_commit { instance; seq; client }));
+        (let* view = gen_small and* phase = int_range 0 3 and* seq = gen_small
+         and* batch = option gen_batch and* digest = gen_digest in
+         return (Msg.Hs_proposal { view; phase; seq; batch; digest }));
+        (let* view = gen_small and* phase = int_range 0 9 and* seq = gen_small
+         and* digest = gen_digest in
+         return (Msg.Hs_vote { view; phase; seq; digest }));
+        (let* client = gen_small and* batch_id = gen_small and* round = gen_small
+         and* result_digest = gen_digest and* txn_count = int_range 0 800
+         and* speculative = bool and* history = gen_digest in
+         return
+           (Msg.Response
+              { client; batch_id; round; result_digest; txn_count; speculative; history }));
+        (let* round = gen_small
+         and* entries =
+           list_size (int_range 0 3)
+             (let* ce_instance = gen_small and* ce_round = gen_small
+              and* ce_batch = gen_batch and* ce_cert_replicas = gen_ids in
+              return (Msg.{ ce_instance; ce_round; ce_batch; ce_cert_replicas }))
+         in
+         return (Msg.Contract { round; entries }));
+        (let* round = gen_small and* instance = gen_small in
+         return (Msg.Contract_request { round; instance }));
+        (let* client = gen_small and* instance = gen_small in
+         return (Msg.Instance_change { client; instance }));
+      ])
+
+(* Structural equality is fine: messages are pure data. *)
+let roundtrip =
+  qtest ~count:500 "codec: decode . encode = id" gen_msg (fun msg ->
+      match Codec.decode (Codec.encode msg) with
+      | Ok msg' -> msg = msg'
+      | Error _ -> false)
+
+let truncation_rejected =
+  qtest ~count:200 "codec: truncations rejected" gen_msg (fun msg ->
+      let s = Codec.encode msg in
+      let ok = ref true in
+      (* Check a few prefixes including the empty one. *)
+      List.iter
+        (fun frac ->
+          let len = String.length s * frac / 10 in
+          if len < String.length s then
+            match Codec.decode (String.sub s 0 len) with
+            | Ok _ -> ok := false
+            | Error _ -> ())
+        [ 0; 3; 7; 9 ];
+      !ok)
+
+(* Fuzz: arbitrary bytes must decode to an error, never raise. *)
+let fuzz_never_raises =
+  qtest ~count:500 "codec: random bytes never raise" QCheck2.Gen.string
+    (fun junk ->
+      match Codec.decode junk with Ok _ | Error _ -> true)
+
+(* Mutation fuzz: flip one byte of a valid encoding; decoding must either
+   fail cleanly or produce some (possibly different) message — no
+   exceptions, no crashes. *)
+let mutation_never_raises =
+  qtest ~count:300 "codec: single-byte mutations never raise"
+    QCheck2.Gen.(pair gen_msg (pair small_nat small_nat))
+    (fun (msg, (pos_seed, delta)) ->
+      let s = Bytes.of_string (Codec.encode msg) in
+      let pos = pos_seed mod Bytes.length s in
+      Bytes.set s pos
+        (Char.chr ((Char.code (Bytes.get s pos) + 1 + (delta mod 255)) land 0xff));
+      match Codec.decode (Bytes.to_string s) with Ok _ | Error _ -> true)
+
+let test_trailing_bytes_rejected () =
+  let msg = Msg.Contract_request { round = 3; instance = 1 } in
+  let s = Codec.encode msg ^ "xx" in
+  check Alcotest.bool "trailing bytes" true (Result.is_error (Codec.decode s))
+
+let test_unknown_tag_rejected () =
+  check Alcotest.bool "unknown tag" true
+    (Result.is_error (Codec.decode "\xff\x00\x00"));
+  check Alcotest.bool "empty" true (Result.is_error (Codec.decode ""))
+
+let test_batch_payload_survives () =
+  let txns = Array.init 5 (fun i -> Rcc_workload.Txn.{ key = i; op = Write (i * i) }) in
+  let batch = Batch.create ~id:7 ~client:3 ~txns ~secret in
+  let msg = Msg.Pre_prepare { instance = 1; view = 2; seq = 3; batch } in
+  match Codec.decode (Codec.encode msg) with
+  | Ok (Msg.Pre_prepare { batch = b; _ }) ->
+      check Alcotest.int "txn count" 5 (Array.length b.Batch.txns);
+      check Alcotest.bool "txns equal" true
+        (Array.for_all2 Rcc_workload.Txn.equal batch.Batch.txns b.Batch.txns);
+      check Alcotest.string "digest survives" batch.Batch.digest b.Batch.digest;
+      check Alcotest.string "signature survives" batch.Batch.signature b.Batch.signature
+  | Ok _ | Error _ -> Alcotest.fail "wrong decode"
+
+let test_encoded_size () =
+  let msg = Msg.Local_commit { instance = 0; seq = 1; client = 2 } in
+  check Alcotest.int "encoded_size matches" (String.length (Codec.encode msg))
+    (Codec.encoded_size msg)
+
+let suite =
+  ( "codec",
+    [
+      roundtrip;
+      truncation_rejected;
+      fuzz_never_raises;
+      mutation_never_raises;
+      Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes_rejected;
+      Alcotest.test_case "unknown tag" `Quick test_unknown_tag_rejected;
+      Alcotest.test_case "batch payload" `Quick test_batch_payload_survives;
+      Alcotest.test_case "encoded_size" `Quick test_encoded_size;
+    ] )

@@ -1,0 +1,202 @@
+(* Unit and property tests for the rcc_common substrate. *)
+
+module Rng = Rcc_common.Rng
+module Binary_heap = Rcc_common.Binary_heap
+module Bitset = Rcc_common.Bitset
+module Stats = Rcc_common.Stats
+module Bytes_util = Rcc_common.Bytes_util
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- rng ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let child = Rng.split a in
+  check Alcotest.bool "split differs from parent"
+    (Rng.next_int64 child <> Rng.next_int64 a)
+    true
+
+let rng_bounds =
+  qtest "rng: int within bound"
+    QCheck2.Gen.(pair (int_range 1 1_000_000) small_int)
+    (fun (bound, seed) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let rng_float_bounds =
+  qtest "rng: float within bound"
+    QCheck2.Gen.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check
+    Alcotest.(array int)
+    "shuffle preserves elements" sorted
+    (Array.init 50 (fun i -> i))
+
+(* --- binary heap -------------------------------------------------------- *)
+
+let heap_sorted =
+  qtest "heap: pops in priority order"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range (-1000) 1000))
+    (fun priorities ->
+      let h = Binary_heap.create () in
+      List.iter (fun p -> Binary_heap.push h ~priority:p p) priorities;
+      let rec drain last =
+        match Binary_heap.pop h with
+        | None -> true
+        | Some (p, v) -> p = v && p >= last && drain p
+      in
+      drain min_int)
+
+let test_heap_fifo_ties () =
+  let h = Binary_heap.create () in
+  List.iter (fun v -> Binary_heap.push h ~priority:5 v) [ 1; 2; 3; 4 ];
+  let popped = List.init 4 (fun _ -> snd (Option.get (Binary_heap.pop h))) in
+  check Alcotest.(list int) "equal priorities are FIFO" [ 1; 2; 3; 4 ] popped
+
+let test_heap_size_clear () =
+  let h = Binary_heap.create ~capacity:2 () in
+  for i = 1 to 100 do
+    Binary_heap.push h ~priority:i i
+  done;
+  check Alcotest.int "size" 100 (Binary_heap.size h);
+  check Alcotest.(option int) "peek" (Some 1) (Binary_heap.peek_priority h);
+  Binary_heap.clear h;
+  check Alcotest.bool "empty after clear" true (Binary_heap.is_empty h)
+
+(* --- bitset -------------------------------------------------------------- *)
+
+let bitset_membership =
+  qtest "bitset: add implies mem, count matches"
+    QCheck2.Gen.(list_size (int_range 0 100) (int_range 0 199))
+    (fun elems ->
+      let b = Bitset.create 200 in
+      List.iter (fun e -> ignore (Bitset.add b e)) elems;
+      let distinct = List.sort_uniq compare elems in
+      List.for_all (fun e -> Bitset.mem b e) distinct
+      && Bitset.count b = List.length distinct
+      && Bitset.to_list b = distinct)
+
+let test_bitset_add_reports_new () =
+  let b = Bitset.create 10 in
+  check Alcotest.bool "first add" true (Bitset.add b 3);
+  check Alcotest.bool "second add" false (Bitset.add b 3);
+  check Alcotest.int "count once" 1 (Bitset.count b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 4 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.add b 4))
+
+(* --- stats --------------------------------------------------------------- *)
+
+let test_summary_against_naive () =
+  let values = [ 4.0; 8.0; 15.0; 16.0; 23.0; 42.0 ] in
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) values;
+  let n = float_of_int (List.length values) in
+  let mean = List.fold_left ( +. ) 0.0 values /. n in
+  check (Alcotest.float 1e-9) "mean" mean (Stats.Summary.mean s);
+  check (Alcotest.float 1e-9) "min" 4.0 (Stats.Summary.min s);
+  check (Alcotest.float 1e-9) "max" 42.0 (Stats.Summary.max s);
+  let var =
+    List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values
+    /. (n -. 1.0)
+  in
+  check (Alcotest.float 1e-9) "stddev" (sqrt var) (Stats.Summary.stddev s)
+
+let summary_merge =
+  qtest "summary: merge equals bulk"
+    QCheck2.Gen.(pair (list_size (int_range 1 50) (float_bound_exclusive 100.0))
+                   (list_size (int_range 1 50) (float_bound_exclusive 100.0)))
+    (fun (xs, ys) ->
+      let a = Stats.Summary.create () and b = Stats.Summary.create () in
+      List.iter (Stats.Summary.add a) xs;
+      List.iter (Stats.Summary.add b) ys;
+      let merged = Stats.Summary.merge a b in
+      let all = Stats.Summary.create () in
+      List.iter (Stats.Summary.add all) (xs @ ys);
+      abs_float (Stats.Summary.mean merged -. Stats.Summary.mean all) < 1e-6
+      && Stats.Summary.count merged = Stats.Summary.count all)
+
+let test_histogram_percentiles () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.add h (float_of_int i /. 1000.0)
+  done;
+  let p50 = Stats.Histogram.percentile h 0.5 in
+  check Alcotest.bool "p50 near 0.5" (p50 > 0.45 && p50 < 0.55) true;
+  let p99 = Stats.Histogram.percentile h 0.99 in
+  check Alcotest.bool "p99 near 0.99" (p99 > 0.9 && p99 < 1.1) true;
+  check Alcotest.int "count" 1000 (Stats.Histogram.count h)
+
+let test_series_buckets () =
+  let s = Stats.Series.create ~bucket_width:0.5 () in
+  Stats.Series.add s ~time:0.1 10.0;
+  Stats.Series.add s ~time:0.4 5.0;
+  Stats.Series.add s ~time:1.2 7.0;
+  let buckets = Stats.Series.buckets s in
+  check Alcotest.int "three buckets" 3 (Array.length buckets);
+  check (Alcotest.float 1e-9) "bucket 0 total" 15.0 (snd buckets.(0));
+  check (Alcotest.float 1e-9) "bucket 1 empty" 0.0 (snd buckets.(1));
+  check (Alcotest.float 1e-9) "bucket 2 total" 7.0 (snd buckets.(2));
+  let rates = Stats.Series.rates s in
+  check (Alcotest.float 1e-9) "rate is per second" 30.0 (snd rates.(0))
+
+(* --- bytes util ----------------------------------------------------------- *)
+
+let hex_roundtrip =
+  qtest "hex: roundtrip" QCheck2.Gen.string (fun s ->
+      Bytes_util.of_hex (Bytes_util.hex s) = s)
+
+let u64_roundtrip =
+  qtest "u64: roundtrip" QCheck2.Gen.int64 (fun v ->
+      Bytes_util.get_u64be (Bytes_util.u64_string v) 0 = v)
+
+let test_xor () =
+  check Alcotest.string "xor self is zero"
+    (String.make 4 '\x00')
+    (Bytes_util.xor "abcd" "abcd");
+  check Alcotest.string "xor known" "\x03\x01" (Bytes_util.xor "\x01\x02" "\x02\x03")
+
+let suite =
+  ( "common",
+    [
+      Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+      Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+      rng_bounds;
+      rng_float_bounds;
+      Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+      heap_sorted;
+      Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+      Alcotest.test_case "heap size/clear" `Quick test_heap_size_clear;
+      bitset_membership;
+      Alcotest.test_case "bitset add reports new" `Quick test_bitset_add_reports_new;
+      Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+      Alcotest.test_case "summary vs naive" `Quick test_summary_against_naive;
+      summary_merge;
+      Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+      Alcotest.test_case "series buckets" `Quick test_series_buckets;
+      hex_roundtrip;
+      u64_roundtrip;
+      Alcotest.test_case "xor" `Quick test_xor;
+    ] )

@@ -1,0 +1,292 @@
+(* Unification coordinator tests: unified replacement (Lemma 5.1),
+   collusion detection, recovery strategies. *)
+
+module Coordinator = Rcc_core.Coordinator
+module Exec = Rcc_replica.Exec
+module Engine = Rcc_sim.Engine
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+
+let check = Alcotest.check
+
+let rng = Rcc_common.Rng.create 77
+let secret, _ = Rcc_crypto.Signature.keygen rng
+
+let batch id =
+  Batch.create ~id ~client:0
+    ~txns:[| Rcc_workload.Txn.{ key = id; op = Write id } |]
+    ~secret
+
+type fixture = {
+  engine : Engine.t;
+  coordinator : Coordinator.t;
+  exec : Exec.t;
+  set_primary_log : (int * int) list ref;  (* (instance, new primary) *)
+  adopted : (int * int * int) list ref;  (* (instance, round, batch id) *)
+  broadcasts : Msg.t list ref;
+  metrics : Rcc_replica.Metrics.t;
+}
+
+let make ?(n = 7) ?(z = 3) ?(recovery = Coordinator.Optimistic)
+    ?(collusion_wait = Engine.ms 10) () =
+  let f = (n - 1) / 3 in
+  let engine = Engine.create () in
+  let metrics = Rcc_replica.Metrics.create ~n ~warmup:0 in
+  let store = Rcc_storage.Kv_store.create () in
+  let ledger = Rcc_storage.Ledger.create ~primaries:(List.init z (fun x -> x)) in
+  let txn_table = Rcc_storage.Txn_table.create () in
+  let server = Rcc_sim.Cpu.server engine ~name:"exec" in
+  let exec =
+    Exec.create ~engine ~costs:Rcc_sim.Costs.default ~server ~z ~self:0 ~store
+      ~ledger ~txn_table
+      ~current_primaries:(fun () -> List.init z (fun x -> x))
+      ~respond:(fun _ _ -> ())
+      ~metrics ()
+  in
+  let set_primary_log = ref [] in
+  let adopted = ref [] in
+  let broadcasts = ref [] in
+  let primaries = Array.init z (fun x -> x) in
+  let handles =
+    Array.init z (fun x ->
+        {
+          Coordinator.h_set_primary =
+            (fun r ~view:_ ->
+              primaries.(x) <- r;
+              set_primary_log := (x, r) :: !set_primary_log);
+          h_adopt =
+            (fun ~round b ~cert:_ ->
+              adopted := (x, round, b.Batch.id) :: !adopted);
+          h_accepted = (fun ~round:_ -> None);
+          h_incomplete = (fun () -> []);
+          h_primary = (fun () -> primaries.(x));
+        })
+  in
+  let coordinator =
+    Coordinator.create
+      {
+        Coordinator.n;
+        f;
+        z;
+        self = 0;
+        collusion_wait;
+        recovery;
+        min_cert = 1;
+        history_capacity = 64;
+      }
+      ~engine ~handles ~exec ~metrics
+      ~broadcast:(fun msg -> broadcasts := msg :: !broadcasts)
+      ~send:(fun ~dst:_ msg -> broadcasts := msg :: !broadcasts)
+  in
+  Exec.set_on_executed exec (fun round accs ->
+      Coordinator.on_round_executed coordinator ~round accs);
+  { engine; coordinator; exec; set_primary_log; adopted; broadcasts; metrics }
+
+let acceptance ~instance ~round id =
+  {
+    Rcc_replica.Acceptance.instance;
+    round;
+    batch = batch id;
+    cert = [ 0; 1; 2; 3; 4 ];
+    speculative = false;
+    history = "";
+  }
+
+(* Make round [r] pending with every instance except [except] accepted, so
+   the ordering condition of §3.4.2 is satisfiable. *)
+let fill_round fx ~z ~round ~except =
+  for x = 0 to z - 1 do
+    if x <> except then Exec.notify fx.exec (acceptance ~instance:x ~round (100 + x))
+  done
+
+let test_unified_replacement () =
+  let fx = make () in
+  (* n=7, f=2: instance 1's primary gets blamed by f+1 = 3 replicas. *)
+  fill_round fx ~z:3 ~round:0 ~except:1;
+  Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  Coordinator.on_view_change fx.coordinator ~src:4 ~instance:1 ~blamed:1 ~round:0;
+  check Alcotest.(list (pair int int)) "not yet (f blames)" [] !(fx.set_primary_log);
+  Coordinator.on_local_failure fx.coordinator ~instance:1 ~round:0 ~blamed:1;
+  check
+    Alcotest.(list (pair int int))
+    "replaced with first fresh replica" [ (1, 3) ] !(fx.set_primary_log);
+  check Alcotest.(list int) "old primary known malicious" [ 1 ]
+    (Coordinator.known_malicious fx.coordinator);
+  check Alcotest.(list int) "primaries updated" [ 0; 3; 2 ]
+    (Coordinator.primaries fx.coordinator);
+  check Alcotest.int "replacement counted" 1 (Coordinator.replacements fx.coordinator)
+
+let test_replacement_skips_existing_primaries_and_kmal () =
+  let fx = make () in
+  fill_round fx ~z:3 ~round:0 ~except:1;
+  (* Blame instance 1. Fresh candidates: 3 (0,2 are primaries, 1 is kmal). *)
+  List.iter
+    (fun src -> Coordinator.on_view_change fx.coordinator ~src ~instance:1 ~blamed:1 ~round:0)
+    [ 3; 4; 5 ];
+  check Alcotest.(list int) "3 chosen, not 0/2" [ 0; 3; 2 ]
+    (Coordinator.primaries fx.coordinator);
+  (* Now instance 1's NEW primary (3) fails too: next fresh is 4. *)
+  fill_round fx ~z:3 ~round:1 ~except:1;
+  List.iter
+    (fun src -> Coordinator.on_view_change fx.coordinator ~src ~instance:1 ~blamed:3 ~round:1)
+    [ 4; 5; 6 ];
+  check Alcotest.(list int) "4 chosen next" [ 0; 4; 2 ]
+    (Coordinator.primaries fx.coordinator)
+
+let test_stale_blames_ignored () =
+  let fx = make () in
+  fill_round fx ~z:3 ~round:0 ~except:1;
+  (* Blaming a replica that is not the instance's current primary is
+     ignored. *)
+  List.iter
+    (fun src -> Coordinator.on_view_change fx.coordinator ~src ~instance:1 ~blamed:2 ~round:0)
+    [ 3; 4; 5 ];
+  check Alcotest.(list (pair int int)) "no replacement" [] !(fx.set_primary_log)
+
+let test_lemma_5_1_order_independence () =
+  (* Two coordinators receiving the same evidence in different orders end
+     with the same primary assignment (Lemma 5.1). *)
+  let run order =
+    let fx = make () in
+    (* Round 0: only instance 0 replicated; instances 1 and 2 both have
+       failed primaries, so their replacements must be handled in
+       deterministic (round, instance) order regardless of evidence
+       arrival order. *)
+    Exec.notify fx.exec (acceptance ~instance:0 ~round:0 100);
+    List.iter
+      (fun (instance, blamed, src) ->
+        Coordinator.on_view_change fx.coordinator ~src ~instance ~blamed ~round:0)
+      order;
+    Coordinator.primaries fx.coordinator
+  in
+  let evidence_a =
+    [ (1, 1, 3); (1, 1, 4); (1, 1, 5); (2, 2, 3); (2, 2, 4); (2, 2, 5) ]
+  in
+  let evidence_b =
+    [ (2, 2, 5); (1, 1, 4); (2, 2, 3); (1, 1, 5); (2, 2, 4); (1, 1, 3) ]
+  in
+  check Alcotest.(list int) "same final primaries" (run evidence_a) (run evidence_b)
+
+let test_collusion_detected_on_spread_blames () =
+  let fx = make ~collusion_wait:(Engine.ms 10) () in
+  (* f+1 = 3 distinct accusers, no instance with 3: collusion. *)
+  fill_round fx ~z:3 ~round:0 ~except:1;
+  Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  Coordinator.on_view_change fx.coordinator ~src:4 ~instance:2 ~blamed:2 ~round:0;
+  Coordinator.on_view_change fx.coordinator ~src:5 ~instance:0 ~blamed:0 ~round:0;
+  Engine.run fx.engine ~until:(Engine.ms 50);
+  check Alcotest.int "collusion detected" 1
+    (Rcc_replica.Metrics.collusions_detected fx.metrics);
+  check Alcotest.bool "contract broadcast" true
+    (List.exists (function Msg.Contract _ -> true | _ -> false) !(fx.broadcasts));
+  check Alcotest.(list (pair int int)) "no replacement on false alarm" []
+    !(fx.set_primary_log)
+
+let test_no_collusion_below_threshold () =
+  let fx = make ~collusion_wait:(Engine.ms 10) () in
+  Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  Coordinator.on_view_change fx.coordinator ~src:4 ~instance:2 ~blamed:2 ~round:0;
+  Engine.run fx.engine ~until:(Engine.ms 200);
+  check Alcotest.int "no collusion with f accusers" 0
+    (Rcc_replica.Metrics.collusions_detected fx.metrics)
+
+let test_collusion_redetects_after_recovery () =
+  let fx = make ~collusion_wait:(Engine.ms 10) () in
+  let feed () =
+    Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
+    Coordinator.on_view_change fx.coordinator ~src:4 ~instance:2 ~blamed:2 ~round:0;
+    Coordinator.on_view_change fx.coordinator ~src:5 ~instance:0 ~blamed:0 ~round:0
+  in
+  fill_round fx ~z:3 ~round:0 ~except:1;
+  feed ();
+  Engine.run fx.engine ~until:(Engine.ms 50);
+  check Alcotest.int "first episode" 1
+    (Rcc_replica.Metrics.collusions_detected fx.metrics);
+  (* A later, separate attack: evidence arrives again and must re-arm the
+     timer (blames were cleared after recovery). *)
+  feed ();
+  Engine.run fx.engine ~until:(Engine.ms 100);
+  check Alcotest.int "second episode detected" 2
+    (Rcc_replica.Metrics.collusions_detected fx.metrics)
+
+let test_view_shift_recovery () =
+  let fx = make ~recovery:Coordinator.View_shift () in
+  fill_round fx ~z:3 ~round:0 ~except:1;
+  Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  Coordinator.on_view_change fx.coordinator ~src:4 ~instance:2 ~blamed:2 ~round:0;
+  Coordinator.on_view_change fx.coordinator ~src:5 ~instance:0 ~blamed:0 ~round:0;
+  Engine.run fx.engine ~until:(Engine.ms 50);
+  (* Every instance moved to a fresh primary set. *)
+  check Alcotest.int "three set_primary calls" 3 (List.length !(fx.set_primary_log));
+  check Alcotest.bool "primaries rotated" true
+    (Coordinator.primaries fx.coordinator <> [ 0; 1; 2 ])
+
+let test_pessimistic_contract_every_round () =
+  let fx = make ~recovery:Coordinator.Pessimistic () in
+  Coordinator.on_round_executed fx.coordinator ~round:0
+    [| acceptance ~instance:0 ~round:0 1 |];
+  Coordinator.on_round_executed fx.coordinator ~round:1
+    [| acceptance ~instance:0 ~round:1 2 |];
+  let contracts =
+    List.length
+      (List.filter (function Msg.Contract _ -> true | _ -> false) !(fx.broadcasts))
+  in
+  check Alcotest.int "contract per round" 2 contracts
+
+let test_on_contract_adopts () =
+  let fx = make () in
+  let entry =
+    {
+      Msg.ce_instance = 1;
+      ce_round = 4;
+      ce_batch = batch 9;
+      ce_cert_replicas = [ 0; 1; 2 ];
+    }
+  in
+  Coordinator.on_contract fx.coordinator (Msg.Contract { round = 4; entries = [ entry ] });
+  check Alcotest.(list (triple int int int)) "adopted" [ (1, 4, 9) ] !(fx.adopted)
+
+let test_on_contract_rejects_thin_proof () =
+  let fx = make () in
+  (* min_cert is 1 in the fixture; build one with an empty proof. *)
+  let entry =
+    { Msg.ce_instance = 1; ce_round = 4; ce_batch = batch 9; ce_cert_replicas = [] }
+  in
+  Coordinator.on_contract fx.coordinator (Msg.Contract { round = 4; entries = [ entry ] });
+  check Alcotest.(list (triple int int int)) "nothing adopted" [] !(fx.adopted)
+
+let test_contract_request_answered_from_history () =
+  let fx = make () in
+  (* Execute round 0 so it lands in coordinator history. *)
+  fill_round fx ~z:3 ~round:0 ~except:(-1);
+  Engine.run fx.engine ~until:(Engine.ms 100);
+  Coordinator.on_contract_request fx.coordinator ~src:5 ~round:0;
+  check Alcotest.bool "contract served" true
+    (List.exists
+       (function
+         | Msg.Contract { round = 0; entries } -> List.length entries = 3
+         | _ -> false)
+       !(fx.broadcasts))
+
+let suite =
+  ( "coordinator",
+    [
+      Alcotest.test_case "unified replacement" `Quick test_unified_replacement;
+      Alcotest.test_case "skips primaries and kmal" `Quick
+        test_replacement_skips_existing_primaries_and_kmal;
+      Alcotest.test_case "stale blames ignored" `Quick test_stale_blames_ignored;
+      Alcotest.test_case "Lemma 5.1 order independence" `Quick
+        test_lemma_5_1_order_independence;
+      Alcotest.test_case "collusion detection" `Quick
+        test_collusion_detected_on_spread_blames;
+      Alcotest.test_case "no collusion below f+1" `Quick test_no_collusion_below_threshold;
+      Alcotest.test_case "collusion re-detection" `Quick
+        test_collusion_redetects_after_recovery;
+      Alcotest.test_case "view-shift recovery" `Quick test_view_shift_recovery;
+      Alcotest.test_case "pessimistic contracts" `Quick
+        test_pessimistic_contract_every_round;
+      Alcotest.test_case "contract adoption" `Quick test_on_contract_adopts;
+      Alcotest.test_case "thin proof rejected" `Quick test_on_contract_rejects_thin_proof;
+      Alcotest.test_case "contract request from history" `Quick
+        test_contract_request_answered_from_history;
+    ] )

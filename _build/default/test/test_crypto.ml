@@ -1,0 +1,257 @@
+(* Crypto tests against published vectors plus properties. *)
+
+module Sha256 = Rcc_crypto.Sha256
+module Hmac = Rcc_crypto.Hmac
+module Aes128 = Rcc_crypto.Aes128
+module Cmac = Rcc_crypto.Cmac
+module Signature = Rcc_crypto.Signature
+module Keychain = Rcc_crypto.Keychain
+module Bytes_util = Rcc_common.Bytes_util
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- SHA-256 (FIPS 180-4 / NIST CAVS vectors) ----------------------------- *)
+
+let sha_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( String.make 1_000_000 'a',
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0" );
+  ]
+
+(* NIST CAVS SHA256ShortMsg samples (hex message -> digest). *)
+let sha_cavs_vectors =
+  [
+    ("d3", "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1");
+    ("11af", "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98");
+    ("b4190e", "dff2e73091f6c05e528896c4c831b9448653dc2ff043528f6769437bc7b975c2");
+    ( "c299209682",
+      "f0887fe961c9cd3beab957e8222494abb969b1ce4c6557976df8b0f6d20e9166" );
+    ( "7c9c67323a1df1adbfe5ceb415eaef0155ece2820f4d50c1ec22cba4928ac656c83fe585db6a78ce40bc42757aba7e5a3f582428d6ca68d0c3978336a6efb729613e8d9979016204bfd921322fdd5222183554447de5e6e9bbe6edf76d7b71e18dc2e8d6dc89b7398364f652fafc734329aafa3dcd45d4f31e388e4fafd7fc6495f37ca5cbab7f54d586463da4bfeaa3bae09f7b8e9239d832b4f0a733aa609cc1f8d4",
+      "7aa559818f437b8c233765891790558ac03eef15c665c9ae7bfed7b65ea48b58" );
+  ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (msg, expected) ->
+      check Alcotest.string "digest" expected (Sha256.hex_digest msg))
+    sha_vectors;
+  List.iter
+    (fun (hex_msg, expected) ->
+      check Alcotest.string "cavs" expected
+        (Sha256.hex_digest (Bytes_util.of_hex hex_msg)))
+    sha_cavs_vectors
+
+let sha_incremental =
+  qtest "sha256: incremental = one-shot"
+    QCheck2.Gen.(list_size (int_range 0 8) string)
+    (fun parts ->
+      let ctx = Sha256.init () in
+      List.iter (Sha256.update ctx) parts;
+      Sha256.finalize ctx = Sha256.digest (String.concat "" parts)
+      && Sha256.digest_list parts = Sha256.digest (String.concat "" parts))
+
+let sha_distinct =
+  qtest "sha256: injective on samples" QCheck2.Gen.(pair string string)
+    (fun (a, b) -> a = b || Sha256.digest a <> Sha256.digest b)
+
+(* --- HMAC-SHA256 (RFC 4231) ------------------------------------------------ *)
+
+let test_hmac_rfc4231 () =
+  (* Test case 1 *)
+  let key = String.make 20 '\x0b' in
+  check Alcotest.string "tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Bytes_util.hex (Hmac.mac ~key "Hi There"));
+  (* Test case 2 *)
+  check Alcotest.string "tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Bytes_util.hex (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"));
+  (* Test case 3: 20-byte 0xaa key, 50-byte 0xdd data *)
+  let key = String.make 20 '\xaa' and data = String.make 50 '\xdd' in
+  check Alcotest.string "tc3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Bytes_util.hex (Hmac.mac ~key data));
+  (* Test case 6: oversized key *)
+  let key = String.make 131 '\xaa' in
+  check Alcotest.string "tc6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Bytes_util.hex
+       (Hmac.mac ~key "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let hmac_verify_props =
+  qtest "hmac: verify accepts valid, rejects tampered"
+    QCheck2.Gen.(pair string string)
+    (fun (key, msg) ->
+      let tag = Hmac.mac ~key msg in
+      Hmac.verify ~key msg ~tag
+      && (not (Hmac.verify ~key (msg ^ "x") ~tag))
+      && not (Hmac.verify ~key:(key ^ "k") msg ~tag))
+
+(* --- AES-128 (FIPS 197 appendix C.1) --------------------------------------- *)
+
+let test_aes_fips197 () =
+  let key = Bytes_util.of_hex "000102030405060708090a0b0c0d0e0f" in
+  let plain = Bytes_util.of_hex "00112233445566778899aabbccddeeff" in
+  let cipher = Aes128.encrypt_block (Aes128.expand_key key) plain in
+  check Alcotest.string "C.1" "69c4e0d86a7b0430d8cdb78070b4c55a" (Bytes_util.hex cipher)
+
+let test_aes_sp800_38a () =
+  (* SP 800-38A F.1.1 AES-128 ECB: all four blocks. *)
+  let key = Aes128.expand_key (Bytes_util.of_hex "2b7e151628aed2a6abf7158809cf4f3c") in
+  List.iter
+    (fun (plain, expected) ->
+      check Alcotest.string "ECB block" expected
+        (Bytes_util.hex (Aes128.encrypt_block key (Bytes_util.of_hex plain))))
+    [
+      ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97");
+      ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf");
+      ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688");
+      ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4");
+    ]
+
+let test_aes_rejects_bad_sizes () =
+  Alcotest.check_raises "short key" (Invalid_argument "Aes128.expand_key: need 16 bytes")
+    (fun () -> ignore (Aes128.expand_key "short"));
+  let key = Aes128.expand_key (String.make 16 'k') in
+  Alcotest.check_raises "short block"
+    (Invalid_argument "Aes128.encrypt_block: need 16 bytes") (fun () ->
+      ignore (Aes128.encrypt_block key "tiny"))
+
+(* --- CMAC-AES128 (NIST SP 800-38B examples) --------------------------------- *)
+
+let cmac_key =
+  lazy (Cmac.of_aes_key (Bytes_util.of_hex "2b7e151628aed2a6abf7158809cf4f3c"))
+
+let test_cmac_sp800_38b () =
+  let key = Lazy.force cmac_key in
+  let cases =
+    [
+      ("", "bb1d6929e95937287fa37d129b756746");
+      ( "6bc1bee22e409f96e93d7e117393172a",
+        "070a16b46b4d4144f79bdd9dd04a287c" );
+      ( "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+         30c81c46a35ce411",
+        "dfa66747de9ae63030ca32611497c827" );
+      ( "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+         30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+        "51f0bebf7e3b9d92fc49741779363cfe" );
+    ]
+  in
+  List.iter
+    (fun (msg_hex, expected) ->
+      let msg = Bytes_util.of_hex msg_hex in
+      check Alcotest.string
+        (Printf.sprintf "len %d" (String.length msg))
+        expected
+        (Bytes_util.hex (Cmac.mac key msg)))
+    cases
+
+let cmac_verify_props =
+  qtest "cmac: verify accepts valid, rejects tampered" QCheck2.Gen.string
+    (fun msg ->
+      let key = Lazy.force cmac_key in
+      let tag = Cmac.mac key msg in
+      Cmac.verify key msg ~tag && not (Cmac.verify key (msg ^ "!") ~tag))
+
+(* --- signatures -------------------------------------------------------------- *)
+
+let test_signature_basic () =
+  let rng = Rcc_common.Rng.create 31 in
+  let sk, pk = Signature.keygen rng in
+  let sk2, pk2 = Signature.keygen rng in
+  let msg = "order batch 42" in
+  let signature = Signature.sign sk msg in
+  check Alcotest.int "signature size" Signature.signature_size
+    (String.length signature);
+  check Alcotest.bool "verifies" true (Signature.verify pk msg signature);
+  check Alcotest.bool "wrong message" false (Signature.verify pk "other" signature);
+  check Alcotest.bool "wrong key" false (Signature.verify pk2 msg signature);
+  check Alcotest.bool "unknown pk" false
+    (Signature.verify (String.make 32 'z') msg signature);
+  check Alcotest.bool "cross-sign" true
+    (Signature.verify pk2 msg (Signature.sign sk2 msg));
+  check Alcotest.string "public_key accessor" pk (Signature.public_key sk)
+
+let signature_props =
+  qtest "signature: sign/verify roundtrip" QCheck2.Gen.(pair small_int string)
+    (fun (seed, msg) ->
+      let rng = Rcc_common.Rng.create seed in
+      let sk, pk = Signature.keygen rng in
+      Signature.verify pk msg (Signature.sign sk msg))
+
+(* --- keychain ----------------------------------------------------------------- *)
+
+let test_keychain () =
+  let kc = Keychain.create ~seed:5 ~n:7 ~clients:3 in
+  check Alcotest.int "n" 7 (Keychain.n kc);
+  (* pairwise MAC keys are symmetric *)
+  let tag = Keychain.mac kc ~src:2 ~dst:5 "hello" in
+  check Alcotest.bool "verify src->dst" true
+    (Keychain.mac_verify kc ~src:2 ~dst:5 "hello" ~tag);
+  check Alcotest.bool "verify reversed pair" true
+    (Keychain.mac_verify kc ~src:5 ~dst:2 "hello" ~tag);
+  check Alcotest.bool "other pair rejects" false
+    (Keychain.mac_verify kc ~src:2 ~dst:4 "hello" ~tag);
+  (* replica and client signing keys are usable *)
+  let msg = "m" in
+  check Alcotest.bool "replica key" true
+    (Signature.verify (Keychain.replica_public kc 3) msg
+       (Signature.sign (Keychain.replica_secret kc 3) msg));
+  check Alcotest.bool "client key" true
+    (Signature.verify (Keychain.client_public kc 1) msg
+       (Signature.sign (Keychain.client_secret kc 1) msg))
+
+(* Every unordered replica pair shares exactly one MAC key: tags verify
+   in both directions and never across pairs. *)
+let keychain_pairwise_symmetric =
+  qtest ~count:20 "keychain: pairwise MAC keys symmetric and distinct"
+    QCheck2.Gen.(int_range 4 9)
+    (fun n ->
+      let kc = Keychain.create ~seed:3 ~n ~clients:1 in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then begin
+            let tag = Keychain.mac kc ~src:i ~dst:j "m" in
+            if not (Keychain.mac_verify kc ~src:j ~dst:i "m" ~tag) then ok := false;
+            (* A third replica's pair key must not verify it. *)
+            let k = (j + 1) mod n in
+            if k <> i && k <> j && Keychain.mac_verify kc ~src:i ~dst:k "m" ~tag
+            then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let test_keychain_deterministic () =
+  let a = Keychain.create ~seed:9 ~n:4 ~clients:2 in
+  let b = Keychain.create ~seed:9 ~n:4 ~clients:2 in
+  check Alcotest.string "same public keys from same seed"
+    (Keychain.replica_public a 2)
+    (Keychain.replica_public b 2)
+
+let suite =
+  ( "crypto",
+    [
+      Alcotest.test_case "sha256 FIPS vectors" `Quick test_sha256_vectors;
+      sha_incremental;
+      sha_distinct;
+      Alcotest.test_case "hmac RFC 4231" `Quick test_hmac_rfc4231;
+      hmac_verify_props;
+      Alcotest.test_case "aes FIPS 197" `Quick test_aes_fips197;
+      Alcotest.test_case "aes SP800-38A blocks" `Quick test_aes_sp800_38a;
+      Alcotest.test_case "aes input validation" `Quick test_aes_rejects_bad_sizes;
+      keychain_pairwise_symmetric;
+      Alcotest.test_case "cmac SP800-38B" `Quick test_cmac_sp800_38b;
+      cmac_verify_props;
+      Alcotest.test_case "signature basics" `Quick test_signature_basic;
+      signature_props;
+      Alcotest.test_case "keychain" `Quick test_keychain;
+      Alcotest.test_case "keychain determinism" `Quick test_keychain_deterministic;
+    ] )

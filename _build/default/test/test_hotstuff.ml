@@ -1,0 +1,98 @@
+(* HotStuff tests: 4-phase decide, parallel leaders with in-order
+   execution, the skip pacemaker, blacklisting. *)
+
+module H = Harness.Make (Rcc_hotstuff.Hotstuff_replica)
+module Hs = Rcc_hotstuff.Hotstuff_replica
+
+let check = Alcotest.check
+
+let test_four_phase_decide () =
+  let t = H.create ~n:4 () in
+  (* Replica 0 leads seq 0. *)
+  H.submit t ~replica:0 (Harness.make_batch 1);
+  H.run t 0.01;
+  for r = 0 to 3 do
+    check Alcotest.(option int)
+      (Printf.sprintf "replica %d decided" r)
+      (Some 1)
+      (H.accepted_batch_id t ~replica:r ~round:0)
+  done
+
+let test_parallel_leaders_round_robin () =
+  let t = H.create ~n:4 () in
+  (* Each replica leads its own residue class: batches from leaders 0..3
+     land in seqs 0..3. *)
+  for leader = 0 to 3 do
+    H.submit t ~replica:leader (Harness.make_batch (100 + leader))
+  done;
+  H.run t 0.05;
+  for seq = 0 to 3 do
+    check Alcotest.(option int)
+      (Printf.sprintf "seq %d from leader %d" seq seq)
+      (Some (100 + seq))
+      (H.accepted_batch_id t ~replica:0 ~round:seq)
+  done;
+  check Alcotest.int "frontier advanced" 3 (Hs.decided_upto (H.inst t 0))
+
+let test_second_round_of_leader () =
+  let t = H.create ~n:4 () in
+  for leader = 0 to 3 do
+    H.submit t ~replica:leader (Harness.make_batch leader)
+  done;
+  H.submit t ~replica:1 (Harness.make_batch 55);
+  H.run t 0.05;
+  check Alcotest.(option int) "leader 1's second batch at seq 5" (Some 55)
+    (H.accepted_batch_id t ~replica:2 ~round:5)
+
+let test_skip_dead_leader () =
+  let t = H.create ~n:4 ~timeout:(Rcc_sim.Engine.ms 20) () in
+  H.kill t 2;
+  (* Leaders 0,1,3 propose; leader 2's seq 2 must be skipped by quorum. *)
+  List.iter (fun l -> H.submit t ~replica:l (Harness.make_batch (10 + l))) [ 0; 1; 3 ];
+  H.run t 0.5;
+  check Alcotest.(option int) "seq 0 decided" (Some 10)
+    (H.accepted_batch_id t ~replica:0 ~round:0);
+  check Alcotest.(option int) "seq 3 decided after skip" (Some 13)
+    (H.accepted_batch_id t ~replica:0 ~round:3);
+  (* The skipped round decided as a null batch. *)
+  (match Hashtbl.find_opt (H.node t 0).H.accepted 2 with
+  | Some acc ->
+      check Alcotest.bool "null fill for dead leader" true
+        (Rcc_messages.Batch.is_null acc.Rcc_replica.Acceptance.batch)
+  | None -> Alcotest.fail "seq 2 was not skipped");
+  check Alcotest.bool "dead leader blacklisted" true
+    (Hs.blacklisted (H.inst t 0) 2)
+
+let test_blacklisted_leader_rounds_skip_fast () =
+  let t = H.create ~n:4 ~timeout:(Rcc_sim.Engine.ms 20) () in
+  H.kill t 2;
+  List.iter (fun l -> H.submit t ~replica:l (Harness.make_batch l)) [ 0; 1; 3 ];
+  H.run t 0.3;
+  (* Next wave: leader 2's second round (seq 6) should be skipped eagerly
+     without another full timeout. *)
+  List.iter (fun l -> H.submit t ~replica:l (Harness.make_batch (20 + l))) [ 0; 1; 3 ];
+  H.run t 0.6;
+  check Alcotest.(option int) "seq 7 decided (past second gap)" (Some 23)
+    (H.accepted_batch_id t ~replica:1 ~round:7)
+
+let test_votes_require_leader () =
+  let t = H.create ~n:4 () in
+  (* A proposal claiming a seq whose leader is another replica is ignored. *)
+  let b = Harness.make_batch 9 in
+  Hs.handle (H.inst t 1) ~src:3
+    (Rcc_messages.Msg.Hs_proposal
+       { view = 0; phase = 0; seq = 0; batch = Some b; digest = b.Rcc_messages.Batch.digest });
+  H.run t 0.01;
+  check Alcotest.(option int) "wrong leader ignored" None
+    (H.accepted_batch_id t ~replica:1 ~round:0)
+
+let suite =
+  ( "hotstuff",
+    [
+      Alcotest.test_case "four-phase decide" `Quick test_four_phase_decide;
+      Alcotest.test_case "parallel leaders" `Quick test_parallel_leaders_round_robin;
+      Alcotest.test_case "leader's second round" `Quick test_second_round_of_leader;
+      Alcotest.test_case "skip dead leader" `Quick test_skip_dead_leader;
+      Alcotest.test_case "eager skip after blacklist" `Quick test_blacklisted_leader_rounds_skip_fast;
+      Alcotest.test_case "wrong leader ignored" `Quick test_votes_require_leader;
+    ] )

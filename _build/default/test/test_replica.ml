@@ -1,0 +1,383 @@
+(* Replica-layer tests: the execute thread's round lockstep, metrics,
+   closed-loop client behaviour, byzantine behaviour specs. *)
+
+module Engine = Rcc_sim.Engine
+module Cpu = Rcc_sim.Cpu
+module Net = Rcc_sim.Net
+module Exec = Rcc_replica.Exec
+module Metrics = Rcc_replica.Metrics
+module Client_pool = Rcc_replica.Client_pool
+module Byz = Rcc_replica.Byz
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+
+let check = Alcotest.check
+
+let rng = Rcc_common.Rng.create 404
+let secret, _ = Rcc_crypto.Signature.keygen rng
+
+let batch ?(client = 0) id =
+  Batch.create ~id ~client
+    ~txns:[| Rcc_workload.Txn.{ key = id; op = Write id } |]
+    ~secret
+
+let acceptance ?(speculative = false) ~instance ~round id =
+  {
+    Rcc_replica.Acceptance.instance;
+    round;
+    batch = batch id;
+    cert = [ 0; 1; 2 ];
+    speculative;
+    history = "";
+  }
+
+(* --- exec ------------------------------------------------------------------ *)
+
+type exec_fixture = {
+  engine : Engine.t;
+  exec : Exec.t;
+  responses : (int * Msg.t) list ref;  (* (client, response) *)
+  executed : int list ref;  (* rounds in execution order *)
+  store : Rcc_storage.Kv_store.t;
+  ledger : Rcc_storage.Ledger.t;
+}
+
+let make_exec ?(z = 2) ?reorder () =
+  let engine = Engine.create () in
+  let store = Rcc_storage.Kv_store.create () in
+  let ledger = Rcc_storage.Ledger.create ~primaries:(List.init z (fun x -> x)) in
+  let txn_table = Rcc_storage.Txn_table.create () in
+  let responses = ref [] in
+  let executed = ref [] in
+  let exec =
+    Exec.create ~engine ~costs:Rcc_sim.Costs.default
+      ~server:(Cpu.server engine ~name:"exec") ~z ~self:0 ~store ~ledger
+      ~txn_table
+      ~current_primaries:(fun () -> List.init z (fun x -> x))
+      ~respond:(fun client msg -> responses := (client, msg) :: !responses)
+      ~metrics:(Metrics.create ~n:1 ~warmup:0)
+      ?reorder
+      ~on_executed:(fun round _ -> executed := round :: !executed)
+      ()
+  in
+  { engine; exec; responses; executed; store; ledger }
+
+let test_exec_waits_for_all_instances () =
+  let fx = make_exec () in
+  Exec.notify fx.exec (acceptance ~instance:0 ~round:0 1);
+  Engine.run fx.engine ~until:(Engine.ms 10);
+  check Alcotest.int "round incomplete, nothing executed" 0
+    (Exec.executed_rounds fx.exec);
+  check Alcotest.(list int) "instance 1 missing" [ 1 ]
+    (Exec.missing_instances fx.exec ~round:0);
+  Exec.notify fx.exec (acceptance ~instance:1 ~round:0 2);
+  Engine.run fx.engine ~until:(Engine.ms 20);
+  check Alcotest.int "round executed" 1 (Exec.executed_rounds fx.exec);
+  check Alcotest.int "ledger grew" 1 (Rcc_storage.Ledger.length fx.ledger);
+  check Alcotest.int "both clients answered" 2 (List.length !(fx.responses))
+
+let test_exec_rounds_in_order () =
+  let fx = make_exec () in
+  (* Round 1 completes before round 0; execution must still be 0 then 1. *)
+  Exec.notify fx.exec (acceptance ~instance:0 ~round:1 10);
+  Exec.notify fx.exec (acceptance ~instance:1 ~round:1 11);
+  Engine.run fx.engine ~until:(Engine.ms 10);
+  check Alcotest.int "future round buffered" 0 (Exec.executed_rounds fx.exec);
+  check Alcotest.int "max pending" 1 (Exec.max_pending_round fx.exec);
+  Exec.notify fx.exec (acceptance ~instance:0 ~round:0 20);
+  Exec.notify fx.exec (acceptance ~instance:1 ~round:0 21);
+  Engine.run fx.engine ~until:(Engine.ms 20);
+  check Alcotest.(list int) "in round order" [ 0; 1 ] (List.rev !(fx.executed));
+  check Alcotest.bool "ledger validates" true
+    (Result.is_ok (Rcc_storage.Ledger.validate fx.ledger))
+
+let test_exec_duplicate_notify_ignored () =
+  let fx = make_exec () in
+  Exec.notify fx.exec (acceptance ~instance:0 ~round:0 1);
+  Exec.notify fx.exec (acceptance ~instance:0 ~round:0 99);
+  Exec.notify fx.exec (acceptance ~instance:1 ~round:0 2);
+  Engine.run fx.engine ~until:(Engine.ms 20);
+  check Alcotest.int "executed once" 1 (Exec.executed_rounds fx.exec);
+  (* The first notification wins. *)
+  let ids =
+    List.filter_map
+      (fun (_, msg) ->
+        match msg with Msg.Response { batch_id; _ } -> Some batch_id | _ -> None)
+      !(fx.responses)
+  in
+  check Alcotest.bool "batch 1 executed, not 99" true
+    (List.mem 1 ids && not (List.mem 99 ids))
+
+let test_exec_null_batches_get_no_response () =
+  let fx = make_exec () in
+  Exec.notify fx.exec
+    {
+      Rcc_replica.Acceptance.instance = 0;
+      round = 0;
+      batch = Batch.null ~round:0;
+      cert = [];
+      speculative = false;
+      history = "";
+    };
+  Exec.notify fx.exec (acceptance ~instance:1 ~round:0 5);
+  Engine.run fx.engine ~until:(Engine.ms 20);
+  check Alcotest.int "round executed" 1 (Exec.executed_rounds fx.exec);
+  check Alcotest.int "only the real batch answered" 1 (List.length !(fx.responses))
+
+let test_exec_reorder_hook () =
+  (* Reverse order: instance 1's batch writes key 7 first, then instance 0
+     overwrites — so the final value reveals execution order. *)
+  let write v = Rcc_workload.Txn.{ key = 7; op = Write v } in
+  let acc instance v =
+    {
+      Rcc_replica.Acceptance.instance;
+      round = 0;
+      batch =
+        Batch.create ~id:v ~client:instance ~txns:[| write v |] ~secret;
+      cert = [];
+      speculative = false;
+      history = "";
+    }
+  in
+  let reorder accs = Array.of_list (List.rev (Array.to_list accs)) in
+  let fx = make_exec ~reorder () in
+  Exec.notify fx.exec (acc 0 100);
+  Exec.notify fx.exec (acc 1 200);
+  Engine.run fx.engine ~until:(Engine.ms 20);
+  check Alcotest.(option int) "instance 0 executed last under reversal"
+    (Some 100)
+    (Rcc_storage.Kv_store.read fx.store 7)
+
+(* --- metrics ------------------------------------------------------------------ *)
+
+let test_metrics_warmup_filter () =
+  let m = Metrics.create ~n:2 ~warmup:(Engine.ms 100) in
+  Metrics.record_completion m ~now:(Engine.ms 50) ~ntxns:10 ~latency:(Engine.ms 1);
+  check Alcotest.int "warmup excluded" 0 (Metrics.committed_txns m);
+  Metrics.record_completion m ~now:(Engine.ms 150) ~ntxns:10 ~latency:(Engine.ms 2);
+  check Alcotest.int "post-warmup counted" 10 (Metrics.committed_txns m);
+  check Alcotest.int "batches" 1 (Metrics.committed_batches m);
+  (* Throughput normalizes by the post-warmup window. *)
+  let tput = Metrics.throughput m ~duration:(Engine.ms 200) in
+  check (Alcotest.float 1.0) "throughput" 100.0 tput;
+  check (Alcotest.float 1e-6) "latency mean" 0.002 (Metrics.avg_latency m);
+  (* The timeline includes warmup. *)
+  check Alcotest.bool "timeline has both buckets" true
+    (Array.length (Metrics.timeline m) >= 2)
+
+let test_metrics_counters () =
+  let m = Metrics.create ~n:2 ~warmup:0 in
+  Metrics.record_view_change m;
+  Metrics.record_collusion_detected m;
+  Metrics.record_contract_bytes m 1234;
+  Metrics.record_exec m ~replica:1 ~now:(Engine.ms 10) ~ntxns:5;
+  check Alcotest.int "view changes" 1 (Metrics.view_changes m);
+  check Alcotest.int "collusions" 1 (Metrics.collusions_detected m);
+  check Alcotest.int "contract bytes" 1234 (Metrics.contract_bytes m);
+  check Alcotest.bool "exec timeline populated" true
+    (Array.length (Metrics.exec_timeline m ~replica:1) > 0)
+
+(* --- client pool ---------------------------------------------------------------- *)
+
+type pool_fixture = {
+  engine : Engine.t;
+  net : Msg.t Net.t;
+  pool : Client_pool.t;
+  requests : (int * Msg.t) list ref;  (* (dst replica, request) *)
+}
+
+(* One replica node (0) that records requests; client machines after it. *)
+let make_pool ?(quorum = Client_pool.Majority_fplus1) ?(n = 4)
+    ?(request_timeout = Engine.ms 100) ?(clients = 2) () =
+  let engine = Engine.create () in
+  let machines = 1 in
+  let net =
+    Net.create engine ~nodes:(n + machines) ~latency:(Engine.us 10) ~jitter:0
+      ~gbps:10.0 ~rng:(Rcc_common.Rng.create 3)
+  in
+  let requests = ref [] in
+  for replica = 0 to n - 1 do
+    Net.register net replica (fun ~src:_ ~size:_ msg ->
+        requests := (replica, msg) :: !requests)
+  done;
+  let keychain = Rcc_crypto.Keychain.create ~seed:8 ~n ~clients in
+  let metrics = Metrics.create ~n ~warmup:0 in
+  let pool =
+    Client_pool.create ~engine ~net ~keychain ~metrics
+      ~primary_of_instance:(fun x -> x)
+      {
+        Client_pool.n;
+        f = (n - 1) / 3;
+        z = 2;
+        clients;
+        machines;
+        batch_size = 5;
+        quorum;
+        request_timeout;
+        instance_change_after = 2;
+        first_node = n;
+        records = 100;
+        write_ratio = 0.9;
+        theta = 0.5;
+        seed = 5;
+      }
+  in
+  { engine; net; pool; requests }
+
+let respond fx ~replica ~client ~batch_id ?(digest = "same") ?(speculative = false) () =
+  let msg =
+    Msg.Response
+      {
+        client;
+        batch_id;
+        round = 0;
+        result_digest = digest;
+        txn_count = 5;
+        speculative;
+        history = "";
+      }
+  in
+  Net.send fx.net ~src:replica ~dst:4 ~size:(Msg.size msg) msg
+
+let test_client_sends_to_home_primary () =
+  let fx = make_pool () in
+  Client_pool.start fx.pool;
+  Engine.run fx.engine ~until:(Engine.ms 10);
+  (* Client 0 -> instance 0 -> replica 0; client 1 -> instance 1 -> replica 1. *)
+  let dsts = List.sort compare (List.map fst !(fx.requests)) in
+  check Alcotest.(list int) "requests to both primaries" [ 0; 1 ] dsts
+
+let test_client_completes_on_fplus1 () =
+  let fx = make_pool () in
+  Client_pool.start fx.pool;
+  Engine.run fx.engine ~until:(Engine.ms 5);
+  (* f+1 = 2 matching responses complete client 0's batch (id 0). *)
+  respond fx ~replica:0 ~client:0 ~batch_id:0 ();
+  respond fx ~replica:1 ~client:0 ~batch_id:0 ();
+  Engine.run fx.engine ~until:(Engine.ms 20);
+  check Alcotest.int "one batch completed" 1 (Client_pool.completed_batches fx.pool);
+  (* Completion triggers the next request to the same primary. *)
+  let to_replica0 = List.filter (fun (d, _) -> d = 0) !(fx.requests) in
+  check Alcotest.bool "next request sent" true (List.length to_replica0 >= 2)
+
+let test_client_mismatched_digests_dont_complete () =
+  let fx = make_pool () in
+  Client_pool.start fx.pool;
+  Engine.run fx.engine ~until:(Engine.ms 5);
+  respond fx ~replica:0 ~client:0 ~batch_id:0 ~digest:"a" ();
+  respond fx ~replica:1 ~client:0 ~batch_id:0 ~digest:"b" ();
+  Engine.run fx.engine ~until:(Engine.ms 20);
+  check Alcotest.int "no quorum on divergent digests" 0
+    (Client_pool.completed_batches fx.pool)
+
+let test_client_timeout_resend_and_instance_change () =
+  let fx = make_pool ~request_timeout:(Engine.ms 20) () in
+  Client_pool.start fx.pool;
+  (* No replica ever answers: clients resend, and on the second resend
+     (instance_change_after = 2) defect to the other instance. *)
+  Engine.run fx.engine ~until:(Engine.ms 70);
+  check Alcotest.bool "instance changes recorded" true
+    (Client_pool.instance_changes fx.pool > 0);
+  check Alcotest.int "client 0 moved to instance 1" 1
+    (Client_pool.client_instance fx.pool 0)
+
+let test_zyzzyva_client_needs_all_n () =
+  let fx = make_pool ~quorum:Client_pool.All_n_speculative () in
+  Client_pool.start fx.pool;
+  Engine.run fx.engine ~until:(Engine.ms 5);
+  respond fx ~replica:0 ~client:0 ~batch_id:0 ~speculative:true ();
+  respond fx ~replica:1 ~client:0 ~batch_id:0 ~speculative:true ();
+  respond fx ~replica:2 ~client:0 ~batch_id:0 ~speculative:true ();
+  Engine.run fx.engine ~until:(Engine.ms 20);
+  check Alcotest.int "3 of 4 is not enough" 0 (Client_pool.completed_batches fx.pool);
+  respond fx ~replica:3 ~client:0 ~batch_id:0 ~speculative:true ();
+  Engine.run fx.engine ~until:(Engine.ms 40);
+  check Alcotest.int "all n completes" 1 (Client_pool.completed_batches fx.pool)
+
+let test_zyzzyva_commit_certificate_path () =
+  let fx = make_pool ~quorum:Client_pool.All_n_speculative ~request_timeout:(Engine.ms 20) () in
+  Client_pool.start fx.pool;
+  Engine.run fx.engine ~until:(Engine.ms 5);
+  (* 2f+1 = 3 matching spec responses, but never all 4: on timeout the
+     client broadcasts a COMMIT-CERT. *)
+  respond fx ~replica:0 ~client:0 ~batch_id:0 ();
+  respond fx ~replica:1 ~client:0 ~batch_id:0 ();
+  respond fx ~replica:2 ~client:0 ~batch_id:0 ();
+  Engine.run fx.engine ~until:(Engine.ms 40);
+  let certs =
+    List.filter (fun (_, m) -> match m with Msg.Commit_cert _ -> true | _ -> false)
+      !(fx.requests)
+  in
+  check Alcotest.int "commit cert broadcast to all n" 4 (List.length certs);
+  (* 2f+1 LOCAL-COMMIT acks finish the request. *)
+  List.iter
+    (fun replica ->
+      let msg = Msg.Local_commit { instance = 0; seq = 0; client = 0 } in
+      Net.send fx.net ~src:replica ~dst:4 ~size:(Msg.size msg) msg)
+    [ 0; 1; 2 ];
+  Engine.run fx.engine ~until:(Engine.ms 60);
+  check Alcotest.int "completed via commit path" 1
+    (Client_pool.completed_batches fx.pool)
+
+(* --- instance env helpers ------------------------------------------------------- *)
+
+let test_quorum_helpers () =
+  let env n f =
+    {
+      Rcc_replica.Instance_env.n;
+      f;
+      z = 1;
+      instance = 0;
+      self = 0;
+      engine = Engine.create ();
+      costs = Rcc_sim.Costs.default;
+      timeout = Engine.s 1;
+      checkpoint_interval = 0;
+      send = (fun ?sign:_ ~dst:_ _ -> ());
+      broadcast = (fun ?sign:_ ?exclude:_ _ -> ());
+      respond = (fun _ _ -> ());
+      accept = (fun _ -> ());
+      report_failure = (fun ~round:_ ~blamed:_ -> ());
+      byz = Byz.honest;
+      unified = false;
+    }
+  in
+  check Alcotest.int "2f+1 of n=4" 3
+    (Rcc_replica.Instance_env.quorum_2f1 (env 4 1));
+  check Alcotest.int "2f+1 of n=32" 21
+    (Rcc_replica.Instance_env.quorum_2f1 (env 32 10));
+  check Alcotest.int "f+1 of n=32" 11
+    (Rcc_replica.Instance_env.majority_nf (env 32 10))
+
+(* --- byz specs -------------------------------------------------------------------- *)
+
+let test_byz_excludes () =
+  let spec = Byz.dark_primary ~victims:[ 3; 5 ] ~from_round:10 ~until_round:12 () in
+  check Alcotest.bool "before window" false (Byz.excludes spec ~round:9 3);
+  check Alcotest.bool "in window" true (Byz.excludes spec ~round:11 3);
+  check Alcotest.bool "after window" false (Byz.excludes spec ~round:13 3);
+  check Alcotest.bool "non-victim" false (Byz.excludes spec ~round:11 4);
+  let forever = Byz.dark_primary ~victims:[ 1 ] () in
+  check Alcotest.bool "open-ended window" true (Byz.excludes forever ~round:1_000_000 1);
+  check Alcotest.bool "honest excludes nobody" false (Byz.excludes Byz.honest ~round:0 0)
+
+let suite =
+  ( "replica",
+    [
+      Alcotest.test_case "exec waits for all z" `Quick test_exec_waits_for_all_instances;
+      Alcotest.test_case "exec round order" `Quick test_exec_rounds_in_order;
+      Alcotest.test_case "exec duplicate notify" `Quick test_exec_duplicate_notify_ignored;
+      Alcotest.test_case "exec null batch" `Quick test_exec_null_batches_get_no_response;
+      Alcotest.test_case "exec reorder hook" `Quick test_exec_reorder_hook;
+      Alcotest.test_case "metrics warmup" `Quick test_metrics_warmup_filter;
+      Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+      Alcotest.test_case "client home primary" `Quick test_client_sends_to_home_primary;
+      Alcotest.test_case "client f+1 quorum" `Quick test_client_completes_on_fplus1;
+      Alcotest.test_case "client digest mismatch" `Quick test_client_mismatched_digests_dont_complete;
+      Alcotest.test_case "client timeout/instance change" `Quick
+        test_client_timeout_resend_and_instance_change;
+      Alcotest.test_case "zyzzyva client all n" `Quick test_zyzzyva_client_needs_all_n;
+      Alcotest.test_case "zyzzyva commit path" `Quick test_zyzzyva_commit_certificate_path;
+      Alcotest.test_case "quorum helpers" `Quick test_quorum_helpers;
+      Alcotest.test_case "byz excludes" `Quick test_byz_excludes;
+    ] )
