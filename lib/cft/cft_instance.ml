@@ -326,7 +326,7 @@ let handle t ~src msg =
   | Msg.Checkpoint _ | Msg.Client_request _ | Msg.Order_request _
   | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Hs_proposal _ | Msg.Hs_vote _
   | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ ->
       ()
 
 let cost_of (costs : Costs.t) msg =
@@ -344,5 +344,5 @@ let cost_of (costs : Costs.t) msg =
   | Msg.Checkpoint _ | Msg.Client_request _ | Msg.Order_request _
   | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Hs_proposal _ | Msg.Hs_vote _
   | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ ->
       costs.Costs.worker_msg

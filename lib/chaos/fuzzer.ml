@@ -1,0 +1,170 @@
+module Engine = Rcc_sim.Engine
+module Config = Rcc_runtime.Config
+module Rng = Rcc_common.Rng
+
+type failure = {
+  run_index : int;
+  protocol : Config.protocol;
+  scenario_seed : int;
+  outcome : Runner.outcome;
+  minimized : Script.t;
+}
+
+type summary = {
+  master_seed : int;
+  runs : int;
+  protocols : Config.protocol list;
+  passes : int;
+  failures : failure list;
+}
+
+(* A large odd multiplier keeps per-run seeds well separated without
+   depending on the Rng's stream-split behaviour. *)
+let scenario_seed ~master ~run = (master * 1_000_003) + run
+
+(* Timeouts sized so primary replacement and client retries fit inside a
+   ~2 s simulated run (mirrors the integration-test fault configs). *)
+let config_for protocol ~n ~duration ~seed =
+  Config.make ~protocol ~n ~batch_size:10 ~clients:40 ~records:5_000 ~duration
+    ~warmup:(duration / 4)
+    ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
+    ~collusion_wait:(Engine.ms 150) ~seed ()
+
+let gen_script ~seed ~n ~duration =
+  let rng = Rng.create seed in
+  let victim = Rng.int rng n in
+  let other () =
+    let r = Rng.int rng (n - 1) in
+    if r >= victim then r + 1 else r
+  in
+  (* Faults start after a fifth of the run and all heal by ~60%, leaving
+     the tail to recover and quiesce in. *)
+  let start = duration / 5 in
+  let heal_at = duration * 3 / 5 in
+  let episodes = 1 + Rng.int rng 3 in
+  let span = (heal_at - start) / episodes in
+  let crashed = ref false in
+  let byzantine = ref false in
+  let episode i =
+    let at = start + (i * span) + Rng.int rng (max 1 (span / 2)) in
+    match Rng.int rng 6 with
+    | 0 -> { Script.at; action = Script.Partition [ [ victim ] ] }
+    | 1 ->
+        crashed := true;
+        { Script.at; action = Script.Crash victim }
+    | 2 ->
+        byzantine := true;
+        let behaviour =
+          match Rng.int rng 4 with
+          | 0 -> Script.Dark [ other () ]
+          | 1 -> Script.False_blame [ other () ]
+          | 2 -> Script.Ignore_clients
+          | _ -> Script.Equivocate
+        in
+        { Script.at; action = Script.Byz_on (victim, behaviour) }
+    | 3 ->
+        let extra = Engine.ms (1 + Rng.int rng 5) in
+        {
+          Script.at;
+          action = Script.Delay_links { from_set = [ victim ]; to_set = []; extra };
+        }
+    | 4 ->
+        let prob = 0.3 +. (0.4 *. Rng.float rng 1.0) in
+        {
+          Script.at;
+          action = Script.Drop_links { from_set = [ victim ]; to_set = []; prob };
+        }
+    | _ ->
+        let prob = 0.05 +. (0.15 *. Rng.float rng 1.0) in
+        { Script.at; action = Script.Duplicate_links { prob } }
+  in
+  let faults = List.init episodes episode in
+  let cleanup =
+    ({ Script.at = heal_at; action = Script.Heal }
+     :: (if !crashed then [ { Script.at = heal_at; action = Script.Restart victim } ]
+         else []))
+    @ (if !byzantine then [ { Script.at = heal_at; action = Script.Byz_off victim } ]
+       else [])
+  in
+  Script.sorted (faults @ cleanup)
+
+let run_one ?(canary = false) ~protocol ~n ~duration ~scenario_seed () =
+  let cfg = config_for protocol ~n ~duration ~seed:scenario_seed in
+  let script = gen_script ~seed:scenario_seed ~n ~duration in
+  Runner.run ~canary ~nemesis_seed:scenario_seed cfg script
+
+(* Greedy one-event removal: drop any event whose absence still fails,
+   until no single removal reproduces the failure. Each re-run is a pure
+   function of (cfg, script, seed), so minimisation is deterministic. *)
+let minimize ~still_fails script =
+  let rec shrink script =
+    let arr = Array.of_list script in
+    let rec try_drop i =
+      if i >= Array.length arr then script
+      else
+        let candidate =
+          Array.to_list arr |> List.filteri (fun j _ -> j <> i)
+        in
+        if still_fails candidate then shrink candidate else try_drop (i + 1)
+    in
+    try_drop 0
+  in
+  shrink script
+
+let fuzz ?(protocols = [ Config.MultiP; Config.MultiZ ]) ?(n = 4)
+    ?(duration = Engine.of_seconds 2.0) ?(canary = false) ~seed ~runs () =
+  let passes = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun protocol ->
+      for run = 0 to runs - 1 do
+        let scenario_seed = scenario_seed ~master:seed ~run in
+        let outcome = run_one ~canary ~protocol ~n ~duration ~scenario_seed () in
+        if Runner.passed outcome then incr passes
+        else begin
+          let cfg = config_for protocol ~n ~duration ~seed:scenario_seed in
+          let still_fails candidate =
+            not
+              (Runner.passed
+                 (Runner.run ~canary ~nemesis_seed:scenario_seed cfg candidate))
+          in
+          let minimized = minimize ~still_fails outcome.Runner.script in
+          failures :=
+            { run_index = run; protocol; scenario_seed; outcome; minimized }
+            :: !failures
+        end
+      done)
+    protocols;
+  {
+    master_seed = seed;
+    runs;
+    protocols;
+    passes = !passes;
+    failures = List.rev !failures;
+  }
+
+let pp_summary fmt s =
+  let total = s.runs * List.length s.protocols in
+  Format.fprintf fmt "fuzz seed=%d runs=%d protocols=%s: %d/%d passed@."
+    s.master_seed s.runs
+    (String.concat "," (List.map Config.protocol_name s.protocols))
+    s.passes total;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "@.FAILURE %s run=%d scenario-seed=%d@."
+        (Config.protocol_name f.protocol)
+        f.run_index f.scenario_seed;
+      List.iter
+        (fun (at, v) ->
+          Format.fprintf fmt "  at %dms %s@." (at / 1_000_000)
+            (Invariant.to_string v))
+        f.outcome.Runner.violations;
+      Format.fprintf fmt "minimised script (%d of %d events):@.%s"
+        (List.length f.minimized)
+        (List.length f.outcome.Runner.script)
+        (Script.to_string f.minimized);
+      Format.fprintf fmt
+        "repro: rcc_chaos --protocol %s --scenario-seed %d@."
+        (Config.protocol_name f.protocol)
+        f.scenario_seed)
+    s.failures

@@ -1,0 +1,188 @@
+module Cluster = Rcc_runtime.Cluster
+module Config = Rcc_runtime.Config
+module Ledger = Rcc_storage.Ledger
+module Block = Rcc_storage.Block
+module Txn_table = Rcc_storage.Txn_table
+module Batch = Rcc_messages.Batch
+
+type violation = { invariant : string; detail : string }
+
+let to_string v = Printf.sprintf "%s: %s" v.invariant v.detail
+
+let fail invariant fmt = Printf.ksprintf (fun detail -> { invariant; detail }) fmt
+
+let checked_replicas cluster ~exclude =
+  let n = (Cluster.config cluster).Config.n in
+  List.filter (fun r -> not (List.mem r exclude)) (List.init n (fun r -> r))
+
+(* --- ledger chain validity ---------------------------------------------- *)
+
+let check_chains cluster replicas =
+  List.filter_map
+    (fun r ->
+      match Ledger.validate (Cluster.ledger cluster r) with
+      | Ok () -> None
+      | Error e -> Some (fail "ledger-chain" "replica %d: %s" r e))
+    replicas
+
+(* --- prefix and slot agreement ------------------------------------------ *)
+
+(* Compare every replica against the longest ledger among the checked set;
+   prefix agreement is transitive through the reference. *)
+let check_prefixes cluster replicas =
+  match replicas with
+  | [] -> []
+  | _ ->
+      let longest =
+        List.fold_left
+          (fun best r ->
+            if Ledger.length (Cluster.ledger cluster r)
+               > Ledger.length (Cluster.ledger cluster best)
+            then r
+            else best)
+          (List.hd replicas) replicas
+      in
+      let reference = Cluster.ledger cluster longest in
+      List.concat_map
+        (fun r ->
+          if r = longest then []
+          else begin
+            let other = Cluster.ledger cluster r in
+            let common = min (Ledger.length reference) (Ledger.length other) in
+            let violations = ref [] in
+            (try
+               for round = 0 to common - 1 do
+                 let a = Option.get (Ledger.get reference round) in
+                 let b = Option.get (Ledger.get other round) in
+                 if not (String.equal (Block.hash a) (Block.hash b)) then begin
+                   (* Name the diverging slot if a single instance differs. *)
+                   let slot =
+                     List.find_opt
+                       (fun (pa : Block.proof) ->
+                         List.exists
+                           (fun (pb : Block.proof) ->
+                             pa.Block.instance = pb.Block.instance
+                             && not
+                                  (String.equal pa.Block.batch_digest
+                                     pb.Block.batch_digest))
+                           b.Block.proofs)
+                       a.Block.proofs
+                   in
+                   (match slot with
+                   | Some p ->
+                       violations :=
+                         fail "slot-agreement"
+                           "replicas %d and %d executed different batches at \
+                            (round %d, instance %d)"
+                           longest r round p.Block.instance
+                         :: !violations
+                   | None ->
+                       violations :=
+                         fail "ledger-prefix"
+                           "replicas %d and %d diverge at round %d" longest r
+                           round
+                         :: !violations);
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            List.rev !violations
+          end)
+        replicas
+
+(* --- duplicate execution ------------------------------------------------- *)
+
+(* §3.1: a client request is ordered by exactly one instance; a batch that
+   executes in two rounds (or twice in one) was double-served. Checked per
+   replica over its own txn table. *)
+let check_no_duplicate_execution cluster replicas =
+  List.filter_map
+    (fun r ->
+      let table = Cluster.txn_table cluster r in
+      let rounds = Ledger.length (Cluster.ledger cluster r) in
+      let seen = Hashtbl.create 256 in
+      let dup = ref None in
+      for round = 0 to rounds - 1 do
+        List.iter
+          (fun (e : Txn_table.entry) ->
+            if e.Txn_table.client <> Batch.null_client then begin
+              let key = (e.Txn_table.client, e.Txn_table.batch_digest) in
+              match Hashtbl.find_opt seen key with
+              | Some first when !dup = None ->
+                  dup := Some (e.Txn_table.client, first, round)
+              | Some _ -> ()
+              | None -> Hashtbl.add seen key round
+            end)
+          (Txn_table.find table ~round)
+      done;
+      match !dup with
+      | Some (client, first, again) ->
+          Some
+            (fail "no-duplicate-execution"
+               "replica %d executed client %d's batch twice (rounds %d and %d)"
+               r client first again)
+      | None -> None)
+    replicas
+
+(* --- coordinator structure and agreement --------------------------------- *)
+
+let check_coordinator_structure cluster replicas =
+  let cfg = Cluster.config cluster in
+  List.concat_map
+    (fun r ->
+      let primaries = Cluster.primaries_view cluster r in
+      let distinct = List.sort_uniq compare primaries in
+      let bad =
+        List.exists (fun p -> p < 0 || p >= cfg.Config.n) primaries
+      in
+      if List.length primaries <> cfg.Config.z then
+        [
+          fail "coordinator-structure" "replica %d tracks %d primaries, want z=%d"
+            r (List.length primaries) cfg.Config.z;
+        ]
+      else if List.length distinct <> cfg.Config.z || bad then
+        [
+          fail "coordinator-structure" "replica %d primary set invalid: [%s]" r
+            (String.concat "," (List.map string_of_int primaries));
+        ]
+      else [])
+    replicas
+
+let check_coordinator_agreement cluster replicas =
+  match replicas with
+  | [] | [ _ ] -> []
+  | reference :: rest ->
+      let ref_primaries = Cluster.primaries_view cluster reference in
+      let ref_replacements = Cluster.replacements_of cluster reference in
+      List.concat_map
+        (fun r ->
+          let primaries = Cluster.primaries_view cluster r in
+          let replacements = Cluster.replacements_of cluster r in
+          let show l = String.concat "," (List.map string_of_int l) in
+          (if primaries <> ref_primaries then
+             [
+               fail "coordinator-agreement"
+                 "replicas %d and %d disagree on primaries: [%s] vs [%s]"
+                 reference r (show ref_primaries) (show primaries);
+             ]
+           else [])
+          @
+          if replacements <> ref_replacements then
+            [
+              fail "coordinator-agreement"
+                "replicas %d and %d disagree on replacements: %d vs %d"
+                reference r ref_replacements replacements;
+            ]
+          else [])
+        rest
+
+let safety cluster ~exclude =
+  let replicas = checked_replicas cluster ~exclude in
+  check_chains cluster replicas
+  @ check_prefixes cluster replicas
+  @ check_no_duplicate_execution cluster replicas
+  @ check_coordinator_structure cluster replicas
+
+let quiesced cluster ~exclude =
+  let replicas = checked_replicas cluster ~exclude in
+  safety cluster ~exclude @ check_coordinator_agreement cluster replicas

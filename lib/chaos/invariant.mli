@@ -1,0 +1,38 @@
+(** Cluster-wide safety and liveness checks.
+
+    Safety checks ({!safety}) hold at {e every} instant of a run, faults
+    active or not, for every replica outside [exclude] (byzantine-tainted
+    replicas can be arbitrary; crashed/lagging replicas are still checked —
+    a stale ledger is a correct prefix):
+
+    - every ledger's hash chain validates;
+    - ledger prefix agreement: the common prefix of any two ledgers is
+      block-for-block identical;
+    - slot agreement: no two replicas execute different batches at the
+      same (round, instance) slot — the per-instance proof digests of a
+      shared round must match;
+    - no duplicate execution: a real (non-null) batch is executed in at
+      most one round (§3.1 request-duplication prevention);
+    - coordinator structure: each replica's primary set has z distinct
+      members of [0, n).
+
+    Quiesced checks ({!quiesced}) additionally require that the cluster
+    has settled — faults healed and enough tail time passed:
+
+    - coordinator agreement: all checked replicas report the same
+      (primary set, replacement count). *)
+
+type violation = { invariant : string; detail : string }
+
+val to_string : violation -> string
+
+val safety :
+  Rcc_runtime.Cluster.t ->
+  exclude:Rcc_common.Ids.replica_id list ->
+  violation list
+
+val quiesced :
+  Rcc_runtime.Cluster.t ->
+  exclude:Rcc_common.Ids.replica_id list ->
+  violation list
+(** [safety] plus the agreement checks; run only after faults heal. *)

@@ -1,0 +1,135 @@
+module Engine = Rcc_sim.Engine
+module Cluster = Rcc_runtime.Cluster
+module Config = Rcc_runtime.Config
+module Report = Rcc_runtime.Report
+module Ledger = Rcc_storage.Ledger
+module Byz = Rcc_replica.Byz
+
+type outcome = {
+  cfg : Config.t;
+  script : Script.t;
+  report : Report.t;
+  violations : (Engine.time * Invariant.violation) list;
+}
+
+let passed outcome = outcome.violations = []
+
+(* Replicas outside the safety guarantee right now: every spec that is
+   currently byzantine (configured faults stay on; scripted ones may have
+   been switched off, which [Nemesis.tainted] still remembers). *)
+let excluded cluster nemesis =
+  let n = (Cluster.config cluster).Config.n in
+  let byz_now =
+    List.filter
+      (fun r -> (Cluster.byz_spec cluster r).Byz.byzantine)
+      (List.init n (fun r -> r))
+  in
+  List.sort_uniq compare (byz_now @ Nemesis.tainted nemesis)
+
+(* A replica the script and config never touch, to witness liveness. *)
+let witness cfg script =
+  let faulty =
+    Script.faulty_replicas script
+    @ (match cfg.Config.fault with Config.Crash dead -> dead | _ -> [])
+  in
+  let rec scan r =
+    if r >= cfg.Config.n then None
+    else if List.mem r faulty then scan (r + 1)
+    else Some r
+  in
+  scan 0
+
+let run ?check_every ?(expect_progress = true) ?(quiesced_check = true)
+    ?(canary = false) ?nemesis_seed (cfg : Config.t) script =
+  let duration = cfg.Config.duration in
+  let check_every =
+    match check_every with Some t -> max 1 t | None -> max 1 (duration / 10)
+  in
+  let cluster = Cluster.build cfg in
+  let nemesis = Nemesis.install ?seed:nemesis_seed cluster script in
+  let engine = Cluster.engine cluster in
+  let violations = ref [] in
+  let record vs =
+    let now = Engine.now engine in
+    List.iter (fun v -> violations := (now, v) :: !violations) vs
+  in
+  (* Periodic mid-run safety checks. *)
+  let rec arm at =
+    if at < duration then
+      Engine.schedule_at engine at (fun () ->
+          record (Invariant.safety cluster ~exclude:(excluded cluster nemesis));
+          arm (at + check_every))
+  in
+  arm check_every;
+  (* Snapshot a healthy replica's progress once the script has fully
+     played out; the post-heal ledger must grow past it. *)
+  let witness_replica = witness cfg script in
+  let snapshot = ref None in
+  let last_event = Script.last_event_time script in
+  (match witness_replica with
+  | Some w when script <> [] && last_event < duration ->
+      Engine.schedule_at engine last_event (fun () ->
+          snapshot := Some (Ledger.length (Cluster.ledger cluster w)))
+  | Some _ | None -> ());
+  let report = Cluster.run cluster in
+  let exclude = excluded cluster nemesis in
+  record
+    (if quiesced_check then Invariant.quiesced cluster ~exclude
+     else Invariant.safety cluster ~exclude);
+  if expect_progress then begin
+    if report.Report.committed_txns = 0 then
+      record
+        [
+          {
+            Invariant.invariant = "liveness-commits";
+            detail = "no client transaction committed over the whole run";
+          };
+        ];
+    match (witness_replica, !snapshot) with
+    | Some w, Some before ->
+        let after = Ledger.length (Cluster.ledger cluster w) in
+        if after <= before then
+          record
+            [
+              {
+                Invariant.invariant = "liveness-post-heal";
+                detail =
+                  Printf.sprintf
+                    "replica %d's ledger stuck at %d rounds after the last \
+                     scripted fault"
+                    w before;
+              };
+            ]
+    | _ -> ()
+  end;
+  if canary && report.Report.committed_txns > 0 then
+    record
+      [
+        {
+          Invariant.invariant = "canary-no-commits";
+          detail =
+            Printf.sprintf
+              "intentionally-broken invariant: %d transactions committed"
+              report.Report.committed_txns;
+        };
+      ];
+  { cfg; script; report; violations = List.rev !violations }
+
+let pp_outcome fmt outcome =
+  let r = outcome.report in
+  if passed outcome then
+    Format.fprintf fmt "PASS %s n=%d rounds=%d txns=%d replacements=%d@."
+      r.Report.protocol r.Report.n r.Report.ledger_rounds
+      r.Report.committed_txns r.Report.replacements
+  else begin
+    Format.fprintf fmt "FAIL %s n=%d rounds=%d txns=%d (%d violations)@."
+      r.Report.protocol r.Report.n r.Report.ledger_rounds
+      r.Report.committed_txns
+      (List.length outcome.violations);
+    List.iter
+      (fun (at, v) ->
+        Format.fprintf fmt "  at %dms %s@." (at / 1_000_000)
+          (Invariant.to_string v))
+      outcome.violations;
+    Format.fprintf fmt "script:@.%s" (Script.to_string outcome.script)
+  end

@@ -1,0 +1,37 @@
+(** One chaos run: build the cluster, install the nemesis, run with
+    periodic invariant checks, and verdict the outcome.
+
+    Safety invariants are checked every [check_every] of simulated time
+    and at the end; byzantine-tainted replicas (scripted or configured)
+    are excluded from guarantees. If [expect_progress] (default), the run
+    additionally requires post-heal liveness: client transactions commit
+    during the run, and a never-faulty replica's ledger keeps growing
+    after the script's last event. [quiesced_check] (default) adds the
+    end-of-run coordinator agreement check — disable it for scripts that
+    deliberately leave the cluster split or stalled. [canary] installs an
+    intentionally-broken invariant ("no transaction ever commits") to
+    demonstrate the failure-reporting path. *)
+
+type outcome = {
+  cfg : Rcc_runtime.Config.t;
+  script : Script.t;
+  report : Rcc_runtime.Report.t;
+  violations : (Rcc_sim.Engine.time * Invariant.violation) list;
+      (** in detection order; time is the simulated instant of the check *)
+}
+
+val passed : outcome -> bool
+
+val run :
+  ?check_every:Rcc_sim.Engine.time ->
+  ?expect_progress:bool ->
+  ?quiesced_check:bool ->
+  ?canary:bool ->
+  ?nemesis_seed:int ->
+  Rcc_runtime.Config.t ->
+  Script.t ->
+  outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Deterministic summary: PASS/FAIL, committed rounds/txns, violations
+    and the script on failure. No wall-clock fields. *)

@@ -31,7 +31,7 @@ let of_msg = function
 let validate t ~n ~min_cert =
   let ok_entry (e : Msg.contract_entry) =
     if e.Msg.ce_instance < 0 then Error "contract: negative instance"
-    else if e.Msg.ce_round <> t.round then Error "contract: round mismatch"
+    else if e.Msg.ce_round < t.round then Error "contract: round mismatch"
     else if
       List.exists (fun r -> r < 0 || r >= n) e.Msg.ce_cert_replicas
     then Error "contract: certifier out of range"

@@ -40,6 +40,7 @@ type t = {
   kmal : Bitset.t;
   blames : Bitset.t array;  (* per instance: distinct accusers of its primary *)
   blame_round : int array;  (* lowest blamed round per instance; max_int if none *)
+  stale_accusers : Bitset.t;  (* accusers of rounds we already executed *)
   mutable pending_replace : (round * instance_id) list;  (* sorted *)
   mutable collusion_timer : Engine.timer option;
   mutable replacements : int;
@@ -64,6 +65,7 @@ let create cfg ~engine ~handles ~exec ~metrics ~broadcast ~send =
     kmal = Bitset.create cfg.n;
     blames = Array.init cfg.z (fun _ -> Bitset.create cfg.n);
     blame_round = Array.make cfg.z max_int;
+    stale_accusers = Bitset.create cfg.n;
     pending_replace = [];
     collusion_timer = None;
     replacements = 0;
@@ -104,14 +106,19 @@ let clear_blames t x =
   Bitset.clear t.blames.(x);
   t.blame_round.(x) <- max_int
 
-let next_fresh_primary t =
-  let is_primary r = Array.exists (fun p -> p = r) t.primaries in
-  let rec scan r =
-    if r >= t.cfg.n then None
-    else if (not (Bitset.mem t.kmal r)) && not (is_primary r) then Some r
-    else scan (r + 1)
-  in
-  scan 0
+(* Deterministic primary rotation: instance [x] draws its primaries from
+   the residue class {r | r mod z = x}, in ascending order, starting at
+   [x] itself (the view-0 primary). The classes are disjoint, so two
+   instances can never share a primary, and — crucially — (instance,
+   view) alone determines the primary. Replicas that conclude the same
+   replacement from different local blame histories, or that adopt it
+   later via [View_sync], land on the same choice without agreeing on
+   anything else first. A deposed primary re-enters the rotation once
+   the class wraps around (as in PBFT); if it is still faulty it is
+   simply blamed and replaced again. *)
+let primary_for cfg ~instance ~view =
+  let pool_len = (cfg.n - instance + cfg.z - 1) / cfg.z in
+  instance + (view mod pool_len) * cfg.z
 
 (* Handle [(r, x)]: only once every other instance has either replicated
    round [r] or is itself awaiting replacement. *)
@@ -129,19 +136,25 @@ let can_handle t (r, x) =
 let rec process_replacements t =
   match t.pending_replace with
   | [] -> ()
-  | ((_r, x) as entry) :: rest when can_handle t entry -> (
+  | (r, _x) :: rest when r < Exec.next_round t.exec ->
+      (* The stall this replacement answers has been cured (execution
+         passed the blamed round, via heal or contract adoption) while
+         the entry sat parked behind the §3.4.2 ordering condition.
+         Replacing now would act on evidence of a problem that no longer
+         exists — and at wildly different times on different replicas. *)
+      t.pending_replace <- rest;
+      process_replacements t
+  | ((_r, x) as entry) :: rest when can_handle t entry ->
       Bitset.add t.kmal t.primaries.(x) |> ignore;
-      match next_fresh_primary t with
-      | None -> () (* fewer than z honest non-primaries left; stall *)
-      | Some fresh ->
-          t.pending_replace <- rest;
-          t.primaries.(x) <- fresh;
-          t.views.(x) <- t.views.(x) + 1;
-          t.replacements <- t.replacements + 1;
-          Metrics.record_view_change t.metrics;
-          clear_blames t x;
-          (t.handles.(x)).h_set_primary fresh ~view:t.views.(x);
-          process_replacements t)
+      t.pending_replace <- rest;
+      t.views.(x) <- t.views.(x) + 1;
+      let fresh = primary_for t.cfg ~instance:x ~view:t.views.(x) in
+      t.primaries.(x) <- fresh;
+      t.replacements <- t.replacements + 1;
+      Metrics.record_view_change t.metrics;
+      clear_blames t x;
+      (t.handles.(x)).h_set_primary fresh ~view:t.views.(x);
+      process_replacements t
   | _ :: _ -> ()
 
 let enqueue_replacement t ~instance ~round =
@@ -156,6 +169,7 @@ let enqueue_replacement t ~instance ~round =
 let distinct_accusers t =
   let seen = Bitset.create t.cfg.n in
   Array.iter (fun b -> Bitset.iter b (fun r -> Bitset.add seen r |> ignore)) t.blames;
+  Bitset.iter t.stale_accusers (fun r -> Bitset.add seen r |> ignore);
   Bitset.count seen
 
 let stalled_rounds t =
@@ -221,7 +235,8 @@ and evaluate_collusion t =
     (* f+1 replicas complain, yet no primary has f+1 accusers: the
        evidence cannot come from a single failed primary. *)
     on_collusion_detected t;
-    Array.iteri (fun x _ -> clear_blames t x) t.blames
+    Array.iteri (fun x _ -> clear_blames t x) t.blames;
+    Bitset.clear t.stale_accusers
   end
   else if accusers > 0 && strongest < t.cfg.f + 1 then
     (* Inconclusive: keep waiting. *)
@@ -229,13 +244,88 @@ and evaluate_collusion t =
 
 (* --- evidence intake ----------------------------------------------------- *)
 
+let send_view_sync t ~dst ~instance =
+  t.send ~dst
+    (Msg.View_sync
+       {
+         instance;
+         view = t.views.(instance);
+         primary = t.primaries.(instance);
+         kmal = Bitset.to_list t.kmal;
+       })
+
+(* Periodic anti-entropy: replicas that were crashed or partitioned
+   through a replacement's blame quorum hold stale views until something
+   reminds them. Blame-triggered syncs only fire while traffic is
+   unhealthy, so the heartbeat also gossips any non-initial views. *)
+let gossip_views t =
+  for x = 0 to t.cfg.z - 1 do
+    if t.views.(x) > 0 then
+      t.broadcast
+        (Msg.View_sync
+           {
+             instance = x;
+             view = t.views.(x);
+             primary = t.primaries.(x);
+             kmal = Bitset.to_list t.kmal;
+           })
+  done
+
 let register_blame t ~src ~instance ~blamed ~round =
-  if instance >= 0 && instance < t.cfg.z && blamed = t.primaries.(instance) then begin
-    Bitset.add t.blames.(instance) src |> ignore;
-    if round < t.blame_round.(instance) then t.blame_round.(instance) <- round;
-    if Bitset.count t.blames.(instance) >= t.cfg.f + 1 then
-      enqueue_replacement t ~instance ~round:t.blame_round.(instance)
-    else arm_collusion_timer t
+  if instance >= 0 && instance < t.cfg.z then begin
+    if round < Exec.next_round t.exec then begin
+      (* A blame about a round we already executed says nothing about the
+         current primary — counting it toward a replacement quorum lets a
+         single replica catching up after a crash push instances through
+         spurious view changes. But it IS the signature of Example 3.3:
+         a victim that colluding primaries keep in the dark stays stuck
+         at an old round while the rest of the cluster advances, so such
+         accusers still feed collusion detection (which never replaces a
+         single primary on its own). *)
+      if Bitset.add t.stale_accusers src then arm_collusion_timer t
+    end
+    else if blamed = t.primaries.(instance) then begin
+      Bitset.add t.blames.(instance) src |> ignore;
+      if round < t.blame_round.(instance) then t.blame_round.(instance) <- round;
+      if Bitset.count t.blames.(instance) >= t.cfg.f + 1 then
+        enqueue_replacement t ~instance ~round:t.blame_round.(instance)
+      else arm_collusion_timer t
+    end
+    else if Bitset.mem t.kmal blamed && src <> t.cfg.self then
+      (* The accuser blames a primary we already deposed: it missed a
+         replacement's blame quorum (partitioned or crashed at the time).
+         Ship it our view so the coordinator state converges. *)
+      send_view_sync t ~dst:src ~instance
+  end
+
+(* Adopt a strictly newer view for [instance]. Counts the skipped
+   replacements so the replacement totals converge too (exact under
+   optimistic/pessimistic recovery, where every view step is one
+   replacement). *)
+let on_view_sync t ~instance ~view ~primary ~kmal =
+  if instance >= 0 && instance < t.cfg.z && view > t.views.(instance) then begin
+    (* Under the deterministic rotation the primary is a function of
+       (instance, view); recompute it rather than trusting the sender's
+       claim. View_shift assigns primaries outside the rotation, so
+       there the sender's field is all we have. *)
+    let primary =
+      match t.cfg.recovery with
+      | Optimistic | Pessimistic -> primary_for t.cfg ~instance ~view
+      | View_shift -> primary
+    in
+    List.iter (fun r -> Bitset.add t.kmal r |> ignore) kmal;
+    let skipped = view - t.views.(instance) in
+    t.replacements <- t.replacements + skipped;
+    for _ = 1 to skipped do
+      Metrics.record_view_change t.metrics
+    done;
+    t.primaries.(instance) <- primary;
+    t.views.(instance) <- view;
+    t.pending_replace <-
+      List.filter (fun (_, x) -> x <> instance) t.pending_replace;
+    clear_blames t instance;
+    (t.handles.(instance)).h_set_primary primary ~view;
+    process_replacements t
   end
 
 let on_local_failure t ~instance ~round ~blamed =
@@ -260,18 +350,49 @@ let on_contract t msg =
                   e.Msg.ce_batch ~cert:e.Msg.ce_cert_replicas)
             contract.Contract.entries)
 
+(* Bound on how many consecutive rounds one contract reply may carry. *)
+let contract_window = 1_024
+
 let on_contract_request t ~src ~round =
-  let contract =
-    Contract.build ~round
-      ~accepted:(fun x -> accepted_anywhere t ~round ~instance:x)
-      ~z:t.cfg.z
-  in
-  if contract.Contract.entries <> [] then begin
-    let msg = Contract.to_msg contract in
-    Metrics.record_contract_bytes t.metrics (Msg.size msg);
-    t.send ~dst:src msg
-  end
+  (* Serve not just the requested round but the contiguous window of later
+     rounds we know about: the requester — a replica whose execution
+     stalled, or a fresh primary taking over an instance it was cut off
+     from — has no way to know how far ahead the rest of the cluster ran,
+     so a single request must be able to return the whole in-flight
+     frontier. Contract entries carry their own round numbers, so the
+     window packs into one message. *)
+  let entries = ref [] in
+  let r = ref round in
+  let continue = ref true in
+  while !continue && !r < round + contract_window do
+    let c =
+      Contract.build ~round:!r
+        ~accepted:(fun x -> accepted_anywhere t ~round:!r ~instance:x)
+        ~z:t.cfg.z
+    in
+    match c.Contract.entries with
+    | [] -> continue := false
+    | es ->
+        entries := List.rev_append es !entries;
+        incr r
+  done;
+  match List.rev !entries with
+  | [] -> ()
+  | es ->
+      let msg = Msg.Contract { round; entries = es } in
+      Metrics.record_contract_bytes t.metrics (Msg.size msg);
+      t.send ~dst:src msg
 
 let on_round_executed t ~round accs =
   history_store t round accs;
+  (* Blame evidence is scoped to the stall it complains about: once
+     execution advances past the blamed round, the complaint has been
+     cured (partition healed, contract adopted) and the accusations must
+     not linger to combine with blames of a much later, unrelated stall —
+     that is how replicas end up replacing primaries on evidence no
+     quorum ever held at once. *)
+  for x = 0 to t.cfg.z - 1 do
+    if t.blame_round.(x) <> max_int && round > t.blame_round.(x) then
+      clear_blames t x
+  done;
   if t.cfg.recovery = Pessimistic then broadcast_contract t ~round

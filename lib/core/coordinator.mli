@@ -68,6 +68,25 @@ val on_view_change :
   t -> src:replica_id -> instance:instance_id -> blamed:replica_id -> round:round -> unit
 (** Evidence from another replica's instance. *)
 
+val on_view_sync :
+  t ->
+  instance:instance_id ->
+  view:view ->
+  primary:replica_id ->
+  kmal:replica_id list ->
+  unit
+(** A peer's current coordinator view for [instance], sent in reply to a
+    blame that named an already-deposed primary. Adopted only if strictly
+    newer than ours; converges replicas that missed a replacement's blame
+    quorum while partitioned or crashed. *)
+
+val gossip_views : t -> unit
+(** Broadcast a {!Rcc_messages.Msg.View_sync} for every instance whose
+    view has moved past the initial one. Called from the liveness
+    monitor's heartbeat as anti-entropy: blame-triggered syncs only fire
+    while traffic is unhealthy, so without gossip a replica that slept
+    through the last replacement would stay stale forever. *)
+
 val on_contract : t -> Rcc_messages.Msg.t -> unit
 
 val on_contract_request : t -> src:replica_id -> round:round -> unit

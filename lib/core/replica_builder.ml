@@ -165,6 +165,15 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
                   (fun () -> Coordinator.on_contract_request coordinator ~src ~round)
             | None -> ()
           end
+        | Msg.View_sync { instance; view; primary; kmal } -> begin
+            match t.coordinator with
+            | Some coordinator ->
+                Cpu.submit_ready exec_server ~ready ~cost:(coordinator_cost msg)
+                  (fun () ->
+                    Coordinator.on_view_sync coordinator ~instance ~view
+                      ~primary ~kmal)
+            | None -> ()
+          end
         | Msg.Instance_change { client; instance } ->
             (* §3.6: accept the defection unless the instance is already
                at its adopted-client capacity (anti-flooding). *)
@@ -334,12 +343,17 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     let engine = Node.engine t.node in
     let last_round = ref (-1) in
     let last_change = ref 0 in
-    let last_blamed = ref (-1) in
+    (* 0, not [min_int]: [now - !last_exchange] must not overflow. A stall
+       can only be detected after [timeout] of simulated time anyway. *)
+    let last_exchange = ref 0 in
     let last_heartbeat = Array.make cfg.z (-1) in
     let _send, broadcast = Node.sender t.node ~worker:(Node.exec_server t.node) in
     let rec tick () =
       let round = Exec.next_round t.exec in
       let now = Engine.now engine in
+      (match t.coordinator with
+      | Some c -> Coordinator.gossip_views c
+      | None -> ());
       if round <> !last_round then begin
         last_round := round;
         last_change := now
@@ -369,8 +383,18 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
                 done
               end)
             missing;
-        if cfg.unified && stalled > cfg.timeout && !last_blamed < round then begin
-          last_blamed := round;
+        if cfg.unified && stalled > cfg.timeout && now - !last_exchange > cfg.timeout
+        then begin
+          (* Escalate once per timeout period for as long as the stall
+             lasts — NOT once per round. A round can stay stalled through
+             a replacement (the replacement's own repropose can be lost
+             to the same link fault that caused the stall), and then the
+             new primary must be blamable for the same round or the
+             instance wedges forever. Re-blaming is idempotent at the
+             coordinator (accuser bitsets), and re-requesting contracts
+             covers exchanges that fired while the peers were themselves
+             mid-recovery and could only return a partial frontier. *)
+          last_exchange := now;
           List.iter
             (fun x ->
               let blamed = current_primary t x in

@@ -292,7 +292,7 @@ let handle t ~src msg =
   | Msg.View_change _ | Msg.New_view _ | Msg.Order_request _
   | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Client_request _
   | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ ->
       ()
 
 let cost_of (costs : Costs.t) msg =
@@ -312,5 +312,5 @@ let cost_of (costs : Costs.t) msg =
   | Msg.View_change _ | Msg.New_view _ | Msg.Order_request _
   | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Client_request _
   | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ ->
       costs.Costs.worker_msg

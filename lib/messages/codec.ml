@@ -193,7 +193,13 @@ let encode msg =
   | Msg.Instance_change { client; instance } ->
       Buffer.add_char buf '\x10';
       w_int buf client;
-      w_int buf instance);
+      w_int buf instance
+  | Msg.View_sync { instance; view; primary; kmal } ->
+      Buffer.add_char buf '\x11';
+      w_int buf instance;
+      w_int buf view;
+      w_int buf primary;
+      w_list buf w_int kmal);
   Buffer.contents buf
 
 let decode_exn s =
@@ -283,6 +289,11 @@ let decode_exn s =
     | '\x10' ->
         let client = r_int r in
         Msg.Instance_change { client; instance = r_int r }
+    | '\x11' ->
+        let instance = r_int r in
+        let view = r_int r in
+        let primary = r_int r in
+        Msg.View_sync { instance; view; primary; kmal = r_list r r_int }
     | c -> raise (Malformed (Printf.sprintf "unknown tag 0x%02x" (Char.code c)))
   in
   if r.pos <> String.length s then raise (Malformed "trailing bytes");

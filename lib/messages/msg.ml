@@ -61,6 +61,12 @@ type t =
   | Contract of { round : round; entries : contract_entry list }
   | Contract_request of { round : round; instance : instance_id }
   | Instance_change of { client : client_id; instance : instance_id }
+  | View_sync of {
+      instance : instance_id;
+      view : view;
+      primary : replica_id;
+      kmal : replica_id list;
+    }
 
 let header_size = 250
 
@@ -96,6 +102,7 @@ let size = function
             acc + batch_frame + Batch.size e.ce_batch
             + (2 * header_size * List.length e.ce_cert_replicas))
           0 entries
+  | View_sync { kmal; _ } -> header_size + (8 * List.length kmal)
   | Prepare _ | Commit _ | Checkpoint _ | View_change _ | Local_commit _
   | Hs_vote _ | Contract_request _ | Instance_change _ ->
       header_size
@@ -117,6 +124,7 @@ let kind = function
   | Contract _ -> "contract"
   | Contract_request _ -> "contract_request"
   | Instance_change _ -> "instance_change"
+  | View_sync _ -> "view_sync"
 
 let instance_of = function
   | Client_request { instance; _ }
@@ -129,7 +137,8 @@ let instance_of = function
   | Order_request { instance; _ }
   | Local_commit { instance; _ }
   | Contract_request { instance; _ }
-  | Instance_change { instance; _ } ->
+  | Instance_change { instance; _ }
+  | View_sync { instance; _ } ->
       Some instance
   | Commit_cert { cc_instance; _ } -> Some cc_instance
   | Hs_proposal _ | Hs_vote _ | Response _ | Contract _ -> None

@@ -78,6 +78,17 @@ type t =
   | Contract of { round : round; entries : contract_entry list }
   | Contract_request of { round : round; instance : instance_id }
   | Instance_change of { client : client_id; instance : instance_id }
+  | View_sync of {
+      instance : instance_id;
+      view : view;
+      primary : replica_id;
+      kmal : replica_id list;
+    }
+      (** Answer to a blame that names an already-deposed primary: the
+          sender's current view for the instance, so replicas that missed
+          a replacement's blame quorum (partitioned or crashed at the
+          time) converge on the coordinator state (§3.3 state exchange
+          extended to primary metadata). *)
 
 val header_size : int
 (** 250 bytes — the paper's size for batch-free protocol messages. *)

@@ -36,6 +36,7 @@ type t = {
   mutable stable : int;  (* stable checkpoint round *)
   mutable provable_stable : int;  (* highest seq with f+1 checkpoint votes *)
   mutable last_progress : Engine.time;  (* last accept or view install *)
+  mutable held_batches : Batch.t list;  (* submitted during a view change, newest first *)
   mutable running : bool;
 }
 
@@ -58,6 +59,7 @@ let create env =
     stable = -1;
     provable_stable = -1;
     last_progress = 0;
+    held_batches = [];
     running = false;
   }
 
@@ -308,7 +310,15 @@ let propose t batch =
   check_prepared t s
 
 let submit_batch t batch =
-  if is_primary t && not t.in_view_change then propose t batch
+  if is_primary t then begin
+    if t.in_view_change then
+      (* Hold rather than drop: the liveness monitor's null fills and
+         fresh client batches arriving inside the recovery grace window
+         would otherwise vanish — and the monitor only fills a stalled
+         round once, so a swallowed fill stalls the instance forever. *)
+      t.held_batches <- batch :: t.held_batches
+    else propose t batch
+  end
 
 (* --- view changes ---------------------------------------------------- *)
 
@@ -347,23 +357,16 @@ let detect_failure t ~round =
     t.env.Env.report_failure ~round ~blamed:t.primary
   end
 
-(* Re-propose every incomplete round in the new view; rounds this replica
-   never learned get null batches (hole filling). Only the new primary
+(* Re-propose every incomplete round in the new view. Rounds this replica
+   never learned are recovered from peers first in unified mode (§3.3
+   state exchange): another replica may hold — or have executed — the
+   deposed primary's in-flight batch for the round, and hole-filling a
+   null over it would fork the ledgers. Nulls go out only for rounds
+   nobody vouches for within the grace period. Only the new primary
    calls this. *)
-let repropose_incomplete t =
-  let reproposals = ref [] in
-  for seq = t.exec_upto + 1 to t.max_seen do
-    match Hashtbl.find_opt t.slots seq with
-    | Some s when not s.accepted ->
-        let batch =
-          match s.batch with Some b -> b | None -> Batch.null ~round:seq
-        in
-        reproposals := (seq, batch) :: !reproposals
-    | Some _ -> ()
-    | None -> reproposals := (seq, Batch.null ~round:seq) :: !reproposals
-  done;
-  let reproposals = List.rev !reproposals in
-  t.next_seq <- max t.next_seq (t.max_seen + 1);
+let recover_grace t = max (Engine.ms 1) (t.env.Env.timeout / 8)
+
+let repropose_now t reproposals =
   (* Announce the new view even with nothing to re-propose, so backups
      adopt the new primary and accept its future proposals. *)
   t.env.Env.broadcast
@@ -384,10 +387,77 @@ let repropose_incomplete t =
         (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch }))
     reproposals
 
+let repropose_incomplete t =
+  if t.env.Env.unified then begin
+    (* Announce the new view immediately so backups adopt the new
+       primary, but defer all re-proposing until the cluster-wide
+       in-flight frontier has been recovered from peers (§3.3 state
+       exchange): a primary taking over an instance it was cut off from
+       does not know how far the deposed primary ran, and proposing a
+       fresh batch — or a null — at a slot others already prepared would
+       fork the instance. [in_view_change] stays set through the grace
+       period, holding fresh proposals back; the contract reply covers
+       the whole contiguous window above the requested round. *)
+    t.in_view_change <- true;
+    t.env.Env.broadcast
+      (Msg.New_view
+         { instance = t.env.Env.instance; view = t.view; reproposals = [] });
+    t.env.Env.broadcast
+      (Msg.Contract_request
+         { round = t.exec_upto + 1; instance = t.env.Env.instance });
+    let view = t.view in
+    Engine.schedule_after t.env.Env.engine (recover_grace t) (fun () ->
+        if t.view = view && is_primary t && t.in_view_change then begin
+          t.in_view_change <- false;
+          let reproposals = ref [] in
+          for seq = t.max_seen downto t.exec_upto + 1 do
+            match Hashtbl.find_opt t.slots seq with
+            | Some s when not s.accepted ->
+                let b =
+                  match s.batch with
+                  | Some b -> b
+                  | None -> Batch.null ~round:seq
+                in
+                reproposals := (seq, b) :: !reproposals
+            | Some _ -> ()
+            | None -> reproposals := (seq, Batch.null ~round:seq) :: !reproposals
+          done;
+          t.next_seq <- max t.next_seq (t.max_seen + 1);
+          repropose_now t !reproposals;
+          let held = List.rev t.held_batches in
+          t.held_batches <- [];
+          List.iter (propose t) held
+        end)
+  end
+  else begin
+    (* Standalone PBFT: no contract machinery; re-propose what we have
+       and null-fill the rest immediately. *)
+    let reproposals = ref [] in
+    for seq = t.max_seen downto t.exec_upto + 1 do
+      match Hashtbl.find_opt t.slots seq with
+      | Some s when not s.accepted ->
+          let b =
+            match s.batch with Some b -> b | None -> Batch.null ~round:seq
+          in
+          reproposals := (seq, b) :: !reproposals
+      | Some _ -> ()
+      | None -> reproposals := (seq, Batch.null ~round:seq) :: !reproposals
+    done;
+    t.next_seq <- max t.next_seq (t.max_seen + 1);
+    repropose_now t !reproposals;
+    let held = List.rev t.held_batches in
+    t.held_batches <- [];
+    List.iter (propose t) held
+  end
+
 let install_view t ~view ~primary =
   t.view <- view;
   t.primary <- primary;
   t.in_view_change <- false;
+  (* Batches held through the view change flush at the end of
+     [repropose_incomplete] if we lead the new view; a backup must not
+     sit on them — its clients' requests are the new primary's job. *)
+  if primary <> t.env.Env.self then t.held_batches <- [];
   t.last_failure_report <- -1;
   Hashtbl.filter_map_inplace
     (fun v votes -> if v <= view then None else Some votes)
@@ -425,7 +495,10 @@ let on_view_change t ~src ~new_view =
   end
 
 let on_new_view t ~src ~view reproposals =
-  if view > t.view || (view = t.view && t.in_view_change) then begin
+  (* Same-view NEW-VIEWs from the current primary carry late hole-filling
+     reproposals (rounds it first tried to recover from peers). *)
+  if view > t.view || (view = t.view && (t.in_view_change || src = t.primary))
+  then begin
     let primary = src in
     t.view <- view;
     t.primary <- primary;
@@ -531,7 +604,7 @@ let handle t ~src msg =
   | Msg.New_view { view; reproposals; _ } -> on_new_view t ~src ~view reproposals
   | Msg.Client_request _ | Msg.Order_request _ | Msg.Commit_cert _
   | Msg.Local_commit _ | Msg.Hs_proposal _ | Msg.Hs_vote _ | Msg.Response _
-  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ ->
+  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ | Msg.View_sync _ ->
       ()
 
 let cost_of (costs : Costs.t) msg =
@@ -549,5 +622,5 @@ let cost_of (costs : Costs.t) msg =
       costs.Costs.worker_msg + costs.Costs.mac_verify
   | Msg.Client_request _ | Msg.Order_request _ | Msg.Hs_proposal _
   | Msg.Hs_vote _ | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ ->
       costs.Costs.worker_msg

@@ -7,11 +7,11 @@ type dark = {
 }
 
 type t = {
-  byzantine : bool;
-  dark : dark option;
-  false_blame : replica_id list;
-  ignore_clients : bool;
-  equivocate : bool;
+  mutable byzantine : bool;
+  mutable dark : dark option;
+  mutable false_blame : replica_id list;
+  mutable ignore_clients : bool;
+  mutable equivocate : bool;
 }
 
 let honest =
@@ -37,6 +37,15 @@ let false_blamer ~blames = { honest with byzantine = true; false_blame = blames 
 let client_ignorer = { honest with byzantine = true; ignore_clients = true }
 
 let equivocator = { honest with byzantine = true; equivocate = true }
+
+let copy t = { t with byzantine = t.byzantine }
+
+let set dst src =
+  dst.byzantine <- src.byzantine;
+  dst.dark <- src.dark;
+  dst.false_blame <- src.false_blame;
+  dst.ignore_clients <- src.ignore_clients;
+  dst.equivocate <- src.equivocate
 
 let excludes t ~round victim =
   match t.dark with

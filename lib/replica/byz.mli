@@ -15,19 +15,23 @@ type dark = {
 }
 
 type t = {
-  byzantine : bool;
-  dark : dark option;
+  mutable byzantine : bool;
+  mutable dark : dark option;
   (** As a primary, exclude [victims] from proposals in the round span. *)
-  false_blame : replica_id list;
+  mutable false_blame : replica_id list;
   (** Send view-change messages blaming these (non-faulty) primaries when
       prompted (fig. 12 false-alarm attack). *)
-  ignore_clients : bool;
+  mutable ignore_clients : bool;
   (** As a primary, silently drop client requests (§3.6 denial of
       service; resolved by instance-change). *)
-  equivocate : bool;
+  mutable equivocate : bool;
   (** As a primary, propose conflicting batches to different halves of
       the backups; honest replicas must never accept either. *)
 }
+(** Fields are mutable so the chaos nemesis can flip a replica's behaviour
+    mid-run; a replica reads its spec on every decision. Share one record
+    per replica — mutate through {!set}, never the {!honest} constant
+    (give each replica its own {!copy}). *)
 
 val honest : t
 
@@ -39,6 +43,12 @@ val false_blamer : blames:replica_id list -> t
 val client_ignorer : t
 
 val equivocator : t
+
+val copy : t -> t
+
+val set : t -> t -> unit
+(** [set dst src] overwrites [dst]'s behaviour with [src]'s in place, so
+    every closure holding [dst] sees the change. *)
 
 val excludes : t -> round:round -> replica_id -> bool
 (** [excludes spec ~round victim] — should a primary with this spec omit

@@ -20,6 +20,10 @@ type t = {
   materialize : bool;
   sign_speculative : bool;
   pending : (int, Acceptance.t option array) Hashtbl.t;
+  (* (client, batch digest) -> (round, result digest) of the first
+     execution: duplicate-ordered batches re-send the cached reply
+     instead of re-executing (§3.1 request-duplication prevention). *)
+  replied : (Rcc_common.Ids.client_id * string, int * string) Hashtbl.t;
   mutable next_round : int;
   mutable executed_rounds : int;
   mutable executed_txns : int;
@@ -46,6 +50,7 @@ let create ~engine ~costs ~server ~z ~self ~store ~ledger ~txn_table
     materialize;
     sign_speculative;
     pending = Hashtbl.create 256;
+    replied = Hashtbl.create 256;
     next_round = 0;
     executed_rounds = 0;
     executed_txns = 0;
@@ -80,25 +85,14 @@ let execute_round t round accs =
   Array.iter
     (fun (a : Acceptance.t) ->
       let batch = a.batch in
-      if t.materialize then
-        Array.iter
-          (fun txn -> ignore (Rcc_workload.Txn.apply t.store txn))
-          batch.Batch.txns;
-      let result_digest =
-        Rcc_crypto.Sha256.digest_list
-          [ batch.Batch.digest; Rcc_common.Bytes_util.u64_string (Int64.of_int round) ]
-      in
       let ntxns = Array.length batch.Batch.txns in
-      t.executed_txns <- t.executed_txns + ntxns;
-      Rcc_storage.Txn_table.record t.txn_table
-        {
-          Rcc_storage.Txn_table.round;
-          instance = a.instance;
-          client = batch.Batch.client;
-          batch_digest = batch.Batch.digest;
-          response_digest = result_digest;
-          txn_count = ntxns;
-        };
+      let key = (batch.Batch.client, batch.Batch.digest) in
+      let dup =
+        (not (Batch.is_null batch)) && Hashtbl.mem t.replied key
+      in
+      (* The proof always enters the block — the batch was agreed in
+         sequence — but a duplicate-ordered batch is not re-executed:
+         the client gets the cached reply of the first execution. *)
       proofs :=
         {
           Rcc_storage.Block.instance = a.instance;
@@ -111,22 +105,58 @@ let execute_round t round accs =
                    a.cert);
         }
         :: !proofs;
-      if not (Batch.is_null batch) then begin
+      if not (Batch.is_null batch) then
         clients := batch.Batch.client :: !clients;
+      if dup then begin
+        let first_round, result_digest = Hashtbl.find t.replied key in
         t.respond batch.Batch.client
           (Msg.Response
              {
                client = batch.Batch.client;
                batch_id = batch.Batch.id;
-               round;
+               round = first_round;
                result_digest;
                txn_count = ntxns;
                speculative = a.speculative;
                history = a.history;
              })
-      end;
-      Metrics.record_exec t.metrics ~replica:t.self ~now:(Engine.now t.engine)
-        ~ntxns)
+      end
+      else begin
+        if t.materialize then
+          Array.iter
+            (fun txn -> ignore (Rcc_workload.Txn.apply t.store txn))
+            batch.Batch.txns;
+        let result_digest =
+          Rcc_crypto.Sha256.digest_list
+            [ batch.Batch.digest; Rcc_common.Bytes_util.u64_string (Int64.of_int round) ]
+        in
+        t.executed_txns <- t.executed_txns + ntxns;
+        Rcc_storage.Txn_table.record t.txn_table
+          {
+            Rcc_storage.Txn_table.round;
+            instance = a.instance;
+            client = batch.Batch.client;
+            batch_digest = batch.Batch.digest;
+            response_digest = result_digest;
+            txn_count = ntxns;
+          };
+        if not (Batch.is_null batch) then begin
+          Hashtbl.replace t.replied key (round, result_digest);
+          t.respond batch.Batch.client
+            (Msg.Response
+               {
+                 client = batch.Batch.client;
+                 batch_id = batch.Batch.id;
+                 round;
+                 result_digest;
+                 txn_count = ntxns;
+                 speculative = a.speculative;
+                 history = a.history;
+               })
+        end;
+        Metrics.record_exec t.metrics ~replica:t.self ~now:(Engine.now t.engine)
+          ~ntxns
+      end)
     ordered;
   let block =
     {

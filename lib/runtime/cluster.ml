@@ -66,21 +66,55 @@ let primary_lookup protocol replicas x =
 
 let primary_of_instance t x = primary_lookup t.cfg.Config.protocol t.replicas x
 
-let replacements t =
-  let of_coordinator = function
-    | Some c -> Rcc_core.Coordinator.replacements c
-    | None -> 0
-  in
+let coordinator_of t r =
   match t.replicas with
-  | R_pbft a -> of_coordinator (B_pbft.coordinator a.(0))
-  | R_zyz a -> of_coordinator (B_zyz.coordinator a.(0))
-  | R_hs a -> of_coordinator (B_hs.coordinator a.(0))
-  | R_cft a -> of_coordinator (B_cft.coordinator a.(0))
+  | R_pbft a -> B_pbft.coordinator a.(r)
+  | R_zyz a -> B_zyz.coordinator a.(r)
+  | R_hs a -> B_hs.coordinator a.(r)
+  | R_cft a -> B_cft.coordinator a.(r)
+
+let replacements_of t r =
+  match coordinator_of t r with
+  | Some c -> Rcc_core.Coordinator.replacements c
+  | None -> 0
+
+let replacements t = replacements_of t 0
+
+let net t = t.net
+
+let byz_spec t r =
+  match t.replicas with
+  | R_pbft a -> (B_pbft.config a.(r)).Builder.byz
+  | R_zyz a -> (B_zyz.config a.(r)).Builder.byz
+  | R_hs a -> (B_hs.config a.(r)).Builder.byz
+  | R_cft a -> (B_cft.config a.(r)).Builder.byz
+
+(* Replica [r]'s own belief about the primary set: its coordinator's in
+   unified mode, its instances' views otherwise. *)
+let primaries_view t r =
+  match coordinator_of t r with
+  | Some c -> Rcc_core.Coordinator.primaries c
+  | None ->
+      List.init t.cfg.Config.z (fun x ->
+          match t.replicas with
+          | R_pbft a -> B_pbft.current_primary a.(r) x
+          | R_zyz a -> B_zyz.current_primary a.(r) x
+          | R_hs a -> B_hs.current_primary a.(r) x
+          | R_cft a -> B_cft.current_primary a.(r) x)
+
+let known_malicious_view t r =
+  match coordinator_of t r with
+  | Some c -> Rcc_core.Coordinator.known_malicious c
+  | None -> []
 
 (* --- fault wiring -------------------------------------------------------- *)
 
-(* Byzantine behaviour of replica [self] under the configured fault. *)
+(* Byzantine behaviour of replica [self] under the configured fault. Each
+   replica gets a private copy: the chaos nemesis mutates specs in place,
+   so none may alias the shared [Byz.honest] constant. *)
 let byz_of (cfg : Config.t) self =
+  Byz.copy
+  @@
   match cfg.Config.fault with
   | Config.No_fault | Config.Crash _ -> Byz.honest
   | Config.Client_dos { instance } ->

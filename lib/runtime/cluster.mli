@@ -25,3 +25,24 @@ val primary_of_instance :
 val replacements : t -> int
 val client_pool : t -> Rcc_replica.Client_pool.t
 val engine : t -> Rcc_sim.Engine.t
+
+(* Chaos-layer hooks: the nemesis injects faults through the network and
+   the per-replica byzantine specs; the invariant checker compares each
+   replica's view of the coordinator state. *)
+
+val net : t -> Rcc_messages.Msg.t Rcc_sim.Net.t
+
+val byz_spec : t -> Rcc_common.Ids.replica_id -> Rcc_replica.Byz.t
+(** The live behaviour spec of one replica; mutate it (via
+    {!Rcc_replica.Byz.set}) to flip the replica's behaviour mid-run. *)
+
+val primaries_view :
+  t -> Rcc_common.Ids.replica_id -> Rcc_common.Ids.replica_id list
+(** The primary set as believed by replica [r] (per-instance, in instance
+    order). *)
+
+val known_malicious_view :
+  t -> Rcc_common.Ids.replica_id -> Rcc_common.Ids.replica_id list
+
+val replacements_of : t -> Rcc_common.Ids.replica_id -> int
+(** Unified primary replacements performed by replica [r]'s coordinator. *)

@@ -1,13 +1,23 @@
+type 'msg rule =
+  | Drop of (src:int -> dst:int -> 'msg -> bool)
+  | Delay of (src:int -> dst:int -> Engine.time)
+  | Duplicate of (src:int -> dst:int -> 'msg -> int)
+
+type rule_id = int
+
 type 'msg t = {
   engine : Engine.t;
   nics : Cpu.server array;
   handlers : (src:int -> size:int -> 'msg -> unit) array;
   dead : bool array;
+  incarnations : int array;
   latency : Engine.time;
   jitter : Engine.time;
   ns_per_byte : float;
   rng : Rcc_common.Rng.t;
-  mutable drop_rule : (src:int -> dst:int -> 'msg -> bool) option;
+  mutable rules : (rule_id * 'msg rule) list;  (* insertion order *)
+  mutable next_rule_id : int;
+  mutable legacy_drop : rule_id option;
   mutable messages : int;
   mutable bytes : int;
 }
@@ -21,52 +31,113 @@ let create engine ~nodes ~latency ~jitter ~gbps ~rng =
     nics = Array.init nodes (fun i -> Cpu.server engine ~name:(Printf.sprintf "nic-%d" i));
     handlers = Array.make nodes no_handler;
     dead = Array.make nodes false;
+    incarnations = Array.make nodes 0;
     latency;
     jitter;
     (* gbps is Gbit/s; 8 bits per byte. *)
     ns_per_byte = 8.0 /. gbps;
     rng;
-    drop_rule = None;
+    rules = [];
+    next_rule_id = 0;
+    legacy_drop = None;
     messages = 0;
     bytes = 0;
   }
 
 let engine t = t.engine
 let register t node handler = t.handlers.(node) <- handler
-let set_dead t node dead = t.dead.(node) <- dead
+
+let set_dead t node dead =
+  if t.dead.(node) && not dead then begin
+    (* Revival starts a new incarnation: traffic in flight to the old one
+       is discarded on arrival and the egress NIC queue restarts empty. *)
+    t.incarnations.(node) <- t.incarnations.(node) + 1;
+    t.nics.(node) <-
+      Cpu.server t.engine
+        ~name:(Printf.sprintf "nic-%d.%d" node t.incarnations.(node))
+  end;
+  t.dead.(node) <- dead
+
 let is_dead t node = t.dead.(node)
-let set_drop_rule t rule = t.drop_rule <- rule
+let incarnation t node = t.incarnations.(node)
+
+let add_rule t rule =
+  let id = t.next_rule_id in
+  t.next_rule_id <- id + 1;
+  t.rules <- t.rules @ [ (id, rule) ];
+  id
+
+let add_drop_rule t f = add_rule t (Drop f)
+let add_delay_rule t f = add_rule t (Delay f)
+let add_dup_rule t f = add_rule t (Duplicate f)
+
+let remove_rule t id = t.rules <- List.filter (fun (id', _) -> id' <> id) t.rules
+
+let set_drop_rule t rule =
+  (match t.legacy_drop with
+  | Some id ->
+      remove_rule t id;
+      t.legacy_drop <- None
+  | None -> ());
+  match rule with
+  | None -> ()
+  | Some f -> t.legacy_drop <- Some (add_drop_rule t f)
+
 let messages_sent t = t.messages
 let bytes_sent t = t.bytes
 
 let loopback_delay = Engine.us 2
 
-let deliver t ~src ~dst ~size msg =
-  if not t.dead.(dst) then t.handlers.(dst) ~src ~size msg
+let deliver t ~src ~dst ~size ~epoch msg =
+  if (not t.dead.(dst)) && t.incarnations.(dst) = epoch then
+    t.handlers.(dst) ~src ~size msg
 
 let send t ~src ~dst ~size msg =
   if t.dead.(src) || t.dead.(dst) then ()
   else
     let dropped =
-      match t.drop_rule with None -> false | Some rule -> rule ~src ~dst msg
+      List.exists
+        (fun (_, r) -> match r with Drop f -> f ~src ~dst msg | _ -> false)
+        t.rules
     in
     if not dropped then begin
-      t.messages <- t.messages + 1;
-      t.bytes <- t.bytes + size;
-      if src = dst then
-        Engine.schedule_after t.engine loopback_delay (fun () ->
-            deliver t ~src ~dst ~size msg)
-      else begin
-        (* Virtual NIC: serialization queues on the sender's egress; one
-           event fires at arrival time. *)
-        let serialize = int_of_float (float_of_int size *. t.ns_per_byte) in
-        let serialized =
-          Cpu.reserve t.nics.(src) ~ready:(Engine.now t.engine) ~cost:serialize
-        in
-        let propagation =
-          t.latency + if t.jitter > 0 then Rcc_common.Rng.int t.rng t.jitter else 0
-        in
-        Engine.schedule_at t.engine (serialized + propagation) (fun () ->
-            deliver t ~src ~dst ~size msg)
-      end
+      let extra =
+        List.fold_left
+          (fun acc (_, r) ->
+            match r with Delay f -> acc + max 0 (f ~src ~dst) | _ -> acc)
+          0 t.rules
+      in
+      let copies =
+        1
+        + List.fold_left
+            (fun acc (_, r) ->
+              match r with
+              | Duplicate f -> acc + max 0 (f ~src ~dst msg)
+              | _ -> acc)
+            0 t.rules
+      in
+      let epoch = t.incarnations.(dst) in
+      for _ = 1 to copies do
+        t.messages <- t.messages + 1;
+        t.bytes <- t.bytes + size;
+        if src = dst then
+          Engine.schedule_after t.engine (loopback_delay + extra) (fun () ->
+              deliver t ~src ~dst ~size ~epoch msg)
+        else begin
+          (* Virtual NIC: serialization queues on the sender's egress; one
+             event fires at arrival time. Duplicated copies each pay
+             serialization, like a real retransmission would. *)
+          let serialize = int_of_float (float_of_int size *. t.ns_per_byte) in
+          let serialized =
+            Cpu.reserve t.nics.(src) ~ready:(Engine.now t.engine) ~cost:serialize
+          in
+          let propagation =
+            t.latency
+            + (if t.jitter > 0 then Rcc_common.Rng.int t.rng t.jitter else 0)
+            + extra
+          in
+          Engine.schedule_at t.engine (serialized + propagation) (fun () ->
+              deliver t ~src ~dst ~size ~epoch msg)
+        end
+      done
     end

@@ -7,6 +7,10 @@
     serialization, so large batches at high fan-out saturate the sender's
     NIC exactly as in the paper's setup.
 
+    Fault injection composes through id-tagged link rules: any number of
+    drop, delay-inflation and duplication rules may be active at once (the
+    chaos nemesis adds and removes them as its script plays out).
+
     Node address space is the caller's: the runtime uses [0, n) for
     replicas and [n, n + client_machines) for client machines. *)
 
@@ -32,13 +36,39 @@ val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
     delay without using the NIC. *)
 
 val set_dead : 'msg t -> int -> bool -> unit
-(** A dead node neither sends nor receives (crash fault). *)
+(** A dead node neither sends nor receives (crash fault). Reviving a dead
+    node starts a fresh incarnation: messages that were in flight to it
+    before the crash are discarded on arrival, and its egress NIC queue
+    restarts empty — a restarted process does not inherit the wire. *)
 
 val is_dead : 'msg t -> int -> bool
 
+val incarnation : 'msg t -> int -> int
+(** How many times the node has been revived. *)
+
+(** {2 Composable link rules} *)
+
+type rule_id
+
+val add_drop_rule : 'msg t -> (src:int -> dst:int -> 'msg -> bool) -> rule_id
+(** Consulted on every send; [true] means drop. All active drop rules are
+    OR-ed together. *)
+
+val add_delay_rule : 'msg t -> (src:int -> dst:int -> Engine.time) -> rule_id
+(** Extra propagation delay added to matching sends; active delay rules
+    accumulate. Negative results are treated as zero. *)
+
+val add_dup_rule : 'msg t -> (src:int -> dst:int -> 'msg -> int) -> rule_id
+(** Number of {e extra} copies to transmit (0 = no duplication). Each copy
+    pays NIC serialization and draws its own jitter. *)
+
+val remove_rule : 'msg t -> rule_id -> unit
+(** Remove a rule by id; unknown ids are ignored. *)
+
 val set_drop_rule : 'msg t -> (src:int -> dst:int -> 'msg -> bool) option -> unit
-(** Drop rule consulted on every send; [true] means drop. Used for
-    partition and in-the-dark experiments. *)
+(** Legacy shim over {!add_drop_rule}/{!remove_rule}: installs the rule in
+    a dedicated slot, replacing (or clearing, on [None]) the previous one.
+    Rules added with {!add_drop_rule} are unaffected. *)
 
 val messages_sent : 'msg t -> int
 val bytes_sent : 'msg t -> int

@@ -17,17 +17,17 @@ let u64 i = Rcc_common.Bytes_util.u64_string (Int64.of_int i)
 let genesis_hash ~primaries =
   Rcc_crypto.Sha256.digest_list ("rcc-genesis" :: List.map u64 primaries)
 
-(* The certificate digest is intentionally excluded from the block
-   identity: different replicas accept a round with different (equally
-   valid) 2f+1 quorums, while the agreed content — the ordered batches —
-   must hash identically everywhere. *)
+(* Certificate digests and primaries are intentionally excluded from the
+   block identity: different replicas accept a round with different
+   (equally valid) 2f+1 quorums, and replicas racing a primary
+   replacement install the new primary set at different rounds of their
+   execution stream. Only the agreed content — the ordered batches and
+   the clients they serve — must hash identically everywhere. *)
 let encode t =
   let proof p = u64 p.instance ^ p.batch_digest in
   String.concat ""
     (u64 t.round :: t.prev_hash
-    :: (List.map proof t.proofs
-       @ List.map u64 t.primaries
-       @ List.map u64 t.clients))
+    :: (List.map proof t.proofs @ List.map u64 t.clients))
 
 let hash t = Rcc_crypto.Sha256.digest (encode t)
 

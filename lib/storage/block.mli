@@ -24,9 +24,10 @@ val genesis_hash : primaries:Rcc_common.Ids.replica_id list -> string
 
 val hash : t -> string
 (** Hash of {!encode}. Covers the agreed content (round, chain link,
-    ordered batch digests, primaries, clients) but not the certificate
-    digests, which vary across replicas with the particular 2f+1 quorum
-    each one observed. *)
+    ordered batch digests, clients) but neither the certificate digests,
+    which vary across replicas with the particular 2f+1 quorum each one
+    observed, nor the primaries, which replicas racing a primary
+    replacement install at different rounds of their execution stream. *)
 
 val encode : t -> string
 

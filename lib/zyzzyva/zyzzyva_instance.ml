@@ -26,6 +26,8 @@ type t = {
   vc_votes : (int, Bitset.t) Hashtbl.t;
   mutable vc_sent_for : int;
   mutable last_failure_report : int;
+  mutable recovering : bool;  (* new primary syncing in-flight slots *)
+  mutable held_batches : Batch.t list;  (* submitted while recovering; newest first *)
   mutable running : bool;
 }
 
@@ -43,6 +45,8 @@ let create env =
     vc_votes = Hashtbl.create 8;
     vc_sent_for = 0;
     last_failure_report = -1;
+    recovering = false;
+    held_batches = [];
     running = false;
   }
 
@@ -126,7 +130,10 @@ let propose t batch =
        });
   drain_accepts t
 
-let submit_batch t batch = if is_primary t then propose t batch
+let submit_batch t batch =
+  if is_primary t then
+    if t.recovering then t.held_batches <- batch :: t.held_batches
+    else propose t batch
 
 (* --- failure detection / view change --------------------------------- *)
 
@@ -175,39 +182,75 @@ let on_commit_cert t ~seq ~replicas:_ =
   end
   else if seq >= t.next_accept then detect_failure t ~round:t.next_accept
 
-let repropose_incomplete t =
+let reorder t seq batch =
+  t.env.Env.broadcast
+    (Msg.Order_request
+       {
+         instance = t.env.Env.instance;
+         view = t.view;
+         seq;
+         batch;
+         history = t.history;
+       })
+
+(* How long a new primary waits for peers to vouch for in-flight slots
+   before hole-filling them with nulls. *)
+let recover_grace t = max (Engine.ms 1) (t.env.Env.timeout / 8)
+
+(* Finish taking over the instance: re-order in the new view everything
+   between our accept frontier and the highest slot we know about,
+   hole-filling the rest with nulls, then resume fresh proposals past the
+   frontier. Only safe once [max_seen] reflects the cluster-wide in-flight
+   frontier — see [repropose_incomplete]. *)
+let finish_repropose t =
+  t.recovering <- false;
+  t.next_seq <- max t.next_seq (t.max_seen + 1);
   for seq = t.next_accept to t.max_seen do
     let s = slot t seq in
-    let batch =
-      match s.batch with Some b -> b | None -> Batch.null ~round:seq
-    in
-    s.batch <- Some batch
+    match s.batch with
+    | Some batch -> reorder t seq batch
+    | None ->
+        s.batch <- Some (Batch.null ~round:seq);
+        reorder t seq (Batch.null ~round:seq)
   done;
-  t.next_seq <- max t.next_seq (t.max_seen + 1);
+  drain_accepts t;
+  let held = List.rev t.held_batches in
+  t.held_batches <- [];
+  List.iter (fun batch -> propose t batch) held
+
+let repropose_incomplete t =
   (* Announce the new view so backups adopt the new primary even when
      there is nothing to re-order. *)
   t.env.Env.broadcast
     (Msg.New_view { instance = t.env.Env.instance; view = t.view; reproposals = [] });
-  (* Re-order everything not yet speculatively accepted in the new view. *)
-  for seq = t.next_accept to t.max_seen do
-    match (slot t seq).batch with
-    | Some batch ->
-        t.env.Env.broadcast
-          (Msg.Order_request
-             {
-               instance = t.env.Env.instance;
-               view = t.view;
-               seq;
-               batch;
-               history = t.history;
-             })
-    | None -> ()
-  done;
-  drain_accepts t
+  if t.env.Env.unified then begin
+    (* A primary taking over an instance it was cut off from (partition,
+       dark attack) does not know how far the deposed primary ran: peers
+       may have speculatively executed slots far past our [max_seen], and
+       proposing a fresh batch — or a null — at such a slot forks the
+       ledgers. First recover the cluster-wide in-flight frontier from
+       peers (§3.3 state exchange; the contract reply covers the whole
+       contiguous window above the requested round), and only propose
+       once the grace period has let the answers arrive. *)
+    t.recovering <- true;
+    t.env.Env.broadcast
+      (Msg.Contract_request
+         { round = t.next_accept; instance = t.env.Env.instance });
+    let view = t.view in
+    Engine.schedule_after t.env.Env.engine (recover_grace t) (fun () ->
+        if t.view = view && is_primary t then finish_repropose t)
+  end
+  else begin
+    (* Standalone Zyzzyva: no contract machinery; null-fill immediately. *)
+    t.recovering <- false;
+    finish_repropose t
+  end
 
 let install_view t ~view ~primary =
   t.view <- view;
   t.primary <- primary;
+  t.recovering <- false;
+  t.held_batches <- [];
   t.last_failure_report <- -1;
   Hashtbl.filter_map_inplace
     (fun v votes -> if v <= view then None else Some votes)
@@ -241,6 +284,8 @@ let on_new_view t ~src ~view reproposals =
   if view > t.view then begin
     t.view <- view;
     t.primary <- src;
+    t.recovering <- false;
+    t.held_batches <- [];
     t.last_failure_report <- -1;
     List.iter
       (fun (seq, batch) -> on_order_request t ~src ~view ~seq batch ~history:"")
@@ -302,7 +347,7 @@ let handle t ~src msg =
   | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
   | Msg.Client_request _ | Msg.Local_commit _ | Msg.Hs_proposal _
   | Msg.Hs_vote _ | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ ->
       ()
 
 let cost_of (costs : Costs.t) msg =
@@ -321,5 +366,5 @@ let cost_of (costs : Costs.t) msg =
       costs.Costs.worker_msg + costs.Costs.mac_verify
   | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
   | Msg.Client_request _ | Msg.Hs_proposal _ | Msg.Hs_vote _ | Msg.Response _
-  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ ->
+  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ | Msg.View_sync _ ->
       costs.Costs.worker_msg

@@ -67,7 +67,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
             (fun ~round ~blamed ->
               let node = node_of self in
               node.failures <- (round, blamed) :: node.failures);
-          byz = byz self;
+          byz = Rcc_replica.Byz.copy (byz self);
           unified;
         }
       in

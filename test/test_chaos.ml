@@ -1,0 +1,122 @@
+(* Chaos subsystem tests: nemesis scripts driven through the cluster
+   invariant checker — partition/heal, crash/restart, and the Example 3.3
+   collusion attack under optimistic recovery. *)
+
+module Engine = Rcc_sim.Engine
+module Config = Rcc_runtime.Config
+module Report = Rcc_runtime.Report
+module Script = Rcc_chaos.Script
+module Runner = Rcc_chaos.Runner
+module Invariant = Rcc_chaos.Invariant
+module Fuzzer = Rcc_chaos.Fuzzer
+
+let check = Alcotest.check
+let ms = Engine.ms
+
+let cfg ?(n = 4) protocol ~duration =
+  Config.make ~protocol ~n ~batch_size:10 ~clients:24 ~records:5_000
+    ~duration:(Engine.of_seconds duration)
+    ~warmup:(Engine.of_seconds (duration /. 4.))
+    ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
+    ~collusion_wait:(Engine.ms 150) ()
+
+let assert_passes name outcome =
+  if not (Runner.passed outcome) then begin
+    Format.printf "%a@." Runner.pp_outcome outcome;
+    Alcotest.failf "%s: chaos run failed" name
+  end
+
+let test_partition_heal () =
+  let script =
+    Script.
+      [
+        { at = ms 300; action = Partition [ [ 3 ] ] };
+        { at = ms 600; action = Heal };
+      ]
+  in
+  assert_passes "partition/heal"
+    (Runner.run (cfg Config.MultiP ~duration:1.2) script)
+
+let test_crash_restart () =
+  (* Crash a primary mid-round; its instance must be replaced, and the
+     restarted node must catch back up without forking any ledger. *)
+  let script =
+    Script.
+      [
+        { at = ms 400; action = Crash 0 };
+        { at = ms 700; action = Restart 0 };
+      ]
+  in
+  assert_passes "crash/restart"
+    (Runner.run (cfg Config.MultiP ~duration:1.2) script)
+
+let test_collusion_dark_victim () =
+  (* Example 3.3: both primaries keep replica 3 in the dark. The blame
+     evidence spreads across instances, so no single primary ever draws
+     f+1 accusers and no replacement may happen; optimistic recovery
+     (contract exchange) must still let the victim catch up once the
+     attack stops. *)
+  let script =
+    Script.
+      [
+        { at = ms 300; action = Byz_on (0, Dark [ 3 ]) };
+        { at = ms 300; action = Byz_on (1, Dark [ 3 ]) };
+        { at = ms 800; action = Byz_off 0 };
+        { at = ms 800; action = Byz_off 1 };
+      ]
+  in
+  let outcome = Runner.run (cfg Config.MultiP ~duration:1.4) script in
+  assert_passes "collusion" outcome;
+  check Alcotest.int "no replacement on spread blames" 0
+    outcome.Runner.report.Report.replacements
+
+let test_canary_reports_failure () =
+  (* The intentionally-broken invariant must fail and be attributed, to
+     prove the checker actually runs and reports. *)
+  let outcome = Runner.run ~canary:true (cfg Config.MultiP ~duration:0.4) [] in
+  check Alcotest.bool "canary run fails" false (Runner.passed outcome);
+  check Alcotest.bool "violation names the canary" true
+    (List.exists
+       (fun (_, v) -> v.Invariant.invariant = "canary-no-commits")
+       outcome.Runner.violations)
+
+let test_fuzzer_deterministic () =
+  let report () =
+    Format.asprintf "%a" Fuzzer.pp_summary
+      (Fuzzer.fuzz ~protocols:[ Config.MultiP ]
+         ~duration:(Engine.of_seconds 0.5) ~seed:11 ~runs:1 ())
+  in
+  let a = report () in
+  check Alcotest.bool "report non-empty" true (String.length a > 0);
+  check Alcotest.string "same seed, same report" a (report ())
+
+let test_script_roundtrip () =
+  let script =
+    Script.
+      [
+        { at = ms 10; action = Crash 2 };
+        { at = ms 5; action = Byz_on (1, Dark [ 0; 3 ]) };
+        { at = ms 20; action = Restart 2 };
+      ]
+  in
+  check
+    Alcotest.(list int)
+    "faulty replicas" [ 1; 2 ]
+    (Script.faulty_replicas script);
+  check Alcotest.int "last event" (ms 20) (Script.last_event_time script);
+  (match Script.sorted script with
+  | { at; _ } :: _ -> check Alcotest.int "sorted head" (ms 5) at
+  | [] -> Alcotest.fail "sorted dropped events");
+  check Alcotest.bool "printable" true
+    (String.length (Script.to_string script) > 0)
+
+let suite =
+  ( "chaos",
+    [
+      Alcotest.test_case "script basics" `Quick test_script_roundtrip;
+      Alcotest.test_case "partition/heal" `Slow test_partition_heal;
+      Alcotest.test_case "crash/restart mid-round" `Slow test_crash_restart;
+      Alcotest.test_case "example 3.3 collusion" `Slow test_collusion_dark_victim;
+      Alcotest.test_case "canary failure report" `Slow test_canary_reports_failure;
+      Alcotest.test_case "fuzzer determinism" `Slow test_fuzzer_deterministic;
+    ] )

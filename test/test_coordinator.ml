@@ -107,30 +107,34 @@ let test_unified_replacement () =
   Coordinator.on_view_change fx.coordinator ~src:4 ~instance:1 ~blamed:1 ~round:0;
   check Alcotest.(list (pair int int)) "not yet (f blames)" [] !(fx.set_primary_log);
   Coordinator.on_local_failure fx.coordinator ~instance:1 ~round:0 ~blamed:1;
+  (* n=7, z=3: instance 1's residue class is {1, 4}; view 1 picks 4. *)
   check
     Alcotest.(list (pair int int))
-    "replaced with first fresh replica" [ (1, 3) ] !(fx.set_primary_log);
+    "replaced with next in residue class" [ (1, 4) ] !(fx.set_primary_log);
   check Alcotest.(list int) "old primary known malicious" [ 1 ]
     (Coordinator.known_malicious fx.coordinator);
-  check Alcotest.(list int) "primaries updated" [ 0; 3; 2 ]
+  check Alcotest.(list int) "primaries updated" [ 0; 4; 2 ]
     (Coordinator.primaries fx.coordinator);
   check Alcotest.int "replacement counted" 1 (Coordinator.replacements fx.coordinator)
 
-let test_replacement_skips_existing_primaries_and_kmal () =
+let test_replacement_rotates_within_residue_class () =
   let fx = make () in
   fill_round fx ~z:3 ~round:0 ~except:1;
-  (* Blame instance 1. Fresh candidates: 3 (0,2 are primaries, 1 is kmal). *)
+  (* Blame instance 1. Its primaries rotate through the residue class
+     {1, 4}: other instances' classes ({0,3,6} and {2,5}) are disjoint,
+     so replacements can never produce a duplicate primary even when
+     replicas conclude them from divergent blame histories. *)
   List.iter
     (fun src -> Coordinator.on_view_change fx.coordinator ~src ~instance:1 ~blamed:1 ~round:0)
     [ 3; 4; 5 ];
-  check Alcotest.(list int) "3 chosen, not 0/2" [ 0; 3; 2 ]
+  check Alcotest.(list int) "4 chosen, not 0/2" [ 0; 4; 2 ]
     (Coordinator.primaries fx.coordinator);
-  (* Now instance 1's NEW primary (3) fails too: next fresh is 4. *)
+  (* Now instance 1's NEW primary (4) fails too: the class wraps to 1. *)
   fill_round fx ~z:3 ~round:1 ~except:1;
   List.iter
-    (fun src -> Coordinator.on_view_change fx.coordinator ~src ~instance:1 ~blamed:3 ~round:1)
+    (fun src -> Coordinator.on_view_change fx.coordinator ~src ~instance:1 ~blamed:4 ~round:1)
     [ 4; 5; 6 ];
-  check Alcotest.(list int) "4 chosen next" [ 0; 4; 2 ]
+  check Alcotest.(list int) "wraps back to 1" [ 0; 1; 2 ]
     (Coordinator.primaries fx.coordinator)
 
 let test_stale_blames_ignored () =
@@ -272,8 +276,8 @@ let suite =
   ( "coordinator",
     [
       Alcotest.test_case "unified replacement" `Quick test_unified_replacement;
-      Alcotest.test_case "skips primaries and kmal" `Quick
-        test_replacement_skips_existing_primaries_and_kmal;
+      Alcotest.test_case "rotates within residue class" `Quick
+        test_replacement_rotates_within_residue_class;
       Alcotest.test_case "stale blames ignored" `Quick test_stale_blames_ignored;
       Alcotest.test_case "Lemma 5.1 order independence" `Quick
         test_lemma_5_1_order_independence;

@@ -16,5 +16,6 @@ let () =
       Test_cft.suite;
       Test_coordinator.suite;
       Test_runtime.suite;
+      Test_chaos.suite;
       Test_integration.suite;
     ]

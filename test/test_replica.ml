@@ -361,6 +361,76 @@ let test_byz_excludes () =
   check Alcotest.bool "open-ended window" true (Byz.excludes forever ~round:1_000_000 1);
   check Alcotest.bool "honest excludes nobody" false (Byz.excludes Byz.honest ~round:0 0)
 
+(* An equivocating primary proposes conflicting batches to the two halves
+   of the backups (§6). Neither half can assemble 2f+1 matching PREPAREs
+   for its half's batch, so in the equivocator's view nobody accepts: the
+   slot stalls, the primary gets blamed and deposed, and any eventual
+   acceptance (the new primary re-proposing a logged batch) is the same
+   on every honest replica. *)
+module HP = Harness.Make (Rcc_pbft.Pbft_instance)
+
+let test_equivocate_rejected () =
+  let byz self = if self = 0 then Byz.equivocator else Byz.honest in
+  let t = HP.create ~n:4 ~byz () in
+  HP.submit t ~replica:0 (Harness.make_batch 7);
+  (* Before any view change can fire, neither conflicting batch reaches
+     the 2f+1 PREPAREs needed for acceptance. *)
+  HP.run t 0.1;
+  for r = 1 to 3 do
+    check
+      Alcotest.(option int)
+      (Printf.sprintf "replica %d accepts neither conflicting batch" r)
+      None
+      (HP.accepted_batch_id t ~replica:r ~round:0)
+  done;
+  (* Let the timeout machinery depose the equivocator. *)
+  HP.run t 0.5;
+  check Alcotest.bool "honest replicas blame the equivocator" true
+    (List.exists (fun (_, blamed) -> blamed = 0) (HP.node t 1).HP.failures);
+  let accepted =
+    List.filter_map
+      (fun r -> HP.accepted_batch_id t ~replica:r ~round:0)
+      [ 1; 2; 3 ]
+  in
+  check Alcotest.int "honest replicas never split" 1
+    (List.length (List.sort_uniq compare accepted))
+
+let test_false_blame_no_spurious_replacement () =
+  (* Figure 12's false-alarm attack: replica 3 piggybacks an accusation
+     of the healthy primary 1 on a genuine view change (crash of primary
+     0). A single accuser is short of the f+1 quorum, so instance 1 must
+     keep its primary. *)
+  let cfg =
+    Rcc_runtime.Config.make ~protocol:Rcc_runtime.Config.MultiP ~n:4
+      ~batch_size:10 ~clients:24 ~records:5_000
+      ~duration:(Engine.of_seconds 1.2)
+      ~warmup:(Engine.of_seconds 0.3) ~replica_timeout:(Engine.ms 250)
+      ~client_timeout:(Engine.ms 400) ~collusion_wait:(Engine.ms 150) ()
+  in
+  let cluster = Rcc_runtime.Cluster.build cfg in
+  let script =
+    Rcc_chaos.Script.
+      [
+        { at = Engine.ms 100; action = Byz_on (3, False_blame [ 1 ]) };
+        { at = Engine.ms 300; action = Crash 0 };
+        { at = Engine.ms 600; action = Restart 0 };
+        { at = Engine.ms 600; action = Byz_off 3 };
+      ]
+  in
+  let _nemesis = Rcc_chaos.Nemesis.install cluster script in
+  let _report = Rcc_runtime.Cluster.run cluster in
+  (* Honest survivors: 1 and 2 (0 crashed and recovered, 3 is byzantine). *)
+  List.iter
+    (fun r ->
+      match Rcc_runtime.Cluster.primaries_view cluster r with
+      | _ :: p1 :: _ ->
+          check Alcotest.int
+            (Printf.sprintf "replica %d keeps instance 1's primary" r)
+            1 p1
+      | short ->
+          Alcotest.failf "replica %d tracks %d primaries" r (List.length short))
+    [ 1; 2 ]
+
 let suite =
   ( "replica",
     [
@@ -380,4 +450,7 @@ let suite =
       Alcotest.test_case "zyzzyva commit path" `Quick test_zyzzyva_commit_certificate_path;
       Alcotest.test_case "quorum helpers" `Quick test_quorum_helpers;
       Alcotest.test_case "byz excludes" `Quick test_byz_excludes;
+      Alcotest.test_case "equivocation rejected" `Quick test_equivocate_rejected;
+      Alcotest.test_case "false blame no replacement" `Slow
+        test_false_blame_no_spurious_replacement;
     ] )

@@ -184,6 +184,85 @@ let test_net_stats () =
   check Alcotest.int "messages" 2 (Net.messages_sent net);
   check Alcotest.int "bytes" 300 (Net.bytes_sent net)
 
+let test_net_revive_fresh_incarnation () =
+  let engine = Engine.create () in
+  let net = make_net ~nodes:2 engine in
+  let got = ref [] in
+  Net.register net 1 (fun ~src:_ ~size:_ msg -> got := msg :: !got);
+  (* In flight when the node crashes (arrival ~100 us), revived before
+     arrival: a restarted process does not inherit the wire, so the
+     pre-crash message must be discarded on arrival. *)
+  Net.send net ~src:0 ~dst:1 ~size:10 "pre-crash";
+  Engine.run engine ~until:(Engine.us 10);
+  Net.set_dead net 1 true;
+  Engine.run engine ~until:(Engine.us 20);
+  Net.set_dead net 1 false;
+  check Alcotest.int "second incarnation" 1 (Net.incarnation net 1);
+  Engine.run engine ~until:(Engine.ms 1);
+  check Alcotest.(list string) "pre-crash traffic discarded" [] !got;
+  (* Post-revive traffic flows normally. *)
+  Net.send net ~src:0 ~dst:1 ~size:10 "post-revive";
+  Engine.run engine ~until:(Engine.ms 2);
+  check Alcotest.(list string) "fresh NIC delivers" [ "post-revive" ] !got
+
+let test_net_rules_compose () =
+  let engine = Engine.create () in
+  let net = make_net ~latency:0 ~jitter:0 ~nodes:3 engine in
+  let arrivals = ref [] in
+  Net.register net 1 (fun ~src:_ ~size:_ () ->
+      arrivals := Engine.now engine :: !arrivals);
+  (* Two delay rules accumulate; a drop rule on another link does not
+     interfere. 100 bytes at 8 Gbit/s = 100 ns serialization. *)
+  let d1 = Net.add_delay_rule net (fun ~src:_ ~dst -> if dst = 1 then Engine.us 10 else 0) in
+  let _d2 = Net.add_delay_rule net (fun ~src:_ ~dst -> if dst = 1 then Engine.us 5 else 0) in
+  let drop = Net.add_drop_rule net (fun ~src:_ ~dst _msg -> dst = 2) in
+  Net.send net ~src:0 ~dst:1 ~size:100 ();
+  Engine.run engine ~until:(Engine.ms 1);
+  check Alcotest.(list int) "delays accumulate" [ Engine.us 15 + 100 ] !arrivals;
+  (* Removing one delay rule leaves the other active. *)
+  Net.remove_rule net d1;
+  arrivals := [];
+  Net.send net ~src:0 ~dst:1 ~size:100 ();
+  Engine.run engine ~until:(Engine.ms 2);
+  (match !arrivals with
+  | [ at ] ->
+      check Alcotest.bool "only removed rule's delay gone" true
+        (at - Engine.ms 1 < Engine.us 15 + 100)
+  | _ -> Alcotest.fail "expected one arrival");
+  (* The drop rule still cuts 0 -> 2 until removed. *)
+  let got2 = ref 0 in
+  Net.register net 2 (fun ~src:_ ~size:_ () -> incr got2);
+  Net.send net ~src:0 ~dst:2 ~size:100 ();
+  Engine.run engine ~until:(Engine.ms 3);
+  check Alcotest.int "drop rule cuts link" 0 !got2;
+  Net.remove_rule net drop;
+  Net.send net ~src:0 ~dst:2 ~size:100 ();
+  Engine.run engine ~until:(Engine.ms 4);
+  check Alcotest.int "drop rule removed" 1 !got2
+
+let test_net_dup_rule_and_shim () =
+  let engine = Engine.create () in
+  let net = make_net ~latency:0 ~jitter:0 ~nodes:2 engine in
+  let count = ref 0 in
+  Net.register net 1 (fun ~src:_ ~size:_ () -> incr count);
+  let dup = Net.add_dup_rule net (fun ~src:_ ~dst:_ _ -> 2) in
+  Net.send net ~src:0 ~dst:1 ~size:100 ();
+  Engine.run engine ~until:(Engine.ms 1);
+  check Alcotest.int "two extra copies" 3 !count;
+  Net.remove_rule net dup;
+  (* The legacy set_drop_rule slot replaces itself and clears on None,
+     without touching rules added through add_drop_rule. *)
+  let keep = Net.add_drop_rule net (fun ~src ~dst:_ _msg -> src = 9) in
+  Net.set_drop_rule net (Some (fun ~src:_ ~dst:_ _msg -> true));
+  Net.send net ~src:0 ~dst:1 ~size:100 ();
+  Engine.run engine ~until:(Engine.ms 2);
+  check Alcotest.int "shim rule drops" 3 !count;
+  Net.set_drop_rule net None;
+  Net.send net ~src:0 ~dst:1 ~size:100 ();
+  Engine.run engine ~until:(Engine.ms 3);
+  check Alcotest.int "shim cleared" 4 !count;
+  Net.remove_rule net keep
+
 (* Model-based property: the virtual-timestamp server behaves exactly like
    a reference FIFO queue — completion_i = max(ready_i, completion_{i-1})
    + cost_i in submission order. *)
@@ -245,6 +324,11 @@ let suite =
       Alcotest.test_case "net dead nodes" `Quick test_net_dead_nodes;
       Alcotest.test_case "net drop rule" `Quick test_net_drop_rule;
       Alcotest.test_case "net stats" `Quick test_net_stats;
+      Alcotest.test_case "net revive fresh incarnation" `Quick
+        test_net_revive_fresh_incarnation;
+      Alcotest.test_case "net rules compose" `Quick test_net_rules_compose;
+      Alcotest.test_case "net dup rule and shim" `Quick
+        test_net_dup_rule_and_shim;
       cpu_matches_fifo_model;
       Alcotest.test_case "costs scaling" `Quick test_costs_scaling;
     ] )
