@@ -2,17 +2,17 @@ module Engine = Rcc_sim.Engine
 module Costs = Rcc_sim.Costs
 module Msg = Rcc_messages.Msg
 module Batch = Rcc_messages.Batch
-module Bitset = Rcc_common.Bitset
 module Env = Rcc_replica.Instance_env
+module SL = Rcc_proto_core.Slot_log
+module Quorum = Rcc_proto_core.Quorum
+module Held_batches = Rcc_proto_core.Held_batches
 
-type slot = {
-  seq : int;
-  mutable batch : Batch.t option;
-  acks : Bitset.t;  (* primary side *)
+(* Protocol-specific slot state; batch / accepted / created_at live in
+   the shared {!Rcc_proto_core.Slot_log}. *)
+type ack_state = {
+  acks : Quorum.t;  (* primary side *)
   mutable acked : bool;  (* backup side: we logged and acked *)
   mutable notified : bool;  (* primary side: commit-notify sent *)
-  mutable accepted : bool;
-  created_at : Engine.time;
 }
 
 type t = {
@@ -20,29 +20,32 @@ type t = {
   mutable view : int;
   mutable primary : int;
   mutable next_seq : int;
-  mutable max_seen : int;
-  slots : (int, slot) Hashtbl.t;
-  mutable exec_upto : int;
-  mutable last_progress : Engine.time;
-  vc_votes : (int, Bitset.t) Hashtbl.t;
+  log : ack_state SL.t;
+  vc_votes : Quorum.Tally.t;
   mutable vc_sent_for : int;
   mutable last_failure_report : int;
+  mutable in_transfer : bool;  (* new primary syncing in-flight slots *)
+  held : Held_batches.t;
   mutable running : bool;
 }
 
 let create env =
+  let n = env.Env.n and f = env.Env.f in
   {
     env;
     view = 0;
     primary = env.Env.instance;
     next_seq = 0;
-    max_seen = -1;
-    slots = Hashtbl.create 512;
-    exec_upto = -1;
-    last_progress = 0;
-    vc_votes = Hashtbl.create 8;
+    log =
+      SL.create ~engine:env.Env.engine
+        ~init:(fun _ ->
+          { acks = Quorum.create ~n ~f; acked = false; notified = false })
+        ();
+    vc_votes = Quorum.Tally.create ~n ~f;
     vc_sent_for = 0;
     last_failure_report = -1;
+    in_transfer = false;
+    held = Held_batches.create ();
     running = false;
   }
 
@@ -50,59 +53,38 @@ let primary t = t.primary
 let view t = t.view
 let proposed_upto t = t.next_seq - 1
 let is_primary t = t.primary = t.env.Env.self
-
-(* Crash-fault majority. *)
-let majority t = (t.env.Env.n / 2) + 1
-
-let slot t seq =
-  match Hashtbl.find_opt t.slots seq with
-  | Some s -> s
-  | None ->
-      let s =
-        {
-          seq;
-          batch = None;
-          acks = Bitset.create t.env.Env.n;
-          acked = false;
-          notified = false;
-          accepted = false;
-          created_at = Engine.now t.env.Env.engine;
-        }
-      in
-      Hashtbl.replace t.slots seq s;
-      if seq > t.max_seen then t.max_seen <- seq;
-      s
+let slot t seq = SL.get t.log seq
+let ph (s : ack_state SL.slot) = s.SL.state
 
 let acked_round t ~round =
-  match Hashtbl.find_opt t.slots round with
-  | Some s -> s.acked
-  | None -> false
+  match SL.find_opt t.log round with Some s -> (ph s).acked | None -> false
+
+(* Bound the slot log; crash-fault slots are only needed for contracts. *)
+let retain_slots = 4_096
 
 let advance_exec_upto t =
-  let rec go seq =
-    match Hashtbl.find_opt t.slots seq with
-    | Some s when s.accepted ->
-        t.exec_upto <- seq;
-        Hashtbl.remove t.slots (seq - 4096);
-        go (seq + 1)
-    | Some _ | None -> ()
-  in
-  go (t.exec_upto + 1);
-  t.last_progress <- Engine.now t.env.Env.engine
+  ignore
+    (SL.drain t.log ~accept:(fun s ->
+         if s.SL.accepted then begin
+           SL.remove t.log (s.SL.round - retain_slots);
+           true
+         end
+         else false));
+  SL.touch t.log
 
 let accept t s =
-  if not s.accepted then
-    match s.batch with
+  if not s.SL.accepted then
+    match s.SL.batch with
     | None -> ()
     | Some batch ->
-        s.accepted <- true;
+        s.SL.accepted <- true;
         advance_exec_upto t;
         t.env.Env.accept
           {
             Rcc_replica.Acceptance.instance = t.env.Env.instance;
-            round = s.seq;
+            round = s.SL.round;
             batch;
-            cert = Bitset.to_list s.acks;
+            cert = Quorum.to_list (ph s).acks;
             speculative = false;
             history = "";
           }
@@ -112,42 +94,56 @@ let accept t s =
 let on_ack t ~src ~seq =
   if is_primary t then begin
     let s = slot t seq in
-    Bitset.add s.acks src |> ignore;
-    if (not s.notified) && Bitset.count s.acks >= majority t then begin
-      s.notified <- true;
-      t.env.Env.broadcast
-        (Msg.Commit
-           {
-             instance = t.env.Env.instance;
-             view = t.view;
-             seq;
-             digest = (match s.batch with Some b -> b.Batch.digest | None -> "");
-           });
-      accept t s
-    end
+    ignore (Quorum.vote (ph s).acks src);
+    if (not (ph s).notified) && Quorum.has_majority (ph s).acks then
+      match s.SL.batch with
+      | None ->
+          (* A majority acked a round we hold no batch for (stale acks
+             from a deposed view). An empty digest must not certify, so
+             do not notify; the batch arrives via repropose / adopt and a
+             later ack completes the round. *)
+          ()
+      | Some batch ->
+          (ph s).notified <- true;
+          t.env.Env.broadcast
+            (Msg.Commit
+               {
+                 instance = t.env.Env.instance;
+                 view = t.view;
+                 seq;
+                 digest = batch.Batch.digest;
+               });
+          accept t s
   end
 
 let propose t batch =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let s = slot t seq in
-  s.batch <- Some batch;
-  Bitset.add s.acks t.env.Env.self |> ignore;
+  s.SL.batch <- Some batch;
+  ignore (Quorum.vote (ph s).acks t.env.Env.self);
   let exclude dst = Rcc_replica.Byz.excludes t.env.Env.byz ~round:seq dst in
   t.env.Env.broadcast ~exclude
     (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch })
 
-let submit_batch t batch = if is_primary t then propose t batch
+let submit_batch t batch =
+  if is_primary t then
+    if t.in_transfer then
+      (* Hold rather than drop: fresh client batches and the liveness
+         monitor's one-shot null fills arriving inside the transfer
+         window flush once the takeover completes. *)
+      Held_batches.hold t.held batch
+    else propose t batch
 
 (* --- backup side ----------------------------------------------------------- *)
 
 let on_propose t ~src ~view ~seq batch =
   if src = t.primary && view = t.view then begin
     let s = slot t seq in
-    if Option.is_none s.batch then begin
-      s.batch <- Some batch;
-      if not s.acked then begin
-        s.acked <- true;
+    if Option.is_none s.SL.batch then begin
+      s.SL.batch <- Some batch;
+      if not (ph s).acked then begin
+        (ph s).acked <- true;
         (* Linear: the ack goes only to the primary. *)
         t.env.Env.send ~dst:t.primary
           (Msg.Prepare
@@ -160,7 +156,7 @@ let on_commit_notify t ~src ~view ~seq =
   if src = t.primary && view = t.view then begin
     let s = slot t seq in
     (* Commit-notify implies a majority logged the batch. *)
-    Bitset.add s.acks src |> ignore;
+    ignore (Quorum.vote (ph s).acks src);
     accept t s
   end
 
@@ -176,19 +172,10 @@ let broadcast_view_change t ~round =
          new_view;
          blamed = t.primary;
          round;
-         last_exec = t.exec_upto;
+         last_exec = SL.frontier t.log;
        });
-  if not t.env.Env.unified then begin
-    let votes =
-      match Hashtbl.find_opt t.vc_votes new_view with
-      | Some v -> v
-      | None ->
-          let v = Bitset.create t.env.Env.n in
-          Hashtbl.replace t.vc_votes new_view v;
-          v
-    in
-    Bitset.add votes t.env.Env.self |> ignore
-  end
+  if not t.env.Env.unified then
+    ignore (Quorum.vote (Quorum.Tally.votes t.vc_votes new_view) t.env.Env.self)
 
 let detect_failure t ~round =
   if t.last_failure_report < round then begin
@@ -197,57 +184,85 @@ let detect_failure t ~round =
     t.env.Env.report_failure ~round ~blamed:t.primary
   end
 
-let repropose_incomplete t =
-  t.next_seq <- max t.next_seq (t.max_seen + 1);
+(* How long a new primary waits for peers to vouch for in-flight slots
+   before re-proposing over them. *)
+let recover_grace t = max (Engine.ms 1) (t.env.Env.timeout / 8)
+
+(* Finish taking over: re-propose every slot between the accept frontier
+   and the highest round we know about (null-filling holes), then flush
+   batches held through the transfer. *)
+let finish_repropose t =
+  t.in_transfer <- false;
+  t.next_seq <- max t.next_seq (SL.max_seen t.log + 1);
   let reproposals = ref [] in
-  for seq = t.exec_upto + 1 to t.max_seen do
+  for seq = SL.max_seen t.log downto SL.frontier t.log + 1 do
     let batch =
-      match Hashtbl.find_opt t.slots seq with
-      | Some { batch = Some b; _ } -> b
+      match SL.find_opt t.log seq with
+      | Some { SL.batch = Some b; _ } -> b
       | Some _ | None -> Batch.null ~round:seq
     in
     reproposals := (seq, batch) :: !reproposals
   done;
-  let reproposals = List.rev !reproposals in
   (* Announce the new view even with nothing to re-propose, so backups
      adopt the new primary and accept its future proposals. *)
   t.env.Env.broadcast
-    (Msg.New_view { instance = t.env.Env.instance; view = t.view; reproposals });
+    (Msg.New_view
+       { instance = t.env.Env.instance; view = t.view; reproposals = !reproposals });
   List.iter
     (fun (seq, batch) ->
       let s = slot t seq in
-      s.batch <- Some batch;
-      s.notified <- false;
-      Bitset.clear s.acks;
-      Bitset.add s.acks t.env.Env.self |> ignore;
+      s.SL.batch <- Some batch;
+      (ph s).notified <- false;
+      Quorum.clear (ph s).acks;
+      ignore (Quorum.vote (ph s).acks t.env.Env.self);
       t.env.Env.broadcast
         (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch }))
-    reproposals
+    !reproposals;
+  Held_batches.flush t.held ~propose:(propose t)
+
+let repropose_incomplete t =
+  if t.env.Env.unified then begin
+    (* A primary taking over an instance it was cut off from does not
+       know how far the deposed primary ran; recover the cluster-wide
+       in-flight frontier from peers first (§3.3 state exchange) and
+       re-propose only after the grace window, holding fresh submissions
+       back meanwhile. *)
+    t.in_transfer <- true;
+    t.env.Env.broadcast
+      (Msg.New_view
+         { instance = t.env.Env.instance; view = t.view; reproposals = [] });
+    t.env.Env.broadcast
+      (Msg.Contract_request
+         { round = SL.frontier t.log + 1; instance = t.env.Env.instance });
+    let view = t.view in
+    Engine.schedule_after t.env.Env.engine (recover_grace t) (fun () ->
+        if t.view = view && is_primary t && t.in_transfer then
+          finish_repropose t)
+  end
+  else
+    (* Standalone: no contract machinery; re-propose immediately. *)
+    finish_repropose t
 
 let install_view t ~view ~primary =
   t.view <- view;
   t.primary <- primary;
+  t.in_transfer <- false;
+  (* Held batches flush at the end of [finish_repropose] if we lead the
+     new view; a backup must not sit on them — its clients' requests are
+     the new primary's job. *)
+  if primary <> t.env.Env.self then Held_batches.clear t.held;
   t.last_failure_report <- -1;
-  t.last_progress <- Engine.now t.env.Env.engine;
-  Hashtbl.filter_map_inplace
-    (fun v votes -> if v <= view then None else Some votes)
-    t.vc_votes;
+  SL.touch t.log;
+  Quorum.Tally.prune t.vc_votes ~upto:view;
   if is_primary t then repropose_incomplete t
 
 let set_primary t replica ~view = install_view t ~view ~primary:replica
 
 let on_view_change t ~src ~new_view =
   if (not t.env.Env.unified) && new_view > t.view then begin
-    let votes =
-      match Hashtbl.find_opt t.vc_votes new_view with
-      | Some v -> v
-      | None ->
-          let v = Bitset.create t.env.Env.n in
-          Hashtbl.replace t.vc_votes new_view v;
-          v
-    in
-    Bitset.add votes src |> ignore;
-    if Bitset.count votes >= majority t then begin
+    let votes = Quorum.Tally.votes t.vc_votes new_view in
+    ignore (Quorum.vote votes src);
+    if Quorum.has_majority votes then begin
       let primary = new_view mod t.env.Env.n in
       if primary = t.env.Env.self then install_view t ~view:new_view ~primary
     end
@@ -257,6 +272,8 @@ let on_new_view t ~src ~view reproposals =
   if view > t.view then begin
     t.view <- view;
     t.primary <- src;
+    t.in_transfer <- false;
+    Held_batches.clear t.held;
     t.last_failure_report <- -1;
     List.iter (fun (seq, batch) -> on_propose t ~src ~view ~seq batch) reproposals
   end
@@ -265,45 +282,26 @@ let on_new_view t ~src ~view reproposals =
 
 let adopt t ~round batch ~cert =
   let s = slot t round in
-  if not s.accepted then begin
-    s.batch <- Some batch;
-    List.iter (fun r -> Bitset.add s.acks r |> ignore) cert;
+  if not s.SL.accepted then begin
+    s.SL.batch <- Some batch;
+    List.iter (fun r -> ignore (Quorum.vote (ph s).acks r)) cert;
     accept t s
   end
 
 let accepted_batch t ~round =
-  match Hashtbl.find_opt t.slots round with
-  | Some ({ accepted = true; batch = Some b; _ } as s) ->
-      Some (b, Bitset.to_list s.acks)
+  match SL.find_opt t.log round with
+  | Some ({ SL.accepted = true; batch = Some b; _ } as s) ->
+      Some (b, Quorum.to_list (ph s).acks)
   | Some _ | None -> None
 
-let incomplete_rounds t =
-  let acc = ref [] in
-  for seq = t.max_seen downto t.exec_upto + 1 do
-    match Hashtbl.find_opt t.slots seq with
-    | Some s when not s.accepted -> acc := seq :: !acc
-    | Some _ -> ()
-    | None -> acc := seq :: !acc
-  done;
-  !acc
+let incomplete_rounds t = SL.incomplete_rounds t.log
 
 (* --- watchdog --------------------------------------------------------------------- *)
-
-let oldest_incomplete t =
-  let rec go seq =
-    if seq > t.max_seen then None
-    else
-      match Hashtbl.find_opt t.slots seq with
-      | Some s when not s.accepted -> Some (seq, s.created_at)
-      | Some _ -> go (seq + 1)
-      | None -> Some (seq, t.last_progress)
-  in
-  go (t.exec_upto + 1)
 
 let rec watchdog t =
   if t.running then begin
     let timeout = t.env.Env.timeout in
-    (match oldest_incomplete t with
+    (match SL.oldest_incomplete t.log with
     | Some (round, since) when Engine.now t.env.Env.engine - since > timeout ->
         detect_failure t ~round
     | Some _ | None -> ());

@@ -98,13 +98,15 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
             targets
         end
 
+  (* Messages carrying an out-of-range instance id (byzantine or stray
+     standalone traffic) are routed to instance 0 rather than dropped. *)
+  let clamp_instance cfg instance = if instance < cfg.z then instance else 0
+
   let install_route t =
     let cfg = t.cfg in
     let costs = Node.costs t.node in
     let exec_server = Node.exec_server t.node in
-    let worker_of instance =
-      Node.worker t.node (if instance < cfg.z then instance else 0)
-    in
+    let worker_of instance = Node.worker t.node (clamp_instance cfg instance) in
     let coordinator_cost (msg : Msg.t) =
       costs.Costs.worker_msg + costs.Costs.mac_verify
       + Costs.hash_cost costs (Msg.size msg)
@@ -112,7 +114,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     Node.set_route t.node (fun ~src ~ready msg ->
         match msg with
         | Msg.Client_request { instance; batch } -> begin
-            let x = if instance < cfg.z then instance else 0 in
+            let x = clamp_instance cfg instance in
             (* §3.1 request-duplication prevention: clients are partitioned
                over instances deterministically, so a request is only
                ordered by the instance the client currently maps to. *)
@@ -144,7 +146,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
                     Coordinator.on_view_change coordinator ~src ~instance
                       ~blamed ~round)
             | None ->
-                let x = if instance < cfg.z then instance else 0 in
+                let x = clamp_instance cfg instance in
                 Cpu.submit_ready (worker_of x) ~ready ~cost:(P.cost_of costs msg)
                   (fun () -> P.handle t.instances.(x) ~src msg));
             if cfg.byz.Rcc_replica.Byz.false_blame <> [] then
@@ -188,8 +190,8 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
         | Msg.Hs_proposal _ | Msg.Hs_vote _ ->
             let x =
               match Msg.instance_of msg with
-              | Some instance when instance < cfg.z -> instance
-              | Some _ | None -> 0
+              | Some instance -> clamp_instance cfg instance
+              | None -> 0
             in
             Cpu.submit_ready (worker_of x) ~ready ~cost:(P.cost_of costs msg)
               (fun () -> P.handle t.instances.(x) ~src msg))

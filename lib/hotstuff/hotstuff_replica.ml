@@ -4,18 +4,18 @@ module Msg = Rcc_messages.Msg
 module Batch = Rcc_messages.Batch
 module Bitset = Rcc_common.Bitset
 module Env = Rcc_replica.Instance_env
+module SL = Rcc_proto_core.Slot_log
+module Quorum = Rcc_proto_core.Quorum
 
 let skip_phase = 9
 
-type slot = {
-  seq : int;
-  mutable batch : Batch.t option;
-  mutable digest : string;
-  votes : Bitset.t array;  (* leader side, phases 0-2 *)
+(* Protocol-specific slot state; batch / digest / accepted (= decided)
+   live in the shared {!Rcc_proto_core.Slot_log}. *)
+type hs = {
+  votes : Quorum.t array;  (* leader side, phases 0-2 *)
   mutable phase_sent : int;  (* leader: highest phase broadcast *)
   mutable voted_upto : int;  (* replica: highest phase voted *)
-  mutable decided : bool;
-  skip_votes : Bitset.t;
+  skip_votes : Quorum.t;
   mutable skip_voted : bool;
   mutable stall_since : Engine.time;  (* frontier arrival time *)
 }
@@ -23,58 +23,45 @@ type slot = {
 type t = {
   env : Env.t;
   mutable next_propose : int;  (* next seq in our residue class *)
-  slots : (int, slot) Hashtbl.t;
-  mutable next_decide : int;  (* execution frontier *)
-  mutable max_seen : int;
+  log : hs SL.t;  (* frontier = next_decide - 1: the execution frontier *)
   blacklist : Bitset.t;
   mutable last_skip : Engine.time;  (* most recent successful skip *)
   mutable running : bool;
 }
 
 let create env =
+  let n = env.Env.n and f = env.Env.f in
   {
     env;
     next_propose = env.Env.self;
-    slots = Hashtbl.create 512;
-    next_decide = 0;
-    max_seen = -1;
+    log =
+      SL.create ~engine:env.Env.engine
+        ~init:(fun _ ->
+          {
+            votes = Array.init 3 (fun _ -> Quorum.create ~n ~f);
+            phase_sent = -1;
+            voted_upto = -1;
+            skip_votes = Quorum.create ~n ~f;
+            skip_voted = false;
+            stall_since = Engine.now env.Env.engine;
+          })
+        ();
     blacklist = Bitset.create env.Env.n;
     last_skip = min_int / 2;
     running = false;
   }
 
 let leader_of t seq = seq mod t.env.Env.n
-let decided_upto t = t.next_decide - 1
+let next_decide t = SL.frontier t.log + 1
+let decided_upto t = SL.frontier t.log
 let blacklisted t r = Bitset.mem t.blacklist r
 
 (* The instance interface's notion of primary: ourselves (every replica
    leads its own residue class). *)
 let primary t = t.env.Env.self
 let view _ = 0
-
-let slot t seq =
-  match Hashtbl.find_opt t.slots seq with
-  | Some s -> s
-  | None ->
-      let s =
-        {
-          seq;
-          batch = None;
-          digest = "";
-          votes = Array.init 3 (fun _ -> Bitset.create t.env.Env.n);
-          phase_sent = -1;
-          voted_upto = -1;
-          decided = false;
-          skip_votes = Bitset.create t.env.Env.n;
-          skip_voted = false;
-          stall_since = Engine.now t.env.Env.engine;
-        }
-      in
-      Hashtbl.replace t.slots seq s;
-      if seq > t.max_seen then t.max_seen <- seq;
-      s
-
-let quorum t = t.env.Env.n - t.env.Env.f
+let slot t seq = SL.get t.log seq
+let hs (s : hs SL.slot) = s.SL.state
 
 (* Consecutive failures accelerate the pacemaker: shortly after a
    successful skip, a stalled frontier is re-suspected after timeout/8
@@ -86,19 +73,19 @@ let stall_threshold t =
   else t.env.Env.timeout
 
 let decide t s null =
-  if not s.decided then begin
-    s.decided <- true;
+  if not s.SL.accepted then begin
+    s.SL.accepted <- true;
     let batch =
-      match (null, s.batch) with
+      match (null, s.SL.batch) with
       | false, Some b -> b
-      | true, _ | false, None -> Batch.null ~round:s.seq
+      | true, _ | false, None -> Batch.null ~round:s.SL.round
     in
     t.env.Env.accept
       {
         Rcc_replica.Acceptance.instance = 0;
-        round = s.seq;
+        round = s.SL.round;
         batch;
-        cert = Bitset.to_list s.votes.(2);
+        cert = Quorum.to_list (hs s).votes.(2);
         speculative = false;
         history = "";
       }
@@ -107,31 +94,26 @@ let decide t s null =
 (* Advance the frontier; blacklisted leaders' pending rounds are skip-voted
    without waiting for the timeout. *)
 let rec advance_frontier t =
-  match Hashtbl.find_opt t.slots t.next_decide with
-  | Some s when s.decided ->
-      t.next_decide <- t.next_decide + 1;
-      advance_frontier t
-  | Some s ->
-      s.stall_since <- min s.stall_since (Engine.now t.env.Env.engine);
-      maybe_auto_skip t s
-  | None ->
-      if t.next_decide <= t.max_seen then begin
-        let s = slot t t.next_decide in
-        maybe_auto_skip t s
-      end
+  ignore (SL.drain t.log ~accept:(fun s -> s.SL.accepted));
+  let nd = next_decide t in
+  if nd <= SL.max_seen t.log then begin
+    let s = slot t nd in
+    (hs s).stall_since <- min (hs s).stall_since (Engine.now t.env.Env.engine);
+    maybe_auto_skip t s
+  end
 
 and send_skip_vote t s =
-  if not s.skip_voted then begin
-    s.skip_voted <- true;
-    Bitset.add s.skip_votes t.env.Env.self |> ignore;
+  if not (hs s).skip_voted then begin
+    (hs s).skip_voted <- true;
+    ignore (Quorum.vote (hs s).skip_votes t.env.Env.self);
     t.env.Env.broadcast ~sign:true
-      (Msg.Hs_vote { view = 0; phase = skip_phase; seq = s.seq; digest = "" });
+      (Msg.Hs_vote { view = 0; phase = skip_phase; seq = s.SL.round; digest = "" });
     check_skip t s
   end
 
 and check_skip t s =
-  if (not s.decided) && Bitset.count s.skip_votes >= quorum t then begin
-    Bitset.add t.blacklist (leader_of t s.seq) |> ignore;
+  if (not s.SL.accepted) && Quorum.has_all_but_f (hs s).skip_votes then begin
+    Bitset.add t.blacklist (leader_of t s.SL.round) |> ignore;
     t.last_skip <- Engine.now t.env.Env.engine;
     decide t s true;
     advance_frontier t;
@@ -139,28 +121,29 @@ and check_skip t s =
   end
 
 and maybe_auto_skip t s =
-  if (not s.decided) && Bitset.mem t.blacklist (leader_of t s.seq) then
-    send_skip_vote t s
+  if (not s.SL.accepted) && Bitset.mem t.blacklist (leader_of t s.SL.round)
+  then send_skip_vote t s
 
 (* Skip-vote every known round of a blacklisted leader at once, rather than
    paying a round trip per round as each reaches the frontier. *)
 and eager_skip t =
-  let horizon = min t.max_seen (t.next_decide + 2048) in
-  for seq = t.next_decide to horizon do
+  let horizon = min (SL.max_seen t.log) (next_decide t + 2048) in
+  for seq = next_decide t to horizon do
     if Bitset.mem t.blacklist (leader_of t seq) then begin
       let s = slot t seq in
-      if not s.decided then send_skip_vote t s
+      if not s.SL.accepted then send_skip_vote t s
     end
   done
 
 (* --- leader side ------------------------------------------------------ *)
 
 let broadcast_phase t s phase =
-  if s.phase_sent < phase then begin
-    s.phase_sent <- phase;
-    let batch = if phase = 0 then s.batch else None in
+  if (hs s).phase_sent < phase then begin
+    (hs s).phase_sent <- phase;
+    let batch = if phase = 0 then s.SL.batch else None in
+    let digest = Option.value ~default:"" s.SL.digest in
     t.env.Env.broadcast ~sign:true
-      (Msg.Hs_proposal { view = 0; phase; seq = s.seq; batch; digest = s.digest });
+      (Msg.Hs_proposal { view = 0; phase; seq = s.SL.round; batch; digest });
     if phase = 3 then begin
       (* The leader's own decide: it does not receive its broadcasts. *)
       decide t s false;
@@ -171,25 +154,26 @@ let broadcast_phase t s phase =
 let on_vote t ~src ~phase ~seq =
   if phase = skip_phase then begin
     let s = slot t seq in
-    Bitset.add s.skip_votes src |> ignore;
+    ignore (Quorum.vote (hs s).skip_votes src);
     (* Join a skip that another replica initiated if we too see the round
        stalled: its leader is blacklisted, or it is our frontier round and
        has been stuck for at least half the timeout. *)
     let stalled =
       Bitset.mem t.blacklist (leader_of t seq)
-      || (seq = t.next_decide
-         && Engine.now t.env.Env.engine - s.stall_since > stall_threshold t / 2)
+      || (seq = next_decide t
+         && Engine.now t.env.Env.engine - (hs s).stall_since
+            > stall_threshold t / 2)
     in
-    if (not s.decided) && seq >= t.next_decide && stalled then
+    if (not s.SL.accepted) && seq >= next_decide t && stalled then
       send_skip_vote t s;
     check_skip t s
   end
   else if phase >= 0 && phase < 3 then begin
     let s = slot t seq in
-    if leader_of t seq = t.env.Env.self && not s.decided then begin
-      Bitset.add s.votes.(phase) src |> ignore;
-      if Bitset.count s.votes.(phase) >= quorum t && s.phase_sent = phase then
-        broadcast_phase t s (phase + 1)
+    if leader_of t seq = t.env.Env.self && not s.SL.accepted then begin
+      ignore (Quorum.vote (hs s).votes.(phase) src);
+      if Quorum.has_all_but_f (hs s).votes.(phase) && (hs s).phase_sent = phase
+      then broadcast_phase t s (phase + 1)
     end
   end
 
@@ -197,10 +181,10 @@ let submit_batch t batch =
   let seq = t.next_propose in
   t.next_propose <- seq + t.env.Env.n;
   let s = slot t seq in
-  s.batch <- Some batch;
-  s.digest <- batch.Batch.digest;
+  s.SL.batch <- Some batch;
+  s.SL.digest <- Some batch.Batch.digest;
   (* Leader votes for itself in every phase. *)
-  Array.iter (fun v -> Bitset.add v t.env.Env.self |> ignore) s.votes;
+  Array.iter (fun v -> ignore (Quorum.vote v t.env.Env.self)) (hs s).votes;
   broadcast_phase t s 0
 
 (* --- replica side ----------------------------------------------------- *)
@@ -209,16 +193,22 @@ let on_proposal t ~src ~phase ~seq batch digest =
   if src = leader_of t seq && phase >= 0 && phase <= 3 then begin
     let s = slot t seq in
     (match batch with
-    | Some b when Option.is_none s.batch ->
-        s.batch <- Some b;
-        s.digest <- b.Batch.digest
+    | Some b when Option.is_none s.SL.batch ->
+        s.SL.batch <- Some b;
+        s.SL.digest <- Some b.Batch.digest
     | Some _ | None -> ());
-    if s.digest = "" then s.digest <- digest;
+    if Option.is_none s.SL.digest then s.SL.digest <- Some digest;
     if phase < 3 then begin
-      if s.voted_upto < phase then begin
-        s.voted_upto <- phase;
+      if (hs s).voted_upto < phase then begin
+        (hs s).voted_upto <- phase;
         t.env.Env.send ~sign:true ~dst:src
-          (Msg.Hs_vote { view = 0; phase; seq; digest = s.digest })
+          (Msg.Hs_vote
+             {
+               view = 0;
+               phase;
+               seq;
+               digest = Option.value ~default:"" s.SL.digest;
+             })
       end
     end
     else begin
@@ -231,11 +221,12 @@ let on_proposal t ~src ~phase ~seq batch digest =
 
 let rec watchdog t =
   if t.running then begin
-    (if t.next_decide <= t.max_seen then
-       let s = slot t t.next_decide in
+    (if next_decide t <= SL.max_seen t.log then
+       let s = slot t (next_decide t) in
        if
-         (not s.decided)
-         && Engine.now t.env.Env.engine - s.stall_since > stall_threshold t
+         (not s.SL.accepted)
+         && Engine.now t.env.Env.engine - (hs s).stall_since
+            > stall_threshold t
        then send_skip_vote t s);
     eager_skip t;
     Engine.schedule_after t.env.Env.engine
@@ -255,9 +246,9 @@ let set_primary _ _ ~view:_ = ()
 
 let adopt t ~round batch ~cert =
   let s = slot t round in
-  if not s.decided then begin
-    s.batch <- Some batch;
-    List.iter (fun r -> Bitset.add s.votes.(2) r |> ignore) cert;
+  if not s.SL.accepted then begin
+    s.SL.batch <- Some batch;
+    List.iter (fun r -> ignore (Quorum.vote (hs s).votes.(2) r)) cert;
     decide t s false;
     advance_frontier t
   end
@@ -267,21 +258,11 @@ let adopt t ~round batch ~cert =
 let proposed_upto _ = max_int
 
 let accepted_batch t ~round =
-  match Hashtbl.find_opt t.slots round with
-  | Some { decided = true; batch = Some b; _ } as slot_opt ->
-      ignore slot_opt;
-      Some (b, [])
+  match SL.find_opt t.log round with
+  | Some { SL.accepted = true; batch = Some b; _ } -> Some (b, [])
   | Some _ | None -> None
 
-let incomplete_rounds t =
-  let acc = ref [] in
-  for seq = t.max_seen downto t.next_decide do
-    match Hashtbl.find_opt t.slots seq with
-    | Some s when not s.decided -> acc := seq :: !acc
-    | Some _ -> ()
-    | None -> acc := seq :: !acc
-  done;
-  !acc
+let incomplete_rounds t = SL.incomplete_rounds t.log
 
 let handle t ~src msg =
   match msg with

@@ -2,20 +2,20 @@ module Engine = Rcc_sim.Engine
 module Costs = Rcc_sim.Costs
 module Msg = Rcc_messages.Msg
 module Batch = Rcc_messages.Batch
-module Bitset = Rcc_common.Bitset
 module Env = Rcc_replica.Instance_env
+module SL = Rcc_proto_core.Slot_log
+module Quorum = Rcc_proto_core.Quorum
+module Held_batches = Rcc_proto_core.Held_batches
+module Checkpointing = Rcc_proto_core.Checkpointing
 
-type slot = {
-  seq : int;
-  mutable batch : Batch.t option;
-  mutable digest : string option;
-  prepares : Bitset.t;
-  commits : Bitset.t;
+(* Protocol-specific slot state; batch / digest / accepted / created_at
+   live in the shared {!Rcc_proto_core.Slot_log}. *)
+type phase = {
+  prepares : Quorum.t;
+  commits : Quorum.t;
   mutable prepared : bool;
-  mutable accepted : bool;
   mutable prepare_sent : bool;
   mutable commit_sent : bool;
-  created_at : Engine.time;
 }
 
 type t = {
@@ -23,174 +23,100 @@ type t = {
   mutable view : int;
   mutable primary : int;
   mutable next_seq : int;  (* primary: next round to propose *)
-  mutable max_seen : int;  (* highest round with any activity *)
-  slots : (int, slot) Hashtbl.t;
-  mutable exec_upto : int;  (* all rounds <= this accepted *)
+  log : phase SL.t;
   mutable in_view_change : bool;
-  vc_votes : (int, Bitset.t) Hashtbl.t;  (* new_view -> voters *)
+  vc_votes : Quorum.Tally.t;  (* new_view -> voters *)
   mutable vc_sent_for : int;  (* highest new_view we voted for *)
   mutable last_failure_report : int;  (* round of last report, -1 if none *)
-  ckpt_votes : (int, Bitset.t) Hashtbl.t;
-  ckpt_digests : (int, string) Hashtbl.t;  (* first digest seen per seq *)
-  checkpoint_log : Rcc_storage.Checkpoint_store.t;
-  mutable stable : int;  (* stable checkpoint round *)
-  mutable provable_stable : int;  (* highest seq with f+1 checkpoint votes *)
-  mutable last_progress : Engine.time;  (* last accept or view install *)
-  mutable held_batches : Batch.t list;  (* submitted during a view change, newest first *)
+  ckpt : Checkpointing.t;
+  held : Held_batches.t;  (* submitted during a view change *)
   mutable running : bool;
 }
 
 let create env =
+  let n = env.Env.n and f = env.Env.f in
   {
     env;
     view = 0;
     primary = env.Env.instance;  (* P_x initially runs on replica x (§4) *)
     next_seq = 0;
-    max_seen = -1;
-    slots = Hashtbl.create 512;
-    exec_upto = -1;
+    log =
+      SL.create ~engine:env.Env.engine
+        ~init:(fun _ ->
+          {
+            prepares = Quorum.create ~n ~f;
+            commits = Quorum.create ~n ~f;
+            prepared = false;
+            prepare_sent = false;
+            commit_sent = false;
+          })
+        ();
     in_view_change = false;
-    vc_votes = Hashtbl.create 8;
+    vc_votes = Quorum.Tally.create ~n ~f;
     vc_sent_for = 0;
     last_failure_report = -1;
-    ckpt_votes = Hashtbl.create 8;
-    ckpt_digests = Hashtbl.create 8;
-    checkpoint_log = Rcc_storage.Checkpoint_store.create ();
-    stable = -1;
-    provable_stable = -1;
-    last_progress = 0;
-    held_batches = [];
+    ckpt = Checkpointing.create ~n ~f ~interval:env.Env.checkpoint_interval ();
+    held = Held_batches.create ();
     running = false;
   }
 
 let primary t = t.primary
 let view t = t.view
 let in_view_change t = t.in_view_change
-let stable_checkpoint t = t.stable
+let stable_checkpoint t = Checkpointing.stable t.ckpt
+let checkpoint_log t = Checkpointing.log t.ckpt
 let is_primary t = t.primary = t.env.Env.self
-
-let slot t seq =
-  match Hashtbl.find_opt t.slots seq with
-  | Some s -> s
-  | None ->
-      let s =
-        {
-          seq;
-          batch = None;
-          digest = None;
-          prepares = Bitset.create t.env.Env.n;
-          commits = Bitset.create t.env.Env.n;
-          prepared = false;
-          accepted = false;
-          prepare_sent = false;
-          commit_sent = false;
-          created_at = Engine.now t.env.Env.engine;
-        }
-      in
-      Hashtbl.replace t.slots seq s;
-      if seq > t.max_seen then t.max_seen <- seq;
-      s
-
-let checkpoint_log t = t.checkpoint_log
+let slot t seq = SL.get t.log seq
+let ph (s : phase SL.slot) = s.SL.state
 
 let prepared_round t ~round =
-  match Hashtbl.find_opt t.slots round with
-  | Some s -> s.prepared
-  | None -> false
+  match SL.find_opt t.log round with Some s -> (ph s).prepared | None -> false
 
 (* --- checkpointing ------------------------------------------------- *)
 
-let rec advance_exec_upto t =
-  let rec go seq =
-    match Hashtbl.find_opt t.slots seq with
-    | Some s when s.accepted ->
-        t.exec_upto <- seq;
-        go (seq + 1)
-    | Some _ | None -> ()
-  in
-  go (t.exec_upto + 1);
-  t.last_progress <- Engine.now t.env.Env.engine;
-  adopt_stable t
-
-and adopt_stable t =
-  if t.provable_stable > t.stable && t.provable_stable <= t.exec_upto then begin
-    t.stable <- t.provable_stable;
-    (match Hashtbl.find_opt t.ckpt_votes t.stable with
-    | Some votes ->
-        Rcc_storage.Checkpoint_store.record t.checkpoint_log
-          {
-            Rcc_storage.Checkpoint_store.seq = t.stable;
-            state_digest =
-              Option.value ~default:""
-                (Hashtbl.find_opt t.ckpt_digests t.stable);
-            attesters = Rcc_common.Bitset.to_list votes;
-          }
-    | None -> ());
-    garbage_collect t (t.stable - 1)
-  end
-
-and garbage_collect t upto =
-  Hashtbl.filter_map_inplace
-    (fun seq s -> if seq <= upto then None else Some s)
-    t.slots;
-  Hashtbl.filter_map_inplace
-    (fun seq v -> if seq <= upto then None else Some v)
-    t.ckpt_votes;
-  Hashtbl.filter_map_inplace
-    (fun seq d -> if seq <= upto then None else Some d)
-    t.ckpt_digests
+let advance_exec_upto t =
+  ignore (SL.drain t.log ~accept:(fun s -> s.SL.accepted));
+  SL.touch t.log;
+  match Checkpointing.try_stabilize t.ckpt ~exec_upto:(SL.frontier t.log) with
+  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | None -> ()
 
 let maybe_checkpoint t =
-  let interval = t.env.Env.checkpoint_interval in
-  if interval > 0 then begin
-    let target = t.exec_upto - (t.exec_upto mod interval) in
-    if target > t.stable && t.exec_upto >= target && target > 0 then begin
+  match Checkpointing.due t.ckpt ~exec_upto:(SL.frontier t.log) with
+  | Some target ->
       let digest =
-        match (slot t target).digest with Some d -> d | None -> ""
+        match SL.find_opt t.log target with
+        | Some { SL.digest = Some d; _ } -> d
+        | Some _ | None -> ""
       in
       t.env.Env.broadcast
         (Msg.Checkpoint
            { instance = t.env.Env.instance; seq = target; state_digest = digest })
-    end
-  end
+  | None -> ()
 
 let on_checkpoint t ~src seq digest =
-  if seq > t.stable then begin
-    if not (Hashtbl.mem t.ckpt_digests seq) then
-      Hashtbl.replace t.ckpt_digests seq digest;
-    let votes =
-      match Hashtbl.find_opt t.ckpt_votes seq with
-      | Some v -> v
-      | None ->
-          let v = Bitset.create t.env.Env.n in
-          Hashtbl.replace t.ckpt_votes seq v;
-          v
-    in
-    (* A checkpoint only becomes stable locally once this replica holds
-       the state it covers (seq <= exec_upto); a replica kept in the dark
-       must keep its incomplete slots so the watchdog can blame the
-       primary instead of silently skipping the round. *)
-    if Bitset.add votes src && Bitset.count votes >= t.env.Env.f + 1 then begin
-      if seq > t.provable_stable then t.provable_stable <- seq;
-      adopt_stable t
-    end
-  end
+  match
+    Checkpointing.on_vote t.ckpt ~src ~seq ~digest
+      ~exec_upto:(SL.frontier t.log)
+  with
+  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | None -> ()
 
 (* --- normal case ---------------------------------------------------- *)
 
 let accept t s =
-  if not s.accepted then begin
-    match s.batch with
+  if not s.SL.accepted then begin
+    match s.SL.batch with
     | None -> ()
     | Some batch ->
-        s.accepted <- true;
+        s.SL.accepted <- true;
         advance_exec_upto t;
         t.env.Env.accept
           {
             Rcc_replica.Acceptance.instance = t.env.Env.instance;
-            round = s.seq;
+            round = s.SL.round;
             batch;
-            cert = Bitset.to_list s.commits;
+            cert = Quorum.to_list (ph s).commits;
             speculative = false;
             history = "";
           };
@@ -199,47 +125,54 @@ let accept t s =
 
 let check_committed t s =
   if
-    (not s.accepted)
-    && Bitset.count s.commits >= Env.quorum_2f1 t.env
-    && Option.is_some s.batch
+    (not s.SL.accepted)
+    && Quorum.has_quorum (ph s).commits
+    && Option.is_some s.SL.batch
   then accept t s
 
 let send_commit t s =
-  if not s.commit_sent then begin
-    s.commit_sent <- true;
-    Bitset.add s.commits t.env.Env.self |> ignore;
-    match s.digest with
+  if not (ph s).commit_sent then begin
+    (ph s).commit_sent <- true;
+    ignore (Quorum.vote (ph s).commits t.env.Env.self);
+    match s.SL.digest with
     | Some digest ->
         t.env.Env.broadcast
           (Msg.Commit
-             { instance = t.env.Env.instance; view = t.view; seq = s.seq; digest });
+             {
+               instance = t.env.Env.instance;
+               view = t.view;
+               seq = s.SL.round;
+               digest;
+             });
         check_committed t s
     | None -> ()
   end
 
 let check_prepared t s =
-  if (not s.prepared) && Bitset.count s.prepares >= Env.quorum_2f1 t.env then begin
-    s.prepared <- true;
+  if (not (ph s).prepared) && Quorum.has_quorum (ph s).prepares then begin
+    (ph s).prepared <- true;
     send_commit t s
   end
 
 let on_pre_prepare t ~src ~view ~seq batch =
-  if src = t.primary && view = t.view && (not t.in_view_change) && seq > t.stable
+  if
+    src = t.primary && view = t.view && (not t.in_view_change)
+    && seq > Checkpointing.stable t.ckpt
   then begin
     let s = slot t seq in
-    match s.digest with
+    match s.SL.digest with
     | Some d when not (String.equal d batch.Batch.digest) ->
         (* Equivocation evidence: the primary proposed two different
            batches for one round. *)
         t.env.Env.report_failure ~round:seq ~blamed:t.primary
     | Some _ | None ->
-        if Option.is_none s.batch then begin
-          s.batch <- Some batch;
-          s.digest <- Some batch.Batch.digest;
-          Bitset.add s.prepares src |> ignore;
-          if not s.prepare_sent then begin
-            s.prepare_sent <- true;
-            Bitset.add s.prepares t.env.Env.self |> ignore;
+        if Option.is_none s.SL.batch then begin
+          s.SL.batch <- Some batch;
+          s.SL.digest <- Some batch.Batch.digest;
+          ignore (Quorum.vote (ph s).prepares src);
+          if not (ph s).prepare_sent then begin
+            (ph s).prepare_sent <- true;
+            ignore (Quorum.vote (ph s).prepares t.env.Env.self);
             t.env.Env.broadcast
               (Msg.Prepare
                  {
@@ -255,23 +188,25 @@ let on_pre_prepare t ~src ~view ~seq batch =
   end
 
 let on_prepare t ~src ~view ~seq ~digest =
-  if view = t.view && seq > t.stable then begin
+  if view = t.view && seq > Checkpointing.stable t.ckpt then begin
     let s = slot t seq in
-    if Option.is_none s.digest && src <> t.primary then s.digest <- Some digest;
-    match s.digest with
+    if Option.is_none s.SL.digest && src <> t.primary then
+      s.SL.digest <- Some digest;
+    match s.SL.digest with
     | Some d when String.equal d digest ->
-        Bitset.add s.prepares src |> ignore;
+        ignore (Quorum.vote (ph s).prepares src);
         check_prepared t s
     | Some _ | None -> ()
   end
 
 let on_commit t ~src ~view ~seq ~digest =
-  if view = t.view && seq > t.stable then begin
+  if view = t.view && seq > Checkpointing.stable t.ckpt then begin
     let s = slot t seq in
-    if Option.is_none s.digest && src <> t.primary then s.digest <- Some digest;
-    match s.digest with
+    if Option.is_none s.SL.digest && src <> t.primary then
+      s.SL.digest <- Some digest;
+    match s.SL.digest with
     | Some d when String.equal d digest ->
-        Bitset.add s.commits src |> ignore;
+        ignore (Quorum.vote (ph s).commits src);
         check_committed t s
     | Some _ | None -> ()
   end
@@ -282,10 +217,10 @@ let propose t batch =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let s = slot t seq in
-  s.batch <- Some batch;
-  s.digest <- Some batch.Batch.digest;
-  Bitset.add s.prepares t.env.Env.self |> ignore;
-  s.prepare_sent <- true;
+  s.SL.batch <- Some batch;
+  s.SL.digest <- Some batch.Batch.digest;
+  ignore (Quorum.vote (ph s).prepares t.env.Env.self);
+  (ph s).prepare_sent <- true;
   if t.env.Env.byz.Rcc_replica.Byz.equivocate then begin
     (* Equivocation: conflicting proposals to the two halves of the
        backups. Neither half can assemble 2f+1 matching PREPAREs, so no
@@ -316,7 +251,7 @@ let submit_batch t batch =
          fresh client batches arriving inside the recovery grace window
          would otherwise vanish — and the monitor only fills a stalled
          round once, so a swallowed fill stalls the instance forever. *)
-      t.held_batches <- batch :: t.held_batches
+      Held_batches.hold t.held batch
     else propose t batch
   end
 
@@ -332,22 +267,13 @@ let broadcast_view_change t ~round =
         new_view;
         blamed = t.primary;
         round;
-        last_exec = t.exec_upto;
+        last_exec = SL.frontier t.log;
       }
   in
   t.env.Env.broadcast msg;
   (* Count our own vote. *)
-  if not t.env.Env.unified then begin
-    let votes =
-      match Hashtbl.find_opt t.vc_votes new_view with
-      | Some v -> v
-      | None ->
-          let v = Bitset.create t.env.Env.n in
-          Hashtbl.replace t.vc_votes new_view v;
-          v
-    in
-    Bitset.add votes t.env.Env.self |> ignore
-  end
+  if not t.env.Env.unified then
+    ignore (Quorum.vote (Quorum.Tally.votes t.vc_votes new_view) t.env.Env.self)
 
 let detect_failure t ~round =
   if t.last_failure_report < round then begin
@@ -375,17 +301,38 @@ let repropose_now t reproposals =
   List.iter
     (fun (seq, batch) ->
       let s = slot t seq in
-      s.batch <- Some batch;
-      s.digest <- Some batch.Batch.digest;
-      s.prepared <- false;
-      s.commit_sent <- false;
-      s.prepare_sent <- true;
-      Bitset.clear s.prepares;
-      Bitset.clear s.commits;
-      Bitset.add s.prepares t.env.Env.self |> ignore;
+      s.SL.batch <- Some batch;
+      s.SL.digest <- Some batch.Batch.digest;
+      (ph s).prepared <- false;
+      (ph s).commit_sent <- false;
+      (ph s).prepare_sent <- true;
+      Quorum.clear (ph s).prepares;
+      Quorum.clear (ph s).commits;
+      ignore (Quorum.vote (ph s).prepares t.env.Env.self);
       t.env.Env.broadcast
         (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch }))
     reproposals
+
+let gather_reproposals t =
+  let reproposals = ref [] in
+  for seq = SL.max_seen t.log downto SL.frontier t.log + 1 do
+    match SL.find_opt t.log seq with
+    | Some s when not s.SL.accepted ->
+        let b =
+          match s.SL.batch with Some b -> b | None -> Batch.null ~round:seq
+        in
+        reproposals := (seq, b) :: !reproposals
+    | Some _ -> ()
+    | None -> reproposals := (seq, Batch.null ~round:seq) :: !reproposals
+  done;
+  !reproposals
+
+let finish_repropose t =
+  t.in_view_change <- false;
+  let reproposals = gather_reproposals t in
+  t.next_seq <- max t.next_seq (SL.max_seen t.log + 1);
+  repropose_now t reproposals;
+  Held_batches.flush t.held ~propose:(propose t)
 
 let repropose_incomplete t =
   if t.env.Env.unified then begin
@@ -404,64 +351,27 @@ let repropose_incomplete t =
          { instance = t.env.Env.instance; view = t.view; reproposals = [] });
     t.env.Env.broadcast
       (Msg.Contract_request
-         { round = t.exec_upto + 1; instance = t.env.Env.instance });
+         { round = SL.frontier t.log + 1; instance = t.env.Env.instance });
     let view = t.view in
     Engine.schedule_after t.env.Env.engine (recover_grace t) (fun () ->
-        if t.view = view && is_primary t && t.in_view_change then begin
-          t.in_view_change <- false;
-          let reproposals = ref [] in
-          for seq = t.max_seen downto t.exec_upto + 1 do
-            match Hashtbl.find_opt t.slots seq with
-            | Some s when not s.accepted ->
-                let b =
-                  match s.batch with
-                  | Some b -> b
-                  | None -> Batch.null ~round:seq
-                in
-                reproposals := (seq, b) :: !reproposals
-            | Some _ -> ()
-            | None -> reproposals := (seq, Batch.null ~round:seq) :: !reproposals
-          done;
-          t.next_seq <- max t.next_seq (t.max_seen + 1);
-          repropose_now t !reproposals;
-          let held = List.rev t.held_batches in
-          t.held_batches <- [];
-          List.iter (propose t) held
-        end)
+        if t.view = view && is_primary t && t.in_view_change then
+          finish_repropose t)
   end
-  else begin
+  else
     (* Standalone PBFT: no contract machinery; re-propose what we have
        and null-fill the rest immediately. *)
-    let reproposals = ref [] in
-    for seq = t.max_seen downto t.exec_upto + 1 do
-      match Hashtbl.find_opt t.slots seq with
-      | Some s when not s.accepted ->
-          let b =
-            match s.batch with Some b -> b | None -> Batch.null ~round:seq
-          in
-          reproposals := (seq, b) :: !reproposals
-      | Some _ -> ()
-      | None -> reproposals := (seq, Batch.null ~round:seq) :: !reproposals
-    done;
-    t.next_seq <- max t.next_seq (t.max_seen + 1);
-    repropose_now t !reproposals;
-    let held = List.rev t.held_batches in
-    t.held_batches <- [];
-    List.iter (propose t) held
-  end
+    finish_repropose t
 
 let install_view t ~view ~primary =
   t.view <- view;
   t.primary <- primary;
   t.in_view_change <- false;
   (* Batches held through the view change flush at the end of
-     [repropose_incomplete] if we lead the new view; a backup must not
-     sit on them — its clients' requests are the new primary's job. *)
-  if primary <> t.env.Env.self then t.held_batches <- [];
+     [finish_repropose] if we lead the new view; a backup must not sit
+     on them — its clients' requests are the new primary's job. *)
+  if primary <> t.env.Env.self then Held_batches.clear t.held;
   t.last_failure_report <- -1;
-  Hashtbl.filter_map_inplace
-    (fun v votes -> if v <= view then None else Some votes)
-    t.vc_votes;
+  Quorum.Tally.prune t.vc_votes ~upto:view;
   if is_primary t then repropose_incomplete t
 
 let set_primary t replica ~view = install_view t ~view ~primary:replica
@@ -470,24 +380,16 @@ let on_view_change t ~src ~new_view =
   (* Standalone PBFT election: the new primary is view mod n. Under RCC the
      router sends VIEW-CHANGE messages to the coordinator instead. *)
   if (not t.env.Env.unified) && new_view > t.view then begin
-    let votes =
-      match Hashtbl.find_opt t.vc_votes new_view with
-      | Some v -> v
-      | None ->
-          let v = Bitset.create t.env.Env.n in
-          Hashtbl.replace t.vc_votes new_view v;
-          v
-    in
-    Bitset.add votes src |> ignore;
-    let count = Bitset.count votes in
+    let votes = Quorum.Tally.votes t.vc_votes new_view in
+    ignore (Quorum.vote votes src);
     (* Join a view change supported by f+1 others (one must be honest). *)
-    if count >= t.env.Env.f + 1 && t.vc_sent_for < new_view then begin
+    if Quorum.has_weak votes && t.vc_sent_for < new_view then begin
       t.in_view_change <- true;
       t.view <- new_view - 1;
-      broadcast_view_change t ~round:(t.exec_upto + 1);
-      Bitset.add votes t.env.Env.self |> ignore
+      broadcast_view_change t ~round:(SL.frontier t.log + 1);
+      ignore (Quorum.vote votes t.env.Env.self)
     end;
-    if Bitset.count votes >= Env.quorum_2f1 t.env then begin
+    if Quorum.has_quorum votes then begin
       let primary = new_view mod t.env.Env.n in
       if primary = t.env.Env.self then install_view t ~view:new_view ~primary
       (* Backups adopt the view when the NEW-VIEW arrives. *)
@@ -506,15 +408,15 @@ let on_new_view t ~src ~view reproposals =
     t.last_failure_report <- -1;
     List.iter
       (fun (seq, batch) ->
-        (match Hashtbl.find_opt t.slots seq with
-        | Some s when not s.accepted ->
-            s.batch <- None;
-            s.digest <- None;
-            s.prepared <- false;
-            s.prepare_sent <- false;
-            s.commit_sent <- false;
-            Bitset.clear s.prepares;
-            Bitset.clear s.commits
+        (match SL.find_opt t.log seq with
+        | Some s when not s.SL.accepted ->
+            s.SL.batch <- None;
+            s.SL.digest <- None;
+            (ph s).prepared <- false;
+            (ph s).prepare_sent <- false;
+            (ph s).commit_sent <- false;
+            Quorum.clear (ph s).prepares;
+            Quorum.clear (ph s).commits
         | Some _ | None -> ());
         on_pre_prepare t ~src ~view ~seq batch)
       reproposals
@@ -524,11 +426,11 @@ let on_new_view t ~src ~view reproposals =
 
 let adopt t ~round batch ~cert =
   let s = slot t round in
-  if not s.accepted then begin
-    s.batch <- Some batch;
-    s.digest <- Some batch.Batch.digest;
-    List.iter (fun r -> Bitset.add s.commits r |> ignore) cert;
-    s.accepted <- true;
+  if not s.SL.accepted then begin
+    s.SL.batch <- Some batch;
+    s.SL.digest <- Some batch.Batch.digest;
+    List.iter (fun r -> ignore (Quorum.vote (ph s).commits r)) cert;
+    s.SL.accepted <- true;
     advance_exec_upto t;
     t.env.Env.accept
       {
@@ -544,42 +446,19 @@ let adopt t ~round batch ~cert =
 let proposed_upto t = t.next_seq - 1
 
 let accepted_batch t ~round =
-  match Hashtbl.find_opt t.slots round with
-  | Some ({ accepted = true; batch = Some b; _ } as s) ->
-      Some (b, Bitset.to_list s.commits)
+  match SL.find_opt t.log round with
+  | Some ({ SL.accepted = true; batch = Some b; _ } as s) ->
+      Some (b, Quorum.to_list (ph s).commits)
   | Some _ | None -> None
 
-let incomplete_rounds t =
-  let acc = ref [] in
-  for seq = t.max_seen downto t.exec_upto + 1 do
-    match Hashtbl.find_opt t.slots seq with
-    | Some s when not s.accepted -> acc := seq :: !acc
-    | Some _ -> ()
-    | None -> acc := seq :: !acc
-  done;
-  !acc
+let incomplete_rounds t = SL.incomplete_rounds t.log
 
 (* --- failure detection ------------------------------------------------ *)
-
-(* The oldest round blocking progress, with the time since when it has
-   been stalled: a slot this replica has partial evidence for uses its
-   creation time; a round it never heard of at all (fully in the dark)
-   falls back to the instance's last progress. *)
-let oldest_incomplete t =
-  let rec go seq =
-    if seq > t.max_seen then None
-    else
-      match Hashtbl.find_opt t.slots seq with
-      | Some s when not s.accepted -> Some (seq, s.created_at)
-      | Some _ -> go (seq + 1)
-      | None -> Some (seq, t.last_progress)
-  in
-  go (t.exec_upto + 1)
 
 let rec watchdog t =
   if t.running then begin
     let timeout = t.env.Env.timeout in
-    (match oldest_incomplete t with
+    (match SL.oldest_incomplete t.log with
     | Some (round, since) when Engine.now t.env.Env.engine - since > timeout ->
         detect_failure t ~round
     | Some _ | None -> ());

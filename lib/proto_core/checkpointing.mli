@@ -1,0 +1,47 @@
+(** PBFT's stable / provable-stable checkpoint logic, lifted out of the
+    instance so any protocol with a gap-free accept frontier can reuse it.
+
+    A checkpoint at round [s] is {e provable} once [f+1] replicas voted
+    for it (at least one honest), and becomes {e stable} locally only
+    once this replica has itself accepted through [s] — a replica kept in
+    the dark must not garbage-collect rounds it never executed. Stable
+    proofs are recorded in a {!Rcc_storage.Checkpoint_store.t}.
+
+    The caller owns the slot log: whenever a call reports a newly stable
+    round [s], the caller should [Slot_log.gc_upto log (s - 1)]. *)
+
+type t
+
+val create : n:int -> f:int -> interval:int -> unit -> t
+(** [interval <= 0] disables checkpoint scheduling ({!due} is [None]). *)
+
+val stable : t -> Rcc_common.Ids.round
+(** The stable checkpoint round; -1 initially. *)
+
+val provable_stable : t -> Rcc_common.Ids.round
+(** Highest round with [f+1] checkpoint votes; -1 initially. *)
+
+val log : t -> Rcc_storage.Checkpoint_store.t
+(** The proofs recorded as checkpoints became stable. *)
+
+val due : t -> exec_upto:Rcc_common.Ids.round -> Rcc_common.Ids.round option
+(** The checkpoint boundary the caller should announce (broadcast a
+    CHECKPOINT vote for), if the executed prefix has crossed one that is
+    not yet stable. *)
+
+val on_vote :
+  t ->
+  src:Rcc_common.Ids.replica_id ->
+  seq:Rcc_common.Ids.round ->
+  digest:string ->
+  exec_upto:Rcc_common.Ids.round ->
+  Rcc_common.Ids.round option
+(** Count a CHECKPOINT vote (double votes ignored; the first digest seen
+    per round wins). Returns the newly stable round, if this vote made
+    one stable. *)
+
+val try_stabilize :
+  t -> exec_upto:Rcc_common.Ids.round -> Rcc_common.Ids.round option
+(** Adopt the provable-stable checkpoint once execution has caught up
+    with it (call after the accept frontier advances). Returns the newly
+    stable round, if any. *)

@@ -1,0 +1,14 @@
+module Batch = Rcc_messages.Batch
+
+type t = { mutable held : Batch.t list (* newest first *) }
+
+let create () = { held = [] }
+let hold t batch = t.held <- batch :: t.held
+let is_empty t = t.held = []
+let pending t = List.length t.held
+let clear t = t.held <- []
+
+let flush t ~propose =
+  let batches = List.rev t.held in
+  t.held <- [];
+  List.iter propose batches

@@ -1,0 +1,28 @@
+(** Hold-during-transition discipline for client batches.
+
+    A primary must not propose while its instance is mid-recovery (view
+    change, leader transfer, contract grace window) — but dropping the
+    batch instead is worse: the liveness monitor's null fills arrive
+    through the same path and are only sent once, so a swallowed fill
+    stalls the instance forever. Every instance therefore holds batches
+    submitted during a transition and flushes them, in submission order,
+    once it (re-)installs as primary; a replica that installs as backup
+    clears its held batches instead — its clients' requests are the new
+    primary's job. *)
+
+type t
+
+val create : unit -> t
+
+val hold : t -> Rcc_messages.Batch.t -> unit
+
+val flush : t -> propose:(Rcc_messages.Batch.t -> unit) -> unit
+(** Re-submit every held batch in submission order and empty the queue.
+    [propose] may itself call {!hold} (not expected, but safe: it would
+    re-queue for the next flush rather than loop). *)
+
+val clear : t -> unit
+(** Drop held batches (installing as backup). *)
+
+val is_empty : t -> bool
+val pending : t -> int

@@ -1,0 +1,44 @@
+module Bitset = Rcc_common.Bitset
+
+type t = { n : int; f : int; votes : Bitset.t }
+
+let create ~n ~f = { n; f; votes = Bitset.create n }
+let vote t r = Bitset.add t.votes r
+let mem t r = Bitset.mem t.votes r
+let count t = Bitset.count t.votes
+let clear t = Bitset.clear t.votes
+let to_list t = Bitset.to_list t.votes
+
+let quorum_2f1 t = (2 * t.f) + 1
+let weak_f1 t = t.f + 1
+let majority t = (t.n / 2) + 1
+let all_but_f t = t.n - t.f
+
+let reached t k = count t >= k
+let has_quorum t = reached t (quorum_2f1 t)
+let has_weak t = reached t (weak_f1 t)
+let has_majority t = reached t (majority t)
+let has_all_but_f t = reached t (all_but_f t)
+
+let create_quorum = create
+
+module Tally = struct
+  type quorum = t
+  type t = { n : int; f : int; table : (int, quorum) Hashtbl.t }
+
+  let create ~n ~f = { n; f; table = Hashtbl.create 8 }
+  let find_opt t key = Hashtbl.find_opt t.table key
+
+  let votes t key =
+    match Hashtbl.find_opt t.table key with
+    | Some q -> q
+    | None ->
+        let q = create_quorum ~n:t.n ~f:t.f in
+        Hashtbl.replace t.table key q;
+        q
+
+  let prune t ~upto =
+    Hashtbl.filter_map_inplace
+      (fun key q -> if key <= upto then None else Some q)
+      t.table
+end

@@ -1,0 +1,95 @@
+module Engine = Rcc_sim.Engine
+module Batch = Rcc_messages.Batch
+
+type 'a slot = {
+  round : int;
+  mutable batch : Batch.t option;
+  mutable digest : string option;
+  mutable accepted : bool;
+  created_at : Engine.time;
+  state : 'a;
+}
+
+type 'a t = {
+  engine : Engine.t;
+  init : int -> 'a;
+  slots : (int, 'a slot) Hashtbl.t;
+  mutable max_seen : int;
+  mutable frontier : int;
+  mutable last_progress : Engine.time;
+}
+
+let create ~engine ~init () =
+  {
+    engine;
+    init;
+    slots = Hashtbl.create 512;
+    max_seen = -1;
+    frontier = -1;
+    last_progress = 0;
+  }
+
+let find_opt t round = Hashtbl.find_opt t.slots round
+
+let get t round =
+  match Hashtbl.find_opt t.slots round with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          round;
+          batch = None;
+          digest = None;
+          accepted = false;
+          created_at = Engine.now t.engine;
+          state = t.init round;
+        }
+      in
+      Hashtbl.replace t.slots round s;
+      if round > t.max_seen then t.max_seen <- round;
+      s
+
+let remove t round = Hashtbl.remove t.slots round
+let max_seen t = t.max_seen
+let frontier t = t.frontier
+let last_progress t = t.last_progress
+let touch t = t.last_progress <- Engine.now t.engine
+
+let drain t ~accept =
+  let advanced = ref false in
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.slots (t.frontier + 1) with
+    | Some s when accept s ->
+        t.frontier <- t.frontier + 1;
+        advanced := true
+    | Some _ | None -> continue := false
+  done;
+  if !advanced then touch t;
+  !advanced
+
+let gc_upto t upto =
+  Hashtbl.filter_map_inplace
+    (fun round s -> if round <= upto then None else Some s)
+    t.slots
+
+let incomplete_rounds t =
+  let acc = ref [] in
+  for round = t.max_seen downto t.frontier + 1 do
+    match Hashtbl.find_opt t.slots round with
+    | Some s when not s.accepted -> acc := round :: !acc
+    | Some _ -> ()
+    | None -> acc := round :: !acc
+  done;
+  !acc
+
+let oldest_incomplete t =
+  let rec go round =
+    if round > t.max_seen then None
+    else
+      match Hashtbl.find_opt t.slots round with
+      | Some s when not s.accepted -> Some (round, s.created_at)
+      | Some _ -> go (round + 1)
+      | None -> Some (round, t.last_progress)
+  in
+  go (t.frontier + 1)

@@ -1,0 +1,66 @@
+(** The round-indexed slot store every protocol instance keeps.
+
+    A slot carries the machinery common to all instances — the proposed
+    batch, its digest, the accepted flag, and the creation time the
+    watchdog blames from — plus a protocol-specific ['a state] (PBFT's
+    prepare/commit quorums, CFT's ack quorum, Zyzzyva's chained history,
+    HotStuff's phase votes), built by the [init] callback on first touch.
+
+    The log tracks two watermarks. [max_seen] is the highest round with
+    any activity. [frontier] is the accept frontier: every round
+    [<= frontier] has been accepted (PBFT's [exec_upto]; Zyzzyva's
+    [next_accept - 1]; HotStuff's [next_decide - 1]). [drain] advances it
+    in strict round order, which is what gives RCC its per-instance
+    gap-free prefix (requirement R4, §3.3). *)
+
+type 'a slot = {
+  round : Rcc_common.Ids.round;
+  mutable batch : Rcc_messages.Batch.t option;
+  mutable digest : string option;
+  mutable accepted : bool;
+  created_at : Rcc_sim.Engine.time;
+  state : 'a;  (** protocol-specific per-slot state *)
+}
+
+type 'a t
+
+val create :
+  engine:Rcc_sim.Engine.t -> init:(Rcc_common.Ids.round -> 'a) -> unit -> 'a t
+
+val get : 'a t -> Rcc_common.Ids.round -> 'a slot
+(** The slot for [round], created (and [max_seen] bumped) on first use. *)
+
+val find_opt : 'a t -> Rcc_common.Ids.round -> 'a slot option
+val remove : 'a t -> Rcc_common.Ids.round -> unit
+
+val max_seen : 'a t -> Rcc_common.Ids.round
+(** Highest round with any activity; -1 initially. *)
+
+val frontier : 'a t -> Rcc_common.Ids.round
+(** Highest round of the gap-free accepted prefix; -1 initially. *)
+
+val drain : 'a t -> accept:('a slot -> bool) -> bool
+(** Walk slots upward from [frontier + 1] while [accept] grants each one,
+    advancing the frontier past every granted slot. [accept] may perform
+    the protocol's accept side effects (report upward, chain a history
+    digest) before granting. Stops at the first missing or refused slot;
+    [touch]es the log iff the frontier moved. Returns whether it moved. *)
+
+val incomplete_rounds : 'a t -> Rcc_common.Ids.round list
+(** Rounds above the frontier not yet accepted (missing slots included),
+    oldest first — the [Instance_intf.S.incomplete_rounds] contract. *)
+
+val oldest_incomplete :
+  'a t -> (Rcc_common.Ids.round * Rcc_sim.Engine.time) option
+(** The oldest round blocking the frontier, with the time it has been
+    stalled since: a slot with partial evidence blames from its creation
+    time; a round never heard of at all (replica kept in the dark) falls
+    back to [last_progress]. *)
+
+val last_progress : 'a t -> Rcc_sim.Engine.time
+
+val touch : 'a t -> unit
+(** Record progress now (accept, view install) for watchdog blaming. *)
+
+val gc_upto : 'a t -> Rcc_common.Ids.round -> unit
+(** Drop every slot [<= upto] (rounds covered by a stable checkpoint). *)

@@ -1,0 +1,14 @@
+(** What a protocol instance reports upward when it completes replication
+    of a round: the batch, who certified it, and (for speculative
+    protocols) the execution-history digest. *)
+
+open Rcc_common.Ids
+
+type t = {
+  instance : instance_id;
+  round : round;
+  batch : Rcc_messages.Batch.t;
+  cert : int list;  (** replicas backing the accept proof *)
+  speculative : bool;  (** Zyzzyva-style speculative accept *)
+  history : string;  (** Zyzzyva history digest; "" elsewhere *)
+}

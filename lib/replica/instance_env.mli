@@ -1,0 +1,47 @@
+(** The environment a protocol instance runs in.
+
+    An instance never touches the network or the execute thread directly;
+    it talks through these callbacks, which the node builder wires to the
+    simulated pipeline (charging worker CPU for marshalling and MACs on
+    every send). This is the seam that makes the protocols reusable both
+    standalone and as RCC instances. *)
+
+open Rcc_common.Ids
+
+type t = {
+  n : int;
+  f : int;
+  z : int;
+  instance : instance_id;
+  self : replica_id;
+  engine : Rcc_sim.Engine.t;
+  costs : Rcc_sim.Costs.t;
+  timeout : Rcc_sim.Engine.time;  (** replica view-change timeout (10 s in §7.5) *)
+  checkpoint_interval : int;  (** rounds between checkpoints *)
+  send : ?sign:bool -> dst:replica_id -> Rcc_messages.Msg.t -> unit;
+      (** Point-to-point send; [sign] charges a digital signature instead
+          of a MAC (HotStuff-style protocols). *)
+  broadcast :
+    ?sign:bool -> ?exclude:(replica_id -> bool) -> Rcc_messages.Msg.t -> unit;
+      (** Send to every other replica, minus exclusions (byzantine
+          primaries exclude their victims here). *)
+  respond : Rcc_common.Ids.client_id -> Rcc_messages.Msg.t -> unit;
+      (** Direct reply to a client (Zyzzyva LOCAL-COMMIT acks). *)
+  accept : Acceptance.t -> unit;
+      (** Replication of a round completed at this replica. *)
+  report_failure : round:round -> blamed:replica_id -> unit;
+      (** Local failure detection; routed to the RCC coordinator (unified
+          mode) or handled by the instance's own view-change logic. *)
+  byz : Byz.t;  (** how this replica misbehaves when primary *)
+  unified : bool;
+      (** true under RCC: primary replacement is decided by the
+          coordinator (unified multi-leader election, §3.4.2); false for
+          the standalone protocol's own view-change. *)
+}
+
+val quorum_2f1 : t -> int
+(** [2f+1] — the BFT accept quorum. New code inside instances should
+    prefer {!Rcc_proto_core.Quorum}, which tracks the votes too. *)
+
+val majority_nf : t -> int
+(** [f+1] — at least one honest replica. *)

@@ -34,6 +34,8 @@ val avg_latency : t -> float
 (** Seconds. *)
 
 val latency_percentile : t -> float -> float
+(** [latency_percentile t p] with [p] a fraction ([0.5] = median,
+    [0.99] = p99), in seconds. *)
 
 val timeline : t -> (float * float) array
 (** Client-side throughput per 100 ms bucket over the whole run, txns/s. *)

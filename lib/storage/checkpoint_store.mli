@@ -3,7 +3,11 @@
     Records each checkpoint that became stable — the round it covers, the
     state digest agreed on, and the replicas whose CHECKPOINT messages
     attested it — so a recovering replica can prove how far the service
-    had advanced. Bounded history; the newest [capacity] proofs are kept. *)
+    had advanced. Bounded history; the newest [capacity] proofs are kept.
+
+    The vote counting that decides {e when} a checkpoint becomes stable
+    lives above this store, in [Rcc_proto_core.Checkpointing]; this
+    module only persists the resulting proofs. *)
 
 type proof = {
   seq : Rcc_common.Ids.round;

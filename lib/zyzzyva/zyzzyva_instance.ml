@@ -2,51 +2,47 @@ module Engine = Rcc_sim.Engine
 module Costs = Rcc_sim.Costs
 module Msg = Rcc_messages.Msg
 module Batch = Rcc_messages.Batch
-module Bitset = Rcc_common.Bitset
 module Env = Rcc_replica.Instance_env
+module SL = Rcc_proto_core.Slot_log
+module Quorum = Rcc_proto_core.Quorum
+module Held_batches = Rcc_proto_core.Held_batches
 
-type slot = {
-  seq : int;
-  mutable batch : Batch.t option;
-  mutable accepted : bool;
-  mutable history : string;  (* chain head after accepting this slot *)
-  created_at : Engine.time;
-}
+(* Protocol-specific slot state; batch / accepted / created_at live in
+   the shared {!Rcc_proto_core.Slot_log}. *)
+type spec = { mutable history : string (* chain head after accepting *) }
 
 type t = {
   env : Env.t;
   mutable view : int;
   mutable primary : int;
   mutable next_seq : int;  (* primary: next round to order *)
-  mutable next_accept : int;  (* backups accept strictly in order *)
-  mutable max_seen : int;
-  slots : (int, slot) Hashtbl.t;
+  log : spec SL.t;  (* frontier = next_accept - 1: accepts strictly in order *)
   mutable history : string;  (* running history digest *)
   mutable committed : int;  (* highest round with a client commit cert *)
-  vc_votes : (int, Bitset.t) Hashtbl.t;
+  vc_votes : Quorum.Tally.t;
   mutable vc_sent_for : int;
   mutable last_failure_report : int;
   mutable recovering : bool;  (* new primary syncing in-flight slots *)
-  mutable held_batches : Batch.t list;  (* submitted while recovering; newest first *)
+  held : Held_batches.t;  (* submitted while recovering *)
   mutable running : bool;
 }
 
 let create env =
+  let n = env.Env.n and f = env.Env.f in
   {
     env;
     view = 0;
     primary = env.Env.instance;
     next_seq = 0;
-    next_accept = 0;
-    max_seen = -1;
-    slots = Hashtbl.create 512;
+    log =
+      SL.create ~engine:env.Env.engine ~init:(fun _ -> { history = "" }) ();
     history = "";
     committed = -1;
-    vc_votes = Hashtbl.create 8;
+    vc_votes = Quorum.Tally.create ~n ~f;
     vc_sent_for = 0;
     last_failure_report = -1;
     recovering = false;
-    held_batches = [];
+    held = Held_batches.create ();
     running = false;
   }
 
@@ -55,23 +51,8 @@ let view t = t.view
 let committed_upto t = t.committed
 let history_digest t = t.history
 let is_primary t = t.primary = t.env.Env.self
-
-let slot t seq =
-  match Hashtbl.find_opt t.slots seq with
-  | Some s -> s
-  | None ->
-      let s =
-        {
-          seq;
-          batch = None;
-          accepted = false;
-          history = "";
-          created_at = Engine.now t.env.Env.engine;
-        }
-      in
-      Hashtbl.replace t.slots seq s;
-      if seq > t.max_seen then t.max_seen <- seq;
-      s
+let slot t seq = SL.get t.log seq
+let next_accept t = SL.frontier t.log + 1
 
 let extend_history t digest =
   t.history <- Rcc_crypto.Sha256.digest_list [ t.history; digest ];
@@ -84,31 +65,30 @@ let retain_slots = 8_192
 (* Accept pending slots strictly in sequence order, chaining the history
    digest (speculative execution). *)
 let drain_accepts t =
-  let continue = ref true in
-  while !continue do
-    match Hashtbl.find_opt t.slots t.next_accept with
-    | Some ({ batch = Some batch; accepted = false; _ } as s) ->
-        s.accepted <- true;
-        Hashtbl.remove t.slots (t.next_accept - retain_slots);
-        s.history <- extend_history t batch.Batch.digest;
-        t.env.Env.accept
-          {
-            Rcc_replica.Acceptance.instance = t.env.Env.instance;
-            round = s.seq;
-            batch;
-            cert = [ t.primary; t.env.Env.self ];
-            speculative = true;
-            history = s.history;
-          };
-        t.next_accept <- t.next_accept + 1
-    | Some _ | None -> continue := false
-  done
+  ignore
+    (SL.drain t.log ~accept:(fun s ->
+         match s.SL.batch with
+         | Some batch when not s.SL.accepted ->
+             s.SL.accepted <- true;
+             SL.remove t.log (s.SL.round - retain_slots);
+             s.SL.state.history <- extend_history t batch.Batch.digest;
+             t.env.Env.accept
+               {
+                 Rcc_replica.Acceptance.instance = t.env.Env.instance;
+                 round = s.SL.round;
+                 batch;
+                 cert = [ t.primary; t.env.Env.self ];
+                 speculative = true;
+                 history = s.SL.state.history;
+               };
+             true
+         | Some _ | None -> false))
 
 let on_order_request t ~src ~view ~seq batch ~history:_ =
   if src = t.primary && view = t.view then begin
     let s = slot t seq in
-    if Option.is_none s.batch then begin
-      s.batch <- Some batch;
+    if Option.is_none s.SL.batch then begin
+      s.SL.batch <- Some batch;
       drain_accepts t
     end
   end
@@ -117,7 +97,7 @@ let propose t batch =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let s = slot t seq in
-  s.batch <- Some batch;
+  s.SL.batch <- Some batch;
   let exclude dst = Rcc_replica.Byz.excludes t.env.Env.byz ~round:seq dst in
   t.env.Env.broadcast ~exclude
     (Msg.Order_request
@@ -132,8 +112,7 @@ let propose t batch =
 
 let submit_batch t batch =
   if is_primary t then
-    if t.recovering then t.held_batches <- batch :: t.held_batches
-    else propose t batch
+    if t.recovering then Held_batches.hold t.held batch else propose t batch
 
 (* --- failure detection / view change --------------------------------- *)
 
@@ -147,19 +126,10 @@ let broadcast_view_change t ~round =
          new_view;
          blamed = t.primary;
          round;
-         last_exec = t.next_accept - 1;
+         last_exec = SL.frontier t.log;
        });
-  if not t.env.Env.unified then begin
-    let votes =
-      match Hashtbl.find_opt t.vc_votes new_view with
-      | Some v -> v
-      | None ->
-          let v = Bitset.create t.env.Env.n in
-          Hashtbl.replace t.vc_votes new_view v;
-          v
-    in
-    Bitset.add votes t.env.Env.self |> ignore
-  end
+  if not t.env.Env.unified then
+    ignore (Quorum.vote (Quorum.Tally.votes t.vc_votes new_view) t.env.Env.self)
 
 let detect_failure t ~round =
   if t.last_failure_report < round then begin
@@ -171,16 +141,16 @@ let detect_failure t ~round =
 (* A commit certificate for a sequence number we never accepted is proof
    (relayed through a retrying client) that the primary skipped us. *)
 let on_commit_cert t ~seq ~replicas:_ =
-  if seq >= 0 && seq < t.next_accept then begin
+  if seq >= 0 && seq < next_accept t then begin
     if seq > t.committed then t.committed <- seq;
-    match (slot t seq).batch with
+    match (slot t seq).SL.batch with
     | Some batch when not (Batch.is_null batch) ->
         t.env.Env.respond batch.Batch.client
           (Msg.Local_commit
              { instance = t.env.Env.instance; seq; client = batch.Batch.client })
     | Some _ | None -> ()
   end
-  else if seq >= t.next_accept then detect_failure t ~round:t.next_accept
+  else if seq >= next_accept t then detect_failure t ~round:(next_accept t)
 
 let reorder t seq batch =
   t.env.Env.broadcast
@@ -204,19 +174,17 @@ let recover_grace t = max (Engine.ms 1) (t.env.Env.timeout / 8)
    frontier — see [repropose_incomplete]. *)
 let finish_repropose t =
   t.recovering <- false;
-  t.next_seq <- max t.next_seq (t.max_seen + 1);
-  for seq = t.next_accept to t.max_seen do
+  t.next_seq <- max t.next_seq (SL.max_seen t.log + 1);
+  for seq = next_accept t to SL.max_seen t.log do
     let s = slot t seq in
-    match s.batch with
+    match s.SL.batch with
     | Some batch -> reorder t seq batch
     | None ->
-        s.batch <- Some (Batch.null ~round:seq);
+        s.SL.batch <- Some (Batch.null ~round:seq);
         reorder t seq (Batch.null ~round:seq)
   done;
   drain_accepts t;
-  let held = List.rev t.held_batches in
-  t.held_batches <- [];
-  List.iter (fun batch -> propose t batch) held
+  Held_batches.flush t.held ~propose:(propose t)
 
 let repropose_incomplete t =
   (* Announce the new view so backups adopt the new primary even when
@@ -235,7 +203,7 @@ let repropose_incomplete t =
     t.recovering <- true;
     t.env.Env.broadcast
       (Msg.Contract_request
-         { round = t.next_accept; instance = t.env.Env.instance });
+         { round = next_accept t; instance = t.env.Env.instance });
     let view = t.view in
     Engine.schedule_after t.env.Env.engine (recover_grace t) (fun () ->
         if t.view = view && is_primary t then finish_repropose t)
@@ -250,31 +218,22 @@ let install_view t ~view ~primary =
   t.view <- view;
   t.primary <- primary;
   t.recovering <- false;
-  t.held_batches <- [];
+  Held_batches.clear t.held;
   t.last_failure_report <- -1;
-  Hashtbl.filter_map_inplace
-    (fun v votes -> if v <= view then None else Some votes)
-    t.vc_votes;
+  Quorum.Tally.prune t.vc_votes ~upto:view;
   if is_primary t then repropose_incomplete t
 
 let set_primary t replica ~view = install_view t ~view ~primary:replica
 
 let on_view_change t ~src ~new_view =
   if (not t.env.Env.unified) && new_view > t.view then begin
-    let votes =
-      match Hashtbl.find_opt t.vc_votes new_view with
-      | Some v -> v
-      | None ->
-          let v = Bitset.create t.env.Env.n in
-          Hashtbl.replace t.vc_votes new_view v;
-          v
-    in
-    Bitset.add votes src |> ignore;
-    if Bitset.count votes >= t.env.Env.f + 1 && t.vc_sent_for < new_view then begin
-      broadcast_view_change t ~round:t.next_accept;
-      Bitset.add votes t.env.Env.self |> ignore
+    let votes = Quorum.Tally.votes t.vc_votes new_view in
+    ignore (Quorum.vote votes src);
+    if Quorum.has_weak votes && t.vc_sent_for < new_view then begin
+      broadcast_view_change t ~round:(next_accept t);
+      ignore (Quorum.vote votes t.env.Env.self)
     end;
-    if Bitset.count votes >= Env.quorum_2f1 t.env then begin
+    if Quorum.has_quorum votes then begin
       let primary = new_view mod t.env.Env.n in
       if primary = t.env.Env.self then install_view t ~view:new_view ~primary
     end
@@ -285,7 +244,7 @@ let on_new_view t ~src ~view reproposals =
     t.view <- view;
     t.primary <- src;
     t.recovering <- false;
-    t.held_batches <- [];
+    Held_batches.clear t.held;
     t.last_failure_report <- -1;
     List.iter
       (fun (seq, batch) -> on_order_request t ~src ~view ~seq batch ~history:"")
@@ -296,36 +255,38 @@ let on_new_view t ~src ~view reproposals =
 
 let adopt t ~round batch ~cert:_ =
   let s = slot t round in
-  if not s.accepted then begin
-    s.batch <- Some batch;
+  if not s.SL.accepted then begin
+    s.SL.batch <- Some batch;
     drain_accepts t
   end
 
 let proposed_upto t = t.next_seq - 1
 
 let accepted_batch t ~round =
-  match Hashtbl.find_opt t.slots round with
-  | Some { accepted = true; batch = Some b; _ } ->
+  match SL.find_opt t.log round with
+  | Some { SL.accepted = true; batch = Some b; _ } ->
       Some (b, [ t.primary; t.env.Env.self ])
   | Some _ | None -> None
 
 let incomplete_rounds t =
   let acc = ref [] in
-  for seq = t.max_seen downto t.next_accept do
+  for seq = SL.max_seen t.log downto next_accept t do
     acc := seq :: !acc
   done;
   !acc
 
+(* The frontier slot (created on demand so a round we only heard about
+   indirectly still gets a stall clock). *)
 let oldest_incomplete t =
-  if t.next_accept > t.max_seen then None
-  else Some (slot t t.next_accept)
+  if next_accept t > SL.max_seen t.log then None
+  else Some (slot t (next_accept t))
 
 let rec watchdog t =
   if t.running then begin
     let timeout = t.env.Env.timeout in
     (match oldest_incomplete t with
-    | Some s when Engine.now t.env.Env.engine - s.created_at > timeout ->
-        detect_failure t ~round:s.seq
+    | Some s when Engine.now t.env.Env.engine - s.SL.created_at > timeout ->
+        detect_failure t ~round:s.SL.round
     | Some _ | None -> ());
     Engine.schedule_after t.env.Env.engine (timeout / 2) (fun () -> watchdog t)
   end

@@ -1,0 +1,156 @@
+(* The Instance_intf.S conformance suite.
+
+   RCC treats each protocol as a black box satisfying R1-R4 (§3.3); the
+   coordinator, liveness monitor and contract recovery rely only on the
+   [Instance_intf.S] surface. This functor runs one contract suite over
+   any instance so a new backend proves the behaviors the rest of the
+   system assumes:
+
+   - accepted rounds are visible through [accepted_batch] on every
+     replica, matching what was reported upward (R1/R2: all replicas
+     accept the same batch);
+   - [adopt] is idempotent — a second adopt of a decided round cannot
+     change it (R4: contract recovery never rewrites history);
+   - [incomplete_rounds] lists unaccepted rounds oldest-first so the
+     coordinator can null-fill and contracts can target the right gap
+     (R3: every started round eventually terminates);
+   - batches submitted mid-leader-transfer are held and flushed, not
+     dropped (the liveness half of R3 under unified recovery). *)
+
+module Batch = Rcc_messages.Batch
+
+module Make
+    (P : Rcc_replica.Instance_intf.S) (Info : sig
+      val name : string
+    end) =
+struct
+  module H = Harness.Make (P)
+
+  let check = Alcotest.check
+
+  let test_fresh_instance () =
+    let t = H.create ~n:4 () in
+    let inst = H.inst t 2 in
+    check Alcotest.bool "no accepted batch before any accept" true
+      (Option.is_none (P.accepted_batch inst ~round:0));
+    check
+      Alcotest.(list int)
+      "no incomplete rounds before any activity" []
+      (P.incomplete_rounds inst)
+
+  let test_accept_visibility () =
+    let t = H.create ~n:4 () in
+    H.submit t ~replica:0 (Harness.make_batch 7);
+    H.run t 0.05;
+    for r = 0 to 3 do
+      check
+        Alcotest.(option int)
+        (Printf.sprintf "replica %d reported the accept upward" r)
+        (Some 7)
+        (H.accepted_batch_id t ~replica:r ~round:0);
+      (match P.accepted_batch (H.inst t r) ~round:0 with
+      | Some (b, _) ->
+          check Alcotest.int
+            (Printf.sprintf "replica %d serves the batch for contracts" r)
+            7 b.Batch.id
+      | None ->
+          Alcotest.fail "accepted_batch must be available after accept");
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "replica %d has no incomplete rounds" r)
+        []
+        (P.incomplete_rounds (H.inst t r))
+    done
+
+  let test_adopt_idempotence () =
+    let t = H.create ~n:4 () in
+    let inst = H.inst t 3 in
+    let first = Harness.make_batch 41 and second = Harness.make_batch 42 in
+    P.adopt inst ~round:0 first ~cert:[ 0; 1; 2 ];
+    (match P.accepted_batch inst ~round:0 with
+    | Some (b, _) -> check Alcotest.int "adopt decides the round" 41 b.Batch.id
+    | None -> Alcotest.fail "adopt must make the round available");
+    P.adopt inst ~round:0 second ~cert:[ 0; 1; 2 ];
+    match P.accepted_batch inst ~round:0 with
+    | Some (b, _) ->
+        check Alcotest.int "second adopt cannot rewrite the round" 41
+          b.Batch.id
+    | None -> Alcotest.fail "round must stay decided"
+
+  let test_incomplete_ordering () =
+    let t = H.create ~n:4 () in
+    let inst = H.inst t 0 in
+    P.adopt inst ~round:3 (Harness.make_batch 13) ~cert:[ 0; 1; 2 ];
+    let rounds = P.incomplete_rounds inst in
+    check
+      Alcotest.(list int)
+      "incomplete rounds oldest first" (List.sort compare rounds) rounds;
+    (* The holes below the adopted round must all be reported; in-order
+       protocols may additionally report round 3 itself until the gap
+       fills. *)
+    check
+      Alcotest.(list int)
+      "holes below the adopted round" [ 0; 1; 2 ]
+      (List.filter (fun r -> r < 3) rounds);
+    check Alcotest.bool "nothing past the known frontier" true
+      (List.for_all (fun r -> r <= 3) rounds)
+
+  let test_held_batch_flush () =
+    let t = H.create ~n:4 ~unified:true () in
+    for r = 0 to 3 do
+      P.set_primary (H.inst t r) 1 ~view:1
+    done;
+    (* Inside the takeover window: the new primary must hold the batch
+       through its recovery grace period and flush it, not drop it. *)
+    H.submit t ~replica:1 (Harness.make_batch 99);
+    H.run t 0.3;
+    let found = ref false in
+    for round = 0 to 8 do
+      if H.accepted_batch_id t ~replica:0 ~round = Some 99 then found := true
+    done;
+    check Alcotest.bool "batch submitted mid-transfer eventually accepted"
+      true !found
+
+  let suite =
+    ( "conformance:" ^ Info.name,
+      [
+        Alcotest.test_case "fresh instance" `Quick test_fresh_instance;
+        Alcotest.test_case "accepted_batch after accept" `Quick
+          test_accept_visibility;
+        Alcotest.test_case "adopt idempotence" `Quick test_adopt_idempotence;
+        Alcotest.test_case "incomplete_rounds ordering" `Quick
+          test_incomplete_ordering;
+        Alcotest.test_case "held-batch flush after set_primary" `Quick
+          test_held_batch_flush;
+      ] )
+end
+
+module Pbft =
+  Make
+    (Rcc_pbft.Pbft_instance)
+    (struct
+      let name = "pbft"
+    end)
+
+module Zyzzyva =
+  Make
+    (Rcc_zyzzyva.Zyzzyva_instance)
+    (struct
+      let name = "zyzzyva"
+    end)
+
+module Cft =
+  Make
+    (Rcc_cft.Cft_instance)
+    (struct
+      let name = "cft"
+    end)
+
+module Hotstuff =
+  Make
+    (Rcc_hotstuff.Hotstuff_replica)
+    (struct
+      let name = "hotstuff"
+    end)
+
+let suites = [ Pbft.suite; Zyzzyva.suite; Cft.suite; Hotstuff.suite ]

@@ -88,6 +88,47 @@ let test_unified_set_primary () =
   check Alcotest.(option int) "new primary leads" (Some 9)
     (H.accepted_batch_id t ~replica:0 ~round:0)
 
+let test_held_batch_mid_transfer () =
+  (* Regression: a batch submitted inside the leader-transfer grace
+     window used to be proposed over unknown in-flight slots (or, once
+     the window existed, dropped); it must be held and flushed when the
+     takeover completes. *)
+  let t = H.create ~n:4 ~unified:true () in
+  for r = 0 to 3 do
+    C.set_primary (H.inst t r) 2 ~view:1
+  done;
+  H.submit t ~replica:2 (Harness.make_batch 5);
+  H.run t 0.1;
+  for r = 0 to 3 do
+    check Alcotest.(option int)
+      (Printf.sprintf "replica %d accepted the held batch" r)
+      (Some 5)
+      (H.accepted_batch_id t ~replica:r ~round:0)
+  done
+
+let test_stale_acks_cannot_certify () =
+  (* Regression: a majority of acks for a round the primary holds no
+     batch for used to broadcast COMMIT-NOTIFY with digest "" and mark
+     the round notified — so when the real batch later arrived, the
+     notify was never re-sent and backups stalled forever. The empty
+     digest must not certify; the round completes once the batch does. *)
+  let t = H.create ~n:5 () in
+  let inst0 = H.inst t 0 in
+  List.iter
+    (fun src ->
+      C.handle inst0 ~src
+        (Rcc_messages.Msg.Prepare
+           { instance = 0; view = 0; seq = 0; digest = "stale" }))
+    [ 1; 2; 3 ];
+  H.submit t ~replica:0 (Harness.make_batch 5);
+  H.run t 0.05;
+  for r = 0 to 4 do
+    check Alcotest.(option int)
+      (Printf.sprintf "replica %d accepted the real batch" r)
+      (Some 5)
+      (H.accepted_batch_id t ~replica:r ~round:0)
+  done
+
 let test_adopt () =
   let t = H.create ~n:4 () in
   H.submit t ~replica:0 (Harness.make_batch 4);
@@ -129,5 +170,9 @@ let suite =
       Alcotest.test_case "dark primary cannot commit" `Quick test_view_change_on_dark_primary;
       Alcotest.test_case "standalone election" `Quick test_standalone_election;
       Alcotest.test_case "unified set_primary" `Quick test_unified_set_primary;
+      Alcotest.test_case "held batch mid-transfer" `Quick
+        test_held_batch_mid_transfer;
+      Alcotest.test_case "stale acks cannot certify" `Quick
+        test_stale_acks_cannot_certify;
       Alcotest.test_case "adopt" `Quick test_adopt;
     ] )

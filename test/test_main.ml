@@ -1,6 +1,6 @@
 let () =
   Alcotest.run "rcc"
-    [
+    ([
       Test_common.suite;
       Test_crypto.suite;
       Test_sim.suite;
@@ -19,3 +19,4 @@ let () =
       Test_chaos.suite;
       Test_integration.suite;
     ]
+    @ Conformance.suites)

@@ -165,6 +165,50 @@ let test_metrics_warmup_filter () =
   check Alcotest.bool "timeline has both buckets" true
     (Array.length (Metrics.timeline m) >= 2)
 
+let test_metrics_throughput_guard () =
+  (* A run no longer than the warmup window has no measurement span;
+     throughput must report 0 rather than divide by <= 0. *)
+  let m = Metrics.create ~n:2 ~warmup:(Engine.ms 100) in
+  Metrics.record_completion m ~now:(Engine.ms 100) ~ntxns:10
+    ~latency:(Engine.ms 1);
+  check (Alcotest.float 0.0) "duration = warmup" 0.0
+    (Metrics.throughput m ~duration:(Engine.ms 100));
+  check (Alcotest.float 0.0) "duration < warmup" 0.0
+    (Metrics.throughput m ~duration:(Engine.ms 50));
+  (* The boundary completion itself (now = warmup) is inside the
+     measurement window. *)
+  check Alcotest.int "boundary completion counted" 10
+    (Metrics.committed_txns m);
+  check Alcotest.bool "positive span measures" true
+    (Metrics.throughput m ~duration:(Engine.ms 200) > 0.0)
+
+let test_metrics_percentiles_and_timeline () =
+  let m = Metrics.create ~n:2 ~warmup:0 in
+  for i = 1 to 100 do
+    Metrics.record_completion m
+      ~now:(Engine.ms (i * 10))
+      ~ntxns:1 ~latency:(Engine.ms i)
+  done;
+  let p50 = Metrics.latency_percentile m 0.5
+  and p99 = Metrics.latency_percentile m 0.99 in
+  check Alcotest.bool "p50 <= p99" true (p50 <= p99);
+  check Alcotest.bool "p50 near the median" true (p50 >= 0.040 && p50 <= 0.065);
+  check Alcotest.bool "p99 near the tail" true (p99 >= 0.090 && p99 <= 0.105);
+  let mean = Metrics.avg_latency m in
+  check Alcotest.bool "mean within the latency range" true
+    (mean > 0.001 && mean < 0.100);
+  let timeline = Metrics.timeline m in
+  check Alcotest.bool "timeline spans the run" true
+    (Array.length timeline >= 9);
+  Array.iter
+    (fun (_, rate) -> check Alcotest.bool "rates non-negative" true (rate >= 0.0))
+    timeline;
+  (* Completions arrive one per 10 ms: every 100 ms bucket carries
+     roughly 10 completions -> ~100 txns/s. *)
+  let _, rate = timeline.(4) in
+  check Alcotest.bool "mid-run bucket near 100 txns/s" true
+    (rate > 50.0 && rate < 150.0)
+
 let test_metrics_counters () =
   let m = Metrics.create ~n:2 ~warmup:0 in
   Metrics.record_view_change m;
@@ -440,6 +484,10 @@ let suite =
       Alcotest.test_case "exec null batch" `Quick test_exec_null_batches_get_no_response;
       Alcotest.test_case "exec reorder hook" `Quick test_exec_reorder_hook;
       Alcotest.test_case "metrics warmup" `Quick test_metrics_warmup_filter;
+      Alcotest.test_case "metrics throughput guard" `Quick
+        test_metrics_throughput_guard;
+      Alcotest.test_case "metrics percentiles/timeline" `Quick
+        test_metrics_percentiles_and_timeline;
       Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
       Alcotest.test_case "client home primary" `Quick test_client_sends_to_home_primary;
       Alcotest.test_case "client f+1 quorum" `Quick test_client_completes_on_fplus1;
