@@ -22,6 +22,8 @@ let () =
     { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024; space_overhead = 200 };
   let quick = ref false in
   let only = ref None in
+  let trace = ref None in
+  let trace_ring = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -30,14 +32,28 @@ let () =
     | "--only" :: name :: rest ->
         only := Some name;
         parse rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        parse rest
+    | "--trace-ring" :: n :: rest ->
+        trace_ring := Some (int_of_string n);
+        parse rest
     | arg :: _ ->
         Printf.eprintf
-          "unknown argument %S\nusage: main.exe [--quick] [--only SECTION]\nsections: %s\n"
+          "unknown argument %S\n\
+           usage: main.exe [--quick] [--only SECTION] [--trace FILE] \
+           [--trace-ring N]\n\
+           sections: %s\n"
           arg
           (String.concat " " (List.map fst sections));
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* Trace every run (the file is overwritten per run, so a sweep leaves
+     the last configuration's trace — use --only for a single run). *)
+  Option.iter
+    (fun path -> Rcc_runtime.Experiment.trace_spec := Some (path, !trace_ring))
+    !trace;
   let profile = if !quick then `Quick else `Full in
   Printf.printf "RCC / MultiBFT benchmark harness (%s profile)\n"
     (if !quick then "quick" else "full");

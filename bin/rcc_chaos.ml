@@ -36,7 +36,8 @@ let smoke_script duration =
     ev (pct 70) (Script.Restart 0);
   ]
 
-let run protocol_sel n duration seed runs scenario_seed smoke canary quick =
+let run protocol_sel n duration seed runs scenario_seed smoke canary quick
+    trace_path trace_ring =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
   let protocols = protocols_of protocol_sel in
   let duration =
@@ -57,7 +58,9 @@ let run protocol_sel n duration seed runs scenario_seed smoke canary quick =
              ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
              ~collusion_wait:(Engine.ms 150) ~seed ()
          in
-         note (Runner.run ~canary ~nemesis_seed:seed cfg (smoke_script duration)))
+         note
+           (Runner.run ~canary ~nemesis_seed:seed ?trace_path ?trace_ring cfg
+              (smoke_script duration)))
        protocols
    else
      match scenario_seed with
@@ -65,7 +68,8 @@ let run protocol_sel n duration seed runs scenario_seed smoke canary quick =
          List.iter
            (fun protocol ->
              note
-               (Fuzzer.run_one ~canary ~protocol ~n ~duration ~scenario_seed ()))
+               (Fuzzer.run_one ~canary ?trace_path ?trace_ring ~protocol ~n
+                  ~duration ~scenario_seed ()))
            protocols
      | None ->
          let summary =
@@ -99,9 +103,22 @@ let cmd =
              ~doc:"Enable the intentionally-broken no-commits invariant to demo failure reporting.")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Cap duration and runs for CI.") in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record a structured trace of the run (--smoke or \
+                   --scenario-seed) and write it to $(docv): Chrome \
+                   trace-event JSON, or JSONL when $(docv) ends in .jsonl. \
+                   With several protocols the file is overwritten per run.")
+  in
+  let trace_ring =
+    Arg.(value & opt (some int) None
+         & info [ "trace-ring" ] ~docv:"N"
+             ~doc:"Trace ring-buffer capacity in events (default 65536).")
+  in
   let term =
     Term.(const run $ protocol $ n $ duration $ seed $ runs $ scenario_seed
-          $ smoke $ canary $ quick)
+          $ smoke $ canary $ quick $ trace $ trace_ring)
   in
   Cmd.v
     (Cmd.info "rcc-chaos"

@@ -60,7 +60,7 @@ let fault_conv =
   Arg.conv ~docv:"FAULT" (parse, print)
 
 let run protocol n batch_size clients duration warmup replica_timeout
-    client_timeout collusion_wait z seed fault timeline quiet =
+    client_timeout collusion_wait z seed fault trace trace_ring timeline quiet =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
   let seconds f = Rcc_sim.Engine.of_seconds f in
   let cfg =
@@ -76,7 +76,21 @@ let run protocol n batch_size clients duration warmup replica_timeout
       (Rcc_runtime.Config.protocol_name protocol)
       cfg.Rcc_runtime.Config.n cfg.Rcc_runtime.Config.f cfg.Rcc_runtime.Config.z
       batch_size clients duration;
-  let report = Rcc_runtime.Cluster.run_config cfg in
+  let tracer =
+    Option.map (fun _ -> Rcc_trace.Recorder.create ?capacity:trace_ring ()) trace
+  in
+  let report = Rcc_runtime.Cluster.run_config ?tracer cfg in
+  (match (trace, tracer) with
+  | Some path, Some recorder ->
+      if Filename.check_suffix path ".jsonl" then
+        Rcc_trace.Sink.write_jsonl recorder ~path
+      else Rcc_trace.Sink.write_chrome recorder ~path;
+      if not quiet then
+        Printf.eprintf "trace: %d events recorded, %d kept -> %s\n%!"
+          (Rcc_trace.Recorder.recorded recorder)
+          (Rcc_trace.Recorder.stored recorder)
+          path
+  | _ -> ());
   Format.printf "%a@." Rcc_runtime.Report.pp report;
   if timeline then begin
     Format.printf "@.timeline (client txn/s per 100ms):@.";
@@ -110,12 +124,25 @@ let cmd =
     Arg.(value & opt fault_conv Rcc_runtime.Config.No_fault
          & info [ "fault" ] ~doc:"Fault injection: none, crash:IDS, dark:INST:VICTIMS, collusion:VICTIM[:ROUND], dos:INST.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record a structured trace and write it to $(docv): Chrome \
+                   trace-event JSON (chrome://tracing, Perfetto), or JSONL \
+                   when $(docv) ends in .jsonl.")
+  in
+  let trace_ring =
+    Arg.(value & opt (some int) None
+         & info [ "trace-ring" ] ~docv:"N"
+             ~doc:"Trace ring-buffer capacity in events (default 65536); \
+                   only the trailing $(docv) events are kept.")
+  in
   let timeline = Arg.(value & flag & info [ "timeline" ] ~doc:"Print the throughput timeline.") in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the progress line.") in
   let term =
     Term.(const run $ protocol $ n $ batch $ clients $ duration $ warmup
           $ replica_timeout $ client_timeout $ collusion_wait $ z $ seed $ fault
-          $ timeline $ quiet)
+          $ trace $ trace_ring $ timeline $ quiet)
   in
   Cmd.v (Cmd.info "rcc-run" ~doc:"Run one RCC/BFT deployment in the simulator") term
 

@@ -37,7 +37,7 @@ let create env =
     primary = env.Env.instance;
     next_seq = 0;
     log =
-      SL.create ~engine:env.Env.engine
+      SL.create ~tag:(env.Env.self, env.Env.instance) ~engine:env.Env.engine
         ~init:(fun _ ->
           { acks = Quorum.create ~n ~f; acked = false; notified = false })
         ();

@@ -88,10 +88,12 @@ let gen_script ~seed ~n ~duration =
   in
   Script.sorted (faults @ cleanup)
 
-let run_one ?(canary = false) ~protocol ~n ~duration ~scenario_seed () =
+let run_one ?(canary = false) ?trace_path ?trace_ring ~protocol ~n ~duration
+    ~scenario_seed () =
   let cfg = config_for protocol ~n ~duration ~seed:scenario_seed in
   let script = gen_script ~seed:scenario_seed ~n ~duration in
-  Runner.run ~canary ~nemesis_seed:scenario_seed cfg script
+  Runner.run ~canary ~nemesis_seed:scenario_seed ?trace_path ?trace_ring cfg
+    script
 
 (* Greedy one-event removal: drop any event whose absence still fails,
    until no single removal reproduces the failure. Each re-run is a pure

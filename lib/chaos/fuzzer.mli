@@ -34,12 +34,16 @@ val gen_script :
 
 val run_one :
   ?canary:bool ->
+  ?trace_path:string ->
+  ?trace_ring:int ->
   protocol:Rcc_runtime.Config.protocol ->
   n:int ->
   duration:Rcc_sim.Engine.time ->
   scenario_seed:int ->
   unit ->
   Runner.outcome
+(** One scenario, fully determined by [scenario_seed]. [trace_path] /
+    [trace_ring] are forwarded to {!Runner.run}. *)
 
 val fuzz :
   ?protocols:Rcc_runtime.Config.protocol list ->

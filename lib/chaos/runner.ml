@@ -10,6 +10,7 @@ type outcome = {
   script : Script.t;
   report : Report.t;
   violations : (Engine.time * Invariant.violation) list;
+  trace_file : string option;
 }
 
 let passed outcome = outcome.violations = []
@@ -40,18 +41,39 @@ let witness cfg script =
   scan 0
 
 let run ?check_every ?(expect_progress = true) ?(quiesced_check = true)
-    ?(canary = false) ?nemesis_seed (cfg : Config.t) script =
+    ?(canary = false) ?nemesis_seed ?trace_path ?trace_ring (cfg : Config.t)
+    script =
   let duration = cfg.Config.duration in
   let check_every =
     match check_every with Some t -> max 1 t | None -> max 1 (duration / 10)
   in
-  let cluster = Cluster.build cfg in
+  let tracer =
+    match (trace_path, trace_ring) with
+    | None, None -> None
+    | _ -> Some (Rcc_trace.Recorder.create ?capacity:trace_ring ())
+  in
+  let cluster = Cluster.build ?tracer cfg in
   let nemesis = Nemesis.install ?seed:nemesis_seed cluster script in
   let engine = Cluster.engine cluster in
   let violations = ref [] in
   let record vs =
     let now = Engine.now engine in
-    List.iter (fun v -> violations := (now, v) :: !violations) vs
+    List.iter
+      (fun (v : Invariant.violation) ->
+        (* Stamp the detection into the trace so the violation shows up
+           amid the trailing event window it is dumped with. *)
+        Option.iter
+          (fun r ->
+            Rcc_trace.Recorder.record r
+              {
+                Rcc_trace.Event.at = now;
+                replica = -1;
+                instance = -1;
+                payload = Rcc_trace.Event.Violation { name = v.Invariant.invariant };
+              })
+          tracer;
+        violations := (now, v) :: !violations)
+      vs
   in
   (* Periodic mid-run safety checks. *)
   let rec arm at =
@@ -113,7 +135,18 @@ let run ?check_every ?(expect_progress = true) ?(quiesced_check = true)
               report.Report.committed_txns;
         };
       ];
-  { cfg; script; report; violations = List.rev !violations }
+  let trace_file =
+    match (trace_path, tracer) with
+    | Some path, Some recorder ->
+        (* Always write the ring's trailing window — on FAIL it is the
+           forensic dump, on PASS the CI artifact. *)
+        if Filename.check_suffix path ".jsonl" then
+          Rcc_trace.Sink.write_jsonl recorder ~path
+        else Rcc_trace.Sink.write_chrome recorder ~path;
+        Some path
+    | _ -> None
+  in
+  { cfg; script; report; violations = List.rev !violations; trace_file }
 
 let pp_outcome fmt outcome =
   let r = outcome.report in
@@ -132,4 +165,7 @@ let pp_outcome fmt outcome =
           (Invariant.to_string v))
       outcome.violations;
     Format.fprintf fmt "script:@.%s" (Script.to_string outcome.script)
-  end
+  end;
+  match outcome.trace_file with
+  | Some path -> Format.fprintf fmt "trace written to %s@." path
+  | None -> ()

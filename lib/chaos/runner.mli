@@ -18,6 +18,8 @@ type outcome = {
   report : Rcc_runtime.Report.t;
   violations : (Rcc_sim.Engine.time * Invariant.violation) list;
       (** in detection order; time is the simulated instant of the check *)
+  trace_file : string option;
+      (** where the structured trace was dumped, when tracing was on *)
 }
 
 val passed : outcome -> bool
@@ -28,9 +30,16 @@ val run :
   ?quiesced_check:bool ->
   ?canary:bool ->
   ?nemesis_seed:int ->
+  ?trace_path:string ->
+  ?trace_ring:int ->
   Rcc_runtime.Config.t ->
   Script.t ->
   outcome
+(** [trace_path] turns structured tracing on and dumps the recorder's
+    trailing window there after the run — Chrome trace-event JSON, or
+    JSONL when the path ends in [.jsonl]. Invariant violations are
+    stamped into the trace at detection time. [trace_ring] bounds the
+    ring buffer (events kept; default 65536). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Deterministic summary: PASS/FAIL, committed rounds/txns, violations

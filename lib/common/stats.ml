@@ -70,6 +70,13 @@ module Histogram = struct
 
   let value_of i = base *. (growth ** float_of_int i)
 
+  (* Representative value of bucket i: the geometric midpoint of
+     [value_of i, value_of (i+1)), i.e. value_of i * sqrt growth. Using
+     the lower bound instead biases every percentile low by up to a full
+     bucket width (~2%). *)
+  let sqrt_growth = sqrt growth
+  let midpoint_of i = value_of i *. sqrt_growth
+
   let add t x =
     let x = if x < 0.0 then 0.0 else x in
     let i = bucket_of x in
@@ -85,10 +92,10 @@ module Histogram = struct
       let target = int_of_float (ceil (p *. float_of_int t.total)) in
       let target = if target < 1 then 1 else target in
       let rec scan i acc =
-        if i >= nbuckets then value_of (nbuckets - 1)
+        if i >= nbuckets then midpoint_of (nbuckets - 1)
         else
           let acc = acc + t.counts.(i) in
-          if acc >= target then value_of i else scan (i + 1) acc
+          if acc >= target then midpoint_of i else scan (i + 1) acc
       in
       scan 0 0
     end

@@ -73,6 +73,9 @@ let create cfg ~engine ~handles ~exec ~metrics ~broadcast ~send =
     history = Array.make (max 16 cfg.history_capacity) None;
   }
 
+let trace t ~instance payload =
+  Engine.trace t.engine ~replica:t.cfg.self ~instance payload
+
 let primaries t = Array.to_list t.primaries
 let primary_of t x = t.primaries.(x)
 let known_malicious t = Bitset.to_list t.kmal
@@ -145,13 +148,20 @@ let rec process_replacements t =
       t.pending_replace <- rest;
       process_replacements t
   | ((_r, x) as entry) :: rest when can_handle t entry ->
-      Bitset.add t.kmal t.primaries.(x) |> ignore;
+      let deposed = t.primaries.(x) in
+      Bitset.add t.kmal deposed |> ignore;
       t.pending_replace <- rest;
       t.views.(x) <- t.views.(x) + 1;
       let fresh = primary_for t.cfg ~instance:x ~view:t.views.(x) in
       t.primaries.(x) <- fresh;
       t.replacements <- t.replacements + 1;
-      Metrics.record_view_change t.metrics;
+      Metrics.record_view_change ~instance:x t.metrics;
+      if Engine.tracing t.engine then begin
+        trace t ~instance:x (Rcc_trace.Event.Kmal { culprit = deposed });
+        trace t ~instance:x
+          (Rcc_trace.Event.Primary_change
+             { primary = fresh; view = t.views.(x) })
+      end;
       clear_blames t x;
       (t.handles.(x)).h_set_primary fresh ~view:t.views.(x);
       process_replacements t
@@ -190,6 +200,14 @@ let broadcast_contract t ~round =
   if contract.Contract.entries <> [] then begin
     let msg = Contract.to_msg contract in
     Metrics.record_contract_bytes t.metrics (Msg.size msg);
+    if Engine.tracing t.engine then
+      trace t ~instance:(-1)
+        (Rcc_trace.Event.Contract_sent
+           {
+             round;
+             entries = List.length contract.Contract.entries;
+             bytes = Msg.size msg;
+           });
     t.broadcast msg
   end
 
@@ -207,12 +225,16 @@ let view_shift t =
     let fresh = pick 0 in
     t.primaries.(x) <- fresh;
     t.views.(x) <- t.views.(x) + 1;
+    if Engine.tracing t.engine then
+      trace t ~instance:x
+        (Rcc_trace.Event.Primary_change { primary = fresh; view = t.views.(x) });
     clear_blames t x;
     (t.handles.(x)).h_set_primary fresh ~view:t.views.(x)
   done
 
 let on_collusion_detected t =
   Metrics.record_collusion_detected t.metrics;
+  if Engine.tracing t.engine then trace t ~instance:(-1) Rcc_trace.Event.Collusion;
   match t.cfg.recovery with
   | Optimistic | Pessimistic ->
       List.iter (fun round -> broadcast_contract t ~round) (stalled_rounds t)
@@ -273,6 +295,8 @@ let gossip_views t =
 
 let register_blame t ~src ~instance ~blamed ~round =
   if instance >= 0 && instance < t.cfg.z then begin
+    if Engine.tracing t.engine then
+      trace t ~instance (Rcc_trace.Event.Blame { round; blamed; accuser = src });
     if round < Exec.next_round t.exec then begin
       (* A blame about a round we already executed says nothing about the
          current primary — counting it toward a replacement quorum lets a
@@ -317,8 +341,10 @@ let on_view_sync t ~instance ~view ~primary ~kmal =
     let skipped = view - t.views.(instance) in
     t.replacements <- t.replacements + skipped;
     for _ = 1 to skipped do
-      Metrics.record_view_change t.metrics
+      Metrics.record_view_change ~instance t.metrics
     done;
+    if Engine.tracing t.engine then
+      trace t ~instance (Rcc_trace.Event.Primary_change { primary; view });
     t.primaries.(instance) <- primary;
     t.views.(instance) <- view;
     t.pending_replace <-
@@ -343,6 +369,16 @@ let on_contract t msg =
       match Contract.validate contract ~n:t.cfg.n ~min_cert:t.cfg.min_cert with
       | Error _ -> ()
       | Ok () ->
+          (if Engine.tracing t.engine then
+             match contract.Contract.entries with
+             | [] -> ()
+             | e :: _ ->
+                 trace t ~instance:(-1)
+                   (Rcc_trace.Event.Contract_adopted
+                      {
+                        round = e.Msg.ce_round;
+                        entries = List.length contract.Contract.entries;
+                      }));
           List.iter
             (fun (e : Msg.contract_entry) ->
               if e.Msg.ce_instance < t.cfg.z then
@@ -381,6 +417,10 @@ let on_contract_request t ~src ~round =
   | es ->
       let msg = Msg.Contract { round; entries = es } in
       Metrics.record_contract_bytes t.metrics (Msg.size msg);
+      if Engine.tracing t.engine then
+        trace t ~instance:(-1)
+          (Rcc_trace.Event.Contract_sent
+             { round; entries = List.length es; bytes = Msg.size msg });
       t.send ~dst:src msg
 
 let on_round_executed t ~round accs =

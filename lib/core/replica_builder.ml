@@ -273,7 +273,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
               unified = cfg.unified;
             }
           in
-          P.create env)
+          P.create (Env.instrument env))
     in
     let coordinator =
       if cfg.unified then begin

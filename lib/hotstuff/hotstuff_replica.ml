@@ -35,7 +35,7 @@ let create env =
     env;
     next_propose = env.Env.self;
     log =
-      SL.create ~engine:env.Env.engine
+      SL.create ~tag:(env.Env.self, env.Env.instance) ~engine:env.Env.engine
         ~init:(fun _ ->
           {
             votes = Array.init 3 (fun _ -> Quorum.create ~n ~f);

@@ -41,7 +41,7 @@ let create env =
     primary = env.Env.instance;  (* P_x initially runs on replica x (§4) *)
     next_seq = 0;
     log =
-      SL.create ~engine:env.Env.engine
+      SL.create ~tag:(env.Env.self, env.Env.instance) ~engine:env.Env.engine
         ~init:(fun _ ->
           {
             prepares = Quorum.create ~n ~f;

@@ -13,21 +13,29 @@ type 'a slot = {
 type 'a t = {
   engine : Engine.t;
   init : int -> 'a;
+  replica : int;  (* trace identity; -1 when untagged *)
+  instance : int;
   slots : (int, 'a slot) Hashtbl.t;
   mutable max_seen : int;
   mutable frontier : int;
   mutable last_progress : Engine.time;
 }
 
-let create ~engine ~init () =
+let create ?(tag = (-1, -1)) ~engine ~init () =
+  let replica, instance = tag in
   {
     engine;
     init;
+    replica;
+    instance;
     slots = Hashtbl.create 512;
     max_seen = -1;
     frontier = -1;
     last_progress = 0;
   }
+
+let trace t payload =
+  Engine.trace t.engine ~replica:t.replica ~instance:t.instance payload
 
 let find_opt t round = Hashtbl.find_opt t.slots round
 
@@ -47,6 +55,8 @@ let get t round =
       in
       Hashtbl.replace t.slots round s;
       if round > t.max_seen then t.max_seen <- round;
+      if Engine.tracing t.engine then
+        trace t (Rcc_trace.Event.Slot_propose { round });
       s
 
 let remove t round = Hashtbl.remove t.slots round
@@ -69,6 +79,13 @@ let drain t ~accept =
   !advanced
 
 let gc_upto t upto =
+  (* Never collect past the accept frontier: a slot above it is not
+     covered by any stable checkpoint yet, and dropping it would make
+     [incomplete_rounds]/[oldest_incomplete] re-report the round as
+     missing — re-arming stall escalation against an innocent primary. *)
+  let upto = min upto t.frontier in
+  if Engine.tracing t.engine then
+    trace t (Rcc_trace.Event.Checkpoint_stable { upto });
   Hashtbl.filter_map_inplace
     (fun round s -> if round <= upto then None else Some s)
     t.slots

@@ -25,7 +25,14 @@ type 'a slot = {
 type 'a t
 
 val create :
-  engine:Rcc_sim.Engine.t -> init:(Rcc_common.Ids.round -> 'a) -> unit -> 'a t
+  ?tag:int * int ->
+  engine:Rcc_sim.Engine.t ->
+  init:(Rcc_common.Ids.round -> 'a) ->
+  unit ->
+  'a t
+(** [tag] is the [(replica, instance)] identity stamped on the log's
+    trace events (slot-propose on first touch, checkpoint collection);
+    default [(-1, -1)]. *)
 
 val get : 'a t -> Rcc_common.Ids.round -> 'a slot
 (** The slot for [round], created (and [max_seen] bumped) on first use. *)
@@ -63,4 +70,7 @@ val touch : 'a t -> unit
 (** Record progress now (accept, view install) for watchdog blaming. *)
 
 val gc_upto : 'a t -> Rcc_common.Ids.round -> unit
-(** Drop every slot [<= upto] (rounds covered by a stable checkpoint). *)
+(** Drop every slot [<= min upto (frontier t)] (rounds covered by a
+    stable checkpoint). The clamp means a caller can never collect
+    not-yet-accepted rounds, which would otherwise be re-reported as
+    incomplete by {!incomplete_rounds}/{!oldest_incomplete}. *)

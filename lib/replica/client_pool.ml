@@ -66,7 +66,7 @@ let rec complete t client out =
   client.resends <- 0;
   t.completed <- t.completed + 1;
   let now = Engine.now t.engine in
-  Metrics.record_completion t.metrics ~now
+  Metrics.record_completion ~instance:client.instance t.metrics ~now
     ~ntxns:(Array.length out.batch.Batch.txns)
     ~latency:(now - out.sent_at);
   send_next t client

@@ -86,6 +86,10 @@ let execute_round t round accs =
     (fun (a : Acceptance.t) ->
       let batch = a.batch in
       let ntxns = Array.length batch.Batch.txns in
+      if Engine.tracing t.engine then
+        Engine.trace t.engine ~replica:t.self ~instance:a.instance
+          (Rcc_trace.Event.Slot_exec
+             { round; batch = batch.Batch.id; txns = ntxns });
       let key = (batch.Batch.client, batch.Batch.digest) in
       let dup =
         (not (Batch.is_null batch)) && Hashtbl.mem t.replied key

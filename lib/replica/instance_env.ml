@@ -41,3 +41,32 @@ type t = {
 
 let quorum_2f1 t = (2 * t.f) + 1
 let majority_nf t = t.f + 1
+
+let tracing t = Rcc_sim.Engine.tracing t.engine
+
+let trace t payload =
+  Rcc_sim.Engine.trace t.engine ~replica:t.self ~instance:t.instance payload
+
+(* Wrap the upward callbacks so every protocol emits accept / blame
+   trace events without per-protocol code. Builders call
+   [P.create (instrument env)] — the instance never knows. *)
+let instrument t =
+  {
+    t with
+    accept =
+      (fun (a : Acceptance.t) ->
+        if tracing t then
+          trace t
+            (Rcc_trace.Event.Slot_accept
+               {
+                 round = a.round;
+                 batch = a.batch.Rcc_messages.Batch.id;
+                 txns = Array.length a.batch.Rcc_messages.Batch.txns;
+               });
+        t.accept a);
+    report_failure =
+      (fun ~round ~blamed ->
+        if tracing t then
+          trace t (Rcc_trace.Event.Blame { round; blamed; accuser = t.self });
+        t.report_failure ~round ~blamed);
+  }

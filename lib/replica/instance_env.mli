@@ -45,3 +45,17 @@ val quorum_2f1 : t -> int
 
 val majority_nf : t -> int
 (** [f+1] — at least one honest replica. *)
+
+val tracing : t -> bool
+(** Whether the engine carries a trace recorder. *)
+
+val trace : t -> Rcc_trace.Event.payload -> unit
+(** Record an event tagged with this env's replica and instance ids.
+    No-op without a tracer. *)
+
+val instrument : t -> t
+(** The same env with [accept] and [report_failure] wrapped to emit
+    {!Rcc_trace.Event.Slot_accept} / {!Rcc_trace.Event.Blame} trace
+    events before forwarding. Builders pass [instrument env] to
+    [P.create] so every protocol traces its acceptance path without
+    per-protocol code. *)

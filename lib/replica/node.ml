@@ -22,14 +22,17 @@ let create ~engine ~net ~costs ~self ~z ~has_batchers ~input_threads ~batch_thre
       net;
       costs;
       self;
-      input = Cpu.pool engine ~name:(name "input") ~size:input_threads;
+      input = Cpu.pool engine ~owner:self ~name:(name "input") ~size:input_threads ();
       batchers =
         (if has_batchers then
-           Some (Cpu.pool engine ~name:(name "batch") ~size:batch_threads)
+           Some (Cpu.pool engine ~owner:self ~name:(name "batch") ~size:batch_threads ())
          else None);
       workers =
-        Array.init z (fun i -> Cpu.server engine ~name:(Printf.sprintf "r%d-worker%d" self i));
-      exec_server = Cpu.server engine ~name:(name "exec");
+        Array.init z (fun i ->
+            Cpu.server engine ~owner:self
+              ~name:(Printf.sprintf "r%d-worker%d" self i)
+              ());
+      exec_server = Cpu.server engine ~owner:self ~name:(name "exec") ();
       route = (fun ~src:_ ~ready:_ _ -> ());
     }
   in

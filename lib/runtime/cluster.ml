@@ -163,21 +163,29 @@ let apply_crashes t =
 
 (* --- assembly -------------------------------------------------------------- *)
 
-let build (cfg : Config.t) =
+let build ?tracer (cfg : Config.t) =
   let engine = Engine.create () in
+  Option.iter (Engine.set_tracer engine) tracer;
   let clients = Config.total_clients cfg in
   let machines = max 1 (min 50 ((clients + 19) / 20)) in
   let rng = Rcc_common.Rng.create cfg.Config.seed in
   let net =
     Net.create engine
+      ~describe:(fun msg ->
+        (Msg.kind msg, Option.value (Msg.instance_of msg) ~default:(-1)))
       ~nodes:(cfg.Config.n + machines)
       ~latency:cfg.Config.latency ~jitter:cfg.Config.jitter ~gbps:cfg.Config.gbps
       ~rng:(Rcc_common.Rng.split rng)
+      ()
   in
   let keychain =
     Rcc_crypto.Keychain.create ~seed:cfg.Config.seed ~n:cfg.Config.n ~clients
   in
-  let metrics = Metrics.create ~n:cfg.Config.n ~warmup:cfg.Config.warmup in
+  let metrics =
+    Metrics.create ~n:cfg.Config.n
+      ~instances:(Config.client_instances cfg)
+      ~warmup:cfg.Config.warmup ()
+  in
   let costs =
     Rcc_sim.Costs.scaled Rcc_sim.Costs.default (Config.contention_factor cfg)
   in
@@ -286,7 +294,8 @@ let run t =
     p50_latency = Metrics.latency_percentile t.metrics 0.5;
     p99_latency = Metrics.latency_percentile t.metrics 0.99;
     committed_txns = Metrics.committed_txns t.metrics;
-    timeline = Metrics.timeline t.metrics;
+    (* Full-run timeline: figures show the warmup ramp explicitly. *)
+    timeline = Metrics.timeline ~include_warmup:true t.metrics;
     exec_timeline =
       Metrics.exec_timeline t.metrics ~replica:(affected_replica t.cfg);
     view_changes = Metrics.view_changes t.metrics;
@@ -314,6 +323,19 @@ let run t =
       | R_cft a -> B_cft.worker_utilization a.(0) 0 ~since:0);
     sim_events = Engine.events_processed t.engine;
     wall_seconds = Sys.time () -. wall_start;
+    per_instance =
+      Array.init (Metrics.instances t.metrics) (fun x ->
+          {
+            Report.instance = x;
+            i_throughput =
+              Metrics.instance_throughput t.metrics x
+                ~duration:t.cfg.Config.duration;
+            i_avg_latency = Metrics.instance_avg_latency t.metrics x;
+            i_p50_latency = Metrics.instance_latency_percentile t.metrics x 0.5;
+            i_p99_latency = Metrics.instance_latency_percentile t.metrics x 0.99;
+            i_txns = Metrics.instance_txns t.metrics x;
+            i_view_changes = Metrics.instance_view_changes t.metrics x;
+          });
   }
 
-let run_config cfg = run (build cfg)
+let run_config ?tracer cfg = run (build ?tracer cfg)

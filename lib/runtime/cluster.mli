@@ -3,14 +3,16 @@
 
 type t
 
-val build : Config.t -> t
-(** Constructs everything but does not start the clock. *)
+val build : ?tracer:Rcc_trace.Recorder.t -> Config.t -> t
+(** Constructs everything but does not start the clock. When [tracer] is
+    given, every layer (net, cpu, slots, coordinator, clients) records
+    structured events into it as the simulation runs. *)
 
 val run : t -> Report.t
 (** Starts replicas and clients, runs the simulation for the configured
     duration and returns the measurements. *)
 
-val run_config : Config.t -> Report.t
+val run_config : ?tracer:Rcc_trace.Recorder.t -> Config.t -> Report.t
 (** [build] + [run]. *)
 
 (* Introspection for tests and examples (valid after [run]). *)

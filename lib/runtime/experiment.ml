@@ -10,6 +10,12 @@ let warmup = function
   | `Full -> Engine.of_seconds 0.34
   | `Quick -> Engine.of_seconds 0.15
 
+(* When set, every run records a structured trace and dumps it to the
+   given path ((path, ring capacity); the file is overwritten per run, so
+   a sweep leaves the last configuration's trace). Set from the bench
+   CLI's [--trace]. *)
+let trace_spec : (string * int option) option ref = ref None
+
 let run_one ?label cfg =
   let label =
     match label with
@@ -20,7 +26,19 @@ let run_one ?label cfg =
           cfg.Config.n cfg.Config.batch_size
   in
   Printf.eprintf "  [run] %s ...%!" label;
-  let report = Cluster.run_config cfg in
+  let tracer =
+    Option.map
+      (fun (_, capacity) -> Rcc_trace.Recorder.create ?capacity ())
+      !trace_spec
+  in
+  let report = Cluster.run_config ?tracer cfg in
+  (match (!trace_spec, tracer) with
+  | Some (path, _), Some recorder ->
+      if Filename.check_suffix path ".jsonl" then
+        Rcc_trace.Sink.write_jsonl recorder ~path
+      else Rcc_trace.Sink.write_chrome recorder ~path;
+      Printf.eprintf " [trace -> %s]%!" path
+  | _ -> ());
   Printf.eprintf " %.0f txn/s (%.1fs wall)\n%!" report.Report.throughput
     report.Report.wall_seconds;
   report

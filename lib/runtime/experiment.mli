@@ -10,6 +10,12 @@ type profile = [ `Full | `Quick ]
 val duration : profile -> Rcc_sim.Engine.time
 val warmup : profile -> Rcc_sim.Engine.time
 
+val trace_spec : (string * int option) option ref
+(** When [Some (path, ring)], every {!run_one} records a structured trace
+    and dumps it to [path] (Chrome trace-event JSON, or JSONL for a
+    [.jsonl] path), overwriting per run. [ring] bounds the recorder's
+    ring buffer. Meant for the bench CLI's [--trace]. *)
+
 val run_one : ?label:string -> Config.t -> Report.t
 (** Run a single configuration, echoing a progress line to stderr. *)
 

@@ -1,3 +1,16 @@
+(* One row of the per-instance breakdown: RCC behaviour under attack is
+   per-instance (one straggling primary drags exactly one instance), so
+   a run report carries each instance's own share of the load. *)
+type instance_stats = {
+  instance : int;
+  i_throughput : float;
+  i_avg_latency : float;
+  i_p50_latency : float;
+  i_p99_latency : float;
+  i_txns : int;
+  i_view_changes : int;
+}
+
 type t = {
   protocol : string;
   n : int;
@@ -21,6 +34,8 @@ type t = {
   worker_utilization : float;
   sim_events : int;
   wall_seconds : float;
+  per_instance : instance_stats array;
+      (* empty or length 1 when the run has a single logical instance *)
 }
 
 let header () =
@@ -33,16 +48,29 @@ let row t =
     (t.avg_latency *. 1e3) (t.p50_latency *. 1e3) (t.p99_latency *. 1e3)
     t.ledger_rounds
 
+let pp_instance fmt s =
+  Format.fprintf fmt
+    "  instance %d: %.0f txn/s, lat avg %.2f ms (p50 %.2f, p99 %.2f), \
+     txns=%d view_changes=%d"
+    s.instance s.i_throughput
+    (s.i_avg_latency *. 1e3)
+    (s.i_p50_latency *. 1e3)
+    (s.i_p99_latency *. 1e3)
+    s.i_txns s.i_view_changes
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>%s n=%d batch=%d: %.0f txn/s, lat avg %.2f ms (p50 %.2f, p99 %.2f)@,\
      committed=%d rounds=%d ledger_valid=%b view_changes=%d collusions=%d@,\
      contracts=%dB replacements=%d msgs=%d bytes=%d events=%d wall=%.1fs@,\
-     util: exec %.0f%% worker0 %.0f%%@]"
+     util: exec %.0f%% worker0 %.0f%%"
     t.protocol t.n t.batch_size t.throughput (t.avg_latency *. 1e3)
     (t.p50_latency *. 1e3) (t.p99_latency *. 1e3) t.committed_txns
     t.ledger_rounds t.ledger_valid t.view_changes t.collusions_detected
     t.contract_bytes t.replacements t.messages t.bytes_sent t.sim_events
     t.wall_seconds
     (t.exec_utilization *. 100.0)
-    (t.worker_utilization *. 100.0)
+    (t.worker_utilization *. 100.0);
+  if Array.length t.per_instance > 1 then
+    Array.iter (fun s -> Format.fprintf fmt "@,%a" pp_instance s) t.per_instance;
+  Format.fprintf fmt "@]"

@@ -1,5 +1,16 @@
 (** Result of one experiment run, with printers for the bench tables. *)
 
+type instance_stats = {
+  instance : int;
+  i_throughput : float;  (** committed txns / s, post-warmup *)
+  i_avg_latency : float;  (** seconds *)
+  i_p50_latency : float;
+  i_p99_latency : float;
+  i_txns : int;
+  i_view_changes : int;
+}
+(** One protocol instance's share of the run (z rows for RCC modes). *)
+
 type t = {
   protocol : string;
   n : int;
@@ -23,6 +34,8 @@ type t = {
   worker_utilization : float;  (** replica 0's instance-0 worker busy fraction *)
   sim_events : int;
   wall_seconds : float;
+  per_instance : instance_stats array;
+      (** per-instance breakdown; printed by {!pp} when longer than 1 *)
 }
 
 val header : unit -> string

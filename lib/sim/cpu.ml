@@ -1,11 +1,13 @@
 type server = {
   engine : Engine.t;
   name : string;
+  owner : int;  (* node id for tracing; -1 when unowned *)
   mutable free_at : Engine.time;
   mutable busy_ns : Engine.time;
 }
 
-let server engine ~name = { engine; name; free_at = 0; busy_ns = 0 }
+let server engine ?(owner = -1) ~name () =
+  { engine; name; owner; free_at = 0; busy_ns = 0 }
 
 let reserve t ~ready ~cost =
   let cost = max 0 cost in
@@ -13,6 +15,19 @@ let reserve t ~ready ~cost =
   let finish = start + cost in
   t.free_at <- finish;
   t.busy_ns <- t.busy_ns + cost;
+  (if cost > 0 then
+     match Engine.tracer t.engine with
+     | None -> ()
+     | Some r ->
+         (* The span starts when the server picks the job up, which may
+            be later than now (queueing). *)
+         Rcc_trace.Recorder.record r
+           {
+             Rcc_trace.Event.at = start;
+             replica = t.owner;
+             instance = -1;
+             payload = Rcc_trace.Event.Span { track = t.name; dur = cost };
+           });
   finish
 
 let submit_ready t ~ready ~cost job =
@@ -38,12 +53,12 @@ let utilization t ~since =
 
 type pool = { servers : server array }
 
-let pool engine ~name ~size =
+let pool engine ?owner ~name ~size () =
   assert (size > 0);
   {
     servers =
       Array.init size (fun i ->
-          server engine ~name:(Printf.sprintf "%s-%d" name i));
+          server engine ?owner ~name:(Printf.sprintf "%s-%d" name i) ());
   }
 
 let earliest t =

@@ -10,7 +10,9 @@
 
 type server
 
-val server : Engine.t -> name:string -> server
+val server : Engine.t -> ?owner:int -> name:string -> unit -> server
+(** [owner] tags the server's trace spans with a node id (default -1 =
+    unowned); [name] is the span track label. *)
 
 val submit : server -> cost:Engine.time -> (unit -> unit) -> unit
 (** [submit srv ~cost job] enqueues work costing [cost] ns of CPU, ready
@@ -40,7 +42,7 @@ type pool
 (** A set of interchangeable servers (e.g. the three input threads) with
     earliest-free dispatch. *)
 
-val pool : Engine.t -> name:string -> size:int -> pool
+val pool : Engine.t -> ?owner:int -> name:string -> size:int -> unit -> pool
 val pool_submit : pool -> cost:Engine.time -> (unit -> unit) -> unit
 val pool_reserve : pool -> ready:Engine.time -> cost:Engine.time -> Engine.time
 val pool_servers : pool -> server array

@@ -11,14 +11,31 @@ type t = {
   mutable now : time;
   queue : (unit -> unit) Rcc_common.Binary_heap.t;
   mutable processed : int;
+  mutable tracer : Rcc_trace.Recorder.t option;
 }
 
 type timer = { mutable live : bool }
 
 let create () =
-  { now = 0; queue = Rcc_common.Binary_heap.create ~capacity:4096 (); processed = 0 }
+  {
+    now = 0;
+    queue = Rcc_common.Binary_heap.create ~capacity:4096 ();
+    processed = 0;
+    tracer = None;
+  }
 
 let now t = t.now
+
+let set_tracer t r = t.tracer <- Some r
+let tracer t = t.tracer
+let tracing t = t.tracer <> None
+
+let trace t ~replica ~instance payload =
+  match t.tracer with
+  | None -> ()
+  | Some r ->
+      Rcc_trace.Recorder.record r
+        { Rcc_trace.Event.at = t.now; replica; instance; payload }
 
 let schedule_at t at f =
   if at < t.now then invalid_arg "Engine.schedule_at: scheduling in the past";

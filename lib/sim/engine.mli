@@ -20,6 +20,23 @@ val create : unit -> t
 
 val now : t -> time
 
+val set_tracer : t -> Rcc_trace.Recorder.t -> unit
+(** Attach a trace recorder. Simulation components (network, CPU
+    servers) and everything holding an engine emit structured events
+    into it; with no tracer attached the hooks cost one option check. *)
+
+val tracer : t -> Rcc_trace.Recorder.t option
+
+val tracing : t -> bool
+(** [tracer t <> None] — cheap guard so hot paths skip building event
+    payloads when tracing is off. *)
+
+val trace :
+  t -> replica:int -> instance:int -> Rcc_trace.Event.payload -> unit
+(** Record an event stamped with the current simulated time. No-op
+    without a tracer; callers on hot paths should still guard with
+    {!tracing} to avoid allocating the payload. *)
+
 val schedule_at : t -> time -> (unit -> unit) -> unit
 (** Schedule an event. Scheduling in the past raises [Invalid_argument]. *)
 

@@ -15,6 +15,7 @@ type 'msg t = {
   jitter : Engine.time;
   ns_per_byte : float;
   rng : Rcc_common.Rng.t;
+  describe : 'msg -> string * int;  (* (kind, instance) for tracing *)
   mutable rules : (rule_id * 'msg rule) list;  (* insertion order *)
   mutable next_rule_id : int;
   mutable legacy_drop : rule_id option;
@@ -24,11 +25,14 @@ type 'msg t = {
 
 let no_handler ~src:_ ~size:_ _ = ()
 
-let create engine ~nodes ~latency ~jitter ~gbps ~rng =
+let create engine ?(describe = fun _ -> ("msg", -1)) ~nodes ~latency ~jitter
+    ~gbps ~rng () =
   assert (nodes > 0 && gbps > 0.0);
   {
     engine;
-    nics = Array.init nodes (fun i -> Cpu.server engine ~name:(Printf.sprintf "nic-%d" i));
+    nics =
+      Array.init nodes (fun i ->
+          Cpu.server engine ~owner:i ~name:(Printf.sprintf "nic-%d" i) ());
     handlers = Array.make nodes no_handler;
     dead = Array.make nodes false;
     incarnations = Array.make nodes 0;
@@ -37,6 +41,7 @@ let create engine ~nodes ~latency ~jitter ~gbps ~rng =
     (* gbps is Gbit/s; 8 bits per byte. *)
     ns_per_byte = 8.0 /. gbps;
     rng;
+    describe;
     rules = [];
     next_rule_id = 0;
     legacy_drop = None;
@@ -53,8 +58,9 @@ let set_dead t node dead =
        is discarded on arrival and the egress NIC queue restarts empty. *)
     t.incarnations.(node) <- t.incarnations.(node) + 1;
     t.nics.(node) <-
-      Cpu.server t.engine
+      Cpu.server t.engine ~owner:node
         ~name:(Printf.sprintf "nic-%d.%d" node t.incarnations.(node))
+        ()
   end;
   t.dead.(node) <- dead
 
@@ -89,11 +95,20 @@ let bytes_sent t = t.bytes
 let loopback_delay = Engine.us 2
 
 let deliver t ~src ~dst ~size ~epoch msg =
-  if (not t.dead.(dst)) && t.incarnations.(dst) = epoch then
+  if (not t.dead.(dst)) && t.incarnations.(dst) = epoch then begin
+    (if Engine.tracing t.engine then
+       let kind, instance = t.describe msg in
+       Engine.trace t.engine ~replica:dst ~instance
+         (Rcc_trace.Event.Net_deliver { kind; size; src; dst }));
     t.handlers.(dst) ~src ~size msg
+  end
 
+(* A dead *destination* does not stop the send: a real sender cannot know
+   the peer is down, so it pays NIC serialization and the traffic counters
+   grow; the message is simply discarded on arrival (see [deliver]). Only
+   a dead sender transmits nothing. *)
 let send t ~src ~dst ~size msg =
-  if t.dead.(src) || t.dead.(dst) then ()
+  if t.dead.(src) then ()
   else
     let dropped =
       List.exists
@@ -120,6 +135,10 @@ let send t ~src ~dst ~size msg =
       for _ = 1 to copies do
         t.messages <- t.messages + 1;
         t.bytes <- t.bytes + size;
+        (if Engine.tracing t.engine then
+           let kind, instance = t.describe msg in
+           Engine.trace t.engine ~replica:src ~instance
+             (Rcc_trace.Event.Net_send { kind; size; src; dst }));
         if src = dst then
           Engine.schedule_after t.engine (loopback_delay + extra) (fun () ->
               deliver t ~src ~dst ~size ~epoch msg)

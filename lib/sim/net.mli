@@ -18,12 +18,17 @@ type 'msg t
 
 val create :
   Engine.t ->
+  ?describe:('msg -> string * int) ->
   nodes:int ->
   latency:Engine.time ->
   jitter:Engine.time ->
   gbps:float ->
   rng:Rcc_common.Rng.t ->
+  unit ->
   'msg t
+(** [describe] labels messages for tracing as [(kind, instance)]
+    (instance [-1] = none); it is only consulted while a tracer is
+    attached to the engine. Default [("msg", -1)]. *)
 
 val engine : 'msg t -> Engine.t
 
@@ -31,9 +36,12 @@ val register : 'msg t -> int -> (src:int -> size:int -> 'msg -> unit) -> unit
 (** Install the delivery handler for a node. Replaces any previous one. *)
 
 val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
-(** Transmit one message. Silently dropped if either endpoint is dead or a
-    drop rule matches. Sending to self delivers after a small loopback
-    delay without using the NIC. *)
+(** Transmit one message. Nothing leaves a dead sender; a dead (or
+    since-revived) destination discards the message on arrival, but the
+    sender still pays NIC serialization and the traffic counters still
+    grow — it has no way to know the peer is down. Drop rules suppress
+    the transmission entirely. Sending to self delivers after a small
+    loopback delay without using the NIC. *)
 
 val set_dead : 'msg t -> int -> bool -> unit
 (** A dead node neither sends nor receives (crash fault). Reviving a dead

@@ -1,0 +1,42 @@
+(* One structured trace event. Events are plain values so recording is a
+   single array store; everything that needs formatting lives in Sink. *)
+
+type payload =
+  | Net_send of { kind : string; size : int; src : int; dst : int }
+  | Net_deliver of { kind : string; size : int; src : int; dst : int }
+  | Span of { track : string; dur : int }
+      (* busy interval on a CPU/NIC server; [at] is the start time *)
+  | Slot_propose of { round : int }
+  | Slot_accept of { round : int; batch : int; txns : int }
+  | Slot_exec of { round : int; batch : int; txns : int }
+  | Primary_change of { primary : int; view : int }
+  | Kmal of { culprit : int }
+  | Blame of { round : int; blamed : int; accuser : int }
+  | Contract_sent of { round : int; entries : int; bytes : int }
+  | Contract_adopted of { round : int; entries : int }
+  | Checkpoint_stable of { upto : int }
+  | Collusion
+  | Violation of { name : string }
+
+type t = {
+  at : int;  (* simulated ns *)
+  replica : int;  (* -1 when not tied to a replica *)
+  instance : int;  (* -1 when not tied to an instance *)
+  payload : payload;
+}
+
+let name = function
+  | Net_send _ -> "net_send"
+  | Net_deliver _ -> "net_deliver"
+  | Span _ -> "span"
+  | Slot_propose _ -> "slot_propose"
+  | Slot_accept _ -> "slot_accept"
+  | Slot_exec _ -> "slot_exec"
+  | Primary_change _ -> "primary_change"
+  | Kmal _ -> "kmal"
+  | Blame _ -> "blame"
+  | Contract_sent _ -> "contract_sent"
+  | Contract_adopted _ -> "contract_adopted"
+  | Checkpoint_stable _ -> "checkpoint_stable"
+  | Collusion -> "collusion"
+  | Violation _ -> "violation"

@@ -1,0 +1,37 @@
+(** Typed trace events.
+
+    Every event is stamped with the simulated time it happened at plus
+    the replica and protocol instance it belongs to ([-1] = none, e.g. a
+    client-machine NIC span or a cluster-wide violation marker). The
+    payloads cover the seams the rest of the system already flows
+    through: the network ({!Net_send}/{!Net_deliver}), the virtual CPU
+    servers ({!Span}), the shared slot log ({!Slot_propose}), the
+    acceptance path ({!Slot_accept}), round execution ({!Slot_exec}),
+    and the RCC coordinator (primary replacement, kmal, blames,
+    contracts, collusion). *)
+
+type payload =
+  | Net_send of { kind : string; size : int; src : int; dst : int }
+  | Net_deliver of { kind : string; size : int; src : int; dst : int }
+  | Span of { track : string; dur : int }
+      (** busy interval on a CPU/NIC server; [at] is the start time *)
+  | Slot_propose of { round : int }
+      (** a round opened in the instance's slot log *)
+  | Slot_accept of { round : int; batch : int; txns : int }
+      (** the instance reported the round accepted upward *)
+  | Slot_exec of { round : int; batch : int; txns : int }
+      (** the execute stage ran the round's batch for this instance *)
+  | Primary_change of { primary : int; view : int }
+  | Kmal of { culprit : int }  (** replica marked known-malicious *)
+  | Blame of { round : int; blamed : int; accuser : int }
+  | Contract_sent of { round : int; entries : int; bytes : int }
+  | Contract_adopted of { round : int; entries : int }
+  | Checkpoint_stable of { upto : int }
+      (** slots [<= upto] collected under a stable checkpoint *)
+  | Collusion  (** coordinator's collusion detector fired *)
+  | Violation of { name : string }  (** chaos invariant violation *)
+
+type t = { at : int; replica : int; instance : int; payload : payload }
+
+val name : payload -> string
+(** Stable snake_case tag, used as the JSON event name by both sinks. *)

@@ -1,0 +1,40 @@
+(* Bounded ring of events. Recording is one array store and two integer
+   updates, so a tracer can stay attached to hot paths; when the ring
+   wraps, the oldest events are overwritten and only the trailing window
+   survives — which is exactly what a post-mortem dump wants. *)
+
+type t = {
+  capacity : int;
+  events : Event.t array;
+  mutable next : int;  (* total events ever recorded *)
+}
+
+let dummy =
+  { Event.at = 0; replica = -1; instance = -1; payload = Event.Collusion }
+
+let default_capacity = 65_536
+
+let create ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  { capacity; events = Array.make capacity dummy; next = 0 }
+
+let record t ev =
+  t.events.(t.next mod t.capacity) <- ev;
+  t.next <- t.next + 1
+
+let capacity t = t.capacity
+let recorded t = t.next
+let dropped t = max 0 (t.next - t.capacity)
+let stored t = min t.next t.capacity
+
+let iter t f =
+  let n = stored t in
+  let first = t.next - n in
+  for i = first to t.next - 1 do
+    f t.events.(i mod t.capacity)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun ev -> acc := ev :: !acc);
+  List.rev !acc

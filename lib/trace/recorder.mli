@@ -1,0 +1,30 @@
+(** Bounded ring buffer of trace events.
+
+    Recording is O(1) and allocation-free (beyond the event itself);
+    once [capacity] events have been recorded the oldest are silently
+    overwritten, keeping the trailing window. *)
+
+type t
+
+val default_capacity : int
+(** 65536 events. *)
+
+val create : ?capacity:int -> unit -> t
+
+val record : t -> Event.t -> unit
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total events ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost to ring wrap-around: [max 0 (recorded - capacity)]. *)
+
+val stored : t -> int
+(** Events currently held: [min recorded capacity]. *)
+
+val iter : t -> (Event.t -> unit) -> unit
+(** Oldest surviving event first. *)
+
+val to_list : t -> Event.t list

@@ -1,0 +1,20 @@
+(** Trace serialization: JSONL and Chrome [trace_event] JSON.
+
+    Chrome output loads directly in Perfetto ({:https://ui.perfetto.dev})
+    or chrome://tracing: each simulated node is a process, protocol
+    instances and CPU/NIC tracks are threads, {!Event.Span}s render as
+    duration slices and everything else as instant markers. Timestamps
+    are microseconds in Chrome output (the format's convention) and
+    simulated nanoseconds in JSONL. *)
+
+val jsonl_line : Event.t -> string
+(** One event as a single-line JSON object (no trailing newline). *)
+
+val jsonl : Recorder.t -> string
+(** All surviving events, one JSON object per line, oldest first. *)
+
+val chrome : Recorder.t -> string
+(** The full Chrome [trace_event] document (JSON object format). *)
+
+val write_jsonl : Recorder.t -> path:string -> unit
+val write_chrome : Recorder.t -> path:string -> unit

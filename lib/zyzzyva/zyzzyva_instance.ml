@@ -35,7 +35,9 @@ let create env =
     primary = env.Env.instance;
     next_seq = 0;
     log =
-      SL.create ~engine:env.Env.engine ~init:(fun _ -> { history = "" }) ();
+      SL.create ~tag:(env.Env.self, env.Env.instance) ~engine:env.Env.engine
+        ~init:(fun _ -> { history = "" })
+        ();
     history = "";
     committed = -1;
     vc_votes = Quorum.Tally.create ~n ~f;

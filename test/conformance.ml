@@ -111,6 +111,56 @@ struct
     check Alcotest.bool "batch submitted mid-transfer eventually accepted"
       true !found
 
+  (* Every backend must leave the same structured footprint: a round is
+     proposed, then accepted, then executed, at non-decreasing simulated
+     times, on every replica. The events come from shared layers
+     (Slot_log, Instance_env.instrument, the harness's execute stamp), so
+     this pins the zero-per-protocol-code tracing contract. *)
+  let test_trace_order () =
+    let module E = Rcc_trace.Event in
+    let t = H.create ~n:4 ~trace:true () in
+    H.submit t ~replica:0 (Harness.make_batch 7);
+    H.run t 0.05;
+    let events = H.trace_events t in
+    check Alcotest.bool "trace is non-empty" true (events <> []);
+    let times = List.map (fun (e : E.t) -> e.E.at) events in
+    check Alcotest.bool "ring is in sim-time order" true
+      (List.sort compare times = times);
+    for r = 0 to 3 do
+      if H.accepted_batch_id t ~replica:r ~round:0 = Some 7 then begin
+        let stage (e : E.t) =
+          if e.E.replica <> r then None
+          else
+            match e.E.payload with
+            | E.Slot_propose { round = 0 } -> Some `Propose
+            | E.Slot_accept { round = 0; _ } -> Some `Accept
+            | E.Slot_exec { round = 0; _ } -> Some `Exec
+            | _ -> None
+        in
+        let stages = List.filter_map stage events in
+        let first s =
+          let rec scan i = function
+            | [] -> None
+            | x :: _ when x = s -> Some i
+            | _ :: rest -> scan (i + 1) rest
+          in
+          scan 0 stages
+        in
+        match (first `Propose, first `Accept, first `Exec) with
+        | Some p, Some a, Some e ->
+            check Alcotest.bool
+              (Printf.sprintf "replica %d: propose -> accept -> execute" r)
+              true
+              (p < a && a <= e)
+        | _ ->
+            Alcotest.fail
+              (Printf.sprintf
+                 "replica %d accepted round 0 but its trace lacks a \
+                  propose/accept/execute event"
+                 r)
+      end
+    done
+
   let suite =
     ( "conformance:" ^ Info.name,
       [
@@ -122,6 +172,7 @@ struct
           test_incomplete_ordering;
         Alcotest.test_case "held-batch flush after set_primary" `Quick
           test_held_batch_flush;
+        Alcotest.test_case "trace order" `Quick test_trace_order;
       ] )
 end
 
@@ -153,4 +204,49 @@ module Hotstuff =
       let name = "hotstuff"
     end)
 
-let suites = [ Pbft.suite; Zyzzyva.suite; Cft.suite; Hotstuff.suite ]
+(* Regression for the layer the functor suites build on: gc_upto used to
+   collect every slot <= upto even past the accept frontier, silently
+   deleting not-yet-accepted rounds a checkpoint cannot cover. *)
+let test_slot_log_gc_clamped_to_frontier () =
+  let module SL = Rcc_proto_core.Slot_log in
+  let check = Alcotest.check in
+  let engine = Rcc_sim.Engine.create () in
+  let log = SL.create ~engine ~init:(fun _ -> ()) () in
+  for round = 0 to 9 do
+    ignore (SL.get log round)
+  done;
+  (* Accept rounds 0..4 only: the frontier stops at 4. *)
+  ignore (SL.drain log ~accept:(fun slot -> slot.SL.round <= 4));
+  check Alcotest.int "frontier at the last accepted round" 4 (SL.frontier log);
+  SL.gc_upto log 9;
+  for round = 0 to 4 do
+    check Alcotest.bool
+      (Printf.sprintf "accepted round %d collected" round)
+      true
+      (Option.is_none (SL.find_opt log round))
+  done;
+  for round = 5 to 9 do
+    check Alcotest.bool
+      (Printf.sprintf "unaccepted round %d survives gc" round)
+      true
+      (Option.is_some (SL.find_opt log round))
+  done;
+  check
+    Alcotest.(list int)
+    "incomplete rounds still reported" [ 5; 6; 7; 8; 9 ]
+    (SL.incomplete_rounds log);
+  (* A gc below the frontier stays a plain prefix collection. *)
+  ignore (SL.drain log ~accept:(fun _ -> true));
+  SL.gc_upto log 7;
+  check Alcotest.bool "round 8 survives partial gc" true
+    (Option.is_some (SL.find_opt log 8))
+
+let slot_log_suite =
+  ( "conformance:slot_log",
+    [
+      Alcotest.test_case "gc clamped to frontier" `Quick
+        test_slot_log_gc_clamped_to_frontier;
+    ] )
+
+let suites =
+  [ Pbft.suite; Zyzzyva.suite; Cft.suite; Hotstuff.suite; slot_log_suite ]

@@ -22,12 +22,21 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     engine : Engine.t;
     nodes : node array;
     mutable dead : bool array;
+    tracer : Rcc_trace.Recorder.t option;
   }
 
   let create ?(timeout = Engine.ms 200) ?(byz = fun (_ : int) -> Rcc_replica.Byz.honest)
-      ?(unified = false) ~n () =
+      ?(unified = false) ?(checkpoint_interval = 64) ?(trace = false) ~n () =
     let f = (n - 1) / 3 in
     let engine = Engine.create () in
+    let tracer =
+      if trace then begin
+        let r = Rcc_trace.Recorder.create () in
+        Engine.set_tracer engine r;
+        Some r
+      end
+      else None
+    in
     let dead = Array.make n false in
     let nodes : node option array = Array.make n None in
     let node_of i = match nodes.(i) with Some node -> node | None -> assert false in
@@ -47,7 +56,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
           engine;
           costs = Rcc_sim.Costs.default;
           timeout;
-          checkpoint_interval = 64;
+          checkpoint_interval;
           send = (fun ?sign:_ ~dst msg -> deliver ~src:self ~dst msg);
           broadcast =
             (fun ?sign:_ ?(exclude = fun _ -> false) msg ->
@@ -62,7 +71,20 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
             (fun acceptance ->
               let node = node_of self in
               Hashtbl.replace node.accepted acceptance.Rcc_replica.Acceptance.round
-                acceptance);
+                acceptance;
+              (* The harness has no execute stage; accepting IS executing
+                 here, so stamp the execution event the conformance
+                 trace-order checks look for. *)
+              if Engine.tracing engine then
+                Engine.trace engine ~replica:self ~instance:0
+                  (Rcc_trace.Event.Slot_exec
+                     {
+                       round = acceptance.Rcc_replica.Acceptance.round;
+                       batch = acceptance.Rcc_replica.Acceptance.batch.Batch.id;
+                       txns =
+                         Array.length
+                           acceptance.Rcc_replica.Acceptance.batch.Batch.txns;
+                     }));
           report_failure =
             (fun ~round ~blamed ->
               let node = node_of self in
@@ -74,13 +96,13 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
       nodes.(self) <-
         Some
           {
-            inst = P.create env;
+            inst = P.create (Env.instrument env);
             accepted = Hashtbl.create 64;
             failures = [];
             responses = [];
           }
     done;
-    let t = { engine; nodes = Array.map Option.get nodes; dead } in
+    let t = { engine; nodes = Array.map Option.get nodes; dead; tracer } in
     Array.iter (fun node -> P.start node.inst) t.nodes;
     t
 
@@ -95,6 +117,11 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     | None -> None
 
   let submit t ~replica batch = P.submit_batch t.nodes.(replica).inst batch
+
+  let trace_events t =
+    match t.tracer with
+    | Some r -> Rcc_trace.Recorder.to_list r
+    | None -> []
 end
 
 let rng = Rcc_common.Rng.create 2024

@@ -149,6 +149,38 @@ let test_histogram_percentiles () =
   check Alcotest.bool "p99 near 0.99" (p99 > 0.9 && p99 < 1.1) true;
   check Alcotest.int "count" 1000 (Stats.Histogram.count h)
 
+(* Regression: percentile used to return the bucket's lower bound, which
+   biases every estimate low by up to a full bucket (~2%). With the
+   geometric midpoint, a point mass must come back within the half-bucket
+   relative error sqrt(1.02) - 1 (~1%) on either side. *)
+let test_histogram_midpoint () =
+  let rel_err = sqrt 1.02 -. 1.0 in
+  List.iter
+    (fun v ->
+      let h = Stats.Histogram.create () in
+      for _ = 1 to 100 do
+        Stats.Histogram.add h v
+      done;
+      List.iter
+        (fun p ->
+          let est = Stats.Histogram.percentile h p in
+          check Alcotest.bool
+            (Printf.sprintf "p%.0f of point mass %g within half bucket"
+               (100.0 *. p) v)
+            true
+            (abs_float (est -. v) /. v <= rel_err +. 1e-9))
+        [ 0.01; 0.5; 0.99 ])
+    [ 1e-6; 0.004; 0.25; 3.0 ];
+  (* Uniform 1..1000 ms: the old lower-bound estimate was consistently
+     below the true quantile; the midpoint must straddle it. *)
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.add h (float_of_int i /. 1000.0)
+  done;
+  let p50 = Stats.Histogram.percentile h 0.5 in
+  check Alcotest.bool "uniform p50 within 2%" true
+    (abs_float (p50 -. 0.5) /. 0.5 <= 0.02)
+
 let test_series_buckets () =
   let s = Stats.Series.create ~bucket_width:0.5 () in
   Stats.Series.add s ~time:0.1 10.0;
@@ -195,6 +227,7 @@ let suite =
       Alcotest.test_case "summary vs naive" `Quick test_summary_against_naive;
       summary_merge;
       Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+      Alcotest.test_case "histogram midpoint" `Quick test_histogram_midpoint;
       Alcotest.test_case "series buckets" `Quick test_series_buckets;
       hex_roundtrip;
       u64_roundtrip;

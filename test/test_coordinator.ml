@@ -31,11 +31,11 @@ let make ?(n = 7) ?(z = 3) ?(recovery = Coordinator.Optimistic)
     ?(collusion_wait = Engine.ms 10) () =
   let f = (n - 1) / 3 in
   let engine = Engine.create () in
-  let metrics = Rcc_replica.Metrics.create ~n ~warmup:0 in
+  let metrics = Rcc_replica.Metrics.create ~n ~warmup:0 () in
   let store = Rcc_storage.Kv_store.create () in
   let ledger = Rcc_storage.Ledger.create ~primaries:(List.init z (fun x -> x)) in
   let txn_table = Rcc_storage.Txn_table.create () in
-  let server = Rcc_sim.Cpu.server engine ~name:"exec" in
+  let server = Rcc_sim.Cpu.server engine ~name:"exec" () in
   let exec =
     Exec.create ~engine ~costs:Rcc_sim.Costs.default ~server ~z ~self:0 ~store
       ~ledger ~txn_table

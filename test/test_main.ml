@@ -4,6 +4,7 @@ let () =
       Test_common.suite;
       Test_crypto.suite;
       Test_sim.suite;
+      Test_trace.suite;
       Test_storage.suite;
       Test_workload.suite;
       Test_messages.suite;

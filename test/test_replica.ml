@@ -51,11 +51,11 @@ let make_exec ?(z = 2) ?reorder () =
   let executed = ref [] in
   let exec =
     Exec.create ~engine ~costs:Rcc_sim.Costs.default
-      ~server:(Cpu.server engine ~name:"exec") ~z ~self:0 ~store ~ledger
+      ~server:(Cpu.server engine ~name:"exec" ()) ~z ~self:0 ~store ~ledger
       ~txn_table
       ~current_primaries:(fun () -> List.init z (fun x -> x))
       ~respond:(fun client msg -> responses := (client, msg) :: !responses)
-      ~metrics:(Metrics.create ~n:1 ~warmup:0)
+      ~metrics:(Metrics.create ~n:1 ~warmup:0 ())
       ?reorder
       ~on_executed:(fun round _ -> executed := round :: !executed)
       ()
@@ -151,7 +151,7 @@ let test_exec_reorder_hook () =
 (* --- metrics ------------------------------------------------------------------ *)
 
 let test_metrics_warmup_filter () =
-  let m = Metrics.create ~n:2 ~warmup:(Engine.ms 100) in
+  let m = Metrics.create ~n:2 ~warmup:(Engine.ms 100) () in
   Metrics.record_completion m ~now:(Engine.ms 50) ~ntxns:10 ~latency:(Engine.ms 1);
   check Alcotest.int "warmup excluded" 0 (Metrics.committed_txns m);
   Metrics.record_completion m ~now:(Engine.ms 150) ~ntxns:10 ~latency:(Engine.ms 2);
@@ -161,14 +161,71 @@ let test_metrics_warmup_filter () =
   let tput = Metrics.throughput m ~duration:(Engine.ms 200) in
   check (Alcotest.float 1.0) "throughput" 100.0 tput;
   check (Alcotest.float 1e-6) "latency mean" 0.002 (Metrics.avg_latency m);
-  (* The timeline includes warmup. *)
   check Alcotest.bool "timeline has both buckets" true
-    (Array.length (Metrics.timeline m) >= 2)
+    (Array.length (Metrics.timeline ~include_warmup:true m) >= 2)
+
+(* Regression: the timeline series used to record warmup completions the
+   scalar counters excluded, so the timeline summed to more than
+   [committed_txns]. The default timeline must agree with the counters;
+   the full-run view is opt-in. *)
+let test_metrics_timeline_warmup_consistency () =
+  let m = Metrics.create ~n:2 ~warmup:(Engine.ms 100) () in
+  (* 3 warmup completions, 2 measured ones. *)
+  Metrics.record_completion m ~now:(Engine.ms 10) ~ntxns:5 ~latency:(Engine.ms 1);
+  Metrics.record_completion m ~now:(Engine.ms 40) ~ntxns:5 ~latency:(Engine.ms 1);
+  Metrics.record_completion m ~now:(Engine.ms 90) ~ntxns:5 ~latency:(Engine.ms 1);
+  Metrics.record_completion m ~now:(Engine.ms 150) ~ntxns:7 ~latency:(Engine.ms 1);
+  Metrics.record_completion m ~now:(Engine.ms 250) ~ntxns:7 ~latency:(Engine.ms 1);
+  let sum timeline =
+    (* rates are txns/s over 100 ms buckets *)
+    Array.fold_left (fun acc (_, rate) -> acc +. (rate *. 0.1)) 0.0 timeline
+  in
+  check (Alcotest.float 1e-6) "default timeline sums to committed_txns" 14.0
+    (sum (Metrics.timeline m));
+  check (Alcotest.float 1e-6) "full-run timeline adds the warmup back" 29.0
+    (sum (Metrics.timeline ~include_warmup:true m));
+  (* Warmup buckets are zero in the default view. *)
+  let default_tl = Metrics.timeline m in
+  check (Alcotest.float 1e-6) "warmup bucket empty by default" 0.0
+    (snd default_tl.(0))
+
+let test_metrics_per_instance () =
+  let m = Metrics.create ~n:2 ~instances:3 ~warmup:(Engine.ms 100) () in
+  check Alcotest.int "instances" 3 (Metrics.instances m);
+  (* Warmup completions touch no instance counters either. *)
+  Metrics.record_completion ~instance:0 m ~now:(Engine.ms 50) ~ntxns:9
+    ~latency:(Engine.ms 1);
+  check Alcotest.int "warmup excluded per instance" 0 (Metrics.instance_txns m 0);
+  Metrics.record_completion ~instance:0 m ~now:(Engine.ms 150) ~ntxns:10
+    ~latency:(Engine.ms 2);
+  Metrics.record_completion ~instance:2 m ~now:(Engine.ms 150) ~ntxns:30
+    ~latency:(Engine.ms 4);
+  Metrics.record_view_change ~instance:2 m;
+  check Alcotest.int "instance 0 txns" 10 (Metrics.instance_txns m 0);
+  check Alcotest.int "instance 1 idle" 0 (Metrics.instance_txns m 1);
+  check Alcotest.int "instance 2 txns" 30 (Metrics.instance_txns m 2);
+  check Alcotest.int "aggregate sums instances" 40 (Metrics.committed_txns m);
+  check Alcotest.int "view change attributed" 1 (Metrics.instance_view_changes m 2);
+  check Alcotest.int "aggregate view changes" 1 (Metrics.view_changes m);
+  let tput0 = Metrics.instance_throughput m 0 ~duration:(Engine.ms 200) in
+  check (Alcotest.float 1.0) "instance 0 throughput" 100.0 tput0;
+  check (Alcotest.float 1e-6) "instance latency mean" 0.004
+    (Metrics.instance_avg_latency m 2);
+  check Alcotest.bool "instance percentile near its latency" true
+    (abs_float (Metrics.instance_latency_percentile m 2 0.5 -. 0.004) < 0.0005);
+  check Alcotest.bool "instance timeline populated" true
+    (Array.length (Metrics.instance_timeline m 2) > 0);
+  (* Out-of-range instance ids are inert on both record and read. *)
+  Metrics.record_completion ~instance:7 m ~now:(Engine.ms 150) ~ntxns:1
+    ~latency:(Engine.ms 1);
+  Metrics.record_view_change ~instance:(-1) m;
+  check Alcotest.int "out-of-range reads zero" 0 (Metrics.instance_txns m 7);
+  check Alcotest.int "out-of-range still aggregates" 41 (Metrics.committed_txns m)
 
 let test_metrics_throughput_guard () =
   (* A run no longer than the warmup window has no measurement span;
      throughput must report 0 rather than divide by <= 0. *)
-  let m = Metrics.create ~n:2 ~warmup:(Engine.ms 100) in
+  let m = Metrics.create ~n:2 ~warmup:(Engine.ms 100) () in
   Metrics.record_completion m ~now:(Engine.ms 100) ~ntxns:10
     ~latency:(Engine.ms 1);
   check (Alcotest.float 0.0) "duration = warmup" 0.0
@@ -183,7 +240,7 @@ let test_metrics_throughput_guard () =
     (Metrics.throughput m ~duration:(Engine.ms 200) > 0.0)
 
 let test_metrics_percentiles_and_timeline () =
-  let m = Metrics.create ~n:2 ~warmup:0 in
+  let m = Metrics.create ~n:2 ~warmup:0 () in
   for i = 1 to 100 do
     Metrics.record_completion m
       ~now:(Engine.ms (i * 10))
@@ -210,7 +267,7 @@ let test_metrics_percentiles_and_timeline () =
     (rate > 50.0 && rate < 150.0)
 
 let test_metrics_counters () =
-  let m = Metrics.create ~n:2 ~warmup:0 in
+  let m = Metrics.create ~n:2 ~warmup:0 () in
   Metrics.record_view_change m;
   Metrics.record_collusion_detected m;
   Metrics.record_contract_bytes m 1234;
@@ -237,7 +294,7 @@ let make_pool ?(quorum = Client_pool.Majority_fplus1) ?(n = 4)
   let machines = 1 in
   let net =
     Net.create engine ~nodes:(n + machines) ~latency:(Engine.us 10) ~jitter:0
-      ~gbps:10.0 ~rng:(Rcc_common.Rng.create 3)
+      ~gbps:10.0 ~rng:(Rcc_common.Rng.create 3) ()
   in
   let requests = ref [] in
   for replica = 0 to n - 1 do
@@ -245,7 +302,7 @@ let make_pool ?(quorum = Client_pool.Majority_fplus1) ?(n = 4)
         requests := (replica, msg) :: !requests)
   done;
   let keychain = Rcc_crypto.Keychain.create ~seed:8 ~n ~clients in
-  let metrics = Metrics.create ~n ~warmup:0 in
+  let metrics = Metrics.create ~n ~warmup:0 () in
   let pool =
     Client_pool.create ~engine ~net ~keychain ~metrics
       ~primary_of_instance:(fun x -> x)
@@ -489,6 +546,9 @@ let suite =
       Alcotest.test_case "metrics percentiles/timeline" `Quick
         test_metrics_percentiles_and_timeline;
       Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+      Alcotest.test_case "metrics timeline warmup consistency" `Quick
+        test_metrics_timeline_warmup_consistency;
+      Alcotest.test_case "metrics per instance" `Quick test_metrics_per_instance;
       Alcotest.test_case "client home primary" `Quick test_client_sends_to_home_primary;
       Alcotest.test_case "client f+1 quorum" `Quick test_client_completes_on_fplus1;
       Alcotest.test_case "client digest mismatch" `Quick test_client_mismatched_digests_dont_complete;

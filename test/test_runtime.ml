@@ -91,6 +91,7 @@ let test_report_formatting () =
       worker_utilization = 0.25;
       sim_events = 99;
       wall_seconds = 0.5;
+      per_instance = [||];
     }
   in
   let row = Report.row report in

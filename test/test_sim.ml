@@ -66,7 +66,7 @@ let test_engine_units () =
 
 let test_cpu_fifo_queueing () =
   let engine = Engine.create () in
-  let srv = Cpu.server engine ~name:"w" in
+  let srv = Cpu.server engine ~name:"w" () in
   let log = ref [] in
   (* Two jobs submitted back-to-back serialize: 0..100, 100..150. *)
   Cpu.submit srv ~cost:100 (fun () -> log := ("a", Engine.now engine) :: !log);
@@ -79,7 +79,7 @@ let test_cpu_fifo_queueing () =
 
 let test_cpu_idle_gap () =
   let engine = Engine.create () in
-  let srv = Cpu.server engine ~name:"w" in
+  let srv = Cpu.server engine ~name:"w" () in
   let completions = ref [] in
   Cpu.submit srv ~cost:10 (fun () -> completions := Engine.now engine :: !completions);
   Engine.schedule_at engine 500 (fun () ->
@@ -91,7 +91,7 @@ let test_cpu_idle_gap () =
 
 let test_cpu_ready_time () =
   let engine = Engine.create () in
-  let srv = Cpu.server engine ~name:"w" in
+  let srv = Cpu.server engine ~name:"w" () in
   let fired = ref 0 in
   Cpu.submit_ready srv ~ready:200 ~cost:25 (fun () -> fired := Engine.now engine);
   Engine.run engine ~until:1000;
@@ -99,7 +99,7 @@ let test_cpu_ready_time () =
 
 let test_cpu_reserve_chain () =
   let engine = Engine.create () in
-  let srv = Cpu.server engine ~name:"w" in
+  let srv = Cpu.server engine ~name:"w" () in
   let a = Cpu.reserve srv ~ready:0 ~cost:10 in
   let b = Cpu.reserve srv ~ready:0 ~cost:10 in
   check Alcotest.int "first" 10 a;
@@ -108,7 +108,7 @@ let test_cpu_reserve_chain () =
 
 let test_pool_earliest_dispatch () =
   let engine = Engine.create () in
-  let pool = Cpu.pool engine ~name:"in" ~size:2 in
+  let pool = Cpu.pool engine ~name:"in" ~size:2 () in
   let done_at = ref [] in
   for _ = 1 to 4 do
     Cpu.pool_submit pool ~cost:10 (fun () -> done_at := Engine.now engine :: !done_at)
@@ -122,7 +122,7 @@ let test_pool_earliest_dispatch () =
 
 let make_net ?(latency = Engine.us 100) ?(jitter = 0) ?(gbps = 8.0) ~nodes engine =
   Net.create engine ~nodes ~latency ~jitter ~gbps
-    ~rng:(Rcc_common.Rng.create 1)
+    ~rng:(Rcc_common.Rng.create 1) ()
 
 let test_net_delivery () =
   let engine = Engine.create () in
@@ -161,6 +161,30 @@ let test_net_dead_nodes () =
   (* dead receiver *)
   Engine.run engine ~until:Engine.(ms 10);
   check Alcotest.int "nothing delivered" 0 !count
+
+(* Regression: [send] used to return early when the *destination* was
+   dead, skipping the sender's NIC serialization and the traffic
+   counters — a sender cannot know the peer is down. Two large messages
+   to a dead node must still queue on the sender's egress and delay a
+   later message to a live node. *)
+let test_net_dead_dst_costs_sender () =
+  let engine = Engine.create () in
+  let net = make_net ~latency:0 ~nodes:3 engine in
+  let arrival = ref None in
+  Net.register net 1 (fun ~src:_ ~size:_ () -> arrival := Some (Engine.now engine));
+  Net.set_dead net 2 true;
+  (* 10_000 bytes at 8 Gbit/s = 10 us serialization each. *)
+  Net.send net ~src:0 ~dst:2 ~size:10_000 ();
+  Net.send net ~src:0 ~dst:2 ~size:10_000 ();
+  Net.send net ~src:0 ~dst:1 ~size:1_000 ();
+  Engine.run engine ~until:Engine.(ms 10);
+  (match !arrival with
+  | Some at ->
+      check Alcotest.int "queued behind dead-dst traffic"
+        (Engine.us 21) at
+  | None -> Alcotest.fail "live destination never got the message");
+  check Alcotest.int "all sends counted" 3 (Net.messages_sent net);
+  check Alcotest.int "all bytes counted" 21_000 (Net.bytes_sent net)
 
 let test_net_drop_rule () =
   let engine = Engine.create () in
@@ -273,7 +297,7 @@ let cpu_matches_fifo_model =
          list_size (int_range 1 20) (pair (int_range 0 1000) (int_range 0 500)))
        (fun jobs ->
          let engine = Engine.create () in
-         let srv = Cpu.server engine ~name:"m" in
+         let srv = Cpu.server engine ~name:"m" () in
          let completions = ref [] in
          List.iter
            (fun (ready, cost) ->
@@ -322,6 +346,8 @@ let suite =
       Alcotest.test_case "net delivery" `Quick test_net_delivery;
       Alcotest.test_case "net bandwidth" `Quick test_net_bandwidth_serializes;
       Alcotest.test_case "net dead nodes" `Quick test_net_dead_nodes;
+      Alcotest.test_case "net dead dst costs sender" `Quick
+        test_net_dead_dst_costs_sender;
       Alcotest.test_case "net drop rule" `Quick test_net_drop_rule;
       Alcotest.test_case "net stats" `Quick test_net_stats;
       Alcotest.test_case "net revive fresh incarnation" `Quick

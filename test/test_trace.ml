@@ -1,0 +1,194 @@
+(* The tracing subsystem: ring-buffer semantics, sink output shape, and
+   the end-to-end wiring through a real (tiny) cluster run. *)
+
+module Event = Rcc_trace.Event
+module Recorder = Rcc_trace.Recorder
+module Sink = Rcc_trace.Sink
+module Engine = Rcc_sim.Engine
+
+let check = Alcotest.check
+
+let ev ?(replica = 0) ?(instance = 0) ~at payload =
+  { Event.at; replica; instance; payload }
+
+let propose ~at round = ev ~at (Event.Slot_propose { round })
+
+(* --- recorder ------------------------------------------------------------- *)
+
+let test_ring_wrap () =
+  let r = Recorder.create ~capacity:4 () in
+  check Alcotest.int "capacity" 4 (Recorder.capacity r);
+  for round = 0 to 9 do
+    Recorder.record r (propose ~at:(round * 10) round)
+  done;
+  check Alcotest.int "recorded counts everything" 10 (Recorder.recorded r);
+  check Alcotest.int "dropped = recorded - capacity" 6 (Recorder.dropped r);
+  check Alcotest.int "stored capped at capacity" 4 (Recorder.stored r);
+  (* Only the trailing window survives, oldest first. *)
+  let rounds =
+    List.filter_map
+      (fun (e : Event.t) ->
+        match e.Event.payload with
+        | Event.Slot_propose { round } -> Some round
+        | _ -> None)
+      (Recorder.to_list r)
+  in
+  check Alcotest.(list int) "trailing window in order" [ 6; 7; 8; 9 ] rounds
+
+let test_ring_under_capacity () =
+  let r = Recorder.create ~capacity:8 () in
+  Recorder.record r (propose ~at:1 0);
+  Recorder.record r (propose ~at:2 1);
+  check Alcotest.int "no drops below capacity" 0 (Recorder.dropped r);
+  check Alcotest.int "stored" 2 (Recorder.stored r);
+  let count = ref 0 in
+  Recorder.iter r (fun _ -> incr count);
+  check Alcotest.int "iter visits stored events" 2 !count
+
+(* --- sinks ---------------------------------------------------------------- *)
+
+let test_jsonl_shape () =
+  let line =
+    Sink.jsonl_line
+      (ev ~replica:3 ~instance:1 ~at:1500
+         (Event.Net_send { kind = "preprepare"; size = 512; src = 3; dst = 0 }))
+  in
+  check Alcotest.bool "single line" true (not (String.contains line '\n'));
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "contains %s" needle) true
+        (let rec find i =
+           i + String.length needle <= String.length line
+           && (String.sub line i (String.length needle) = needle || find (i + 1))
+         in
+         find 0))
+    [
+      {|"ts":1500|};
+      {|"replica":3|};
+      {|"instance":1|};
+      {|"ev":"net_send"|};
+      {|"kind":"preprepare"|};
+      {|"size":512|};
+    ]
+
+let test_jsonl_one_line_per_event () =
+  let r = Recorder.create ~capacity:16 () in
+  for i = 0 to 4 do
+    Recorder.record r (propose ~at:i i)
+  done;
+  let out = Sink.jsonl r in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  check Alcotest.int "five lines" 5 (List.length lines);
+  List.iter
+    (fun line ->
+      check Alcotest.bool "each line is a json object" true
+        (String.length line > 0
+        && line.[0] = '{'
+        && line.[String.length line - 1] = '}'))
+    lines
+
+let test_chrome_structure () =
+  let r = Recorder.create ~capacity:16 () in
+  Recorder.record r (propose ~at:1000 0);
+  Recorder.record r
+    (ev ~replica:1 ~instance:(-1) ~at:2000 (Event.Span { track = "nic-1"; dur = 500 }));
+  Recorder.record r
+    (ev ~replica:(-1) ~instance:(-1) ~at:3000
+       (Event.Violation { name = "liveness-commits" }));
+  let doc = Sink.chrome r in
+  check Alcotest.bool "starts as an object" true (doc.[0] = '{');
+  check Alcotest.bool "ends the object" true (doc.[String.length doc - 1] = '}');
+  let contains needle =
+    let rec find i =
+      i + String.length needle <= String.length doc
+      && (String.sub doc i (String.length needle) = needle || find (i + 1))
+    in
+    find 0
+  in
+  check Alcotest.bool "has traceEvents" true (contains {|"traceEvents"|});
+  check Alcotest.bool "span is a duration slice" true (contains {|"ph":"X"|});
+  check Alcotest.bool "span duration in us" true (contains {|"dur":0.500|});
+  check Alcotest.bool "instants present" true (contains {|"ph":"i"|});
+  check Alcotest.bool "process metadata present" true (contains {|"process_name"|});
+  check Alcotest.bool "violation is global-scoped" true (contains {|"s":"g"|})
+
+(* --- engine wiring -------------------------------------------------------- *)
+
+let test_engine_tracing_toggle () =
+  let engine = Engine.create () in
+  check Alcotest.bool "tracing off by default" false (Engine.tracing engine);
+  (* With no recorder installed, trace is a no-op. *)
+  Engine.trace engine ~replica:0 ~instance:0 (Event.Slot_propose { round = 0 });
+  let r = Recorder.create ~capacity:8 () in
+  Engine.set_tracer engine r;
+  check Alcotest.bool "tracing on" true (Engine.tracing engine);
+  Engine.trace engine ~replica:0 ~instance:0 (Event.Slot_propose { round = 1 });
+  check Alcotest.int "only post-install events recorded" 1 (Recorder.recorded r)
+
+(* --- end to end ----------------------------------------------------------- *)
+
+(* A tiny traced MultiP run: the trace must carry wire, compute, slot and
+   per-instance lifecycle events, and the report must break the load down
+   per instance. Untraced runs of the same config stay event-free. *)
+let test_cluster_end_to_end () =
+  let cfg =
+    Rcc_runtime.Config.make ~protocol:Rcc_runtime.Config.MultiP ~n:4
+      ~batch_size:5 ~clients:12 ~records:1_000
+      ~duration:(Engine.of_seconds 0.3)
+      ~warmup:(Engine.of_seconds 0.1)
+      ~seed:11 ()
+  in
+  let tracer = Recorder.create ~capacity:100_000 () in
+  let report = Rcc_runtime.Cluster.run_config ~tracer cfg in
+  check Alcotest.bool "transactions committed" true
+    (report.Rcc_runtime.Report.committed_txns > 0);
+  let seen = Hashtbl.create 16 in
+  Recorder.iter tracer (fun e ->
+      Hashtbl.replace seen (Event.name e.Event.payload) ());
+  List.iter
+    (fun name ->
+      check Alcotest.bool (Printf.sprintf "trace has %s events" name) true
+        (Hashtbl.mem seen name))
+    [ "net_send"; "net_deliver"; "span"; "slot_propose"; "slot_accept";
+      "slot_exec" ];
+  (* Per-instance report rows: z = f+1 = 2 instances, txns attributed. *)
+  let per = report.Rcc_runtime.Report.per_instance in
+  check Alcotest.int "one row per instance" 2 (Array.length per);
+  let attributed =
+    Array.fold_left
+      (fun acc s -> acc + s.Rcc_runtime.Report.i_txns)
+      0 per
+  in
+  check Alcotest.int "instance rows sum to the aggregate"
+    report.Rcc_runtime.Report.committed_txns attributed;
+  (* The chrome document for a real run parses far enough to embed every
+     recorded instant. *)
+  let doc = Sink.chrome tracer in
+  check Alcotest.bool "chrome doc non-trivial" true (String.length doc > 1000)
+
+let test_cluster_untraced_is_clean () =
+  let cfg =
+    Rcc_runtime.Config.make ~protocol:Rcc_runtime.Config.MultiP ~n:4
+      ~batch_size:5 ~clients:12 ~records:1_000
+      ~duration:(Engine.of_seconds 0.2)
+      ~warmup:(Engine.of_seconds 0.05)
+      ~seed:11 ()
+  in
+  let report = Rcc_runtime.Cluster.run_config cfg in
+  check Alcotest.bool "untraced run still commits" true
+    (report.Rcc_runtime.Report.committed_txns > 0)
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
+      Alcotest.test_case "ring under capacity" `Quick test_ring_under_capacity;
+      Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+      Alcotest.test_case "jsonl one line per event" `Quick
+        test_jsonl_one_line_per_event;
+      Alcotest.test_case "chrome structure" `Quick test_chrome_structure;
+      Alcotest.test_case "engine tracing toggle" `Quick
+        test_engine_tracing_toggle;
+      Alcotest.test_case "cluster end to end" `Slow test_cluster_end_to_end;
+      Alcotest.test_case "cluster untraced" `Slow test_cluster_untraced_is_clean;
+    ] )
