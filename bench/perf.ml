@@ -1,0 +1,321 @@
+(* Wall-clock performance harness for the simulator's hot paths.
+
+   Runs a fixed-seed smoke cluster plus allocation-counting microbenches
+   over the three inner loops (event heap, Net.send, codec) and appends
+   one entry to BENCH_simperf.json, so the repository carries a perf
+   trajectory across PRs:
+
+     dune exec bench/perf.exe -- --smoke --label "PR 4 baseline"
+     dune exec bench/perf.exe -- --smoke --digest-only   # CI determinism gate
+
+   Reported per entry:
+   - events/sec            simulator events retired per wall-clock second
+   - sim_ns_per_wall_ms    simulated nanoseconds advanced per wall millisecond
+   - words_per_event       minor-heap words allocated per event (Gc.minor_words)
+   - report_digest         SHA-256 over the deterministic report fields
+                           (excludes wall time), the fixed-seed determinism
+                           fingerprint CI compares against bench/simperf.digest
+   - heap/net/codec microbench rows (ns/op and words/op)
+
+   Wall time is [Sys.time] (process CPU time): the simulator is
+   single-threaded and this keeps the harness dependency-free. *)
+
+module Engine = Rcc_sim.Engine
+module Net = Rcc_sim.Net
+module Config = Rcc_runtime.Config
+module Report = Rcc_runtime.Report
+module Heap = Rcc_common.Binary_heap
+module Msg = Rcc_messages.Msg
+module Batch = Rcc_messages.Batch
+module Codec = Rcc_messages.Codec
+
+(* --- deterministic report fingerprint ---------------------------------- *)
+
+(* Every field that is a pure function of the seed; wall_seconds is the
+   one measurement that may (and should) change across optimizations. *)
+let canonical_report (r : Report.t) =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "%s n=%d batch=%d tput=%.3f avg=%.6f p50=%.6f p99=%.6f\n"
+    r.Report.protocol r.Report.n r.Report.batch_size r.Report.throughput
+    r.Report.avg_latency r.Report.p50_latency r.Report.p99_latency;
+  Printf.bprintf b
+    "committed=%d rounds=%d valid=%b vc=%d collusions=%d contracts=%d \
+     repl=%d msgs=%d bytes=%d events=%d\n"
+    r.Report.committed_txns r.Report.ledger_rounds r.Report.ledger_valid
+    r.Report.view_changes r.Report.collusions_detected r.Report.contract_bytes
+    r.Report.replacements r.Report.messages r.Report.bytes_sent
+    r.Report.sim_events;
+  Array.iter
+    (fun (t, v) -> Printf.bprintf b "tl %.4f %.4f\n" t v)
+    r.Report.timeline;
+  Array.iter
+    (fun (s : Report.instance_stats) ->
+      Printf.bprintf b "i%d tput=%.3f avg=%.6f p50=%.6f p99=%.6f txns=%d vc=%d\n"
+        s.Report.instance s.Report.i_throughput s.Report.i_avg_latency
+        s.Report.i_p50_latency s.Report.i_p99_latency s.Report.i_txns
+        s.Report.i_view_changes)
+    r.Report.per_instance;
+  Buffer.contents b
+
+let report_digest r = Rcc_crypto.Sha256.hex_digest (canonical_report r)
+
+(* --- smoke cluster ------------------------------------------------------ *)
+
+type smoke = {
+  s_events : int;
+  s_wall : float;
+  s_sim_ns : int;
+  s_minor_words : float;
+  s_throughput : float;
+  s_digest : string;
+}
+
+let smoke_config ~duration =
+  Config.make ~protocol:Config.MultiP ~n:16 ~batch_size:100 ~clients:120
+    ~duration ~warmup:(Engine.of_seconds 0.15) ~seed:42 ()
+
+let run_smoke ~duration =
+  let cfg = smoke_config ~duration in
+  Gc.full_major ();
+  let words0 = Gc.minor_words () in
+  let report = Rcc_runtime.Cluster.run_config cfg in
+  let words1 = Gc.minor_words () in
+  {
+    s_events = report.Report.sim_events;
+    s_wall = report.Report.wall_seconds;
+    s_sim_ns = duration;
+    s_minor_words = words1 -. words0;
+    s_throughput = report.Report.throughput;
+    s_digest = report_digest report;
+  }
+
+(* --- microbenches ------------------------------------------------------- *)
+
+(* ns/op and minor-words/op over [iters] calls of [f], called once per op.
+   Coarse by design: this is an allocation regression tripwire and a
+   trajectory row, not a Bechamel-grade estimate (bench/micro.ml has
+   those). *)
+let measure ~iters f =
+  Gc.full_major ();
+  let words0 = Gc.minor_words () in
+  let t0 = Sys.time () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let wall = Sys.time () -. t0 in
+  let words = Gc.minor_words () -. words0 in
+  let n = float_of_int iters in
+  (wall *. 1e9 /. n, words /. n)
+
+type micro_row = { m_name : string; m_ns : float; m_words : float }
+
+let bench_heap () =
+  let n = 1024 in
+  let h = Heap.create ~capacity:(2 * n) ~dummy:0 () in
+  let prios = Array.init n (fun i -> (i * 7919) land 0xffff) in
+  (* One op = push n then pop n; report per push+pop pair. *)
+  let ns, words =
+    measure ~iters:200 (fun () ->
+        for i = 0 to n - 1 do
+          Heap.push h ~priority:prios.(i) i
+        done;
+        while not (Heap.is_empty h) do
+          ignore (Heap.min_priority h);
+          ignore (Heap.pop_min_exn h)
+        done)
+  in
+  let per = float_of_int n in
+  { m_name = "heap-push-pop"; m_ns = ns /. per; m_words = words /. per }
+
+let make_net ~rules =
+  let engine = Engine.create () in
+  let rng = Rcc_common.Rng.create 7 in
+  let net =
+    Net.create engine ~nodes:16 ~latency:(Engine.us 50) ~jitter:0 ~gbps:10.0
+      ~rng ()
+  in
+  for i = 0 to 15 do
+    Net.register net i (fun ~src:_ ~size:_ _ -> ())
+  done;
+  if rules then begin
+    ignore (Net.add_drop_rule net (fun ~src:_ ~dst:_ _ -> false));
+    ignore (Net.add_delay_rule net (fun ~src:_ ~dst:_ -> 0));
+    ignore (Net.add_dup_rule net (fun ~src:_ ~dst:_ _ -> 0))
+  end;
+  (engine, net)
+
+let bench_net ~rules =
+  let engine, net = make_net ~rules in
+  (* One op = a 15-destination broadcast, drained to a bounded horizon
+     (running to [max_int] would park [now] there and overflow the next
+     send's schedule). *)
+  let ns, words =
+    measure ~iters:2000 (fun () ->
+        for dst = 1 to 15 do
+          Net.send net ~src:0 ~dst ~size:5400 ()
+        done;
+        Engine.run engine ~until:(Engine.now engine + Engine.ms 10))
+  in
+  let per = 15.0 in
+  {
+    m_name = (if rules then "net-send-3rules" else "net-send-0rules");
+    m_ns = ns /. per;
+    m_words = words /. per;
+  }
+
+let bench_txns () =
+  Array.init 100 (fun i -> Rcc_workload.Txn.{ key = i; op = Write (i * 31) })
+
+let bench_codec () =
+  let secret, _ = Rcc_crypto.Signature.keygen (Rcc_common.Rng.create 3) in
+  let batch = Batch.create ~id:1 ~client:0 ~txns:(bench_txns ()) ~secret in
+  let msg = Msg.Pre_prepare { instance = 0; view = 0; seq = 9; batch } in
+  let ns, words =
+    measure ~iters:2000 (fun () ->
+        let wire = Codec.encode msg in
+        match Codec.decode wire with Ok _ -> () | Error e -> failwith e)
+  in
+  { m_name = "codec-roundtrip-100txn"; m_ns = ns; m_words = words }
+
+let bench_msg_size () =
+  let secret, _ = Rcc_crypto.Signature.keygen (Rcc_common.Rng.create 3) in
+  let batch = Batch.create ~id:1 ~client:0 ~txns:(bench_txns ()) ~secret in
+  let entries =
+    List.init 4 (fun x ->
+        {
+          Msg.ce_instance = x;
+          ce_round = 12;
+          ce_batch = batch;
+          ce_cert_replicas = List.init 11 (fun r -> r);
+        })
+  in
+  let msg = Msg.Contract { round = 12; entries } in
+  let ns, words = measure ~iters:200_000 (fun () -> ignore (Msg.size msg)) in
+  { m_name = "msg-size-contract"; m_ns = ns; m_words = words }
+
+(* --- JSON output -------------------------------------------------------- *)
+
+let json_of_entry ~label smoke micros =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "  {\n    \"label\": %S,\n" label;
+  Printf.bprintf b "    \"smoke\": {\n";
+  Printf.bprintf b "      \"sim_events\": %d,\n" smoke.s_events;
+  Printf.bprintf b "      \"wall_seconds\": %.4f,\n" smoke.s_wall;
+  Printf.bprintf b "      \"events_per_sec\": %.0f,\n"
+    (float_of_int smoke.s_events /. smoke.s_wall);
+  Printf.bprintf b "      \"sim_ns_per_wall_ms\": %.0f,\n"
+    (float_of_int smoke.s_sim_ns /. (smoke.s_wall *. 1e3));
+  Printf.bprintf b "      \"words_per_event\": %.2f,\n"
+    (smoke.s_minor_words /. float_of_int smoke.s_events);
+  Printf.bprintf b "      \"throughput_txn_s\": %.0f,\n" smoke.s_throughput;
+  Printf.bprintf b "      \"report_digest\": %S\n" smoke.s_digest;
+  Printf.bprintf b "    },\n    \"micro\": {\n";
+  List.iteri
+    (fun i { m_name; m_ns; m_words } ->
+      Printf.bprintf b "      %S: { \"ns_per_op\": %.1f, \"words_per_op\": %.2f }%s\n"
+        m_name m_ns m_words
+        (if i = List.length micros - 1 then "" else ","))
+    micros;
+  Printf.bprintf b "    }\n  }";
+  Buffer.contents b
+
+(* BENCH_simperf.json is a JSON array of entries; appending keeps the
+   trajectory. Text-level splice so we need no JSON parser. *)
+let append_entry ~path entry =
+  let existing =
+    if Sys.file_exists path then (
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      String.trim s)
+    else ""
+  in
+  let body =
+    if existing = "" || existing = "[]" then Printf.sprintf "[\n%s\n]\n" entry
+    else begin
+      let len = String.length existing in
+      if existing.[len - 1] <> ']' then
+        failwith (path ^ ": not a JSON array; refusing to append");
+      Printf.sprintf "%s,\n%s\n]\n"
+        (String.trim (String.sub existing 0 (len - 1)))
+        entry
+    end
+  in
+  let oc = open_out_bin path in
+  output_string oc body;
+  close_out oc
+
+(* --- main ---------------------------------------------------------------- *)
+
+let () =
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
+  let smoke_only = ref false in
+  let digest_only = ref false in
+  let label = ref "" in
+  let out = ref "BENCH_simperf.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke_only := true;
+        parse rest
+    | "--digest-only" :: rest ->
+        digest_only := true;
+        parse rest
+    | "--label" :: l :: rest ->
+        label := l;
+        parse rest
+    | "--out" :: path :: rest ->
+        out := path;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %S\n\
+           usage: perf.exe [--smoke] [--digest-only] [--label STR] [--out FILE]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let duration =
+    Engine.of_seconds (if !smoke_only || !digest_only then 0.5 else 2.0)
+  in
+  if !digest_only then begin
+    (* CI determinism gate: print only the fixed-seed report digest. *)
+    let smoke = run_smoke ~duration in
+    print_string smoke.s_digest;
+    print_newline ()
+  end
+  else begin
+    let label =
+      if !label <> "" then !label
+      else if !smoke_only then "smoke"
+      else "full"
+    in
+    Printf.eprintf "[simperf] smoke cluster (%.1fs simulated)...\n%!"
+      (Engine.to_seconds duration);
+    let smoke = run_smoke ~duration in
+    Printf.eprintf
+      "[simperf]   %d events in %.2fs wall = %.0f events/s, %.2f words/event\n%!"
+      smoke.s_events smoke.s_wall
+      (float_of_int smoke.s_events /. smoke.s_wall)
+      (smoke.s_minor_words /. float_of_int smoke.s_events);
+    Printf.eprintf "[simperf]   report digest %s\n%!" smoke.s_digest;
+    Printf.eprintf "[simperf] microbenches...\n%!";
+    let micros =
+      [
+        bench_heap ();
+        bench_net ~rules:false;
+        bench_net ~rules:true;
+        bench_codec ();
+        bench_msg_size ();
+      ]
+    in
+    List.iter
+      (fun { m_name; m_ns; m_words } ->
+        Printf.eprintf "[simperf]   %-24s %10.1f ns/op %8.2f words/op\n%!"
+          m_name m_ns m_words)
+      micros;
+    let entry = json_of_entry ~label smoke micros in
+    append_entry ~path:!out entry;
+    Printf.eprintf "[simperf] appended %S -> %s\n%!" label !out
+  end

@@ -1,19 +1,32 @@
+(* 4-ary min-heap in three parallel unboxed arrays, keyed by
+   (priority, sequence).
+
+   [data] is a plain ['a array] backed by a caller-supplied [dummy]
+   element filling the unused slots — no [Some] box per push, and the
+   hot-path accessors ([min_priority]/[pop_min_exn]) return the parts
+   separately so the event loop pops without allocating. The 4-ary
+   layout keeps a sift-down's child scan inside one cache line of the
+   [prio] array. Siftings move the hole instead of swapping, so each
+   level costs three array writes rather than nine. *)
+
 type 'a t = {
   mutable size : int;
   mutable prio : int array;
   mutable seq : int array;
-  mutable data : 'a option array;
+  mutable data : 'a array;
   mutable next_seq : int;
+  dummy : 'a;
 }
 
-let create ?(capacity = 256) () =
+let create ?(capacity = 256) ~dummy () =
   let capacity = max capacity 16 in
   {
     size = 0;
     prio = Array.make capacity 0;
     seq = Array.make capacity 0;
-    data = Array.make capacity None;
+    data = Array.make capacity dummy;
     next_seq = 0;
+    dummy;
   }
 
 let is_empty t = t.size = 0
@@ -25,7 +38,7 @@ let grow t =
   let n' = n * 2 in
   let prio = Array.make n' 0 in
   let seq = Array.make n' 0 in
-  let data = Array.make n' None in
+  let data = Array.make n' t.dummy in
   Array.blit t.prio 0 prio 0 n;
   Array.blit t.seq 0 seq 0 n;
   Array.blit t.data 0 data 0 n;
@@ -33,73 +46,102 @@ let grow t =
   t.seq <- seq;
   t.data <- data
 
-(* (p1, s1) < (p2, s2) lexicographically. *)
-let less t i j =
-  let pi = t.prio.(i) and pj = t.prio.(j) in
-  pi < pj || (pi = pj && t.seq.(i) < t.seq.(j))
-
-let swap t i j =
-  let p = t.prio.(i) in
-  t.prio.(i) <- t.prio.(j);
-  t.prio.(j) <- p;
-  let s = t.seq.(i) in
-  t.seq.(i) <- t.seq.(j);
-  t.seq.(j) <- s;
-  let d = t.data.(i) in
-  t.data.(i) <- t.data.(j);
-  t.data.(j) <- d
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less t i parent then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 in
-  let r = l + 1 in
-  let smallest = if l < t.size && less t l i then l else i in
-  let smallest = if r < t.size && less t r smallest then r else smallest in
-  if smallest <> i then begin
-    swap t i smallest;
-    sift_down t smallest
-  end
-
 let push t ~priority v =
   if t.size = Array.length t.prio then grow t;
-  let i = t.size in
-  t.prio.(i) <- priority;
-  t.seq.(i) <- t.next_seq;
-  t.data.(i) <- Some v;
-  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
   t.size <- t.size + 1;
-  sift_up t i
+  (* Bubble the hole up. The fresh element holds the largest sequence
+     number ever issued, so on a priority tie the parent stays put —
+     only a strictly greater parent priority moves down. *)
+  let i = ref (t.size - 1) in
+  let continue = ref (!i > 0) in
+  while !continue do
+    let parent = (!i - 1) / 4 in
+    if t.prio.(parent) > priority then begin
+      t.prio.(!i) <- t.prio.(parent);
+      t.seq.(!i) <- t.seq.(parent);
+      t.data.(!i) <- t.data.(parent);
+      i := parent;
+      continue := parent > 0
+    end
+    else continue := false
+  done;
+  t.prio.(!i) <- priority;
+  t.seq.(!i) <- seq;
+  t.data.(!i) <- v
+
+(* Drop the root, refill the hole with the last element sifted down.
+   The (priority, seq) comparison is written out inline on locally bound
+   arrays — this loop is the busiest spot of the whole simulator, and
+   without flambda a [less t i j] helper stays an outlined call. Indices
+   are in [0, n) by construction, so the unsafe accesses are in bounds. *)
+let remove_min t =
+  let n = t.size - 1 in
+  t.size <- n;
+  if n = 0 then t.data.(0) <- t.dummy
+  else begin
+    let prio = t.prio and seq = t.seq and data = t.data in
+    let p = prio.(n) and s = seq.(n) and v = data.(n) in
+    data.(n) <- t.dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let c1 = (4 * !i) + 1 in
+      if c1 >= n then continue := false
+      else begin
+        let last = c1 + 3 in
+        let last = if last > n - 1 then n - 1 else last in
+        (* Smallest (priority, seq) among the children of !i. *)
+        let m = ref c1 in
+        let mp = ref (Array.unsafe_get prio c1) in
+        let ms = ref (Array.unsafe_get seq c1) in
+        for c = c1 + 1 to last do
+          let cp = Array.unsafe_get prio c in
+          if
+            cp < !mp
+            || (cp = !mp && Array.unsafe_get seq c < !ms)
+          then begin
+            m := c;
+            mp := cp;
+            ms := Array.unsafe_get seq c
+          end
+        done;
+        if !mp < p || (!mp = p && !ms < s) then begin
+          Array.unsafe_set prio !i !mp;
+          Array.unsafe_set seq !i !ms;
+          Array.unsafe_set data !i (Array.unsafe_get data !m);
+          i := !m
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set prio !i p;
+    Array.unsafe_set seq !i s;
+    Array.unsafe_set data !i v
+  end
+
+let min_priority t =
+  if t.size = 0 then invalid_arg "Binary_heap.min_priority: empty heap";
+  t.prio.(0)
+
+let pop_min_exn t =
+  if t.size = 0 then invalid_arg "Binary_heap.pop_min_exn: empty heap";
+  let v = t.data.(0) in
+  remove_min t;
+  v
 
 let pop t =
   if t.size = 0 then None
   else begin
     let p = t.prio.(0) in
-    let v =
-      match t.data.(0) with
-      | Some v -> v
-      | None -> assert false
-    in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.prio.(0) <- t.prio.(t.size);
-      t.seq.(0) <- t.seq.(t.size);
-      t.data.(0) <- t.data.(t.size)
-    end;
-    t.data.(t.size) <- None;
-    sift_down t 0;
+    let v = t.data.(0) in
+    remove_min t;
     Some (p, v)
   end
 
 let peek_priority t = if t.size = 0 then None else Some t.prio.(0)
 
 let clear t =
-  Array.fill t.data 0 t.size None;
+  Array.fill t.data 0 t.size t.dummy;
   t.size <- 0

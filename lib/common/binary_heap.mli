@@ -1,12 +1,19 @@
-(** Array-backed min-heap keyed by [(priority, sequence)].
+(** Array-backed 4-ary min-heap keyed by [(priority, sequence)].
 
     The sequence number is assigned at insertion time, making extraction
     order deterministic among equal priorities (FIFO among ties). This is
-    the event queue of the simulator, so determinism here is load-bearing. *)
+    the event queue of the simulator, so determinism here is load-bearing.
+
+    Storage is three parallel unboxed arrays; the unused slots of the
+    payload array hold the [dummy] element given at creation, so neither
+    {!push} nor the {!min_priority}/{!pop_min_exn} pair allocates. *)
 
 type 'a t
 
-val create : ?capacity:int -> unit -> 'a t
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills vacant payload slots (and is what {!clear} resets them
+    to, so popped payloads are not retained). It is never returned by the
+    accessors unless it was itself pushed. *)
 
 val is_empty : 'a t -> bool
 
@@ -14,8 +21,18 @@ val size : 'a t -> int
 
 val push : 'a t -> priority:int -> 'a -> unit
 
+val min_priority : 'a t -> int
+(** Priority of the minimum element, without allocating.
+    @raise Invalid_argument on an empty heap. *)
+
+val pop_min_exn : 'a t -> 'a
+(** Remove the minimum element and return its payload, without
+    allocating. Use with {!min_priority} when the caller needs both.
+    @raise Invalid_argument on an empty heap. *)
+
 val pop : 'a t -> (int * 'a) option
-(** Remove and return the minimum [(priority, value)]. *)
+(** Remove and return the minimum [(priority, value)]. Allocating
+    convenience over {!min_priority}/{!pop_min_exn}. *)
 
 val peek_priority : 'a t -> int option
 

@@ -43,4 +43,4 @@ let validate t ~n ~min_cert =
     (fun acc e -> match acc with Error _ -> acc | Ok () -> ok_entry e)
     (Ok ()) t.entries
 
-let size t = Msg.size (to_msg t)
+let size t = Msg.contract_entries_size t.entries

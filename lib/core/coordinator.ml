@@ -33,8 +33,8 @@ type t = {
   handles : instance_handle array;
   exec : Exec.t;
   metrics : Metrics.t;
-  broadcast : Msg.t -> unit;
-  send : dst:replica_id -> Msg.t -> unit;
+  broadcast : ?size:int -> Msg.t -> unit;
+  send : ?size:int -> dst:replica_id -> Msg.t -> unit;
   primaries : replica_id array;
   views : int array;
   kmal : Bitset.t;
@@ -199,16 +199,17 @@ let broadcast_contract t ~round =
   in
   if contract.Contract.entries <> [] then begin
     let msg = Contract.to_msg contract in
-    Metrics.record_contract_bytes t.metrics (Msg.size msg);
+    let size = Contract.size contract in
+    Metrics.record_contract_bytes t.metrics size;
     if Engine.tracing t.engine then
       trace t ~instance:(-1)
         (Rcc_trace.Event.Contract_sent
            {
              round;
              entries = List.length contract.Contract.entries;
-             bytes = Msg.size msg;
+             bytes = size;
            });
-    t.broadcast msg
+    t.broadcast ~size msg
   end
 
 let view_shift t =
@@ -416,12 +417,13 @@ let on_contract_request t ~src ~round =
   | [] -> ()
   | es ->
       let msg = Msg.Contract { round; entries = es } in
-      Metrics.record_contract_bytes t.metrics (Msg.size msg);
+      let size = Msg.contract_entries_size es in
+      Metrics.record_contract_bytes t.metrics size;
       if Engine.tracing t.engine then
         trace t ~instance:(-1)
           (Rcc_trace.Event.Contract_sent
-             { round; entries = List.length es; bytes = Msg.size msg });
-      t.send ~dst:src msg
+             { round; entries = List.length es; bytes = size });
+      t.send ~size ~dst:src msg
 
 let on_round_executed t ~round accs =
   history_store t round accs;

@@ -53,8 +53,8 @@ val create :
   handles:instance_handle array ->
   exec:Rcc_replica.Exec.t ->
   metrics:Rcc_replica.Metrics.t ->
-  broadcast:(Rcc_messages.Msg.t -> unit) ->
-  send:(dst:replica_id -> Rcc_messages.Msg.t -> unit) ->
+  broadcast:(?size:int -> Rcc_messages.Msg.t -> unit) ->
+  send:(?size:int -> dst:replica_id -> Rcc_messages.Msg.t -> unit) ->
   t
 
 val primaries : t -> replica_id list

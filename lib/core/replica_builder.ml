@@ -256,7 +256,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
               costs = cfg.costs;
               timeout = cfg.timeout;
               checkpoint_interval = cfg.checkpoint_interval;
-              send;
+              send = (fun ?sign ~dst msg -> send ?sign ~dst msg);
               broadcast =
                 (fun ?sign ?exclude msg -> broadcast ?sign ?exclude ~n:cfg.n msg);
               respond =
@@ -304,8 +304,8 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
               history_capacity = cfg.history_capacity;
             }
             ~engine ~handles ~exec ~metrics
-            ~broadcast:(fun msg -> broadcast ~n:cfg.n msg)
-            ~send:(fun ~dst msg -> send ~dst msg)
+            ~broadcast:(fun ?size msg -> broadcast ?size ~n:cfg.n msg)
+            ~send:(fun ?size ~dst msg -> send ?size ~dst msg)
         in
         coordinator_ref := Some c;
         Exec.set_on_executed exec (fun round accs ->

@@ -11,19 +11,34 @@ let pads key =
   let opad = Rcc_common.Bytes_util.xor k (String.make block_size '\x5c') in
   (ipad, opad)
 
-let mac_list ~key parts =
+(* The pads are full 64-byte blocks, so their compression states can be
+   captured once per key — a keyed mac then skips two block hashes and
+   the pad construction entirely. *)
+type keyed = { imid : Sha256.midstate; omid : Sha256.midstate }
+
+let derive ~key =
   let ipad, opad = pads key in
-  let inner = Sha256.digest_list (ipad :: parts) in
-  Sha256.digest_list [ opad; inner ]
+  { imid = Sha256.block_midstate ipad; omid = Sha256.block_midstate opad }
+
+let mac_keyed k parts =
+  let inner = Sha256.digest_list_from k.imid parts in
+  Sha256.digest_list_from k.omid [ inner ]
+
+let mac_list ~key parts = mac_keyed (derive ~key) parts
 
 let mac ~key msg = mac_list ~key [ msg ]
 
 (* Constant-time-style comparison; timing channels are irrelevant in the
    simulator but the discipline costs nothing. *)
-let verify ~key msg ~tag =
-  let expected = mac ~key msg in
+let equal_ct expected tag =
   String.length expected = String.length tag
   &&
   let acc = ref 0 in
-  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code tag.[i])) expected;
+  String.iteri
+    (fun i c -> acc := !acc lor (Char.code c lxor Char.code tag.[i]))
+    expected;
   !acc = 0
+
+let verify_keyed k parts ~tag = equal_ct (mac_keyed k parts) tag
+
+let verify ~key msg ~tag = equal_ct (mac ~key msg) tag

@@ -10,3 +10,14 @@ val mac_list : key:string -> string list -> string
 (** Tag over the concatenation of the parts. *)
 
 val verify : key:string -> string -> tag:string -> bool
+
+type keyed
+(** Precomputed pad midstates for one key; macs under a [keyed] skip the
+    per-call pad construction and pad-block hashing. *)
+
+val derive : key:string -> keyed
+
+val mac_keyed : keyed -> string list -> string
+(** [mac_keyed (derive ~key) parts] = [mac_list ~key parts]. *)
+
+val verify_keyed : keyed -> string list -> tag:string -> bool

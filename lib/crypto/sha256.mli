@@ -19,3 +19,14 @@ val digest_list : string list -> string
 
 val hex_digest : string -> string
 (** Hex-encoded one-shot digest, for display and tests. *)
+
+type midstate
+(** Compression state after absorbing one full 64-byte block. *)
+
+val block_midstate : string -> midstate
+(** [block_midstate block] precomputes the state after hashing the
+    64-byte [block]. Raises [Invalid_argument] on other lengths. *)
+
+val digest_list_from : midstate -> string list -> string
+(** [digest_list_from ms parts] = [digest_list (block :: parts)] where
+    [ms = block_midstate block], without re-hashing the block. *)

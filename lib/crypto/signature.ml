@@ -1,12 +1,13 @@
-type secret_key = { secret : string; public : string }
+type secret_key = { secret : string; public : string; keyed : Hmac.keyed }
 type public_key = string
 type signature = string
 
 let signature_size = 64
 
 (* Process-local stand-in for the curve equations: verification looks up the
-   secret matching a public key. Signing code never touches this table. *)
-let registry : (public_key, string) Hashtbl.t = Hashtbl.create 64
+   keyed mac state matching a public key. Signing code never touches this
+   table. *)
+let registry : (public_key, Hmac.keyed) Hashtbl.t = Hashtbl.create 64
 
 let keygen rng =
   let secret =
@@ -19,14 +20,15 @@ let keygen rng =
       ]
   in
   let public = Sha256.digest ("rcc-pk" ^ secret) in
-  Hashtbl.replace registry public secret;
-  ({ secret; public }, public)
+  let keyed = Hmac.derive ~key:secret in
+  Hashtbl.replace registry public keyed;
+  ({ secret; public; keyed }, public)
 
 let public_key sk = sk.public
 
 let sign sk msg =
-  let t1 = Hmac.mac ~key:sk.secret msg in
-  let t2 = Hmac.mac ~key:sk.secret (t1 ^ msg) in
+  let t1 = Hmac.mac_keyed sk.keyed [ msg ] in
+  let t2 = Hmac.mac_keyed sk.keyed [ t1; msg ] in
   t1 ^ t2
 
 let verify pk msg signature =
@@ -34,8 +36,8 @@ let verify pk msg signature =
   &&
   match Hashtbl.find_opt registry pk with
   | None -> false
-  | Some secret ->
+  | Some keyed ->
       let t1 = String.sub signature 0 32 in
       let t2 = String.sub signature 32 32 in
-      Hmac.verify ~key:secret msg ~tag:t1
-      && Hmac.verify ~key:secret (t1 ^ msg) ~tag:t2
+      Hmac.verify_keyed keyed [ msg ] ~tag:t1
+      && Hmac.verify_keyed keyed [ t1; msg ] ~tag:t2

@@ -10,6 +10,9 @@ type t = {
   txns : Rcc_workload.Txn.t array;
   digest : string;  (** SHA-256 over the encoded transactions *)
   signature : Rcc_crypto.Signature.signature;  (** client's, over the digest *)
+  wire : int;
+      (** cached {!wire_size} of [txns] — [Msg.size] queries it on every
+          send, so it is computed once at construction *)
 }
 
 val create :
@@ -34,6 +37,8 @@ val verify : t -> public:Rcc_crypto.Signature.public_key -> bool
 (** Recompute the digest and check the client signature. *)
 
 val size : t -> int
+(** The cached [wire] field. *)
+
 val wire_size : ntxns:int -> int
 (** Bytes a batch occupies inside a message; 100 transactions give the
     paper's 5000-byte batch payload. *)

@@ -81,7 +81,8 @@ let r_batch r =
   in
   let digest = r_string r in
   let signature = r_string r in
-  { Batch.id; client; txns; digest; signature }
+  { Batch.id; client; txns; digest; signature;
+    wire = Batch.wire_size ~ntxns }
 
 let r_entry r =
   let ce_instance = r_int r in

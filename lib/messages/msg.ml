@@ -77,6 +77,17 @@ let batch_frame = 150
 let response_base = 248
 let response_per_txn = 15
 
+(* Per entry: the batch plus the accept proof — a PREPARE and a COMMIT
+   message per certifying replica (footnote 3). Shared with
+   [Contract.size] so contracts can be sized without building a [t]. *)
+let contract_entries_size entries =
+  header_size
+  + List.fold_left
+      (fun acc e ->
+        acc + batch_frame + Batch.size e.ce_batch
+        + (2 * header_size * List.length e.ce_cert_replicas))
+      0 entries
+
 let size = function
   | Client_request { batch; _ } -> header_size + batch_frame + Batch.size batch
   | Pre_prepare { batch; _ } -> header_size + batch_frame + Batch.size batch
@@ -93,15 +104,7 @@ let size = function
           0 reproposals
   | Commit_cert { cc_replicas; _ } ->
       header_size + (48 * List.length cc_replicas)
-  | Contract { entries; _ } ->
-      (* Per entry: the batch plus the accept proof — a PREPARE and a
-         COMMIT message per certifying replica (footnote 3). *)
-      header_size
-      + List.fold_left
-          (fun acc e ->
-            acc + batch_frame + Batch.size e.ce_batch
-            + (2 * header_size * List.length e.ce_cert_replicas))
-          0 entries
+  | Contract { entries; _ } -> contract_entries_size entries
   | View_sync { kmal; _ } -> header_size + (8 * List.length kmal)
   | Prepare _ | Commit _ | Checkpoint _ | View_change _ | Local_commit _
   | Hs_vote _ | Contract_request _ | Instance_change _ ->

@@ -96,6 +96,11 @@ val header_size : int
 val size : t -> int
 (** Wire size in bytes under the §7.2 model. *)
 
+val contract_entries_size : contract_entry list -> int
+(** Size of a CONTRACT carrying these entries — what {!size} returns for
+    [Contract], exposed so a contract can be sized without allocating a
+    [t] around its entry list. *)
+
 val kind : t -> string
 (** Constructor name, for routing statistics and traces. *)
 

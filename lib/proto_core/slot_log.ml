@@ -10,12 +10,21 @@ type 'a slot = {
   state : 'a;
 }
 
+(* Rounds are dense, so the live window [base, max_seen] lives in a
+   power-of-two ring indexed by [round land (capacity - 1)] — the hottest
+   lookups (every prepare/commit/accept touches its slot) cost one array
+   read instead of a generic Hashtbl probe, and [find_opt] returns the
+   stored option box without allocating. Rounds below [base] (stale
+   traffic resurrecting a collected slot) fall back to a side table so
+   behaviour is identical to the old Hashtbl-backed log. *)
 type 'a t = {
   engine : Engine.t;
   init : int -> 'a;
   replica : int;  (* trace identity; -1 when untagged *)
   instance : int;
-  slots : (int, 'a slot) Hashtbl.t;
+  mutable ring : 'a slot option array;  (* length is a power of two *)
+  mutable base : int;  (* lowest round the ring may hold *)
+  stale : (int, 'a slot) Hashtbl.t;  (* resurrected rounds below base *)
   mutable max_seen : int;
   mutable frontier : int;
   mutable last_progress : Engine.time;
@@ -28,7 +37,9 @@ let create ?(tag = (-1, -1)) ~engine ~init () =
     init;
     replica;
     instance;
-    slots = Hashtbl.create 512;
+    ring = Array.make 1024 None;
+    base = 0;
+    stale = Hashtbl.create 16;
     max_seen = -1;
     frontier = -1;
     last_progress = 0;
@@ -37,29 +48,67 @@ let create ?(tag = (-1, -1)) ~engine ~init () =
 let trace t payload =
   Engine.trace t.engine ~replica:t.replica ~instance:t.instance payload
 
-let find_opt t round = Hashtbl.find_opt t.slots round
+let[@inline] idx t round = round land (Array.length t.ring - 1)
+
+(* Double the ring until [round] fits in the [base .. base+capacity)
+   window. Ring positions depend on the capacity mask, so live slots are
+   rehomed. *)
+let grow t round =
+  let cap = ref (Array.length t.ring) in
+  while round - t.base >= !cap do
+    cap := !cap * 2
+  done;
+  let ring' = Array.make !cap None in
+  let mask' = !cap - 1 in
+  for r = t.base to t.max_seen do
+    ring'.(r land mask') <- t.ring.(idx t r)
+  done;
+  t.ring <- ring'
+
+let find_opt t round =
+  if round >= t.base then
+    if round > t.max_seen then None else t.ring.(idx t round)
+  else Hashtbl.find_opt t.stale round
+
+let new_slot t round =
+  {
+    round;
+    batch = None;
+    digest = None;
+    accepted = false;
+    created_at = Engine.now t.engine;
+    state = t.init round;
+  }
 
 let get t round =
-  match Hashtbl.find_opt t.slots round with
-  | Some s -> s
-  | None ->
-      let s =
-        {
-          round;
-          batch = None;
-          digest = None;
-          accepted = false;
-          created_at = Engine.now t.engine;
-          state = t.init round;
-        }
-      in
-      Hashtbl.replace t.slots round s;
-      if round > t.max_seen then t.max_seen <- round;
-      if Engine.tracing t.engine then
-        trace t (Rcc_trace.Event.Slot_propose { round });
-      s
+  if round >= t.base then begin
+    if round - t.base >= Array.length t.ring then grow t round;
+    match t.ring.(idx t round) with
+    | Some s -> s
+    | None ->
+        let s = new_slot t round in
+        t.ring.(idx t round) <- Some s;
+        if round > t.max_seen then t.max_seen <- round;
+        if Engine.tracing t.engine then
+          trace t (Rcc_trace.Event.Slot_propose { round });
+        s
+  end
+  else
+    match Hashtbl.find_opt t.stale round with
+    | Some s -> s
+    | None ->
+        let s = new_slot t round in
+        Hashtbl.replace t.stale round s;
+        if Engine.tracing t.engine then
+          trace t (Rcc_trace.Event.Slot_propose { round });
+        s
 
-let remove t round = Hashtbl.remove t.slots round
+let remove t round =
+  if round >= t.base then begin
+    if round <= t.max_seen then t.ring.(idx t round) <- None
+  end
+  else Hashtbl.remove t.stale round
+
 let max_seen t = t.max_seen
 let frontier t = t.frontier
 let last_progress t = t.last_progress
@@ -69,7 +118,7 @@ let drain t ~accept =
   let advanced = ref false in
   let continue = ref true in
   while !continue do
-    match Hashtbl.find_opt t.slots (t.frontier + 1) with
+    match find_opt t (t.frontier + 1) with
     | Some s when accept s ->
         t.frontier <- t.frontier + 1;
         advanced := true
@@ -83,17 +132,25 @@ let gc_upto t upto =
      covered by any stable checkpoint yet, and dropping it would make
      [incomplete_rounds]/[oldest_incomplete] re-report the round as
      missing — re-arming stall escalation against an innocent primary. *)
-  let upto = min upto t.frontier in
+  let upto = if upto > t.frontier then t.frontier else upto in
   if Engine.tracing t.engine then
     trace t (Rcc_trace.Event.Checkpoint_stable { upto });
-  Hashtbl.filter_map_inplace
-    (fun round s -> if round <= upto then None else Some s)
-    t.slots
+  if upto >= t.base then begin
+    let hi = if upto < t.max_seen then upto else t.max_seen in
+    for r = t.base to hi do
+      t.ring.(idx t r) <- None
+    done;
+    t.base <- upto + 1
+  end;
+  if Hashtbl.length t.stale > 0 then
+    Hashtbl.filter_map_inplace
+      (fun round s -> if round <= upto then None else Some s)
+      t.stale
 
 let incomplete_rounds t =
   let acc = ref [] in
   for round = t.max_seen downto t.frontier + 1 do
-    match Hashtbl.find_opt t.slots round with
+    match find_opt t round with
     | Some s when not s.accepted -> acc := round :: !acc
     | Some _ -> ()
     | None -> acc := round :: !acc
@@ -104,7 +161,7 @@ let oldest_incomplete t =
   let rec go round =
     if round > t.max_seen then None
     else
-      match Hashtbl.find_opt t.slots round with
+      match find_opt t round with
       | Some s when not s.accepted -> Some (round, s.created_at)
       | Some _ -> go (round + 1)
       | None -> Some (round, t.last_progress)

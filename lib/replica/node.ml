@@ -66,18 +66,19 @@ let auth_cost t ~sign ndest =
   (ndest * per_dest) + if sign then c.Rcc_sim.Costs.sign else 0
 
 let sender t ~worker =
-  let send ?(sign = false) ~dst msg =
+  let send ?(sign = false) ?size ~dst msg =
     Cpu.submit worker ~cost:(auth_cost t ~sign 1) (fun () ->
-        Net.send t.net ~src:t.self ~dst ~size:(Msg.size msg) msg)
+        let size = match size with Some s -> s | None -> Msg.size msg in
+        Net.send t.net ~src:t.self ~dst ~size msg)
   in
-  let broadcast ?(sign = false) ?(exclude = fun _ -> false) ~n msg =
+  let broadcast ?(sign = false) ?size ?(exclude = fun _ -> false) ~n msg =
     let dests = ref [] in
     for dst = n - 1 downto 0 do
       if dst <> t.self && not (exclude dst) then dests := dst :: !dests
     done;
     let dests = !dests in
     Cpu.submit worker ~cost:(auth_cost t ~sign (List.length dests)) (fun () ->
-        let size = Msg.size msg in
+        let size = match size with Some s -> s | None -> Msg.size msg in
         List.iter (fun dst -> Net.send t.net ~src:t.self ~dst ~size msg) dests)
   in
   (send, broadcast)

@@ -37,15 +37,22 @@ val set_route :
 val sender :
   t ->
   worker:Rcc_sim.Cpu.server ->
-  (?sign:bool -> dst:Rcc_common.Ids.replica_id -> Rcc_messages.Msg.t -> unit)
+  (?sign:bool ->
+  ?size:int ->
+  dst:Rcc_common.Ids.replica_id ->
+  Rcc_messages.Msg.t ->
+  unit)
   * (?sign:bool ->
+    ?size:int ->
     ?exclude:(Rcc_common.Ids.replica_id -> bool) ->
     n:int ->
     Rcc_messages.Msg.t ->
     unit)
 (** [(send, broadcast)] closures that charge marshalling + authentication
     to [worker] before handing the message to the network. [broadcast]
-    sends to all replicas in [0, n) except self and exclusions. *)
+    sends to all replicas in [0, n) except self and exclusions. [size]
+    lets a caller that already computed [Msg.size msg] (for metrics or
+    tracing) pass it along instead of recomputing per send. *)
 
 val send_direct : t -> dst:int -> Rcc_messages.Msg.t -> unit
 (** Raw network send with no CPU charge; for the execute thread, whose

@@ -10,8 +10,10 @@ let server engine ?(owner = -1) ~name () =
   { engine; name; owner; free_at = 0; busy_ns = 0 }
 
 let reserve t ~ready ~cost =
-  let cost = max 0 cost in
-  let start = max ready t.free_at in
+  (* Int-specialized: [Stdlib.max] is a polymorphic C comparison and
+     this is run per simulated job. *)
+  let cost = if cost < 0 then 0 else cost in
+  let start = if ready > t.free_at then ready else t.free_at in
   let finish = start + cost in
   t.free_at <- finish;
   t.busy_ns <- t.busy_ns + cost;

@@ -14,12 +14,18 @@ type t = {
   mutable tracer : Rcc_trace.Recorder.t option;
 }
 
-type timer = { mutable live : bool }
+(* The pending action lives in the timer, not in the heap slot: [cancel]
+   drops it immediately, so whatever state the closure captured is not
+   retained until the (possibly far-off) fire time. The heap keeps only
+   the small forwarding closure over the timer itself. *)
+type timer = { mutable action : (unit -> unit) option }
+
+let no_op () = ()
 
 let create () =
   {
     now = 0;
-    queue = Rcc_common.Binary_heap.create ~capacity:4096 ();
+    queue = Rcc_common.Binary_heap.create ~capacity:4096 ~dummy:no_op ();
     processed = 0;
     tracer = None;
   }
@@ -41,29 +47,37 @@ let schedule_at t at f =
   if at < t.now then invalid_arg "Engine.schedule_at: scheduling in the past";
   Rcc_common.Binary_heap.push t.queue ~priority:at f
 
-let schedule_after t delay f = schedule_at t (t.now + max 0 delay) f
+let schedule_after t delay f =
+  schedule_at t (t.now + if delay < 0 then 0 else delay) f
 
 let timer_after t delay f =
-  let tm = { live = true } in
-  schedule_after t delay (fun () -> if tm.live then (tm.live <- false; f ()));
+  let tm = { action = Some f } in
+  schedule_after t delay (fun () ->
+      match tm.action with
+      | None -> ()
+      | Some f ->
+          tm.action <- None;
+          f ());
   tm
 
-let cancel tm = tm.live <- false
-let timer_pending tm = tm.live
+let cancel tm = tm.action <- None
+let timer_pending tm = Option.is_some tm.action
 
 let run t ~until =
+  let q = t.queue in
   let continue = ref true in
   while !continue do
-    match Rcc_common.Binary_heap.peek_priority t.queue with
-    | Some at when at <= until -> begin
-        match Rcc_common.Binary_heap.pop t.queue with
-        | Some (at, f) ->
-            t.now <- at;
-            t.processed <- t.processed + 1;
-            f ()
-        | None -> assert false
+    if Rcc_common.Binary_heap.is_empty q then continue := false
+    else begin
+      let at = Rcc_common.Binary_heap.min_priority q in
+      if at > until then continue := false
+      else begin
+        let f = Rcc_common.Binary_heap.pop_min_exn q in
+        t.now <- at;
+        t.processed <- t.processed + 1;
+        f ()
       end
-    | Some _ | None -> continue := false
+    end
   done;
   if t.now < until then t.now <- until
 

@@ -46,7 +46,12 @@ type timer
 (** A cancellable one-shot timer. *)
 
 val timer_after : t -> time -> (unit -> unit) -> timer
+
 val cancel : timer -> unit
+(** Cancelling releases the timer's callback immediately (the heap slot
+    keeps only a small forwarding closure until the fire time), so state
+    captured by frequently re-armed timers is not retained. *)
+
 val timer_pending : timer -> bool
 
 val run : t -> until:time -> unit

@@ -24,10 +24,33 @@ let genesis_hash ~primaries =
    execution stream. Only the agreed content — the ordered batches and
    the clients they serve — must hash identically everywhere. *)
 let encode t =
-  let proof p = u64 p.instance ^ p.batch_digest in
-  String.concat ""
-    (u64 t.round :: t.prev_hash
-    :: (List.map proof t.proofs @ List.map u64 t.clients))
+  (* One flat buffer, byte-identical to concatenating the per-field
+     strings — blocks are re-encoded at every append for the chain hash,
+     so the intermediate strings of the naive concatenation added up. *)
+  let len =
+    List.fold_left
+      (fun acc p -> acc + 8 + String.length p.batch_digest)
+      (8 + String.length t.prev_hash)
+      t.proofs
+    + (8 * List.length t.clients)
+  in
+  let buf = Bytes.create len in
+  Rcc_common.Bytes_util.put_u64be buf 0 (Int64.of_int t.round);
+  Bytes.blit_string t.prev_hash 0 buf 8 (String.length t.prev_hash);
+  let off = ref (8 + String.length t.prev_hash) in
+  List.iter
+    (fun p ->
+      Rcc_common.Bytes_util.put_u64be buf !off (Int64.of_int p.instance);
+      let n = String.length p.batch_digest in
+      Bytes.blit_string p.batch_digest 0 buf (!off + 8) n;
+      off := !off + 8 + n)
+    t.proofs;
+  List.iter
+    (fun c ->
+      Rcc_common.Bytes_util.put_u64be buf !off (Int64.of_int c);
+      off := !off + 8)
+    t.clients;
+  Bytes.unsafe_to_string buf
 
 let hash t = Rcc_crypto.Sha256.digest (encode t)
 

@@ -1,52 +1,96 @@
 type record = { mutable value : int; mutable version : int }
 
+(* YCSB keys are dense record ids counted up from zero, and [apply] hits
+   the store once per transaction — the hottest storage path in the
+   simulator. Small non-negative keys are direct-indexed in an array
+   (one load, no hashing); anything outside the direct range spills to a
+   Hashtbl so arbitrary keys still behave exactly as before. *)
 type t = {
-  table : (int, record) Hashtbl.t;
+  mutable direct : record option array;
+  spill : (int, record) Hashtbl.t;
+  mutable direct_count : int;
   mutable reads : int;
   mutable writes : int;
 }
 
-let create () = { table = Hashtbl.create 4096; reads = 0; writes = 0 }
+(* Beyond this the direct array would no longer be a win; spill instead. *)
+let max_direct = 1 lsl 22
+
+let create () =
+  {
+    direct = Array.make 4096 None;
+    spill = Hashtbl.create 16;
+    direct_count = 0;
+    reads = 0;
+    writes = 0;
+  }
+
+let grow t key =
+  let n = ref (Array.length t.direct) in
+  while key >= !n do
+    n := !n * 2
+  done;
+  let direct = Array.make !n None in
+  Array.blit t.direct 0 direct 0 (Array.length t.direct);
+  t.direct <- direct
+
+let[@inline] find t key =
+  if key >= 0 && key < max_direct then
+    if key < Array.length t.direct then Array.unsafe_get t.direct key else None
+  else Hashtbl.find_opt t.spill key
+
+let set_direct t key r =
+  if key >= Array.length t.direct then grow t key;
+  (match Array.unsafe_get t.direct key with
+  | None -> t.direct_count <- t.direct_count + 1
+  | Some _ -> ());
+  Array.unsafe_set t.direct key (Some r)
 
 let init_records t ~count =
   for key = 0 to count - 1 do
-    Hashtbl.replace t.table key { value = key * 7; version = 0 }
+    set_direct t key { value = key * 7; version = 0 }
   done
 
 let read t key =
   t.reads <- t.reads + 1;
-  match Hashtbl.find_opt t.table key with
-  | Some r -> Some r.value
-  | None -> None
+  match find t key with Some r -> Some r.value | None -> None
 
 let write t ~key ~value =
   t.writes <- t.writes + 1;
-  match Hashtbl.find_opt t.table key with
+  match find t key with
   | Some r ->
       r.value <- value;
       r.version <- r.version + 1
-  | None -> Hashtbl.replace t.table key { value; version = 1 }
+  | None ->
+      let r = { value; version = 1 } in
+      if key >= 0 && key < max_direct then set_direct t key r
+      else Hashtbl.replace t.spill key r
 
 let version t key =
-  match Hashtbl.find_opt t.table key with Some r -> r.version | None -> 0
+  match find t key with Some r -> r.version | None -> 0
 
-let size t = Hashtbl.length t.table
+let size t = t.direct_count + Hashtbl.length t.spill
+
 let reads_performed t = t.reads
 let writes_performed t = t.writes
 
 let state_digest t =
-  (* Xor of per-entry digests is order-insensitive over the hash table. *)
+  (* Xor of per-entry digests is order-insensitive, so the digest does
+     not depend on whether an entry lives in the array or the spill. *)
   let acc = Bytes.make 32 '\x00' in
-  Hashtbl.iter
-    (fun key r ->
-      let entry =
-        Rcc_common.Bytes_util.u64_string (Int64.of_int key)
-        ^ Rcc_common.Bytes_util.u64_string (Int64.of_int r.value)
-        ^ Rcc_common.Bytes_util.u64_string (Int64.of_int r.version)
-      in
-      let d = Rcc_crypto.Sha256.digest entry in
-      for i = 0 to 31 do
-        Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) lxor Char.code d.[i]))
-      done)
-    t.table;
+  let fold key (r : record) =
+    let entry =
+      Rcc_common.Bytes_util.u64_string (Int64.of_int key)
+      ^ Rcc_common.Bytes_util.u64_string (Int64.of_int r.value)
+      ^ Rcc_common.Bytes_util.u64_string (Int64.of_int r.version)
+    in
+    let d = Rcc_crypto.Sha256.digest entry in
+    for i = 0 to 31 do
+      Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) lxor Char.code d.[i]))
+    done
+  in
+  Array.iteri
+    (fun key r -> match r with Some r -> fold key r | None -> ())
+    t.direct;
+  Hashtbl.iter fold t.spill;
   Bytes.unsafe_to_string acc

@@ -2,6 +2,12 @@ type t = {
   genesis : string;
   blocks : Block.t array ref;
   mutable used : int;
+  (* Hash of the last appended block, filled on first use. Blocks are
+     immutable once appended, so the cache never goes stale — without it
+     every append re-hashed the full previous block twice (once for the
+     builder fetching [head_hash], once for the chain check). *)
+  mutable head : string;
+  mutable head_valid : bool;
 }
 
 let create ~primaries =
@@ -9,10 +15,19 @@ let create ~primaries =
     genesis = Block.genesis_hash ~primaries;
     blocks = ref [||];
     used = 0;
+    head = "";
+    head_valid = false;
   }
 
 let head_hash t =
-  if t.used = 0 then t.genesis else Block.hash !(t.blocks).(t.used - 1)
+  if t.used = 0 then t.genesis
+  else if t.head_valid then t.head
+  else begin
+    let h = Block.hash !(t.blocks).(t.used - 1) in
+    t.head <- h;
+    t.head_valid <- true;
+    h
+  end
 
 let next_round t = t.used
 
@@ -31,6 +46,7 @@ let append t (block : Block.t) =
     end;
     !(t.blocks).(t.used) <- block;
     t.used <- t.used + 1;
+    t.head_valid <- false;
     Ok ()
   end
 

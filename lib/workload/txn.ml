@@ -8,11 +8,16 @@ let wire_size = 50
 
 let encoded_size = 24
 
-let encode t =
+let encode_into buf off t =
   let tag, v = match t.op with Read -> (0L, 0L) | Write v -> (1L, Int64.of_int v) in
-  Rcc_common.Bytes_util.u64_string (Int64.of_int t.key)
-  ^ Rcc_common.Bytes_util.u64_string tag
-  ^ Rcc_common.Bytes_util.u64_string v
+  Rcc_common.Bytes_util.put_u64be buf off (Int64.of_int t.key);
+  Rcc_common.Bytes_util.put_u64be buf (off + 8) tag;
+  Rcc_common.Bytes_util.put_u64be buf (off + 16) v
+
+let encode t =
+  let buf = Bytes.create encoded_size in
+  encode_into buf 0 t;
+  Bytes.unsafe_to_string buf
 
 let decode buf off =
   if String.length buf < off + encoded_size then Error "txn: truncated"

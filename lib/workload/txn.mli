@@ -10,6 +10,10 @@ val encode : t -> string
 (** Compact binary encoding (24 bytes), input to batch digests and the
     wire codec. *)
 
+val encode_into : Bytes.t -> int -> t -> unit
+(** Write the 24-byte encoding at the given offset — the allocation-free
+    form of {!encode} used when digesting whole batches. *)
+
 val encoded_size : int
 
 val decode : string -> int -> (t, string) result

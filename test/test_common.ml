@@ -58,7 +58,7 @@ let heap_sorted =
   qtest "heap: pops in priority order"
     QCheck2.Gen.(list_size (int_range 0 200) (int_range (-1000) 1000))
     (fun priorities ->
-      let h = Binary_heap.create () in
+      let h = Binary_heap.create ~dummy:0 () in
       List.iter (fun p -> Binary_heap.push h ~priority:p p) priorities;
       let rec drain last =
         match Binary_heap.pop h with
@@ -67,14 +67,63 @@ let heap_sorted =
       in
       drain min_int)
 
+(* Model test: an arbitrary interleaving of pushes and pops must behave
+   exactly like a stable-sorted reference list — same pop results in the
+   same order (min priority first, FIFO among equal priorities), same
+   emptiness at every step. Values record insertion order so stability
+   violations are detected, not just mis-ordering of priorities. *)
+let heap_model =
+  qtest ~count:500 "heap: model equivalence (push/pop vs stable sort)"
+    QCheck2.Gen.(
+      list_size (int_range 0 300)
+        (oneof [ map (fun p -> Some p) (int_range 0 20); pure None ]))
+    (fun ops ->
+      let h = Binary_heap.create ~dummy:(-1, -1) () in
+      (* Reference: a sorted association list of (priority, insertion_id),
+         kept stable by inserting after existing equal priorities. *)
+      let model = ref [] in
+      let insert p v =
+        let rec go = function
+          | (p', v') :: rest when p' <= p -> (p', v') :: go rest
+          | rest -> (p, v) :: rest
+        in
+        model := go !model
+      in
+      let id = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some p ->
+              let v = !id in
+              incr id;
+              Binary_heap.push h ~priority:p (p, v);
+              insert p (p, v);
+              Binary_heap.size h = List.length !model
+          | None -> (
+              match (Binary_heap.pop h, !model) with
+              | None, [] -> true
+              | Some (p, v), (mp, mv) :: rest ->
+                  model := rest;
+                  p = mp && v = mv
+              | _ -> false))
+        ops
+      && (* Drain what remains and compare the tails too. *)
+      List.for_all
+        (fun (mp, mv) ->
+          match Binary_heap.pop h with
+          | Some (p, v) -> p = mp && v = mv
+          | None -> false)
+        !model
+      && Binary_heap.is_empty h)
+
 let test_heap_fifo_ties () =
-  let h = Binary_heap.create () in
+  let h = Binary_heap.create ~dummy:0 () in
   List.iter (fun v -> Binary_heap.push h ~priority:5 v) [ 1; 2; 3; 4 ];
   let popped = List.init 4 (fun _ -> snd (Option.get (Binary_heap.pop h))) in
   check Alcotest.(list int) "equal priorities are FIFO" [ 1; 2; 3; 4 ] popped
 
 let test_heap_size_clear () =
-  let h = Binary_heap.create ~capacity:2 () in
+  let h = Binary_heap.create ~capacity:2 ~dummy:0 () in
   for i = 1 to 100 do
     Binary_heap.push h ~priority:i i
   done;
@@ -82,6 +131,22 @@ let test_heap_size_clear () =
   check Alcotest.(option int) "peek" (Some 1) (Binary_heap.peek_priority h);
   Binary_heap.clear h;
   check Alcotest.bool "empty after clear" true (Binary_heap.is_empty h)
+
+let test_heap_nonalloc_accessors () =
+  let h = Binary_heap.create ~dummy:0 () in
+  Alcotest.check_raises "min_priority empty"
+    (Invalid_argument "Binary_heap.min_priority: empty heap") (fun () ->
+      ignore (Binary_heap.min_priority h));
+  Alcotest.check_raises "pop_min_exn empty"
+    (Invalid_argument "Binary_heap.pop_min_exn: empty heap") (fun () ->
+      ignore (Binary_heap.pop_min_exn h));
+  Binary_heap.push h ~priority:9 90;
+  Binary_heap.push h ~priority:3 30;
+  check Alcotest.int "min_priority" 3 (Binary_heap.min_priority h);
+  check Alcotest.int "pop_min_exn" 30 (Binary_heap.pop_min_exn h);
+  check Alcotest.int "next min" 9 (Binary_heap.min_priority h);
+  check Alcotest.int "next pop" 90 (Binary_heap.pop_min_exn h);
+  check Alcotest.bool "empty" true (Binary_heap.is_empty h)
 
 (* --- bitset -------------------------------------------------------------- *)
 
@@ -219,8 +284,11 @@ let suite =
       rng_float_bounds;
       Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
       heap_sorted;
+      heap_model;
       Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
       Alcotest.test_case "heap size/clear" `Quick test_heap_size_clear;
+      Alcotest.test_case "heap non-allocating accessors" `Quick
+        test_heap_nonalloc_accessors;
       bitset_membership;
       Alcotest.test_case "bitset add reports new" `Quick test_bitset_add_reports_new;
       Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;

@@ -75,8 +75,8 @@ let make ?(n = 7) ?(z = 3) ?(recovery = Coordinator.Optimistic)
         history_capacity = 64;
       }
       ~engine ~handles ~exec ~metrics
-      ~broadcast:(fun msg -> broadcasts := msg :: !broadcasts)
-      ~send:(fun ~dst:_ msg -> broadcasts := msg :: !broadcasts)
+      ~broadcast:(fun ?size:_ msg -> broadcasts := msg :: !broadcasts)
+      ~send:(fun ?size:_ ~dst:_ msg -> broadcasts := msg :: !broadcasts)
   in
   Exec.set_on_executed exec (fun round accs ->
       Coordinator.on_round_executed coordinator ~round accs);
