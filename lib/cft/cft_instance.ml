@@ -173,6 +173,7 @@ let broadcast_view_change t ~round =
          blamed = t.primary;
          round;
          last_exec = SL.frontier t.log;
+         signature = t.env.Env.sign_blame ~view:t.view ~blamed:t.primary ~round;
        });
   if not t.env.Env.unified then
     ignore (Quorum.vote (Quorum.Tally.votes t.vc_votes new_view) t.env.Env.self)

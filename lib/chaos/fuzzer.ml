@@ -47,38 +47,54 @@ let gen_script ~seed ~n ~duration =
   let byzantine = ref false in
   let episode i =
     let at = start + (i * span) + Rng.int rng (max 1 (span / 2)) in
-    match Rng.int rng 6 with
-    | 0 -> { Script.at; action = Script.Partition [ [ victim ] ] }
+    match Rng.int rng 7 with
+    | 0 -> [ { Script.at; action = Script.Partition [ [ victim ] ] } ]
     | 1 ->
         crashed := true;
-        { Script.at; action = Script.Crash victim }
+        [ { Script.at; action = Script.Crash victim } ]
     | 2 ->
         byzantine := true;
         let behaviour =
-          match Rng.int rng 4 with
+          match Rng.int rng 5 with
           | 0 -> Script.Dark [ other () ]
           | 1 -> Script.False_blame [ other () ]
           | 2 -> Script.Ignore_clients
+          | 3 -> Script.Forge_views
           | _ -> Script.Equivocate
         in
-        { Script.at; action = Script.Byz_on (victim, behaviour) }
+        [ { Script.at; action = Script.Byz_on (victim, behaviour) } ]
     | 3 ->
         let extra = Engine.ms (1 + Rng.int rng 5) in
-        {
-          Script.at;
-          action = Script.Delay_links { from_set = [ victim ]; to_set = []; extra };
-        }
+        [
+          {
+            Script.at;
+            action = Script.Delay_links { from_set = [ victim ]; to_set = []; extra };
+          };
+        ]
     | 4 ->
         let prob = 0.3 +. (0.4 *. Rng.float rng 1.0) in
-        {
-          Script.at;
-          action = Script.Drop_links { from_set = [ victim ]; to_set = []; prob };
-        }
-    | _ ->
+        [
+          {
+            Script.at;
+            action = Script.Drop_links { from_set = [ victim ]; to_set = []; prob };
+          };
+        ]
+    | 5 ->
         let prob = 0.05 +. (0.15 *. Rng.float rng 1.0) in
-        { Script.at; action = Script.Duplicate_links { prob } }
+        [ { Script.at; action = Script.Duplicate_links { prob } } ]
+    | _ ->
+        (* Overlap family: a partition and a crash/restart in flight at
+           once — the restarted replica must catch up through peers while
+           the partitioned one is still dark, the regime that exposed the
+           view-convergence bug. The partition heals at the global heal. *)
+        let down = other () in
+        [
+          { Script.at; action = Script.Partition [ [ victim ] ] };
+          { Script.at = at + (span / 4); action = Script.Crash down };
+          { Script.at = at + (span / 2); action = Script.Restart down };
+        ]
   in
-  let faults = List.init episodes episode in
+  let faults = List.concat_map episode (List.init episodes (fun i -> i)) in
   let cleanup =
     ({ Script.at = heal_at; action = Script.Heal }
      :: (if !crashed then [ { Script.at = heal_at; action = Script.Restart victim } ]

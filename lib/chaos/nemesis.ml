@@ -53,6 +53,7 @@ let spec_of_behaviour = function
   | Script.False_blame blames -> Byz.false_blamer ~blames
   | Script.Ignore_clients -> Byz.client_ignorer
   | Script.Equivocate -> Byz.equivocator
+  | Script.Forge_views -> Byz.view_forger
 
 let apply t action =
   t.applied <- t.applied + 1;

@@ -94,6 +94,27 @@ let run ?check_every ?(expect_progress = true) ?(quiesced_check = true)
           snapshot := Some (Ledger.length (Cluster.ledger cluster w)))
   | Some _ | None -> ());
   let report = Cluster.run cluster in
+  (* Drain before judging convergence: the run ends mid-flight — lagging
+     replicas may still hold queued catch-up work (rounds of execution
+     ahead of a pending view-sync adoption). Stop the load source and
+     step the engine in bounded increments until the cluster quiesces or
+     the drain budget (50% of the run) is exhausted; a genuinely diverged
+     cluster still fails, an in-flight one gets to finish its recovery. *)
+  if quiesced_check then begin
+    Cluster.stop_clients cluster;
+    let step = max 1 (duration / 20) in
+    let bound = duration + max step (duration / 2) in
+    let rec drain at =
+      if
+        at <= bound
+        && Invariant.quiesced cluster ~exclude:(excluded cluster nemesis) <> []
+      then begin
+        Engine.run engine ~until:at;
+        drain (at + step)
+      end
+    in
+    drain (duration + step)
+  end;
   let exclude = excluded cluster nemesis in
   record
     (if quiesced_check then Invariant.quiesced cluster ~exclude

@@ -5,6 +5,7 @@ type behaviour =
   | False_blame of replica_id list
   | Ignore_clients
   | Equivocate
+  | Forge_views
 
 type action =
   | Partition of replica_id list list
@@ -53,6 +54,7 @@ let behaviour_to_string = function
   | False_blame blamed -> Printf.sprintf "false_blame(%s)" (ids blamed)
   | Ignore_clients -> "ignore_clients"
   | Equivocate -> "equivocate"
+  | Forge_views -> "forge_views"
 
 let action_to_string = function
   | Partition groups ->

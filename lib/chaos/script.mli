@@ -15,6 +15,9 @@ type behaviour =
   | False_blame of replica_id list  (** accuse these non-faulty primaries *)
   | Ignore_clients  (** as primary, starve clients (§3.6 DoS) *)
   | Equivocate  (** as primary, propose conflicting batches *)
+  | Forge_views
+      (** broadcast forged view-sync messages with fabricated blame
+          certificates; honest coordinators must reject them *)
 
 type action =
   | Partition of replica_id list list

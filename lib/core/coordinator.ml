@@ -5,6 +5,8 @@ module Bitset = Rcc_common.Bitset
 module Exec = Rcc_replica.Exec
 module Acceptance = Rcc_replica.Acceptance
 module Metrics = Rcc_replica.Metrics
+module Keychain = Rcc_crypto.Keychain
+module Signature = Rcc_crypto.Signature
 
 type recovery_mode = Optimistic | Pessimistic | View_shift
 
@@ -30,6 +32,7 @@ type config = {
 type t = {
   cfg : config;
   engine : Engine.t;
+  keychain : Keychain.t;
   handles : instance_handle array;
   exec : Exec.t;
   metrics : Metrics.t;
@@ -40,6 +43,14 @@ type t = {
   kmal : Bitset.t;
   blames : Bitset.t array;  (* per instance: distinct accusers of its primary *)
   blame_round : int array;  (* lowest blamed round per instance; max_int if none *)
+  (* Per instance, per accuser: the (round, signature) of its counted
+     blame at the current view — the raw material for replacement
+     certificates. Rows clear together with [blames]. *)
+  blame_sigs : (round * string) option array array;
+  (* Per instance: the f+1 blame-quorum evidence behind the latest view
+     step (certifies views.(x) - 1 -> views.(x)); shipped with every
+     View_sync so lagging replicas adopt on proof, not trust. *)
+  certs : Msg.blame_vote list array;
   stale_accusers : Bitset.t;  (* accusers of rounds we already executed *)
   mutable pending_replace : (round * instance_id) list;  (* sorted *)
   mutable collusion_timer : Engine.timer option;
@@ -50,11 +61,12 @@ type t = {
   history : (round * Acceptance.t array) option array;
 }
 
-let create cfg ~engine ~handles ~exec ~metrics ~broadcast ~send =
+let create cfg ~engine ~keychain ~handles ~exec ~metrics ~broadcast ~send =
   assert (Array.length handles = cfg.z);
   {
     cfg;
     engine;
+    keychain;
     handles;
     exec;
     metrics;
@@ -65,6 +77,8 @@ let create cfg ~engine ~handles ~exec ~metrics ~broadcast ~send =
     kmal = Bitset.create cfg.n;
     blames = Array.init cfg.z (fun _ -> Bitset.create cfg.n);
     blame_round = Array.make cfg.z max_int;
+    blame_sigs = Array.init cfg.z (fun _ -> Array.make cfg.n None);
+    certs = Array.make cfg.z [];
     stale_accusers = Bitset.create cfg.n;
     pending_replace = [];
     collusion_timer = None;
@@ -78,8 +92,18 @@ let trace t ~instance payload =
 
 let primaries t = Array.to_list t.primaries
 let primary_of t x = t.primaries.(x)
+let view_of t x = t.views.(x)
+let cert_of t x = t.certs.(x)
 let known_malicious t = Bitset.to_list t.kmal
 let replacements t = t.replacements
+
+(* What a blame signature commits to. Binding the view being left (not
+   just the blamed replica) is what makes certificates replay-proof: the
+   rotation pool wraps, so a quorum that deposed replica [p] at view
+   v -> v+1 must not double as evidence for the later step that deposes
+   [p] again after the wrap. *)
+let blame_digest ~instance ~view ~blamed ~round =
+  Printf.sprintf "vc|%d|%d|%d|%d" instance view blamed round
 
 (* --- round history ----------------------------------------------------- *)
 
@@ -107,6 +131,7 @@ let accepted_anywhere t ~round ~instance =
 
 let clear_blames t x =
   Bitset.clear t.blames.(x);
+  Array.fill t.blame_sigs.(x) 0 t.cfg.n None;
   t.blame_round.(x) <- max_int
 
 (* Deterministic primary rotation: instance [x] draws its primaries from
@@ -151,6 +176,17 @@ let rec process_replacements t =
       let deposed = t.primaries.(x) in
       Bitset.add t.kmal deposed |> ignore;
       t.pending_replace <- rest;
+      (* Snapshot the blame quorum before [clear_blames] wipes it: these
+         f+1 authenticated accusations are the certificate that lets a
+         lagging replica verify this view step later. *)
+      let votes = ref [] in
+      Bitset.iter t.blames.(x) (fun src ->
+          match t.blame_sigs.(x).(src) with
+          | Some (round, s) ->
+              votes :=
+                { Msg.bv_accuser = src; bv_round = round; bv_sig = s } :: !votes
+          | None -> ());
+      t.certs.(x) <- List.rev !votes;
       t.views.(x) <- t.views.(x) + 1;
       let fresh = primary_for t.cfg ~instance:x ~view:t.views.(x) in
       t.primaries.(x) <- fresh;
@@ -218,12 +254,24 @@ let view_shift t =
      lose continuous ordering — the cost the paper rejects. *)
   t.shifts <- t.shifts + 1;
   let base = t.shifts * t.cfg.z in
+  (* [taken] keeps the fresh set disjoint: skipping only known-malicious
+     candidates lets two instances land on the same pick (n=4, z=2,
+     kmal={2}: both collapse onto 3), violating the one-primary-per-
+     instance structure. Past [k >= n] every candidate was rejected as
+     malicious, so the malice filter is dropped (disjointness never is)
+     to guarantee termination. *)
+  let taken = Bitset.create t.cfg.n in
   for x = 0 to t.cfg.z - 1 do
     let rec pick k =
       let candidate = (base + x + k) mod t.cfg.n in
-      if Bitset.mem t.kmal candidate then pick (k + 1) else candidate
+      if
+        Bitset.mem taken candidate
+        || (k < t.cfg.n && Bitset.mem t.kmal candidate)
+      then pick (k + 1)
+      else candidate
     in
     let fresh = pick 0 in
+    Bitset.add taken fresh |> ignore;
     t.primaries.(x) <- fresh;
     t.views.(x) <- t.views.(x) + 1;
     if Engine.tracing t.engine then
@@ -240,6 +288,11 @@ let on_collusion_detected t =
   | Optimistic | Pessimistic ->
       List.iter (fun round -> broadcast_contract t ~round) (stalled_rounds t)
   | View_shift -> view_shift t
+
+let collusion_pending t =
+  match t.collusion_timer with
+  | Some timer -> Engine.timer_pending timer
+  | None -> false
 
 let rec arm_collusion_timer t =
   match t.collusion_timer with
@@ -261,21 +314,33 @@ and evaluate_collusion t =
     Array.iteri (fun x _ -> clear_blames t x) t.blames;
     Bitset.clear t.stale_accusers
   end
-  else if accusers > 0 && strongest < t.cfg.f + 1 then
-    (* Inconclusive: keep waiting. *)
-    arm_collusion_timer t
+  else begin
+    (* Inconclusive: this window's stale accusers expire with it. A
+       replica catching up after a crash goes briefly stale at everyone;
+       if that mark never aged out, months of unrelated catch-ups would
+       accumulate until any single fresh blame tipped the count over f+1
+       — a phantom collusion no quorum ever witnessed at once. A
+       genuinely stuck Example 3.3 victim keeps re-blaming every replica
+       timeout, so its evidence re-enters the next window on its own. *)
+    Bitset.clear t.stale_accusers;
+    let fresh = Array.exists (fun b -> Bitset.count b > 0) t.blames in
+    if fresh && strongest < t.cfg.f + 1 then arm_collusion_timer t
+  end
 
 (* --- evidence intake ----------------------------------------------------- *)
 
 let send_view_sync t ~dst ~instance =
-  t.send ~dst
-    (Msg.View_sync
-       {
-         instance;
-         view = t.views.(instance);
-         primary = t.primaries.(instance);
-         kmal = Bitset.to_list t.kmal;
-       })
+  let msg =
+    Msg.View_sync
+      {
+        instance;
+        view = t.views.(instance);
+        primary = t.primaries.(instance);
+        kmal = Bitset.to_list t.kmal;
+        cert = t.certs.(instance);
+      }
+  in
+  t.send ~size:(Msg.size msg) ~dst msg
 
 (* Periodic anti-entropy: replicas that were crashed or partitioned
    through a replacement's blame quorum hold stale views until something
@@ -283,19 +348,34 @@ let send_view_sync t ~dst ~instance =
    unhealthy, so the heartbeat also gossips any non-initial views. *)
 let gossip_views t =
   for x = 0 to t.cfg.z - 1 do
-    if t.views.(x) > 0 then
-      t.broadcast
-        (Msg.View_sync
-           {
-             instance = x;
-             view = t.views.(x);
-             primary = t.primaries.(x);
-             kmal = Bitset.to_list t.kmal;
-           })
+    if t.views.(x) > 0 then begin
+      let msg =
+        Msg.View_sync
+          {
+            instance = x;
+            view = t.views.(x);
+            primary = t.primaries.(x);
+            kmal = Bitset.to_list t.kmal;
+            cert = t.certs.(x);
+          }
+      in
+      t.broadcast ~size:(Msg.size msg) msg
+    end
   done
 
-let register_blame t ~src ~instance ~blamed ~round =
-  if instance >= 0 && instance < t.cfg.z then begin
+let register_blame t ~src ~instance ~view ~blamed ~round ~signature =
+  if
+    instance >= 0 && instance < t.cfg.z && src >= 0 && src < t.cfg.n
+    (* Authenticity first: an unauthenticated accusation counts toward
+       nothing — not a replacement quorum, not collusion evidence. The
+       claimed view is part of the signed digest, so a byzantine replica
+       cannot re-label a replica's old blame as evidence about the
+       current primary. *)
+    && Signature.verify
+         (Keychain.replica_public t.keychain src)
+         (blame_digest ~instance ~view ~blamed ~round)
+         signature
+  then begin
     if Engine.tracing t.engine then
       trace t ~instance (Rcc_trace.Event.Blame { round; blamed; accuser = src });
     if round < Exec.next_round t.exec then begin
@@ -309,8 +389,10 @@ let register_blame t ~src ~instance ~blamed ~round =
          single primary on its own). *)
       if Bitset.add t.stale_accusers src then arm_collusion_timer t
     end
-    else if blamed = t.primaries.(instance) then begin
+    else if view = t.views.(instance) && blamed = t.primaries.(instance)
+    then begin
       Bitset.add t.blames.(instance) src |> ignore;
+      t.blame_sigs.(instance).(src) <- Some (round, signature);
       if round < t.blame_round.(instance) then t.blame_round.(instance) <- round;
       if Bitset.count t.blames.(instance) >= t.cfg.f + 1 then
         enqueue_replacement t ~instance ~round:t.blame_round.(instance)
@@ -319,47 +401,92 @@ let register_blame t ~src ~instance ~blamed ~round =
     else if Bitset.mem t.kmal blamed && src <> t.cfg.self then
       (* The accuser blames a primary we already deposed: it missed a
          replacement's blame quorum (partitioned or crashed at the time).
-         Ship it our view so the coordinator state converges. *)
+         Ship it our certified view so the coordinator state converges. *)
       send_view_sync t ~dst:src ~instance
   end
+
+(* Does [cert] prove the view step [view - 1 -> view]? Under the
+   deterministic rotation the deposed primary is a pure function of
+   (instance, view - 1), so each vote must verify against that digest —
+   the sender picks neither whom the quorum deposed nor at which view. *)
+let verify_cert t ~instance ~view cert =
+  let prev = view - 1 in
+  let deposed = primary_for t.cfg ~instance ~view:prev in
+  let seen = Bitset.create t.cfg.n in
+  List.iter
+    (fun (v : Msg.blame_vote) ->
+      if
+        v.Msg.bv_accuser >= 0
+        && v.Msg.bv_accuser < t.cfg.n
+        && (not (Bitset.mem seen v.Msg.bv_accuser))
+        && Signature.verify
+             (Keychain.replica_public t.keychain v.Msg.bv_accuser)
+             (blame_digest ~instance ~view:prev ~blamed:deposed
+                ~round:v.Msg.bv_round)
+             v.Msg.bv_sig
+      then ignore (Bitset.add seen v.Msg.bv_accuser))
+    cert;
+  Bitset.count seen >= t.cfg.f + 1
 
 (* Adopt a strictly newer view for [instance]. Counts the skipped
    replacements so the replacement totals converge too (exact under
    optimistic/pessimistic recovery, where every view step is one
    replacement). *)
-let on_view_sync t ~instance ~view ~primary ~kmal =
+let on_view_sync t ~instance ~view ~primary ~kmal ~cert =
   if instance >= 0 && instance < t.cfg.z && view > t.views.(instance) then begin
-    (* Under the deterministic rotation the primary is a function of
-       (instance, view); recompute it rather than trusting the sender's
-       claim. View_shift assigns primaries outside the rotation, so
-       there the sender's field is all we have. *)
-    let primary =
-      match t.cfg.recovery with
-      | Optimistic | Pessimistic -> primary_for t.cfg ~instance ~view
-      | View_shift -> primary
+    let adopt primary =
+      let skipped = view - t.views.(instance) in
+      t.replacements <- t.replacements + skipped;
+      for _ = 1 to skipped do
+        Metrics.record_view_change ~instance t.metrics
+      done;
+      if Engine.tracing t.engine then
+        trace t ~instance (Rcc_trace.Event.Primary_change { primary; view });
+      t.primaries.(instance) <- primary;
+      t.views.(instance) <- view;
+      t.pending_replace <-
+        List.filter (fun (_, x) -> x <> instance) t.pending_replace;
+      clear_blames t instance;
+      (t.handles.(instance)).h_set_primary primary ~view;
+      process_replacements t
     in
-    List.iter (fun r -> Bitset.add t.kmal r |> ignore) kmal;
-    let skipped = view - t.views.(instance) in
-    t.replacements <- t.replacements + skipped;
-    for _ = 1 to skipped do
-      Metrics.record_view_change ~instance t.metrics
-    done;
-    if Engine.tracing t.engine then
-      trace t ~instance (Rcc_trace.Event.Primary_change { primary; view });
-    t.primaries.(instance) <- primary;
-    t.views.(instance) <- view;
-    t.pending_replace <-
-      List.filter (fun (_, x) -> x <> instance) t.pending_replace;
-    clear_blames t instance;
-    (t.handles.(instance)).h_set_primary primary ~view;
-    process_replacements t
+    match t.cfg.recovery with
+    | Optimistic | Pessimistic ->
+        (* Evidence-gated adoption: a certificate for the final step
+           [view - 1 -> view] suffices — at least one honest replica
+           stood in that blame quorum at view - 1, and honest replicas
+           only reach a view through a chain of such quorums. Neither
+           the sender's primary claim nor its kmal list is trusted:
+           both are recomputed from the rotation over the skipped
+           views. A sync without f+1 verifying votes moves nothing. *)
+        if verify_cert t ~instance ~view cert then begin
+          for v' = t.views.(instance) to view - 1 do
+            Bitset.add t.kmal (primary_for t.cfg ~instance ~view:v') |> ignore
+          done;
+          t.certs.(instance) <- cert;
+          adopt (primary_for t.cfg ~instance ~view)
+        end
+    | View_shift ->
+        (* View-shift assigns primaries outside the rotation, so no
+           per-step blame quorum exists to certify; the ablation arm
+           keeps the legacy trust-the-sender convergence. *)
+        List.iter (fun r -> Bitset.add t.kmal r |> ignore) kmal;
+        adopt primary
   end
 
 let on_local_failure t ~instance ~round ~blamed =
-  register_blame t ~src:t.cfg.self ~instance ~blamed ~round
+  if instance >= 0 && instance < t.cfg.z then begin
+    let view = t.views.(instance) in
+    let signature =
+      Signature.sign
+        (Keychain.replica_secret t.keychain t.cfg.self)
+        (blame_digest ~instance ~view ~blamed ~round)
+    in
+    register_blame t ~src:t.cfg.self ~instance ~view ~blamed ~round ~signature
+  end
 
-let on_view_change t ~src ~instance ~blamed ~round =
-  register_blame t ~src ~instance ~blamed ~round
+let on_view_change t ~src ~instance ~view ~blamed ~round ~signature =
+  register_blame t ~src ~instance ~view ~blamed ~round ~signature
 
 (* --- contracts ----------------------------------------------------------- *)
 
@@ -413,7 +540,7 @@ let on_contract_request t ~src ~round =
         entries := List.rev_append es !entries;
         incr r
   done;
-  match List.rev !entries with
+  (match List.rev !entries with
   | [] -> ()
   | es ->
       let msg = Msg.Contract { round; entries = es } in
@@ -423,7 +550,15 @@ let on_contract_request t ~src ~round =
         trace t ~instance:(-1)
           (Rcc_trace.Event.Contract_sent
              { round; entries = List.length es; bytes = size });
-      t.send ~size ~dst:src msg
+      t.send ~size ~dst:src msg);
+  (* A contract request is the voice of a replica pulling itself out of a
+     stall (healed partition, restart): besides its missing round
+     frontier, ship it our certified coordinator views directly, so it
+     converges on the primary set without waiting out the heartbeat
+     gossip it may keep missing under backlog. *)
+  for x = 0 to t.cfg.z - 1 do
+    if t.views.(x) > 0 then send_view_sync t ~dst:src ~instance:x
+  done
 
 let on_round_executed t ~round accs =
   history_store t round accs;
@@ -437,4 +572,13 @@ let on_round_executed t ~round accs =
     if t.blame_round.(x) <> max_int && round > t.blame_round.(x) then
       clear_blames t x
   done;
+  (* Stale accusers are scoped to the collusion window instead: while an
+     evaluation is pending they must survive this hook — at a healthy
+     replica execution advances every few hundred microseconds, and the
+     Example 3.3 evidence (a victim stuck thousands of rounds behind) is
+     stale BY DEFINITION at everyone else, so clearing it on every
+     executed round would erase the attack's only signature long before
+     the timer fires. Once no evaluation is pending the window is closed
+     and whatever lingers is catch-up noise, not evidence. *)
+  if not (collusion_pending t) then Bitset.clear t.stale_accusers;
   if t.cfg.recovery = Pessimistic then broadcast_contract t ~round

@@ -50,6 +50,7 @@ type t
 val create :
   config ->
   engine:Rcc_sim.Engine.t ->
+  keychain:Rcc_crypto.Keychain.t ->
   handles:instance_handle array ->
   exec:Rcc_replica.Exec.t ->
   metrics:Rcc_replica.Metrics.t ->
@@ -59,14 +60,38 @@ val create :
 
 val primaries : t -> replica_id list
 val primary_of : t -> instance_id -> replica_id
+val view_of : t -> instance_id -> view
 val known_malicious : t -> replica_id list
 
+val blame_digest :
+  instance:instance_id -> view:view -> blamed:replica_id -> round:round -> string
+(** What a blame signature commits to: the instance, the view being left
+    (so a quorum cannot be replayed after the rotation pool wraps), the
+    blamed primary, and the round the failure was detected in. Exposed so
+    protocol instances and the liveness monitor sign their accusations
+    with the same digest the coordinator verifies. *)
+
+val cert_of : t -> instance_id -> Rcc_messages.Msg.blame_vote list
+(** The f+1 blame-quorum evidence behind [instance]'s latest view step
+    (empty at view 0 and under [View_shift]); what {!gossip_views} ships. *)
+
 val on_local_failure : t -> instance:instance_id -> round:round -> blamed:replica_id -> unit
-(** An instance at this replica detected its primary faulty (R2). *)
+(** An instance at this replica detected its primary faulty (R2). The
+    coordinator signs the accusation with its own replica key. *)
 
 val on_view_change :
-  t -> src:replica_id -> instance:instance_id -> blamed:replica_id -> round:round -> unit
-(** Evidence from another replica's instance. *)
+  t ->
+  src:replica_id ->
+  instance:instance_id ->
+  view:view ->
+  blamed:replica_id ->
+  round:round ->
+  signature:string ->
+  unit
+(** Evidence from another replica's instance: [view] is the view the
+    accuser is leaving ([new_view - 1] on the wire) and [signature] its
+    signature over {!blame_digest}. Unauthenticated or wrong-view
+    accusations count toward nothing. *)
 
 val on_view_sync :
   t ->
@@ -74,11 +99,17 @@ val on_view_sync :
   view:view ->
   primary:replica_id ->
   kmal:replica_id list ->
+  cert:Rcc_messages.Msg.blame_vote list ->
   unit
 (** A peer's current coordinator view for [instance], sent in reply to a
-    blame that named an already-deposed primary. Adopted only if strictly
-    newer than ours; converges replicas that missed a replacement's blame
-    quorum while partitioned or crashed. *)
+    blame that named an already-deposed primary, as heartbeat gossip, or
+    piggybacked on a contract reply. Adopted only if strictly newer than
+    ours AND — under the deterministic rotation — backed by a verifying
+    f+1 blame-quorum certificate for the final view step; the primary and
+    the skipped-view kmal additions are recomputed from the rotation, so
+    a byzantine sender can forge neither view adoption nor primary
+    placement. [View_shift] (no rotation) keeps the legacy trusting
+    behaviour as an ablation arm. *)
 
 val gossip_views : t -> unit
 (** Broadcast a {!Rcc_messages.Msg.View_sync} for every instance whose

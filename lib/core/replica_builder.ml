@@ -86,14 +86,29 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
               match find 0 with
               | None -> ()
               | Some instance ->
+                  (* The accusation is authenticated — the attack is lying,
+                     not forging: the blamer signs a false claim under its
+                     own key, exactly what a real byzantine replica can do. *)
+                  let round = Exec.next_round t.exec in
+                  let view =
+                    match t.coordinator with
+                    | Some c -> Coordinator.view_of c instance
+                    | None -> 0
+                  in
+                  let signature =
+                    Rcc_crypto.Signature.sign
+                      (Rcc_crypto.Keychain.replica_secret t.keychain t.cfg.self)
+                      (Coordinator.blame_digest ~instance ~view ~blamed ~round)
+                  in
                   broadcast
                     (Msg.View_change
                        {
                          instance;
-                         new_view = 1;
+                         new_view = view + 1;
                          blamed;
-                         round = Exec.next_round t.exec;
-                         last_exec = Exec.next_round t.exec - 1;
+                         round;
+                         last_exec = round - 1;
+                         signature;
                        }))
             targets
         end
@@ -138,13 +153,13 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
                     if Batch.verify batch ~public:(Rcc_crypto.Keychain.client_public t.keychain batch.Batch.client)
                     then P.submit_batch t.instances.(x) batch)
           end
-        | Msg.View_change { instance; blamed; round; _ } -> begin
+        | Msg.View_change { instance; new_view; blamed; round; signature; _ } -> begin
             (match t.coordinator with
             | Some coordinator ->
                 Cpu.submit_ready exec_server ~ready ~cost:(coordinator_cost msg)
                   (fun () ->
                     Coordinator.on_view_change coordinator ~src ~instance
-                      ~blamed ~round)
+                      ~view:(new_view - 1) ~blamed ~round ~signature)
             | None ->
                 let x = clamp_instance cfg instance in
                 Cpu.submit_ready (worker_of x) ~ready ~cost:(P.cost_of costs msg)
@@ -167,13 +182,13 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
                   (fun () -> Coordinator.on_contract_request coordinator ~src ~round)
             | None -> ()
           end
-        | Msg.View_sync { instance; view; primary; kmal } -> begin
+        | Msg.View_sync { instance; view; primary; kmal; cert } -> begin
             match t.coordinator with
             | Some coordinator ->
                 Cpu.submit_ready exec_server ~ready ~cost:(coordinator_cost msg)
                   (fun () ->
                     Coordinator.on_view_sync coordinator ~instance ~view
-                      ~primary ~kmal)
+                      ~primary ~kmal ~cert)
             | None -> ()
           end
         | Msg.Instance_change { client; instance } ->
@@ -269,6 +284,11 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
                   | Some c ->
                       Coordinator.on_local_failure c ~instance:x ~round ~blamed
                   | None -> ());
+              sign_blame =
+                (fun ~view ~blamed ~round ->
+                  Rcc_crypto.Signature.sign
+                    (Rcc_crypto.Keychain.replica_secret keychain cfg.self)
+                    (Coordinator.blame_digest ~instance:x ~view ~blamed ~round));
               byz = cfg.byz;
               unified = cfg.unified;
             }
@@ -303,7 +323,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
               min_cert = cfg.min_cert;
               history_capacity = cfg.history_capacity;
             }
-            ~engine ~handles ~exec ~metrics
+            ~engine ~keychain ~handles ~exec ~metrics
             ~broadcast:(fun ?size msg -> broadcast ?size ~n:cfg.n msg)
             ~send:(fun ?size ~dst msg -> send ?size ~dst msg)
         in
@@ -354,7 +374,33 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
       let round = Exec.next_round t.exec in
       let now = Engine.now engine in
       (match t.coordinator with
-      | Some c -> Coordinator.gossip_views c
+      | Some c ->
+          if cfg.byz.Rcc_replica.Byz.forge_views then
+            (* Forged-view attack: claim an inflated view with self as the
+               new primary, backed by a fabricated f+1 certificate. The
+               votes are signed with OUR key but attributed to other
+               replicas, so verification under the claimed accusers' keys
+               must fail at every honest coordinator. *)
+            for x = 0 to cfg.z - 1 do
+              let view = Coordinator.view_of c x + 5 in
+              let blamed = current_primary t x in
+              let cert =
+                List.init (cfg.f + 1) (fun i ->
+                    let bv_accuser = (cfg.self + 1 + i) mod cfg.n in
+                    let bv_round = round in
+                    let bv_sig =
+                      Rcc_crypto.Signature.sign
+                        (Rcc_crypto.Keychain.replica_secret t.keychain cfg.self)
+                        (Coordinator.blame_digest ~instance:x ~view:(view - 1)
+                           ~blamed ~round)
+                    in
+                    { Msg.bv_accuser; bv_round; bv_sig })
+              in
+              broadcast ~n:cfg.n
+                (Msg.View_sync
+                   { instance = x; view; primary = cfg.self; kmal = []; cert })
+            done
+          else Coordinator.gossip_views c
       | None -> ());
       if round <> !last_round then begin
         last_round := round;
@@ -400,12 +446,23 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
           List.iter
             (fun x ->
               let blamed = current_primary t x in
+              let view =
+                match t.coordinator with
+                | Some c -> Coordinator.view_of c x
+                | None -> 0
+              in
               (match t.coordinator with
               | Some c -> Coordinator.on_local_failure c ~instance:x ~round ~blamed
               | None -> ());
+              let signature =
+                Rcc_crypto.Signature.sign
+                  (Rcc_crypto.Keychain.replica_secret t.keychain cfg.self)
+                  (Coordinator.blame_digest ~instance:x ~view ~blamed ~round)
+              in
               broadcast ~n:cfg.n
                 (Msg.View_change
-                   { instance = x; new_view = 0; blamed; round; last_exec = round - 1 }))
+                   { instance = x; new_view = view + 1; blamed; round;
+                     last_exec = round - 1; signature }))
             missing;
           (* State-exchange (§3.3's checkpoint recovery): ask peers for the
              stalled round's contract directly; any replica that executed

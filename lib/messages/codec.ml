@@ -22,6 +22,11 @@ let w_batch buf (b : Batch.t) =
   w_string buf b.Batch.digest;
   w_string buf b.Batch.signature
 
+let w_vote buf (v : Msg.blame_vote) =
+  w_int buf v.Msg.bv_accuser;
+  w_int buf v.Msg.bv_round;
+  w_string buf v.Msg.bv_sig
+
 let w_entry buf (e : Msg.contract_entry) =
   w_int buf e.Msg.ce_instance;
   w_int buf e.Msg.ce_round;
@@ -84,6 +89,12 @@ let r_batch r =
   { Batch.id; client; txns; digest; signature;
     wire = Batch.wire_size ~ntxns }
 
+let r_vote r =
+  let bv_accuser = r_int r in
+  let bv_round = r_int r in
+  let bv_sig = r_string r in
+  { Msg.bv_accuser; bv_round; bv_sig }
+
 let r_entry r =
   let ce_instance = r_int r in
   let ce_round = r_int r in
@@ -123,13 +134,14 @@ let encode msg =
       w_int buf instance;
       w_int buf seq;
       w_string buf state_digest
-  | Msg.View_change { instance; new_view; blamed; round; last_exec } ->
+  | Msg.View_change { instance; new_view; blamed; round; last_exec; signature } ->
       Buffer.add_char buf '\x06';
       w_int buf instance;
       w_int buf new_view;
       w_int buf blamed;
       w_int buf round;
-      w_int buf last_exec
+      w_int buf last_exec;
+      w_string buf signature
   | Msg.New_view { instance; view; reproposals } ->
       Buffer.add_char buf '\x07';
       w_int buf instance;
@@ -195,12 +207,13 @@ let encode msg =
       Buffer.add_char buf '\x10';
       w_int buf client;
       w_int buf instance
-  | Msg.View_sync { instance; view; primary; kmal } ->
+  | Msg.View_sync { instance; view; primary; kmal; cert } ->
       Buffer.add_char buf '\x11';
       w_int buf instance;
       w_int buf view;
       w_int buf primary;
-      w_list buf w_int kmal);
+      w_list buf w_int kmal;
+      w_list buf w_vote cert);
   Buffer.contents buf
 
 let decode_exn s =
@@ -235,7 +248,8 @@ let decode_exn s =
         let new_view = r_int r in
         let blamed = r_int r in
         let round = r_int r in
-        Msg.View_change { instance; new_view; blamed; round; last_exec = r_int r }
+        let last_exec = r_int r in
+        Msg.View_change { instance; new_view; blamed; round; last_exec; signature = r_string r }
     | '\x07' ->
         let instance = r_int r in
         let view = r_int r in
@@ -294,7 +308,8 @@ let decode_exn s =
         let instance = r_int r in
         let view = r_int r in
         let primary = r_int r in
-        Msg.View_sync { instance; view; primary; kmal = r_list r r_int }
+        let kmal = r_list r r_int in
+        Msg.View_sync { instance; view; primary; kmal; cert = r_list r r_vote }
     | c -> raise (Malformed (Printf.sprintf "unknown tag 0x%02x" (Char.code c)))
   in
   if r.pos <> String.length s then raise (Malformed "trailing bytes");

@@ -14,6 +14,12 @@ type contract_entry = {
   ce_cert_replicas : int list;
 }
 
+type blame_vote = {
+  bv_accuser : replica_id;
+  bv_round : round;
+  bv_sig : string;
+}
+
 type t =
   | Client_request of { instance : instance_id; batch : Batch.t }
   | Pre_prepare of { instance : instance_id; view : view; seq : seqno; batch : Batch.t }
@@ -26,6 +32,7 @@ type t =
       blamed : replica_id;
       round : round;
       last_exec : seqno;
+      signature : string;
     }
   | New_view of {
       instance : instance_id;
@@ -66,6 +73,7 @@ type t =
       view : view;
       primary : replica_id;
       kmal : replica_id list;
+      cert : blame_vote list;
     }
 
 let header_size = 250
@@ -105,7 +113,10 @@ let size = function
   | Commit_cert { cc_replicas; _ } ->
       header_size + (48 * List.length cc_replicas)
   | Contract { entries; _ } -> contract_entries_size entries
-  | View_sync { kmal; _ } -> header_size + (8 * List.length kmal)
+  (* Per kmal entry a replica id; per certificate vote an accuser id, a
+     round, and a 64-byte signature. *)
+  | View_sync { kmal; cert; _ } ->
+      header_size + (8 * List.length kmal) + (80 * List.length cert)
   | Prepare _ | Commit _ | Checkpoint _ | View_change _ | Local_commit _
   | Hs_vote _ | Contract_request _ | Instance_change _ ->
       header_size

@@ -26,6 +26,17 @@ type contract_entry = {
   ce_cert_replicas : int list;
 }
 
+(** One replica's authenticated accusation inside a {!View_sync}
+    certificate: [bv_sig] signs the blame digest over (instance, the view
+    being left, its primary under the deterministic rotation, [bv_round])
+    with [bv_accuser]'s replica key. f+1 distinct verifying votes prove a
+    blame quorum really deposed that primary. *)
+type blame_vote = {
+  bv_accuser : replica_id;
+  bv_round : round;
+  bv_sig : string;
+}
+
 type t =
   | Client_request of { instance : instance_id; batch : Batch.t }
   (* PBFT (also the replication stage of MultiP) *)
@@ -39,6 +50,10 @@ type t =
       blamed : replica_id;
       round : round;  (** round in which the failure was detected *)
       last_exec : seqno;
+      signature : string;
+          (** accuser's signature over the blame digest for
+              (instance, new_view - 1, blamed, round); lets the blame be
+              re-shipped later as a {!blame_vote} *)
     }
   | New_view of {
       instance : instance_id;
@@ -83,6 +98,11 @@ type t =
       view : view;
       primary : replica_id;
       kmal : replica_id list;
+      cert : blame_vote list;
+          (** the f+1 blame-quorum evidence behind the latest replacement
+              (step [view - 1 -> view]); receivers under the deterministic
+              rotation adopt only on a verifying certificate, so a
+              byzantine sender cannot forge view adoption *)
     }
       (** Answer to a blame that names an already-deposed primary: the
           sender's current view for the instance, so replicas that missed

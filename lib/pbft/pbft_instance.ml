@@ -268,6 +268,7 @@ let broadcast_view_change t ~round =
         blamed = t.primary;
         round;
         last_exec = SL.frontier t.log;
+        signature = t.env.Env.sign_blame ~view:t.view ~blamed:t.primary ~round;
       }
   in
   t.env.Env.broadcast msg;

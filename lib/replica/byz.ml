@@ -12,6 +12,7 @@ type t = {
   mutable false_blame : replica_id list;
   mutable ignore_clients : bool;
   mutable equivocate : bool;
+  mutable forge_views : bool;
 }
 
 let honest =
@@ -21,15 +22,14 @@ let honest =
     false_blame = [];
     ignore_clients = false;
     equivocate = false;
+    forge_views = false;
   }
 
 let dark_primary ~victims ?(from_round = 0) ?until_round () =
   {
+    honest with
     byzantine = true;
     dark = Some { victims; from_round; until_round };
-    false_blame = [];
-    ignore_clients = false;
-    equivocate = false;
   }
 
 let false_blamer ~blames = { honest with byzantine = true; false_blame = blames }
@@ -38,6 +38,8 @@ let client_ignorer = { honest with byzantine = true; ignore_clients = true }
 
 let equivocator = { honest with byzantine = true; equivocate = true }
 
+let view_forger = { honest with byzantine = true; forge_views = true }
+
 let copy t = { t with byzantine = t.byzantine }
 
 let set dst src =
@@ -45,7 +47,8 @@ let set dst src =
   dst.dark <- src.dark;
   dst.false_blame <- src.false_blame;
   dst.ignore_clients <- src.ignore_clients;
-  dst.equivocate <- src.equivocate
+  dst.equivocate <- src.equivocate;
+  dst.forge_views <- src.forge_views
 
 let excludes t ~round victim =
   match t.dark with

@@ -27,6 +27,11 @@ type t = {
   mutable equivocate : bool;
   (** As a primary, propose conflicting batches to different halves of
       the backups; honest replicas must never accept either. *)
+  mutable forge_views : bool;
+  (** Broadcast forged {!Rcc_messages.Msg.View_sync} messages claiming
+      inflated views with self as primary, backed by fabricated
+      certificates. Honest coordinators must reject them: the votes
+      cannot verify under the claimed accusers' keys. *)
 }
 (** Fields are mutable so the chaos nemesis can flip a replica's behaviour
     mid-run; a replica reads its spec on every decision. Share one record
@@ -43,6 +48,8 @@ val false_blamer : blames:replica_id list -> t
 val client_ignorer : t
 
 val equivocator : t
+
+val view_forger : t
 
 val copy : t -> t
 

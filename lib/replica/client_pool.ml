@@ -53,6 +53,7 @@ type t = {
   mutable next_batch_id : int;
   mutable completed : int;
   mutable instance_changes : int;
+  mutable stopped : bool;
 }
 
 let send_request t client (batch : Batch.t) =
@@ -78,7 +79,7 @@ and arm_timer t client out =
 
 and on_timeout t client out =
   match client.out with
-  | Some current when current == out -> begin
+  | Some current when current == out && not t.stopped -> begin
       let cc_quorum = (2 * t.cfg.f) + 1 in
       let strong = List.find_opt (fun (_, set) -> Bitset.count set >= cc_quorum) in
       match (t.cfg.quorum, out.commit_acks, strong out.responses) with
@@ -124,6 +125,8 @@ and on_timeout t client out =
   | Some _ | None -> ()
 
 and send_next t client =
+  if t.stopped then ()
+  else begin
   let txns = Rcc_workload.Ycsb.batch client.gen ~size:t.cfg.batch_size in
   let id = t.next_batch_id in
   t.next_batch_id <- id + 1;
@@ -142,6 +145,7 @@ and send_next t client =
   client.out <- Some out;
   send_request t client batch;
   arm_timer t client out
+  end
 
 let handle_response t client_id ~src result_digest history batch_id round =
   let client = t.clients.(client_id) in
@@ -206,6 +210,7 @@ let create ~engine ~net ~keychain ~metrics ~primary_of_instance cfg =
       next_batch_id = 0;
       completed = 0;
       instance_changes = 0;
+      stopped = false;
     }
   in
   (* All clients of a machine share its delivery handler; dispatch on the
@@ -226,6 +231,8 @@ let start t =
       Engine.schedule_after t.engine (Engine.us (i mod 1000)) (fun () ->
           send_next t client))
     t.clients
+
+let stop t = t.stopped <- true
 
 let completed_batches t = t.completed
 let instance_changes t = t.instance_changes

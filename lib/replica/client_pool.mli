@@ -48,6 +48,11 @@ val start : t -> unit
 (** Every client sends its first request (staggered over the first
     millisecond). *)
 
+val stop : t -> unit
+(** Stop the closed loop: no new requests are sent and pending retry
+    timers become no-ops. Completions of already-issued requests are
+    still recorded. *)
+
 val completed_batches : t -> int
 
 val instance_changes : t -> int

@@ -32,6 +32,10 @@ type t = {
   report_failure : round:round -> blamed:replica_id -> unit;
       (** Local failure detection; routed to the RCC coordinator (unified
           mode) or handled by the instance's own view-change logic. *)
+  sign_blame : view:view -> blamed:replica_id -> round:round -> string;
+      (** Sign this replica's accusation against [blamed] for this
+          instance with its own key (the coordinator's blame digest), so
+          outgoing view-change messages carry verifiable evidence. *)
   byz : Byz.t;  (** how this replica misbehaves when primary *)
   unified : bool;
       (** true under RCC: primary replacement is decided by the

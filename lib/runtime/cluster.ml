@@ -141,6 +141,7 @@ let byz_of (cfg : Config.t) self =
           false_blame = (if cfg.Config.z > 1 then [ 1 ] else []);
           ignore_clients = false;
           equivocate = false;
+          forge_views = false;
         }
       else begin
         let rec blamer_ids k id acc =
@@ -273,6 +274,11 @@ let affected_replica (cfg : Config.t) =
   | Config.Dark { victims = []; _ }
   | Config.No_fault | Config.Crash _ | Config.Client_dos _ ->
       0
+
+(* Stop the closed-loop clients injecting new load — used by the chaos
+   runner's drain phase so in-flight recovery can complete before the
+   final quiesced judgement. *)
+let stop_clients t = Client_pool.stop t.pool
 
 let run t =
   let wall_start = Sys.time () in

@@ -15,6 +15,13 @@ val run : t -> Report.t
 val run_config : ?tracer:Rcc_trace.Recorder.t -> Config.t -> Report.t
 (** [build] + [run]. *)
 
+val stop_clients : t -> unit
+(** Stop the closed-loop clients from injecting or retrying requests.
+    Used between [run] and a drain phase: with the load source off, the
+    engine can be stepped further so in-flight recovery (catch-up
+    execution, view-sync adoption) completes before a final invariant
+    judgement. *)
+
 (* Introspection for tests and examples (valid after [run]). *)
 
 val config : t -> Config.t

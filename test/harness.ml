@@ -89,6 +89,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
             (fun ~round ~blamed ->
               let node = node_of self in
               node.failures <- (round, blamed) :: node.failures);
+          sign_blame = (fun ~view:_ ~blamed:_ ~round:_ -> "");
           byz = Rcc_replica.Byz.copy (byz self);
           unified;
         }

@@ -68,7 +68,8 @@ let test_standalone_election () =
     (fun src ->
       C.handle inst1 ~src
         (Rcc_messages.Msg.View_change
-           { instance = 0; new_view = 1; blamed = 0; round = 0; last_exec = -1 }))
+           { instance = 0; new_view = 1; blamed = 0; round = 0; last_exec = -1;
+             signature = "" }))
     [ 0; 2; 3 ];
   check Alcotest.int "replica 1 installs itself" 1 (C.primary inst1);
   check Alcotest.int "view advanced" 1 (C.view inst1);

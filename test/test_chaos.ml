@@ -70,6 +70,25 @@ let test_collusion_dark_victim () =
   check Alcotest.int "no replacement on spread blames" 0
     outcome.Runner.report.Report.replacements
 
+let test_forged_view_sync_harmless () =
+  (* A byzantine replica broadcasts View_sync messages claiming views far
+     ahead, naming itself primary, with certificate votes signed by its
+     own key but attributed to other replicas. Certificate verification
+     must reject every one: no honest replica's views or primaries may
+     move, so the run ends with zero replacements and the coordinator-
+     agreement invariant intact. *)
+  let script =
+    Script.
+      [
+        { at = ms 300; action = Byz_on (2, Forge_views) };
+        { at = ms 800; action = Byz_off 2 };
+      ]
+  in
+  let outcome = Runner.run (cfg Config.MultiP ~duration:1.2) script in
+  assert_passes "forged view-sync" outcome;
+  check Alcotest.int "no honest replica moved views" 0
+    outcome.Runner.report.Report.replacements
+
 let test_canary_reports_failure () =
   (* The intentionally-broken invariant must fail and be attributed, to
      prove the checker actually runs and reports. *)
@@ -117,6 +136,8 @@ let suite =
       Alcotest.test_case "partition/heal" `Slow test_partition_heal;
       Alcotest.test_case "crash/restart mid-round" `Slow test_crash_restart;
       Alcotest.test_case "example 3.3 collusion" `Slow test_collusion_dark_victim;
+      Alcotest.test_case "forged view-sync harmless" `Slow
+        test_forged_view_sync_harmless;
       Alcotest.test_case "canary failure report" `Slow test_canary_reports_failure;
       Alcotest.test_case "fuzzer determinism" `Slow test_fuzzer_deterministic;
     ] )

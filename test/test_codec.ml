@@ -52,9 +52,10 @@ let gen_msg =
         (let* instance = gen_small and* seq = gen_small and* state_digest = gen_digest in
          return (Msg.Checkpoint { instance; seq; state_digest }));
         (let* instance = gen_small and* new_view = gen_small and* blamed = gen_small
-         and* round = gen_small in
+         and* round = gen_small and* signature = gen_digest in
          return
-           (Msg.View_change { instance; new_view; blamed; round; last_exec = round - 1 }));
+           (Msg.View_change
+              { instance; new_view; blamed; round; last_exec = round - 1; signature }));
         (let* instance = gen_small and* view = gen_small
          and* reproposals = list_size (int_range 0 3) (pair gen_small gen_batch) in
          return (Msg.New_view { instance; view; reproposals }));
@@ -90,6 +91,15 @@ let gen_msg =
          return (Msg.Contract_request { round; instance }));
         (let* client = gen_small and* instance = gen_small in
          return (Msg.Instance_change { client; instance }));
+        (let* instance = gen_small and* view = gen_small and* primary = gen_small
+         and* kmal = gen_ids
+         and* cert =
+           list_size (int_range 0 4)
+             (let* bv_accuser = gen_small and* bv_round = gen_small
+              and* bv_sig = gen_digest in
+              return Msg.{ bv_accuser; bv_round; bv_sig })
+         in
+         return (Msg.View_sync { instance; view; primary; kmal; cert }));
       ])
 
 (* Structural equality is fine: messages are pure data. *)

@@ -21,6 +21,7 @@ type fixture = {
   engine : Engine.t;
   coordinator : Coordinator.t;
   exec : Exec.t;
+  kc : Rcc_crypto.Keychain.t;
   set_primary_log : (int * int) list ref;  (* (instance, new primary) *)
   adopted : (int * int * int) list ref;  (* (instance, round, batch id) *)
   broadcasts : Msg.t list ref;
@@ -30,6 +31,7 @@ type fixture = {
 let make ?(n = 7) ?(z = 3) ?(recovery = Coordinator.Optimistic)
     ?(collusion_wait = Engine.ms 10) () =
   let f = (n - 1) / 3 in
+  let kc = Rcc_crypto.Keychain.create ~seed:77 ~n ~clients:1 in
   let engine = Engine.create () in
   let metrics = Rcc_replica.Metrics.create ~n ~warmup:0 () in
   let store = Rcc_storage.Kv_store.create () in
@@ -74,13 +76,42 @@ let make ?(n = 7) ?(z = 3) ?(recovery = Coordinator.Optimistic)
         min_cert = 1;
         history_capacity = 64;
       }
-      ~engine ~handles ~exec ~metrics
+      ~engine ~keychain:kc ~handles ~exec ~metrics
       ~broadcast:(fun ?size:_ msg -> broadcasts := msg :: !broadcasts)
       ~send:(fun ?size:_ ~dst:_ msg -> broadcasts := msg :: !broadcasts)
   in
   Exec.set_on_executed exec (fun round accs ->
       Coordinator.on_round_executed coordinator ~round accs);
-  { engine; coordinator; exec; set_primary_log; adopted; broadcasts; metrics }
+  { engine; coordinator; exec; kc; set_primary_log; adopted; broadcasts; metrics }
+
+(* A properly signed accusation from [src] at the instance's CURRENT view
+   (what an honest replica's liveness monitor produces). *)
+let blame fx ~src ~instance ~blamed ~round =
+  let view = Coordinator.view_of fx.coordinator instance in
+  let signature =
+    Rcc_crypto.Signature.sign
+      (Rcc_crypto.Keychain.replica_secret fx.kc src)
+      (Coordinator.blame_digest ~instance ~view ~blamed ~round)
+  in
+  Coordinator.on_view_change fx.coordinator ~src ~instance ~view ~blamed ~round
+    ~signature
+
+(* The f+1 certificate for the view step [view - 1 -> view]: each accuser
+   signs the blame digest naming the rotation's view-(view-1) primary.
+   Mirrors what [process_replacements] snapshots on a real replacement. *)
+let cert_for fx ~instance ~view ~deposed ~accusers =
+  List.map
+    (fun src ->
+      {
+        Msg.bv_accuser = src;
+        bv_round = 0;
+        bv_sig =
+          Rcc_crypto.Signature.sign
+            (Rcc_crypto.Keychain.replica_secret fx.kc src)
+            (Coordinator.blame_digest ~instance ~view:(view - 1) ~blamed:deposed
+               ~round:0);
+      })
+    accusers
 
 let acceptance ~instance ~round id =
   {
@@ -103,8 +134,8 @@ let test_unified_replacement () =
   let fx = make () in
   (* n=7, f=2: instance 1's primary gets blamed by f+1 = 3 replicas. *)
   fill_round fx ~z:3 ~round:0 ~except:1;
-  Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
-  Coordinator.on_view_change fx.coordinator ~src:4 ~instance:1 ~blamed:1 ~round:0;
+  blame fx ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  blame fx ~src:4 ~instance:1 ~blamed:1 ~round:0;
   check Alcotest.(list (pair int int)) "not yet (f blames)" [] !(fx.set_primary_log);
   Coordinator.on_local_failure fx.coordinator ~instance:1 ~round:0 ~blamed:1;
   (* n=7, z=3: instance 1's residue class is {1, 4}; view 1 picks 4. *)
@@ -125,14 +156,14 @@ let test_replacement_rotates_within_residue_class () =
      so replacements can never produce a duplicate primary even when
      replicas conclude them from divergent blame histories. *)
   List.iter
-    (fun src -> Coordinator.on_view_change fx.coordinator ~src ~instance:1 ~blamed:1 ~round:0)
+    (fun src -> blame fx ~src ~instance:1 ~blamed:1 ~round:0)
     [ 3; 4; 5 ];
   check Alcotest.(list int) "4 chosen, not 0/2" [ 0; 4; 2 ]
     (Coordinator.primaries fx.coordinator);
   (* Now instance 1's NEW primary (4) fails too: the class wraps to 1. *)
   fill_round fx ~z:3 ~round:1 ~except:1;
   List.iter
-    (fun src -> Coordinator.on_view_change fx.coordinator ~src ~instance:1 ~blamed:4 ~round:1)
+    (fun src -> blame fx ~src ~instance:1 ~blamed:4 ~round:1)
     [ 4; 5; 6 ];
   check Alcotest.(list int) "wraps back to 1" [ 0; 1; 2 ]
     (Coordinator.primaries fx.coordinator)
@@ -143,7 +174,7 @@ let test_stale_blames_ignored () =
   (* Blaming a replica that is not the instance's current primary is
      ignored. *)
   List.iter
-    (fun src -> Coordinator.on_view_change fx.coordinator ~src ~instance:1 ~blamed:2 ~round:0)
+    (fun src -> blame fx ~src ~instance:1 ~blamed:2 ~round:0)
     [ 3; 4; 5 ];
   check Alcotest.(list (pair int int)) "no replacement" [] !(fx.set_primary_log)
 
@@ -158,8 +189,7 @@ let test_lemma_5_1_order_independence () =
        arrival order. *)
     Exec.notify fx.exec (acceptance ~instance:0 ~round:0 100);
     List.iter
-      (fun (instance, blamed, src) ->
-        Coordinator.on_view_change fx.coordinator ~src ~instance ~blamed ~round:0)
+      (fun (instance, blamed, src) -> blame fx ~src ~instance ~blamed ~round:0)
       order;
     Coordinator.primaries fx.coordinator
   in
@@ -175,9 +205,9 @@ let test_collusion_detected_on_spread_blames () =
   let fx = make ~collusion_wait:(Engine.ms 10) () in
   (* f+1 = 3 distinct accusers, no instance with 3: collusion. *)
   fill_round fx ~z:3 ~round:0 ~except:1;
-  Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
-  Coordinator.on_view_change fx.coordinator ~src:4 ~instance:2 ~blamed:2 ~round:0;
-  Coordinator.on_view_change fx.coordinator ~src:5 ~instance:0 ~blamed:0 ~round:0;
+  blame fx ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  blame fx ~src:4 ~instance:2 ~blamed:2 ~round:0;
+  blame fx ~src:5 ~instance:0 ~blamed:0 ~round:0;
   Engine.run fx.engine ~until:(Engine.ms 50);
   check Alcotest.int "collusion detected" 1
     (Rcc_replica.Metrics.collusions_detected fx.metrics);
@@ -188,8 +218,8 @@ let test_collusion_detected_on_spread_blames () =
 
 let test_no_collusion_below_threshold () =
   let fx = make ~collusion_wait:(Engine.ms 10) () in
-  Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
-  Coordinator.on_view_change fx.coordinator ~src:4 ~instance:2 ~blamed:2 ~round:0;
+  blame fx ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  blame fx ~src:4 ~instance:2 ~blamed:2 ~round:0;
   Engine.run fx.engine ~until:(Engine.ms 200);
   check Alcotest.int "no collusion with f accusers" 0
     (Rcc_replica.Metrics.collusions_detected fx.metrics)
@@ -197,9 +227,9 @@ let test_no_collusion_below_threshold () =
 let test_collusion_redetects_after_recovery () =
   let fx = make ~collusion_wait:(Engine.ms 10) () in
   let feed () =
-    Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
-    Coordinator.on_view_change fx.coordinator ~src:4 ~instance:2 ~blamed:2 ~round:0;
-    Coordinator.on_view_change fx.coordinator ~src:5 ~instance:0 ~blamed:0 ~round:0
+    blame fx ~src:3 ~instance:1 ~blamed:1 ~round:0;
+    blame fx ~src:4 ~instance:2 ~blamed:2 ~round:0;
+    blame fx ~src:5 ~instance:0 ~blamed:0 ~round:0
   in
   fill_round fx ~z:3 ~round:0 ~except:1;
   feed ();
@@ -216,9 +246,9 @@ let test_collusion_redetects_after_recovery () =
 let test_view_shift_recovery () =
   let fx = make ~recovery:Coordinator.View_shift () in
   fill_round fx ~z:3 ~round:0 ~except:1;
-  Coordinator.on_view_change fx.coordinator ~src:3 ~instance:1 ~blamed:1 ~round:0;
-  Coordinator.on_view_change fx.coordinator ~src:4 ~instance:2 ~blamed:2 ~round:0;
-  Coordinator.on_view_change fx.coordinator ~src:5 ~instance:0 ~blamed:0 ~round:0;
+  blame fx ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  blame fx ~src:4 ~instance:2 ~blamed:2 ~round:0;
+  blame fx ~src:5 ~instance:0 ~blamed:0 ~round:0;
   Engine.run fx.engine ~until:(Engine.ms 50);
   (* Every instance moved to a fresh primary set. *)
   check Alcotest.int "three set_primary calls" 3 (List.length !(fx.set_primary_log));
@@ -272,6 +302,176 @@ let test_contract_request_answered_from_history () =
          | _ -> false)
        !(fx.broadcasts))
 
+(* --- certificate-backed view sync --------------------------------------- *)
+
+let test_view_sync_certified_adoption () =
+  let fx = make () in
+  let cert = cert_for fx ~instance:1 ~view:1 ~deposed:1 ~accusers:[ 3; 4; 5 ] in
+  (* The sender lies about both the primary and kmal; neither is trusted —
+     the rotation recomputes them from the certified view. *)
+  Coordinator.on_view_sync fx.coordinator ~instance:1 ~view:1 ~primary:6
+    ~kmal:[ 6 ] ~cert;
+  check Alcotest.int "view adopted" 1 (Coordinator.view_of fx.coordinator 1);
+  check Alcotest.int "primary from rotation, not sender" 4
+    (Coordinator.primary_of fx.coordinator 1);
+  check Alcotest.(list int) "kmal from rotation, not sender" [ 1 ]
+    (Coordinator.known_malicious fx.coordinator);
+  check Alcotest.int "skipped step counted" 1
+    (Coordinator.replacements fx.coordinator)
+
+let test_view_sync_rejects_forged_cert () =
+  let fx = make () in
+  let reject label cert =
+    Coordinator.on_view_sync fx.coordinator ~instance:1 ~view:1 ~primary:4
+      ~kmal:[] ~cert;
+    check Alcotest.int (label ^ ": view unmoved") 0
+      (Coordinator.view_of fx.coordinator 1);
+    check Alcotest.int (label ^ ": primary unmoved") 1
+      (Coordinator.primary_of fx.coordinator 1);
+    check Alcotest.int (label ^ ": no replacement") 0
+      (Coordinator.replacements fx.coordinator)
+  in
+  reject "empty" [];
+  (* The forged-view attack: votes signed with replica 6's own key but
+     attributed to accusers 3, 4, 5 — verification under the claimed
+     accusers' keys must fail. *)
+  reject "forged signer"
+    (List.map
+       (fun src ->
+         {
+           Msg.bv_accuser = src;
+           bv_round = 0;
+           bv_sig =
+             Rcc_crypto.Signature.sign
+               (Rcc_crypto.Keychain.replica_secret fx.kc 6)
+               (Coordinator.blame_digest ~instance:1 ~view:0 ~blamed:1 ~round:0);
+         })
+       [ 3; 4; 5 ]);
+  (* f+1 valid votes from the SAME accuser are one accusation, not a
+     quorum. *)
+  reject "duplicate accuser"
+    (cert_for fx ~instance:1 ~view:1 ~deposed:1 ~accusers:[ 3; 3; 3 ]);
+  (* A certificate binds its view step: votes for 0 -> 1 cannot be
+     replayed as evidence for 1 -> 2. *)
+  Coordinator.on_view_sync fx.coordinator ~instance:1 ~view:2 ~primary:1
+    ~kmal:[]
+    ~cert:(cert_for fx ~instance:1 ~view:1 ~deposed:1 ~accusers:[ 3; 4; 5 ]);
+  check Alcotest.int "replayed cert rejected" 0
+    (Coordinator.view_of fx.coordinator 1)
+
+let test_view_sync_multi_step () =
+  let fx = make () in
+  (* Jump 0 -> 2 on the strength of the FINAL step's certificate alone: at
+     least one honest replica stood in that view-1 blame quorum, and
+     honest replicas only reach view 1 through a certified step. *)
+  let cert = cert_for fx ~instance:1 ~view:2 ~deposed:4 ~accusers:[ 2; 5; 6 ] in
+  Coordinator.on_view_sync fx.coordinator ~instance:1 ~view:2 ~primary:0
+    ~kmal:[] ~cert;
+  check Alcotest.int "view jumped to 2" 2 (Coordinator.view_of fx.coordinator 1);
+  (* Instance 1's pool {1, 4} wraps: view 2 re-seats replica 1. *)
+  check Alcotest.int "primary recomputed across the wrap" 1
+    (Coordinator.primary_of fx.coordinator 1);
+  check Alcotest.(list int) "skipped primaries marked malicious" [ 1; 4 ]
+    (Coordinator.known_malicious fx.coordinator);
+  check Alcotest.int "both steps counted" 2
+    (Coordinator.replacements fx.coordinator)
+
+let test_view_sync_cancels_pending () =
+  let fx = make () in
+  (* Quorum against instance 1 parks behind the §3.4.2 ordering condition:
+     no other instance has replicated round 0 yet. *)
+  List.iter (fun src -> blame fx ~src ~instance:1 ~blamed:1 ~round:0) [ 3; 4; 5 ];
+  check Alcotest.int "parked, not replaced" 0
+    (Coordinator.replacements fx.coordinator);
+  let cert = cert_for fx ~instance:1 ~view:1 ~deposed:1 ~accusers:[ 3; 4; 5 ] in
+  Coordinator.on_view_sync fx.coordinator ~instance:1 ~view:1 ~primary:4
+    ~kmal:[] ~cert;
+  check Alcotest.int "adopted via sync" 1 (Coordinator.replacements fx.coordinator);
+  (* The parked entry must be gone: once instances 0 and 2 accept round 0
+     the old entry's §3.4.2 ordering condition becomes satisfiable, and
+     the next pass over the queue must not drag instance 1 through a
+     second, phantom view step. *)
+  fill_round fx ~z:3 ~round:0 ~except:1;
+  List.iter (fun src -> blame fx ~src ~instance:2 ~blamed:2 ~round:0) [ 3; 4; 5 ];
+  check Alcotest.int "no phantom second step" 1
+    (Coordinator.view_of fx.coordinator 1);
+  check Alcotest.int "instance 1 keeps primary 4" 4
+    (Coordinator.primary_of fx.coordinator 1);
+  check Alcotest.int "no phantom replacement counted" 1
+    (Coordinator.replacements fx.coordinator)
+
+let test_view_sync_converges_replicas () =
+  (* Replica A performs a real replacement from a blame quorum; replica B
+     missed it and adopts from A's gossip. Their coordinator state —
+     primaries, views, replacement counts — must converge exactly, which
+     is what the chaos invariant checks cluster-wide. *)
+  let a = make () in
+  fill_round a ~z:3 ~round:0 ~except:1;
+  List.iter (fun src -> blame a ~src ~instance:1 ~blamed:1 ~round:0) [ 3; 4; 5 ];
+  let b = make () in
+  Coordinator.on_view_sync b.coordinator ~instance:1
+    ~view:(Coordinator.view_of a.coordinator 1)
+    ~primary:(Coordinator.primary_of a.coordinator 1)
+    ~kmal:(Coordinator.known_malicious a.coordinator)
+    ~cert:(Coordinator.cert_of a.coordinator 1);
+  check
+    Alcotest.(list int)
+    "primaries converged"
+    (Coordinator.primaries a.coordinator)
+    (Coordinator.primaries b.coordinator);
+  check Alcotest.int "views converged"
+    (Coordinator.view_of a.coordinator 1)
+    (Coordinator.view_of b.coordinator 1);
+  check Alcotest.int "replacements converged"
+    (Coordinator.replacements a.coordinator)
+    (Coordinator.replacements b.coordinator)
+
+(* --- view-shift collision regression ------------------------------------ *)
+
+let test_view_shift_distinct_primaries () =
+  (* n=4, z=2, f=1. Two unified replacements of instance 0 put {0, 2} into
+     kmal; the subsequent view shift (base 2) must not seat replica 3 as
+     the primary of BOTH instances (the kmal-skip collision). *)
+  let fx = make ~n:4 ~z:2 ~recovery:Coordinator.View_shift () in
+  fill_round fx ~z:2 ~round:0 ~except:0;
+  List.iter (fun src -> blame fx ~src ~instance:0 ~blamed:0 ~round:0) [ 1; 3 ];
+  check Alcotest.int "first replacement" 2 (Coordinator.primary_of fx.coordinator 0);
+  List.iter (fun src -> blame fx ~src ~instance:0 ~blamed:2 ~round:0) [ 1; 3 ];
+  check Alcotest.(list int) "kmal primed" [ 0; 2 ]
+    (Coordinator.known_malicious fx.coordinator);
+  (* Spread blames: two accusers, no primary with two — collusion, answered
+     by a whole-set view shift under this recovery mode. *)
+  blame fx ~src:1 ~instance:0 ~blamed:(Coordinator.primary_of fx.coordinator 0)
+    ~round:0;
+  blame fx ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  Engine.run fx.engine ~until:(Engine.ms 50);
+  let ps = Coordinator.primaries fx.coordinator in
+  check Alcotest.int "shift happened" 2 (List.length ps);
+  check Alcotest.int "primaries pairwise distinct" 2
+    (List.length (List.sort_uniq compare ps))
+
+(* --- stale-accuser pruning ----------------------------------------------- *)
+
+let test_stale_accusers_expire_with_window () =
+  let fx = make ~collusion_wait:(Engine.ms 10) () in
+  fill_round fx ~z:3 ~round:0 ~except:(-1);
+  Engine.run fx.engine ~until:(Engine.ms 5);
+  (* Two replicas catching up after a crash blame round 0 — already
+     executed here, so the accusations are stale. *)
+  blame fx ~src:3 ~instance:1 ~blamed:1 ~round:0;
+  blame fx ~src:4 ~instance:2 ~blamed:2 ~round:0;
+  (* Execution keeps advancing and the collusion window they opened
+     closes inconclusive: the stale marks must expire with it rather
+     than linger forever. *)
+  fill_round fx ~z:3 ~round:1 ~except:(-1);
+  Engine.run fx.engine ~until:(Engine.ms 30);
+  (* A single fresh accusation in a much later window must not combine
+     with the long-gone stale pair into a phantom f+1 collusion alarm. *)
+  blame fx ~src:5 ~instance:0 ~blamed:0 ~round:2;
+  Engine.run fx.engine ~until:(Engine.ms 100);
+  check Alcotest.int "no phantom collusion" 0
+    (Rcc_replica.Metrics.collusions_detected fx.metrics)
+
 let suite =
   ( "coordinator",
     [
@@ -293,4 +493,17 @@ let suite =
       Alcotest.test_case "thin proof rejected" `Quick test_on_contract_rejects_thin_proof;
       Alcotest.test_case "contract request from history" `Quick
         test_contract_request_answered_from_history;
+      Alcotest.test_case "view-sync certified adoption" `Quick
+        test_view_sync_certified_adoption;
+      Alcotest.test_case "view-sync rejects forged certs" `Quick
+        test_view_sync_rejects_forged_cert;
+      Alcotest.test_case "view-sync multi-step jump" `Quick test_view_sync_multi_step;
+      Alcotest.test_case "view-sync cancels pending replacement" `Quick
+        test_view_sync_cancels_pending;
+      Alcotest.test_case "view-sync converges replicas" `Quick
+        test_view_sync_converges_replicas;
+      Alcotest.test_case "view-shift primaries distinct" `Quick
+        test_view_shift_distinct_primaries;
+      Alcotest.test_case "stale accusers expire with window" `Quick
+        test_stale_accusers_expire_with_window;
     ] )

@@ -39,7 +39,24 @@ let test_paper_sizes () =
     (Msg.size (Msg.Commit { instance = 0; view = 0; seq = 0; digest = "" }));
   check Alcotest.int "view-change" 250
     (Msg.size
-       (Msg.View_change { instance = 0; new_view = 1; blamed = 0; round = 0; last_exec = 0 }))
+       (Msg.View_change
+          { instance = 0; new_view = 1; blamed = 0; round = 0; last_exec = 0;
+            signature = "" }));
+  (* A view-sync grows with its certificate: 80 B per vote over the header. *)
+  check Alcotest.int "view-sync" (250 + (2 * 80))
+    (Msg.size
+       (Msg.View_sync
+          {
+            instance = 0;
+            view = 1;
+            primary = 3;
+            kmal = [];
+            cert =
+              [
+                { Msg.bv_accuser = 1; bv_round = 0; bv_sig = "" };
+                { Msg.bv_accuser = 2; bv_round = 0; bv_sig = "" };
+              ];
+          }))
 
 let test_contract_size_ballpark () =
   (* Figure 12 setup: z=11 entries, batch 100, 2f+1 = 21 certifiers -> the

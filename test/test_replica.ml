@@ -439,6 +439,7 @@ let test_quorum_helpers () =
       respond = (fun _ _ -> ());
       accept = (fun _ -> ());
       report_failure = (fun ~round:_ ~blamed:_ -> ());
+      sign_blame = (fun ~view:_ ~blamed:_ ~round:_ -> "");
       byz = Byz.honest;
       unified = false;
     }
