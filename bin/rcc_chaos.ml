@@ -36,8 +36,79 @@ let smoke_script duration =
     ev (pct 70) (Script.Restart 0);
   ]
 
-let run protocol_sel n duration seed runs scenario_seed smoke canary quick
-    trace_path trace_ring =
+(* Bundled state-transfer scenario: replica 3 is partitioned for 60% of
+   the run — thousands of rounds at chaos throughput, far past the
+   contract window — then healed. Catching up by replay is impossible;
+   convergence therefore proves a snapshot install, and the trace is
+   asserted to contain one. *)
+let transfer_script duration =
+  let pct p = duration * p / 100 in
+  [
+    { Script.at = pct 10; action = Script.Partition [ [ 3 ] ] };
+    { Script.at = pct 70; action = Script.Heal };
+  ]
+
+(* Same gap, but every prospective donor serves corrupted snapshot
+   payloads until 85% of the run. Verification must reject each corrupt
+   blob (the trace must show it), and the install must still land once
+   honest donors are back. *)
+let corrupt_transfer_script duration =
+  let pct p = duration * p / 100 in
+  let donors = [ 0; 1; 2 ] in
+  List.map
+    (fun r ->
+      { Script.at = pct 5; action = Script.Byz_on (r, Script.Corrupt_snapshot) })
+    donors
+  @ [
+      { Script.at = pct 10; action = Script.Partition [ [ 3 ] ] };
+      { Script.at = pct 70; action = Script.Heal };
+    ]
+  @ List.map (fun r -> { Script.at = pct 85; action = Script.Byz_off r }) donors
+
+module Event = Rcc_trace.Event
+
+let first_event events ~replica ~matches =
+  List.find_opt
+    (fun e -> e.Event.replica = replica && matches e.Event.payload)
+    events
+
+(* Hard assertions on the recorded trace, beyond the runner's generic
+   invariants; failures print like invariant violations and flip the
+   exit code. *)
+let assert_transfer ~label ~expect_reject outcome =
+  let events = outcome.Runner.events in
+  let installed =
+    first_event events ~replica:3 ~matches:(function
+      | Event.St_installed _ -> true
+      | _ -> false)
+  in
+  let rejected =
+    first_event events ~replica:3 ~matches:(function
+      | Event.St_rejected _ -> true
+      | _ -> false)
+  in
+  let failures = ref [] in
+  let fail msg = failures := msg :: !failures in
+  (match installed with
+  | None -> fail "no snapshot install on the healed replica"
+  | Some { Event.payload = Event.St_installed { rounds; _ }; _ }
+    when rounds < 1_000 ->
+      fail (Printf.sprintf "install covered only %d rounds (want >= 1000)" rounds)
+  | Some _ -> ());
+  if expect_reject then begin
+    match (rejected, installed) with
+    | None, _ -> fail "no corrupt snapshot was rejected"
+    | Some r, Some i when r.Event.at > i.Event.at ->
+        fail "first rejection came after the install"
+    | Some _, _ -> ()
+  end;
+  List.iter
+    (fun msg -> Format.printf "FAIL transfer(%s): %s@." label msg)
+    (List.rev !failures);
+  !failures = []
+
+let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
+    quick trace_path trace_ring =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
   let protocols = protocols_of protocol_sel in
   let duration =
@@ -49,19 +120,59 @@ let run protocol_sel n duration seed runs scenario_seed smoke canary quick
     if not (Runner.passed outcome) then failed := true;
     Format.printf "%a" Runner.pp_outcome outcome
   in
+  let smoke_cfg protocol =
+    Config.make ~protocol ~n ~batch_size:10 ~clients:40 ~records:5_000
+      ~duration ~warmup:(duration / 4)
+      ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
+      ~collusion_wait:(Engine.ms 150) ~seed ()
+  in
   (if smoke then
      List.iter
        (fun protocol ->
-         let cfg =
-           Config.make ~protocol ~n ~batch_size:10 ~clients:40 ~records:5_000
-             ~duration ~warmup:(duration / 4)
-             ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
-             ~collusion_wait:(Engine.ms 150) ~seed ()
-         in
          note
-           (Runner.run ~canary ~nemesis_seed:seed ?trace_path ?trace_ring cfg
-              (smoke_script duration)))
+           (Runner.run ~canary ~nemesis_seed:seed ?trace_path ?trace_ring
+              (smoke_cfg protocol) (smoke_script duration)))
        protocols
+   else if transfer then begin
+     (* MultiZ is excluded: its speculative fast path needs every replica,
+        so a dark replica stalls the whole cluster rather than falling
+        behind it — no snapshot-sized gap can form and the scenario would
+        pass vacuously. MultiP's healthy majority keeps executing, which
+        is what makes the install assertions meaningful. *)
+     if List.mem Config.MultiZ protocols then
+       Format.printf
+         "transfer: skipping multiz (a dark replica stalls the speculative \
+          fast path cluster-wide; no snapshot-sized gap forms)@.";
+     List.iter
+       (fun protocol ->
+         (* Tracing always on: the scenario's verdict reads the events. *)
+         let ring = Option.value trace_ring ~default:131_072 in
+         let variant_path suffix =
+           match trace_path with
+           | None -> None
+           | Some p when Filename.check_suffix p ".jsonl" ->
+               Some (Filename.chop_suffix p ".jsonl" ^ suffix ^ ".jsonl")
+           | Some p -> Some (p ^ suffix)
+         in
+         let clean =
+           Runner.run ~canary ~nemesis_seed:seed ?trace_path:(variant_path "")
+             ~trace_ring:ring (smoke_cfg protocol) (transfer_script duration)
+         in
+         note clean;
+         if not (assert_transfer ~label:"heal" ~expect_reject:false clean) then
+           failed := true;
+         let corrupt =
+           Runner.run ~canary ~nemesis_seed:seed
+             ?trace_path:(variant_path ".corrupt") ~trace_ring:ring
+             (smoke_cfg protocol)
+             (corrupt_transfer_script duration)
+         in
+         note corrupt;
+         if
+           not (assert_transfer ~label:"corrupt-donor" ~expect_reject:true corrupt)
+         then failed := true)
+       (List.filter (fun p -> p <> Config.MultiZ) protocols)
+   end
    else
      match scenario_seed with
      | Some scenario_seed ->
@@ -97,6 +208,14 @@ let cmd =
              ~doc:"Reproduce the single scenario with this seed (from a failure report).")
   in
   let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Run the bundled smoke scenario.") in
+  let transfer =
+    Arg.(value & flag
+         & info [ "transfer" ]
+             ~doc:"Run the bundled state-transfer scenarios: a long \
+                   partition healed into a snapshot install, and a \
+                   corrupt-donor variant that must reject forged payloads \
+                   before recovering.")
+  in
   let canary =
     Arg.(value & flag
          & info [ "canary" ]
@@ -118,7 +237,7 @@ let cmd =
   in
   let term =
     Term.(const run $ protocol $ n $ duration $ seed $ runs $ scenario_seed
-          $ smoke $ canary $ quick $ trace $ trace_ring)
+          $ smoke $ transfer $ canary $ quick $ trace $ trace_ring)
   in
   Cmd.v
     (Cmd.info "rcc-chaos"

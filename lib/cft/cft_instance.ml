@@ -6,6 +6,7 @@ module Env = Rcc_replica.Instance_env
 module SL = Rcc_proto_core.Slot_log
 module Quorum = Rcc_proto_core.Quorum
 module Held_batches = Rcc_proto_core.Held_batches
+module Checkpointing = Rcc_proto_core.Checkpointing
 
 (* Protocol-specific slot state; batch / accepted / created_at live in
    the shared {!Rcc_proto_core.Slot_log}. *)
@@ -25,6 +26,7 @@ type t = {
   mutable vc_sent_for : int;
   mutable last_failure_report : int;
   mutable in_transfer : bool;  (* new primary syncing in-flight slots *)
+  ckpt : Checkpointing.t;
   held : Held_batches.t;
   mutable running : bool;
 }
@@ -45,6 +47,7 @@ let create env =
     vc_sent_for = 0;
     last_failure_report = -1;
     in_transfer = false;
+    ckpt = Checkpointing.create ~n ~f ~interval:env.Env.checkpoint_interval ();
     held = Held_batches.create ();
     running = false;
   }
@@ -59,18 +62,38 @@ let ph (s : ack_state SL.slot) = s.SL.state
 let acked_round t ~round =
   match SL.find_opt t.log round with Some s -> (ph s).acked | None -> false
 
-(* Bound the slot log; crash-fault slots are only needed for contracts. *)
-let retain_slots = 4_096
+(* --- checkpointing ---------------------------------------------------- *)
+
+(* Crash-fault slots covered by a stable checkpoint are only needed for
+   contracts, which the coordinator serves from its own history. The vote
+   digest is the batch digest at the boundary round. *)
+let maybe_checkpoint t =
+  match Checkpointing.due t.ckpt ~exec_upto:(SL.frontier t.log) with
+  | Some target ->
+      let digest =
+        match SL.find_opt t.log target with
+        | Some { SL.batch = Some b; _ } -> b.Batch.digest
+        | Some _ | None -> ""
+      in
+      t.env.Env.broadcast
+        (Msg.Checkpoint
+           { instance = t.env.Env.instance; seq = target; state_digest = digest })
+  | None -> ()
+
+let on_checkpoint t ~src seq digest =
+  match
+    Checkpointing.on_vote t.ckpt ~src ~seq ~digest
+      ~exec_upto:(SL.frontier t.log)
+  with
+  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | None -> ()
 
 let advance_exec_upto t =
-  ignore
-    (SL.drain t.log ~accept:(fun s ->
-         if s.SL.accepted then begin
-           SL.remove t.log (s.SL.round - retain_slots);
-           true
-         end
-         else false));
-  SL.touch t.log
+  ignore (SL.drain t.log ~accept:(fun s -> s.SL.accepted));
+  SL.touch t.log;
+  match Checkpointing.try_stabilize t.ckpt ~exec_upto:(SL.frontier t.log) with
+  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | None -> ()
 
 let accept t s =
   if not s.SL.accepted then
@@ -87,7 +110,8 @@ let accept t s =
             cert = Quorum.to_list (ph s).acks;
             speculative = false;
             history = "";
-          }
+          };
+        maybe_checkpoint t
 
 (* --- primary side -------------------------------------------------------- *)
 
@@ -297,6 +321,16 @@ let accepted_batch t ~round =
 
 let incomplete_rounds t = SL.incomplete_rounds t.log
 
+let fast_forward t ~proof =
+  let round = proof.Rcc_storage.Checkpoint_store.seq in
+  SL.fast_forward t.log ~round;
+  Checkpointing.install t.ckpt proof;
+  (* A lagging primary must not re-propose rounds the snapshot covers. *)
+  if t.next_seq < round then t.next_seq <- round
+
+let log_stats t = (SL.retained_slots t.log, SL.live_words t.log)
+let checkpoint_log t = Checkpointing.log t.ckpt
+
 (* --- watchdog --------------------------------------------------------------------- *)
 
 let rec watchdog t =
@@ -322,10 +356,12 @@ let handle t ~src msg =
   | Msg.Commit { view; seq; _ } -> on_commit_notify t ~src ~view ~seq
   | Msg.View_change { new_view; _ } -> on_view_change t ~src ~new_view
   | Msg.New_view { view; reproposals; _ } -> on_new_view t ~src ~view reproposals
-  | Msg.Checkpoint _ | Msg.Client_request _ | Msg.Order_request _
+  | Msg.Checkpoint { seq; state_digest; _ } -> on_checkpoint t ~src seq state_digest
+  | Msg.Client_request _ | Msg.Order_request _
   | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Hs_proposal _ | Msg.Hs_vote _
   | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ | Msg.View_sync _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ | Msg.Snapshot_request _
+  | Msg.Snapshot_reply _ ->
       ()
 
 let cost_of (costs : Costs.t) msg =
@@ -338,10 +374,11 @@ let cost_of (costs : Costs.t) msg =
       + List.fold_left
           (fun acc (_, b) -> acc + Costs.hash_cost costs (Batch.size b))
           0 reproposals
-  | Msg.Prepare _ | Msg.Commit _ | Msg.View_change _ ->
+  | Msg.Prepare _ | Msg.Commit _ | Msg.View_change _ | Msg.Checkpoint _ ->
       costs.Costs.worker_msg + costs.Costs.mac_verify
-  | Msg.Checkpoint _ | Msg.Client_request _ | Msg.Order_request _
+  | Msg.Client_request _ | Msg.Order_request _
   | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Hs_proposal _ | Msg.Hs_vote _
   | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ | Msg.View_sync _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ | Msg.Snapshot_request _
+  | Msg.Snapshot_reply _ ->
       costs.Costs.worker_msg

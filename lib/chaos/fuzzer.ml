@@ -47,7 +47,7 @@ let gen_script ~seed ~n ~duration =
   let byzantine = ref false in
   let episode i =
     let at = start + (i * span) + Rng.int rng (max 1 (span / 2)) in
-    match Rng.int rng 7 with
+    match Rng.int rng 10 with
     | 0 -> [ { Script.at; action = Script.Partition [ [ victim ] ] } ]
     | 1 ->
         crashed := true;
@@ -82,7 +82,7 @@ let gen_script ~seed ~n ~duration =
     | 5 ->
         let prob = 0.05 +. (0.15 *. Rng.float rng 1.0) in
         [ { Script.at; action = Script.Duplicate_links { prob } } ]
-    | _ ->
+    | 6 ->
         (* Overlap family: a partition and a crash/restart in flight at
            once — the restarted replica must catch up through peers while
            the partitioned one is still dark, the regime that exposed the
@@ -92,6 +92,36 @@ let gen_script ~seed ~n ~duration =
           { Script.at; action = Script.Partition [ [ victim ] ] };
           { Script.at = at + (span / 4); action = Script.Crash down };
           { Script.at = at + (span / 2); action = Script.Restart down };
+        ]
+    | 7 ->
+        (* Transfer family: isolate the victim long enough to open a
+           snapshot-sized gap, then heal mid-episode so state transfer
+           runs while the next scripted fault may land on top of it. *)
+        [
+          { Script.at; action = Script.Partition [ [ victim ] ] };
+          { Script.at = at + (span * 2 / 3); action = Script.Heal };
+        ]
+    | 8 ->
+        (* Transfer family: a donor dies mid-transfer. The victim heals
+           and starts fetching while a healthy peer — a candidate donor —
+           crashes, forcing the per-donor timeout and failover path. *)
+        let donor = other () in
+        [
+          { Script.at; action = Script.Partition [ [ victim ] ] };
+          { Script.at = at + (span / 3); action = Script.Heal };
+          { Script.at = at + (span / 3) + 1; action = Script.Crash donor };
+          { Script.at = at + (span * 2 / 3); action = Script.Restart donor };
+        ]
+    | _ ->
+        (* Transfer family: a byzantine donor serves corrupted snapshot
+           payloads. Verification must reject them and the victim must
+           still recover through an honest donor. *)
+        let corruptor = other () in
+        [
+          { Script.at; action = Script.Byz_on (corruptor, Script.Corrupt_snapshot) };
+          { Script.at = at + (span / 4); action = Script.Partition [ [ victim ] ] };
+          { Script.at = at + (span * 2 / 3); action = Script.Heal };
+          { Script.at = heal_at; action = Script.Byz_off corruptor };
         ]
   in
   let faults = List.concat_map episode (List.init episodes (fun i -> i)) in

@@ -54,6 +54,7 @@ let spec_of_behaviour = function
   | Script.Ignore_clients -> Byz.client_ignorer
   | Script.Equivocate -> Byz.equivocator
   | Script.Forge_views -> Byz.view_forger
+  | Script.Corrupt_snapshot -> Byz.snapshot_corruptor
 
 let apply t action =
   t.applied <- t.applied + 1;

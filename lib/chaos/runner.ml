@@ -11,6 +11,7 @@ type outcome = {
   report : Report.t;
   violations : (Engine.time * Invariant.violation) list;
   trace_file : string option;
+  events : Rcc_trace.Event.t list;
 }
 
 let passed outcome = outcome.violations = []
@@ -167,7 +168,10 @@ let run ?check_every ?(expect_progress = true) ?(quiesced_check = true)
         Some path
     | _ -> None
   in
-  { cfg; script; report; violations = List.rev !violations; trace_file }
+  let events =
+    match tracer with Some r -> Rcc_trace.Recorder.to_list r | None -> []
+  in
+  { cfg; script; report; violations = List.rev !violations; trace_file; events }
 
 let pp_outcome fmt outcome =
   let r = outcome.report in

@@ -20,6 +20,10 @@ type outcome = {
       (** in detection order; time is the simulated instant of the check *)
   trace_file : string option;
       (** where the structured trace was dumped, when tracing was on *)
+  events : Rcc_trace.Event.t list;
+      (** the recorder's surviving window, oldest first, when tracing was
+          on ([trace_path] or [trace_ring] given); scenarios assert
+          recovery milestones (e.g. snapshot installs) against it *)
 }
 
 val passed : outcome -> bool

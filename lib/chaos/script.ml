@@ -6,6 +6,7 @@ type behaviour =
   | Ignore_clients
   | Equivocate
   | Forge_views
+  | Corrupt_snapshot
 
 type action =
   | Partition of replica_id list list
@@ -55,6 +56,7 @@ let behaviour_to_string = function
   | Ignore_clients -> "ignore_clients"
   | Equivocate -> "equivocate"
   | Forge_views -> "forge_views"
+  | Corrupt_snapshot -> "corrupt_snapshot"
 
 let action_to_string = function
   | Partition groups ->

@@ -18,6 +18,9 @@ type behaviour =
   | Forge_views
       (** broadcast forged view-sync messages with fabricated blame
           certificates; honest coordinators must reject them *)
+  | Corrupt_snapshot
+      (** as a state-transfer donor, serve bit-flipped snapshot payloads;
+          requesters must reject them and fail over to another donor *)
 
 type action =
   | Partition of replica_id list list

@@ -7,6 +7,7 @@ module Batch = Rcc_messages.Batch
 module Node = Rcc_replica.Node
 module Exec = Rcc_replica.Exec
 module Env = Rcc_replica.Instance_env
+module Transfer = Rcc_state_transfer.Manager
 
 type config = {
   n : int;
@@ -45,6 +46,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     ledger : Rcc_storage.Ledger.t;
     txn_table : Rcc_storage.Txn_table.t;
     client_map : Client_map.t;
+    transfer : Transfer.t;
     mutable false_blames_sent : bool;
   }
 
@@ -55,6 +57,8 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
   let store t = t.store
   let ledger t = t.ledger
   let txn_table t = t.txn_table
+  let transfer_stats t = Transfer.stats t.transfer
+  let log_stats t x = P.log_stats t.instances.(x)
 
   let exec_utilization t ~since =
     Cpu.utilization (Node.exec_server t.node) ~since
@@ -200,7 +204,26 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
         | Msg.Response _ | Msg.Local_commit _ ->
             (* Replica-to-client traffic; replicas ignore stray copies. *)
             ()
-        | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+        | Msg.Snapshot_request _ | Msg.Snapshot_reply _ ->
+            (* State transfer is the execute thread's concern: snapshots
+               read and write the ledger / KV store, which protocol
+               workers never touch. *)
+            Cpu.submit_ready exec_server ~ready ~cost:(coordinator_cost msg)
+              (fun () -> Transfer.on_msg t.transfer ~src msg)
+        | Msg.Checkpoint { seq; _ } ->
+            (* Passive gap detection: a checkpoint vote far past our
+               execution frontier means the cluster moved on without us.
+               The observation itself is a frontier comparison — free —
+               so it rides the normal worker dispatch below. *)
+            Transfer.observe_checkpoint t.transfer ~seq;
+            let x =
+              match Msg.instance_of msg with
+              | Some instance -> clamp_instance cfg instance
+              | None -> 0
+            in
+            Cpu.submit_ready (worker_of x) ~ready ~cost:(P.cost_of costs msg)
+              (fun () -> P.handle t.instances.(x) ~src msg)
+        | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _
         | Msg.New_view _ | Msg.Order_request _ | Msg.Commit_cert _
         | Msg.Hs_proposal _ | Msg.Hs_vote _ ->
             let x =
@@ -328,12 +351,76 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
             ~send:(fun ?size ~dst msg -> send ?size ~dst msg)
         in
         coordinator_ref := Some c;
-        Exec.set_on_executed exec (fun round accs ->
-            Coordinator.on_round_executed c ~round accs);
         Some c
       end
       else None
     in
+    let transfer =
+      let send, broadcast = Node.sender node ~worker:(Node.exec_server node) in
+      let ckpt_log () = P.checkpoint_log instances.(0) in
+      Transfer.create
+        {
+          Transfer.n = cfg.n;
+          f = cfg.f;
+          self = cfg.self;
+          engine;
+          timeout = cfg.timeout;
+          checkpoint_interval = cfg.checkpoint_interval;
+          materialized = cfg.materialize_state;
+          primaries = initial_primaries;
+          send = (fun ~dst msg -> send ~dst msg);
+          broadcast = (fun msg -> broadcast ~n:cfg.n msg);
+          head = (fun () -> Rcc_storage.Ledger.head_hash ledger);
+          kv_entries =
+            (fun () ->
+              if cfg.materialize_state then
+                Some (Rcc_storage.Kv_store.entries store)
+              else None);
+          blocks_prefix = (fun ~upto -> Rcc_storage.Ledger.prefix ledger ~upto);
+          replied_entries = (fun () -> Exec.replied_entries exec);
+          executed_upto = (fun () -> Exec.next_round exec - 1);
+          attesters =
+            (fun ~seq ->
+              (* Instance 0's stable checkpoints stand in for the round's:
+                 all instances stabilize the same boundaries in lockstep,
+                 and the offer quorum re-checks every attester set against
+                 f+1 agreeing offerers anyway. *)
+              let log = ckpt_log () in
+              match Rcc_storage.Checkpoint_store.find log ~seq with
+              | Some p -> p.Rcc_storage.Checkpoint_store.attesters
+              | None -> (
+                  match Rcc_storage.Checkpoint_store.stable log with
+                  | Some p when p.Rcc_storage.Checkpoint_store.seq >= seq ->
+                      p.Rcc_storage.Checkpoint_store.attesters
+                  | Some _ | None -> []));
+          corrupt_reply = (fun () -> cfg.byz.Rcc_replica.Byz.corrupt_snapshot);
+          install =
+            (fun snap ~proof ->
+              (* Wholesale install, in dependency order: the chain the
+                 digests verified against, the KV table it led to, the
+                 execution frontier, then every instance's slot log. The
+                 Batch memo and the ledger's cached head are both
+                 invalidated so nothing digests against pre-install
+                 state. *)
+              Rcc_storage.Ledger.install ledger snap.Rcc_storage.Snapshot.blocks;
+              Batch.reset_memo ();
+              (match snap.Rcc_storage.Snapshot.kv with
+              | Some entries when cfg.materialize_state ->
+                  Rcc_storage.Kv_store.install store entries
+              | Some _ | None -> ());
+              Exec.install_snapshot exec ~seq:snap.Rcc_storage.Snapshot.seq
+                ~replied:snap.Rcc_storage.Snapshot.replied;
+              Array.iter (fun inst -> P.fast_forward inst ~proof) instances);
+        }
+    in
+    (match coordinator with
+    | Some c ->
+        Exec.set_on_executed exec (fun round accs ->
+            Transfer.on_executed transfer ~round;
+            Coordinator.on_round_executed c ~round accs)
+    | None ->
+        Exec.set_on_executed exec (fun round _ ->
+            Transfer.on_executed transfer ~round));
     let t =
       {
         cfg;
@@ -348,6 +435,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
         (* Adopted-client cap per instance (§3.6 anti-flooding); generous
            relative to the simulated client populations. *)
         client_map = Client_map.create ~z:cfg.z ~cap_per_instance:4096;
+        transfer;
         false_blames_sent = false;
       }
     in
@@ -373,6 +461,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     let rec tick () =
       let round = Exec.next_round t.exec in
       let now = Engine.now engine in
+      Transfer.tick t.transfer;
       (match t.coordinator with
       | Some c ->
           if cfg.byz.Rcc_replica.Byz.forge_views then

@@ -6,6 +6,7 @@ module Bitset = Rcc_common.Bitset
 module Env = Rcc_replica.Instance_env
 module SL = Rcc_proto_core.Slot_log
 module Quorum = Rcc_proto_core.Quorum
+module Checkpointing = Rcc_proto_core.Checkpointing
 
 let skip_phase = 9
 
@@ -26,6 +27,7 @@ type t = {
   log : hs SL.t;  (* frontier = next_decide - 1: the execution frontier *)
   blacklist : Bitset.t;
   mutable last_skip : Engine.time;  (* most recent successful skip *)
+  ckpt : Checkpointing.t;
   mutable running : bool;
 }
 
@@ -48,6 +50,7 @@ let create env =
         ();
     blacklist = Bitset.create env.Env.n;
     last_skip = min_int / 2;
+    ckpt = Checkpointing.create ~n ~f ~interval:env.Env.checkpoint_interval ();
     running = false;
   }
 
@@ -91,10 +94,39 @@ let decide t s null =
       }
   end
 
+(* --- checkpointing ---------------------------------------------------- *)
+
+(* Decided slots covered by a stable checkpoint are only needed for
+   contracts, which the coordinator serves from its own history. The vote
+   digest is the decided batch digest at the boundary round. *)
+let advance_ckpt t =
+  (match Checkpointing.try_stabilize t.ckpt ~exec_upto:(SL.frontier t.log) with
+  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | None -> ());
+  match Checkpointing.due t.ckpt ~exec_upto:(SL.frontier t.log) with
+  | Some target ->
+      let digest =
+        match SL.find_opt t.log target with
+        | Some { SL.digest = Some d; _ } -> d
+        | Some _ | None -> ""
+      in
+      t.env.Env.broadcast
+        (Msg.Checkpoint
+           { instance = t.env.Env.instance; seq = target; state_digest = digest })
+  | None -> ()
+
+let on_checkpoint t ~src seq digest =
+  match
+    Checkpointing.on_vote t.ckpt ~src ~seq ~digest
+      ~exec_upto:(SL.frontier t.log)
+  with
+  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | None -> ()
+
 (* Advance the frontier; blacklisted leaders' pending rounds are skip-voted
    without waiting for the timeout. *)
 let rec advance_frontier t =
-  ignore (SL.drain t.log ~accept:(fun s -> s.SL.accepted));
+  if SL.drain t.log ~accept:(fun s -> s.SL.accepted) then advance_ckpt t;
   let nd = next_decide t in
   if nd <= SL.max_seen t.log then begin
     let s = slot t nd in
@@ -264,16 +296,32 @@ let accepted_batch t ~round =
 
 let incomplete_rounds t = SL.incomplete_rounds t.log
 
+let fast_forward t ~proof =
+  let round = proof.Rcc_storage.Checkpoint_store.seq in
+  SL.fast_forward t.log ~round;
+  Checkpointing.install t.ckpt proof;
+  (* Resume proposing in our residue class at or above the boundary. *)
+  if t.next_propose < round then begin
+    let n = t.env.Env.n in
+    let residue = (((t.env.Env.self - round) mod n) + n) mod n in
+    t.next_propose <- round + residue
+  end
+
+let log_stats t = (SL.retained_slots t.log, SL.live_words t.log)
+let checkpoint_log t = Checkpointing.log t.ckpt
+
 let handle t ~src msg =
   match msg with
   | Msg.Hs_proposal { phase; seq; batch; digest; _ } ->
       on_proposal t ~src ~phase ~seq batch digest
   | Msg.Hs_vote { phase; seq; _ } -> on_vote t ~src ~phase ~seq
-  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+  | Msg.Checkpoint { seq; state_digest; _ } -> on_checkpoint t ~src seq state_digest
+  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _
   | Msg.View_change _ | Msg.New_view _ | Msg.Order_request _
   | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Client_request _
   | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ | Msg.View_sync _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ | Msg.Snapshot_request _
+  | Msg.Snapshot_reply _ ->
       ()
 
 let cost_of (costs : Costs.t) msg =
@@ -289,9 +337,11 @@ let cost_of (costs : Costs.t) msg =
         | Some b -> Costs.hash_cost costs (Batch.size b)
         | None -> 0)
   | Msg.Hs_vote _ -> costs.Costs.worker_msg + costs.Costs.sig_verify
-  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+  | Msg.Checkpoint _ -> costs.Costs.worker_msg + costs.Costs.mac_verify
+  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _
   | Msg.View_change _ | Msg.New_view _ | Msg.Order_request _
   | Msg.Commit_cert _ | Msg.Local_commit _ | Msg.Client_request _
   | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ | Msg.View_sync _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ | Msg.Snapshot_request _
+  | Msg.Snapshot_reply _ ->
       costs.Costs.worker_msg

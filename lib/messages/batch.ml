@@ -39,6 +39,13 @@ let digest_of_txns txns =
     d
   end
 
+(* A snapshot install swaps whole object graphs; dropping the memo costs
+   one recompute and removes any chance of the retired graph's array
+   being resurrected at the same address and hitting a stale entry. *)
+let reset_memo () =
+  memo_txns := [||];
+  memo_digest := ""
+
 let wire_size ~ntxns = ntxns * Rcc_workload.Txn.wire_size
 
 let create ~id ~client ~txns ~secret =

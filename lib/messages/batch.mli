@@ -33,6 +33,11 @@ val is_null : t -> bool
 
 val digest_of_txns : Rcc_workload.Txn.t array -> string
 
+val reset_memo : unit -> unit
+(** Drop the one-entry digest memo. Called after a snapshot install
+    retires whole object graphs, so a txn array allocated at a recycled
+    address can never alias a stale memo entry. *)
+
 val verify : t -> public:Rcc_crypto.Signature.public_key -> bool
 (** Recompute the digest and check the client signature. *)
 

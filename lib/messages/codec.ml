@@ -213,7 +213,22 @@ let encode msg =
       w_int buf view;
       w_int buf primary;
       w_list buf w_int kmal;
-      w_list buf w_vote cert);
+      w_list buf w_vote cert
+  | Msg.Snapshot_request { sr_seq; fetch } ->
+      Buffer.add_char buf '\x12';
+      w_int buf sr_seq;
+      w_bool buf fetch
+  | Msg.Snapshot_reply { sp_seq; sp_head; sp_kv; sp_attesters; sp_payload } ->
+      Buffer.add_char buf '\x13';
+      w_int buf sp_seq;
+      w_string buf sp_head;
+      w_string buf sp_kv;
+      w_list buf w_int sp_attesters;
+      (match sp_payload with
+      | Some blob ->
+          w_bool buf true;
+          w_string buf blob
+      | None -> w_bool buf false));
   Buffer.contents buf
 
 let decode_exn s =
@@ -310,6 +325,16 @@ let decode_exn s =
         let primary = r_int r in
         let kmal = r_list r r_int in
         Msg.View_sync { instance; view; primary; kmal; cert = r_list r r_vote }
+    | '\x12' ->
+        let sr_seq = r_int r in
+        Msg.Snapshot_request { sr_seq; fetch = r_bool r }
+    | '\x13' ->
+        let sp_seq = r_int r in
+        let sp_head = r_string r in
+        let sp_kv = r_string r in
+        let sp_attesters = r_list r r_int in
+        let sp_payload = if r_bool r then Some (r_string r) else None in
+        Msg.Snapshot_reply { sp_seq; sp_head; sp_kv; sp_attesters; sp_payload }
     | c -> raise (Malformed (Printf.sprintf "unknown tag 0x%02x" (Char.code c)))
   in
   if r.pos <> String.length s then raise (Malformed "trailing bytes");

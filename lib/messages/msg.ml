@@ -75,6 +75,14 @@ type t =
       kmal : replica_id list;
       cert : blame_vote list;
     }
+  | Snapshot_request of { sr_seq : round; fetch : bool }
+  | Snapshot_reply of {
+      sp_seq : round;
+      sp_head : string;
+      sp_kv : string;
+      sp_attesters : replica_id list;
+      sp_payload : string option;
+    }
 
 let header_size = 250
 
@@ -117,8 +125,14 @@ let size = function
      round, and a 64-byte signature. *)
   | View_sync { kmal; cert; _ } ->
       header_size + (8 * List.length kmal) + (80 * List.length cert)
+  (* Header plus two 32-byte digests and the attester list; a full reply
+     additionally carries the snapshot blob verbatim. *)
+  | Snapshot_reply { sp_attesters; sp_payload; _ } ->
+      header_size + 64
+      + (8 * List.length sp_attesters)
+      + (match sp_payload with Some blob -> String.length blob | None -> 0)
   | Prepare _ | Commit _ | Checkpoint _ | View_change _ | Local_commit _
-  | Hs_vote _ | Contract_request _ | Instance_change _ ->
+  | Hs_vote _ | Contract_request _ | Instance_change _ | Snapshot_request _ ->
       header_size
 
 let kind = function
@@ -139,6 +153,8 @@ let kind = function
   | Contract_request _ -> "contract_request"
   | Instance_change _ -> "instance_change"
   | View_sync _ -> "view_sync"
+  | Snapshot_request _ -> "snapshot_request"
+  | Snapshot_reply _ -> "snapshot_reply"
 
 let instance_of = function
   | Client_request { instance; _ }
@@ -155,7 +171,9 @@ let instance_of = function
   | View_sync { instance; _ } ->
       Some instance
   | Commit_cert { cc_instance; _ } -> Some cc_instance
-  | Hs_proposal _ | Hs_vote _ | Response _ | Contract _ -> None
+  | Hs_proposal _ | Hs_vote _ | Response _ | Contract _ | Snapshot_request _
+  | Snapshot_reply _ ->
+      None
 
 let pp fmt t =
   match t with

@@ -109,6 +109,30 @@ type t =
           a replacement's blame quorum (partitioned or crashed at the
           time) converge on the coordinator state (§3.3 state exchange
           extended to primary metadata). *)
+  (* Checkpoint-backed state transfer (§3.3's checkpoints used for
+     recovery: a lagging replica installs a whole snapshot instead of
+     replaying the gap round by round). *)
+  | Snapshot_request of {
+      sr_seq : round;
+          (** offer probe ([fetch = false]): the requester's execution
+              frontier; fetch ([fetch = true]): the snapshot boundary the
+              requester chose from the f+1-matching offers *)
+      fetch : bool;
+    }
+  | Snapshot_reply of {
+      sp_seq : round;  (** snapshot boundary: state after rounds [< sp_seq] *)
+      sp_head : string;  (** ledger head hash at the boundary *)
+      sp_kv : string;
+          (** digest of the canonical key-value section; [""] when the
+              sender does not materialize state and so cannot attest it *)
+      sp_attesters : replica_id list;
+          (** replicas whose CHECKPOINT votes the sender holds for a
+              stable checkpoint at or beyond the boundary (supporting
+              evidence from its [Checkpoint_store]) *)
+      sp_payload : string option;
+          (** [None] for an offer; [Some blob] answers a fetch with the
+              full serialized snapshot *)
+    }
 
 val header_size : int
 (** 250 bytes — the paper's size for batch-free protocol messages. *)

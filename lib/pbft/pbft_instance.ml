@@ -64,7 +64,6 @@ let primary t = t.primary
 let view t = t.view
 let in_view_change t = t.in_view_change
 let stable_checkpoint t = Checkpointing.stable t.ckpt
-let checkpoint_log t = Checkpointing.log t.ckpt
 let is_primary t = t.primary = t.env.Env.self
 let slot t seq = SL.get t.log seq
 let ph (s : phase SL.slot) = s.SL.state
@@ -446,6 +445,16 @@ let adopt t ~round batch ~cert =
 
 let proposed_upto t = t.next_seq - 1
 
+let fast_forward t ~proof =
+  let round = proof.Rcc_storage.Checkpoint_store.seq in
+  SL.fast_forward t.log ~round;
+  Checkpointing.install t.ckpt proof;
+  (* A lagging primary must not re-propose rounds the snapshot covers. *)
+  if t.next_seq < round then t.next_seq <- round
+
+let log_stats t = (SL.retained_slots t.log, SL.live_words t.log)
+let checkpoint_log t = Checkpointing.log t.ckpt
+
 let accepted_batch t ~round =
   match SL.find_opt t.log round with
   | Some ({ SL.accepted = true; batch = Some b; _ } as s) ->
@@ -484,7 +493,8 @@ let handle t ~src msg =
   | Msg.New_view { view; reproposals; _ } -> on_new_view t ~src ~view reproposals
   | Msg.Client_request _ | Msg.Order_request _ | Msg.Commit_cert _
   | Msg.Local_commit _ | Msg.Hs_proposal _ | Msg.Hs_vote _ | Msg.Response _
-  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ | Msg.View_sync _ ->
+  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ | Msg.View_sync _ | Msg.Snapshot_request _
+  | Msg.Snapshot_reply _ ->
       ()
 
 let cost_of (costs : Costs.t) msg =
@@ -502,5 +512,6 @@ let cost_of (costs : Costs.t) msg =
       costs.Costs.worker_msg + costs.Costs.mac_verify
   | Msg.Client_request _ | Msg.Order_request _ | Msg.Hs_proposal _
   | Msg.Hs_vote _ | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ | Msg.View_sync _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ | Msg.Snapshot_request _
+  | Msg.Snapshot_reply _ ->
       costs.Costs.worker_msg

@@ -23,6 +23,3 @@ val in_view_change : t -> bool
 val stable_checkpoint : t -> Rcc_common.Ids.round
 val prepared_round : t -> round:Rcc_common.Ids.round -> bool
 
-val checkpoint_log : t -> Rcc_storage.Checkpoint_store.t
-(** The stable checkpoints this replica has adopted, with their attesting
-    replica sets. *)

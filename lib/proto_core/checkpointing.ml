@@ -50,6 +50,22 @@ let try_stabilize t ~exec_upto =
   end
   else None
 
+(* Adopt a checkpoint this replica just INSTALLED (state transfer) rather
+   than voted to stability: record the transferred proof and drop every
+   vote and digest the snapshot already covers. Unlike [try_stabilize],
+   the boundary needs no local votes — its authority is the f+1-attested
+   snapshot the caller verified. *)
+let install t (proof : Store.proof) =
+  if proof.Store.seq > t.stable then begin
+    t.stable <- proof.Store.seq;
+    if t.provable < t.stable then t.provable <- t.stable;
+    Store.record t.log proof;
+    Quorum.Tally.prune t.votes ~upto:(t.stable - 1);
+    Hashtbl.filter_map_inplace
+      (fun seq d -> if seq <= t.stable - 1 then None else Some d)
+      t.digests
+  end
+
 let on_vote t ~src ~seq ~digest ~exec_upto =
   if seq > t.stable then begin
     if not (Hashtbl.mem t.digests seq) then Hashtbl.replace t.digests seq digest;

@@ -45,3 +45,10 @@ val try_stabilize :
 (** Adopt the provable-stable checkpoint once execution has caught up
     with it (call after the accept frontier advances). Returns the newly
     stable round, if any. *)
+
+val install : t -> Rcc_storage.Checkpoint_store.proof -> unit
+(** Adopt a checkpoint installed via state transfer: record the
+    transferred (f+1-attested) proof and prune votes and digests it
+    covers. Stale proofs (at or below the current stable round) are
+    ignored. The caller should [Slot_log.fast_forward] its log to the
+    proof's round. *)

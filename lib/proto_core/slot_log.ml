@@ -147,6 +147,53 @@ let gc_upto t upto =
       (fun round s -> if round <= upto then None else Some s)
       t.stale
 
+(* Jump the whole log past an installed snapshot: rounds [< round] are
+   covered by the transferred state, so they are collected AND the accept
+   frontier moves to [round - 1] — unlike [gc_upto], which never advances
+   the frontier. Slots at or above [round] (live traffic that arrived
+   while this replica lagged) are kept; the ring window invariant holds
+   because every live slot below the new base is cleared first. *)
+let fast_forward t ~round =
+  let upto = round - 1 in
+  if upto > t.frontier then begin
+    if upto >= t.base then begin
+      let hi = if upto < t.max_seen then upto else t.max_seen in
+      for r = t.base to hi do
+        t.ring.(idx t r) <- None
+      done;
+      t.base <- upto + 1
+    end;
+    if Hashtbl.length t.stale > 0 then
+      Hashtbl.filter_map_inplace
+        (fun r s -> if r <= upto then None else Some s)
+        t.stale;
+    t.frontier <- upto;
+    if t.max_seen < upto then t.max_seen <- upto;
+    touch t
+  end
+
+let retained_slots t =
+  let n = ref (Hashtbl.length t.stale) in
+  Array.iter (function Some _ -> incr n | None -> ()) t.ring;
+  !n
+
+(* Coarse live-memory estimate for reports: ring boxes plus, per live
+   slot, its record fields and the dominant payload (the batch's txn
+   array at 2 words each). Not Obj.reachable_words — an O(retained)
+   arithmetic walk with no sharing surprises. *)
+let live_words t =
+  let words = ref (Array.length t.ring + (4 * Hashtbl.length t.stale)) in
+  let slot (s : 'a slot) =
+    words :=
+      !words + 16
+      + (match s.batch with
+        | Some b -> 8 + (2 * Array.length b.Batch.txns)
+        | None -> 0)
+  in
+  Array.iter (function Some s -> slot s | None -> ()) t.ring;
+  Hashtbl.iter (fun _ s -> slot s) t.stale;
+  !words
+
 let incomplete_rounds t =
   let acc = ref [] in
   for round = t.max_seen downto t.frontier + 1 do

@@ -74,3 +74,17 @@ val gc_upto : 'a t -> Rcc_common.Ids.round -> unit
     stable checkpoint). The clamp means a caller can never collect
     not-yet-accepted rounds, which would otherwise be re-reported as
     incomplete by {!incomplete_rounds}/{!oldest_incomplete}. *)
+
+val fast_forward : 'a t -> round:Rcc_common.Ids.round -> unit
+(** Jump past an installed snapshot: collect every slot [< round] and
+    move the accept frontier to [round - 1] (the transferred state covers
+    those rounds, so nothing below is incomplete anymore). Slots at or
+    above [round] survive. No-op when the frontier is already there. *)
+
+val retained_slots : 'a t -> int
+(** Live slots currently held (ring plus stale table) — the quantity
+    checkpoint GC bounds. *)
+
+val live_words : 'a t -> int
+(** Coarse estimate of heap words retained by the log (slot records plus
+    batch payloads), for {!Rcc_runtime.Report} memory visibility. *)

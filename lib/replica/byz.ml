@@ -13,6 +13,7 @@ type t = {
   mutable ignore_clients : bool;
   mutable equivocate : bool;
   mutable forge_views : bool;
+  mutable corrupt_snapshot : bool;
 }
 
 let honest =
@@ -23,6 +24,7 @@ let honest =
     ignore_clients = false;
     equivocate = false;
     forge_views = false;
+    corrupt_snapshot = false;
   }
 
 let dark_primary ~victims ?(from_round = 0) ?until_round () =
@@ -40,6 +42,8 @@ let equivocator = { honest with byzantine = true; equivocate = true }
 
 let view_forger = { honest with byzantine = true; forge_views = true }
 
+let snapshot_corruptor = { honest with byzantine = true; corrupt_snapshot = true }
+
 let copy t = { t with byzantine = t.byzantine }
 
 let set dst src =
@@ -48,7 +52,8 @@ let set dst src =
   dst.false_blame <- src.false_blame;
   dst.ignore_clients <- src.ignore_clients;
   dst.equivocate <- src.equivocate;
-  dst.forge_views <- src.forge_views
+  dst.forge_views <- src.forge_views;
+  dst.corrupt_snapshot <- src.corrupt_snapshot
 
 let excludes t ~round victim =
   match t.dark with

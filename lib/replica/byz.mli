@@ -32,6 +32,10 @@ type t = {
       inflated views with self as primary, backed by fabricated
       certificates. Honest coordinators must reject them: the votes
       cannot verify under the claimed accusers' keys. *)
+  mutable corrupt_snapshot : bool;
+  (** As a state-transfer donor, serve bit-flipped snapshot payloads.
+      Requesters must reject them by digest and recover from another
+      donor. *)
 }
 (** Fields are mutable so the chaos nemesis can flip a replica's behaviour
     mid-run; a replica reads its spec on every decision. Share one record
@@ -50,6 +54,8 @@ val client_ignorer : t
 val equivocator : t
 
 val view_forger : t
+
+val snapshot_corruptor : t
 
 val copy : t -> t
 

@@ -94,6 +94,12 @@ let certificate_digest batch_digest cert =
   Rcc_crypto.Sha256.digest (Bytes.unsafe_to_string buf)
 
 let execute_round t round accs =
+  (* A snapshot install can supersede a round while its execution sits in
+     the CPU queue: its effects are already part of the installed state,
+     so replaying it would double-execute (and break the ledger's round
+     sequencing). Fault-free, the guard never fires — rounds execute in
+     exactly ledger order. *)
+  if Rcc_storage.Ledger.next_round t.ledger = round then begin
   let ordered = t.reorder (Array.copy accs) in
   let proofs = ref [] in
   let clients = ref [] in
@@ -184,6 +190,7 @@ let execute_round t round accs =
   Rcc_storage.Ledger.append_exn t.ledger block;
   t.executed_rounds <- t.executed_rounds + 1;
   t.on_executed round accs
+  end
 
 let rec try_advance t =
   match Hashtbl.find_opt t.pending t.next_round with
@@ -231,3 +238,34 @@ let accepted t ~round ~instance =
   match Hashtbl.find_opt t.pending round with
   | Some slots when round >= t.next_round -> slots.(instance)
   | Some _ | None -> None
+
+(* --- state transfer --------------------------------------------------- *)
+
+let replied_entries t =
+  Hashtbl.fold
+    (fun (client, digest) (round, result) acc ->
+      (client, digest, round, result) :: acc)
+    t.replied []
+
+let install_snapshot t ~seq ~replied =
+  if seq > t.next_round then begin
+    (* Acceptances buffered for covered rounds are obsolete — the
+       snapshot already contains their effects. Buffered rounds at or
+       past the boundary stay pending and drain normally below. *)
+    let stale =
+      Hashtbl.fold
+        (fun round _ acc -> if round < seq then round :: acc else acc)
+        t.pending []
+    in
+    List.iter (Hashtbl.remove t.pending) stale;
+    t.next_round <- seq;
+    (* The donor's duplicate-reply cache keeps §3.1 duplicate suppression
+       alive across the jump; existing (newer) local entries win. *)
+    List.iter
+      (fun (client, digest, round, result) ->
+        let key = (client, digest) in
+        if not (Hashtbl.mem t.replied key) then
+          Hashtbl.replace t.replied key (round, result))
+      replied;
+    try_advance t
+  end

@@ -64,3 +64,21 @@ val missing_instances : t -> round:Rcc_common.Ids.round -> Rcc_common.Ids.instan
     collusion-detection signal read by the coordinator. *)
 
 val accepted : t -> round:Rcc_common.Ids.round -> instance:Rcc_common.Ids.instance_id -> Acceptance.t option
+
+val replied_entries :
+  t ->
+  (Rcc_common.Ids.client_id * string * Rcc_common.Ids.round * string) list
+(** The duplicate-reply cache as [(client, batch digest, round, result
+    digest)] tuples, for bundling into a served snapshot. *)
+
+val install_snapshot :
+  t ->
+  seq:Rcc_common.Ids.round ->
+  replied:(Rcc_common.Ids.client_id * string * Rcc_common.Ids.round * string) list ->
+  unit
+(** A verified snapshot covering rounds [< seq] was installed into the
+    ledger and KV store: jump the execution frontier to [seq], drop
+    buffered acceptances the snapshot covers, merge the donor's
+    duplicate-reply cache (local entries win), and drain any buffered
+    rounds at or past the boundary. No-op unless [seq] advances the
+    frontier. *)

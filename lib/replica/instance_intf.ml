@@ -46,6 +46,21 @@ module type S = sig
       batches without double-proposing in-flight rounds. Protocols that
       manage their own pacemaker (HotStuff) return [max_int] to opt out. *)
 
+  val fast_forward : t -> proof:Rcc_storage.Checkpoint_store.proof -> unit
+  (** A snapshot covering rounds [< proof.seq] was just installed:
+      collect those slots, advance the accept frontier to [proof.seq - 1],
+      and adopt the transferred (f+1-attested) checkpoint proof so
+      ordinary checkpointing resumes from there. Must not touch rounds
+      [>= proof.seq]. *)
+
+  val log_stats : t -> int * int
+  (** [(retained slots, estimated live words)] of the instance's slot
+      log, surfacing how tightly checkpoint GC is bounding memory. *)
+
+  val checkpoint_log : t -> Rcc_storage.Checkpoint_store.t
+  (** The instance's stable-checkpoint proofs — the supporting evidence a
+      state-transfer donor attaches to snapshot offers. *)
+
   val cost_of : Rcc_sim.Costs.t -> Rcc_messages.Msg.t -> Rcc_sim.Engine.time
   (** Worker CPU to charge for receiving a message of this protocol. *)
 end

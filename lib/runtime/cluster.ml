@@ -80,6 +80,34 @@ let replacements_of t r =
 
 let replacements t = replacements_of t 0
 
+(* Snapshot-transfer totals, summed over every replica's manager. *)
+let transfer_totals t =
+  let acc = ref (0, 0, 0, 0, 0) in
+  let add (s : Rcc_state_transfer.Manager.stats) =
+    let a, b, c, d, e = !acc in
+    acc :=
+      ( a + s.Rcc_state_transfer.Manager.installs,
+        b + s.Rcc_state_transfer.Manager.rejects,
+        c + s.Rcc_state_transfer.Manager.rounds_skipped,
+        d + s.Rcc_state_transfer.Manager.bytes_in,
+        e + s.Rcc_state_transfer.Manager.bytes_out )
+  in
+  (match t.replicas with
+  | R_pbft a -> Array.iter (fun r -> add (B_pbft.transfer_stats r)) a
+  | R_zyz a -> Array.iter (fun r -> add (B_zyz.transfer_stats r)) a
+  | R_hs a -> Array.iter (fun r -> add (B_hs.transfer_stats r)) a
+  | R_cft a -> Array.iter (fun r -> add (B_cft.transfer_stats r)) a);
+  !acc
+
+(* Replica 0's slot-log footprint for instance [x]: how tightly the
+   checkpoint GC is bounding consensus memory. *)
+let log_stats t x =
+  match t.replicas with
+  | R_pbft a -> B_pbft.log_stats a.(0) x
+  | R_zyz a -> B_zyz.log_stats a.(0) x
+  | R_hs a -> B_hs.log_stats a.(0) x
+  | R_cft a -> B_cft.log_stats a.(0) x
+
 let net t = t.net
 
 let byz_spec t r =
@@ -142,6 +170,7 @@ let byz_of (cfg : Config.t) self =
           ignore_clients = false;
           equivocate = false;
           forge_views = false;
+          corrupt_snapshot = false;
         }
       else begin
         let rec blamer_ids k id acc =
@@ -291,6 +320,10 @@ let run t =
   Client_pool.start t.pool;
   Engine.run t.engine ~until:t.cfg.Config.duration;
   let ledger0 = ledger t 0 in
+  let snap_installs, snap_rejects, snap_rounds_skipped, snap_bytes_in,
+      snap_bytes_out =
+    transfer_totals t
+  in
   {
     Report.protocol = Config.protocol_name t.cfg.Config.protocol;
     n = t.cfg.Config.n;
@@ -329,8 +362,16 @@ let run t =
       | R_cft a -> B_cft.worker_utilization a.(0) 0 ~since:0);
     sim_events = Engine.events_processed t.engine;
     wall_seconds = Sys.time () -. wall_start;
+    snap_installs;
+    snap_rejects;
+    snap_rounds_skipped;
+    snap_bytes_in;
+    snap_bytes_out;
     per_instance =
       Array.init (Metrics.instances t.metrics) (fun x ->
+          let i_retained_slots, i_live_words =
+            if x < t.cfg.Config.z then log_stats t x else (0, 0)
+          in
           {
             Report.instance = x;
             i_throughput =
@@ -341,6 +382,8 @@ let run t =
             i_p99_latency = Metrics.instance_latency_percentile t.metrics x 0.99;
             i_txns = Metrics.instance_txns t.metrics x;
             i_view_changes = Metrics.instance_view_changes t.metrics x;
+            i_retained_slots;
+            i_live_words;
           });
   }
 

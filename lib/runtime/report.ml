@@ -9,6 +9,8 @@ type instance_stats = {
   i_p99_latency : float;
   i_txns : int;
   i_view_changes : int;
+  i_retained_slots : int;
+  i_live_words : int;
 }
 
 type t = {
@@ -34,6 +36,11 @@ type t = {
   worker_utilization : float;
   sim_events : int;
   wall_seconds : float;
+  snap_installs : int;
+  snap_rejects : int;
+  snap_rounds_skipped : int;
+  snap_bytes_in : int;
+  snap_bytes_out : int;
   per_instance : instance_stats array;
       (* empty or length 1 when the run has a single logical instance *)
 }
@@ -51,12 +58,12 @@ let row t =
 let pp_instance fmt s =
   Format.fprintf fmt
     "  instance %d: %.0f txn/s, lat avg %.2f ms (p50 %.2f, p99 %.2f), \
-     txns=%d view_changes=%d"
+     txns=%d view_changes=%d slots=%d (~%d words)"
     s.instance s.i_throughput
     (s.i_avg_latency *. 1e3)
     (s.i_p50_latency *. 1e3)
     (s.i_p99_latency *. 1e3)
-    s.i_txns s.i_view_changes
+    s.i_txns s.i_view_changes s.i_retained_slots s.i_live_words
 
 let pp fmt t =
   Format.fprintf fmt
@@ -71,6 +78,11 @@ let pp fmt t =
     t.wall_seconds
     (t.exec_utilization *. 100.0)
     (t.worker_utilization *. 100.0);
+  if t.snap_installs + t.snap_rejects > 0 then
+    Format.fprintf fmt
+      "@,state transfer: installs=%d rejects=%d rounds_skipped=%d in=%dB out=%dB"
+      t.snap_installs t.snap_rejects t.snap_rounds_skipped t.snap_bytes_in
+      t.snap_bytes_out;
   if Array.length t.per_instance > 1 then
     Array.iter (fun s -> Format.fprintf fmt "@,%a" pp_instance s) t.per_instance;
   Format.fprintf fmt "@]"

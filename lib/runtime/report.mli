@@ -8,6 +8,8 @@ type instance_stats = {
   i_p99_latency : float;
   i_txns : int;
   i_view_changes : int;
+  i_retained_slots : int;  (** slot-log entries alive after checkpoint GC *)
+  i_live_words : int;  (** rough heap words those slots pin *)
 }
 (** One protocol instance's share of the run (z rows for RCC modes). *)
 
@@ -34,6 +36,11 @@ type t = {
   worker_utilization : float;  (** replica 0's instance-0 worker busy fraction *)
   sim_events : int;
   wall_seconds : float;
+  snap_installs : int;  (** snapshots installed, summed over replicas *)
+  snap_rejects : int;  (** snapshot fetches rejected (bad blob / timeout) *)
+  snap_rounds_skipped : int;  (** consensus rounds covered by installs *)
+  snap_bytes_in : int;  (** snapshot payload bytes received *)
+  snap_bytes_out : int;  (** snapshot payload bytes served *)
   per_instance : instance_stats array;
       (** per-instance breakdown; printed by {!pp} when longer than 1 *)
 }

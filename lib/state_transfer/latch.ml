@@ -1,0 +1,66 @@
+type entry = {
+  seq : Rcc_common.Ids.round;
+  head : string;
+  kv : (int * int * int) array option;
+  mutable kv_digest : string option;
+}
+
+type t = {
+  interval : int;
+  ring : entry option array;
+  mutable next : int;  (* ring write cursor *)
+  mutable latest_seq : int;
+}
+
+let create ?(capacity = 4) ~interval () =
+  {
+    interval;
+    ring = Array.make (max 1 capacity) None;
+    next = 0;
+    latest_seq = -1;
+  }
+
+let interval t = t.interval
+
+let boundary t ~executed =
+  if t.interval <= 0 then None
+  else
+    let seq = executed + 1 in
+    if seq > 0 && seq mod t.interval = 0 && seq > t.latest_seq then Some seq
+    else None
+
+let record t ~seq ~head ~kv =
+  if seq > t.latest_seq then begin
+    t.ring.(t.next) <- Some { seq; head; kv; kv_digest = None };
+    t.next <- (t.next + 1) mod Array.length t.ring;
+    t.latest_seq <- seq
+  end
+
+let latest t =
+  let found = ref None in
+  Array.iter
+    (fun e ->
+      match (e, !found) with
+      | Some e, Some (f : entry) -> if e.seq > f.seq then found := Some e
+      | Some e, None -> found := Some e
+      | None, _ -> ())
+    t.ring;
+  !found
+
+let find t ~seq =
+  let found = ref None in
+  Array.iter
+    (fun e ->
+      match e with
+      | Some e when e.seq = seq -> found := Some e
+      | Some _ | None -> ())
+    t.ring;
+  !found
+
+let digest_of e =
+  match e.kv_digest with
+  | Some d -> d
+  | None ->
+      let d = Rcc_storage.Snapshot.kv_digest e.kv in
+      e.kv_digest <- Some d;
+      d

@@ -1,0 +1,52 @@
+(** Snapshot boundary latches.
+
+    Every replica latches [(seq, head hash)] — and, when it materializes
+    state, a canonical copy of the key-value table — each time execution
+    crosses a snapshot boundary. A donor serves snapshot offers and
+    fetches from its latest latch, so the state it vouches for is the
+    state {e as of the boundary}, not the moving live state, and any two
+    honest donors latching the same boundary vouch for identical bytes.
+
+    Latching is O(state) copying but allocates no simulation events and
+    sends no messages, so fault-free runs are byte-identical with or
+    without it. The KV digest is NOT computed at latch time — only
+    memoized on first use — because offers are rare and digesting the
+    table every boundary would tax the fault-free hot path for nothing. *)
+
+type entry = {
+  seq : Rcc_common.Ids.round;  (** state after rounds [< seq] *)
+  head : string;  (** ledger head hash at the boundary *)
+  kv : (int * int * int) array option;
+      (** canonical KV triples; [None] when state is not materialized *)
+  mutable kv_digest : string option;  (** memoized {!Rcc_storage.Snapshot.kv_digest} *)
+}
+
+type t
+
+val create : ?capacity:int -> interval:int -> unit -> t
+(** Ring of the newest [capacity] (default 4) boundary latches, one
+    every [interval] rounds. [interval <= 0] disables latching entirely
+    ({!boundary} always [None]). *)
+
+val interval : t -> int
+
+val boundary : t -> executed:Rcc_common.Ids.round -> Rcc_common.Ids.round option
+(** [Some seq] when executing round [executed] just completed boundary
+    [seq = executed + 1] (a positive multiple of the interval) that has
+    not been latched yet. *)
+
+val record :
+  t ->
+  seq:Rcc_common.Ids.round ->
+  head:string ->
+  kv:(int * int * int) array option ->
+  unit
+(** Latch a boundary. Must arrive with increasing [seq]; stale ones are
+    ignored. *)
+
+val latest : t -> entry option
+
+val find : t -> seq:Rcc_common.Ids.round -> entry option
+
+val digest_of : entry -> string
+(** The entry's KV digest ([""] for non-materialized state), memoized. *)

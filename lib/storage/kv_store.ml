@@ -74,6 +74,59 @@ let size t = t.direct_count + Hashtbl.length t.spill
 let reads_performed t = t.reads
 let writes_performed t = t.writes
 
+(* Canonical order — direct keys ascending, then spill keys ascending —
+   so two stores holding the same state enumerate identically no matter
+   how entries are split between the array and the spill. *)
+let iter t f =
+  Array.iteri
+    (fun key r -> match r with Some r -> f key r.value r.version | None -> ())
+    t.direct;
+  if Hashtbl.length t.spill > 0 then begin
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.spill [] in
+    List.iter
+      (fun k ->
+        let r = Hashtbl.find t.spill k in
+        f k r.value r.version)
+      (List.sort compare keys)
+  end
+
+let entries t =
+  let out = Array.make (size t) (0, 0, 0) in
+  let i = ref 0 in
+  iter t (fun key value version ->
+      out.(!i) <- (key, value, version);
+      incr i);
+  out
+
+let copy t =
+  {
+    direct =
+      Array.map (Option.map (fun r -> { value = r.value; version = r.version }))
+        t.direct;
+    spill =
+      (let s = Hashtbl.create (max 16 (Hashtbl.length t.spill)) in
+       Hashtbl.iter
+         (fun k r -> Hashtbl.replace s k { value = r.value; version = r.version })
+         t.spill;
+       s);
+    direct_count = t.direct_count;
+    reads = 0;
+    writes = 0;
+  }
+
+(* Wholesale replacement for snapshot install. The access counters are
+   cumulative effort counters, not state, so they survive the install. *)
+let install t new_entries =
+  Array.fill t.direct 0 (Array.length t.direct) None;
+  Hashtbl.reset t.spill;
+  t.direct_count <- 0;
+  Array.iter
+    (fun (key, value, version) ->
+      let r = { value; version } in
+      if key >= 0 && key < max_direct then set_direct t key r
+      else Hashtbl.replace t.spill key r)
+    new_entries
+
 let state_digest t =
   (* Xor of per-entry digests is order-insensitive, so the digest does
      not depend on whether an entry lives in the array or the spill. *)

@@ -29,3 +29,21 @@ val state_digest : t -> string
 (** Order-insensitive digest of the current key/value/version state; equal
     states yield equal digests. Intended for test assertions, not the hot
     path. *)
+
+val iter : t -> (int -> int -> int -> unit) -> unit
+(** [iter t f] calls [f key value version] over every record in canonical
+    order (direct keys ascending, then spill keys ascending) — equal
+    states enumerate identically regardless of array/spill placement. *)
+
+val entries : t -> (int * int * int) array
+(** The whole table as [(key, value, version)] triples in canonical
+    order; the snapshot wire representation. *)
+
+val copy : t -> t
+(** Deep copy of the current state (access counters reset). Snapshot
+    boundary latches copy the store so a later fetch serializes the state
+    as of the boundary, not the live one. *)
+
+val install : t -> (int * int * int) array -> unit
+(** Replace the entire table with the given triples (state transfer
+    install). Access counters are left untouched. *)

@@ -73,3 +73,14 @@ let iter t f =
   for i = 0 to t.used - 1 do
     f !(t.blocks).(i)
   done
+
+let prefix t ~upto =
+  let n = min (max upto 0) t.used in
+  Array.init n (fun i -> !(t.blocks).(i))
+
+let install t blocks =
+  t.blocks := Array.copy blocks;
+  t.used <- Array.length blocks;
+  (* The cached head hashed the pre-install chain; recompute lazily from
+     the installed blocks or the next append chains off a stale head. *)
+  t.head_valid <- false

@@ -24,3 +24,13 @@ val validate : t -> (unit, string) result
 (** Re-checks the whole hash chain. *)
 
 val iter : t -> (Block.t -> unit) -> unit
+
+val prefix : t -> upto:int -> Block.t array
+(** The first [min upto (length t)] blocks, for serving a snapshot of the
+    chain up to a checkpoint boundary. *)
+
+val install : t -> Block.t array -> unit
+(** Replace the whole chain (state transfer install) and invalidate the
+    cached head hash. The blocks must already chain from this ledger's
+    genesis; callers verify with {!validate} / [Snapshot.chain_head]
+    before installing. *)

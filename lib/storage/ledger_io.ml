@@ -14,7 +14,7 @@ let w_int_list buf l =
   w_int buf (List.length l);
   List.iter (w_int buf) l
 
-let w_block buf (b : Block.t) =
+let write_block buf (b : Block.t) =
   w_int buf b.Block.round;
   w_string buf b.Block.prev_hash;
   w_int buf (List.length b.Block.proofs);
@@ -32,7 +32,7 @@ let save ledger ~primaries =
   Buffer.add_string buf magic;
   w_int_list buf primaries;
   w_int buf (Ledger.length ledger);
-  Ledger.iter ledger (fun block -> w_block buf block);
+  Ledger.iter ledger (fun block -> write_block buf block);
   Buffer.contents buf
 
 (* --- reader ------------------------------------------------------------ *)
@@ -78,6 +78,14 @@ let r_block r =
   let primaries = r_int_list r in
   let clients = r_int_list r in
   { Block.round; prev_hash; proofs; primaries; clients }
+
+(* Exposed for Snapshot, which embeds a block chain in its own framing:
+   reads one block record starting at [pos], returns it with the next
+   position. *)
+let read_block s ~pos =
+  let r = { buf = s; pos } in
+  let b = r_block r in
+  (b, r.pos)
 
 let load s =
   match

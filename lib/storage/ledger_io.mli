@@ -15,3 +15,14 @@ val load : string -> (Ledger.t, string) result
 
 val save_file : Ledger.t -> primaries:Rcc_common.Ids.replica_id list -> path:string -> unit
 val load_file : path:string -> (Ledger.t, string) result
+
+(** Block-record framing, exposed so {!Snapshot} can embed a chain prefix
+    inside its own format without a second encoder. *)
+
+exception Malformed of string
+
+val write_block : Buffer.t -> Block.t -> unit
+
+val read_block : string -> pos:int -> Block.t * int
+(** Parse one block record at [pos]; returns the block and the position
+    just past it. Raises {!Malformed} on truncated or oversized fields. *)

@@ -1,0 +1,51 @@
+(** Serialized replica state for checkpoint-backed state transfer.
+
+    A snapshot at boundary [seq] is the state after executing rounds
+    [0, seq): the ledger prefix (whose hash chain pins every byte of it),
+    the materialized key-value table in canonical order, and the
+    duplicate-reply cache. A lagging replica installs one wholesale
+    instead of replaying the gap round by round — O(gap) bytes, not
+    O(gap) consensus rounds.
+
+    Verification argument: the requester learns [(seq, head, kv_digest)]
+    from f+1 matching snapshot offers, so at least one correct replica
+    attested them. {!verify} recomputes the chain head from the genesis
+    parameters and the blob's own blocks; a forged or corrupted prefix
+    cannot reach the attested head without breaking SHA-256. The KV
+    section is pinned separately by {!kv_digest} because certificate
+    digests and primaries are excluded from block identity, so the chain
+    alone does not commit to it byte-for-byte. The reply cache is
+    unattested best-effort data: it only suppresses duplicate client
+    responses and cannot affect agreed state. *)
+
+type t = {
+  seq : Rcc_common.Ids.round;  (** state after rounds [< seq] *)
+  blocks : Block.t array;  (** ledger prefix, rounds [0, seq) *)
+  kv : (int * int * int) array option;
+      (** [(key, value, version)] in {!Kv_store.entries} canonical order;
+          [None] when the serving replica does not materialize state *)
+  replied :
+    (Rcc_common.Ids.client_id * string * Rcc_common.Ids.round * string) list;
+      (** duplicate-reply cache entries
+          [(client, batch digest, round, result digest)] *)
+}
+
+val kv_digest : (int * int * int) array option -> string
+(** Digest over the canonical KV triples; [""] for [None]. This is the
+    value boundary latches attest and {!Msg.Snapshot_reply} carries as
+    [sp_kv]. *)
+
+val chain_head : primaries:Rcc_common.Ids.replica_id list -> Block.t array ->
+  (string, string) result
+(** Head hash a standalone chain pins, walking it from the genesis
+    derived from [primaries]; [Error] when rounds or links are broken. *)
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+
+val verify : primaries:Rcc_common.Ids.replica_id list -> t ->
+  (string, string) result
+(** Self-consistency check before install: the chain covers exactly
+    [seq] rounds and links end to end. Returns the resulting head hash
+    for comparison against the attested one. *)

@@ -17,6 +17,14 @@ type payload =
   | Checkpoint_stable of { upto : int }
   | Collusion
   | Violation of { name : string }
+  (* State-transfer family: a lagging replica detecting and closing a gap
+     via snapshot install (events carry the snapshot boundary [seq]). *)
+  | St_gap of { behind : int; target : int }
+  | St_request of { seq : int; fetch : bool }
+  | St_served of { seq : int; bytes : int; dst : int }
+  | St_verified of { seq : int }
+  | St_installed of { seq : int; rounds : int; bytes : int }
+  | St_rejected of { seq : int; donor : int; reason : string }
 
 type t = {
   at : int;  (* simulated ns *)
@@ -40,3 +48,9 @@ let name = function
   | Checkpoint_stable _ -> "checkpoint_stable"
   | Collusion -> "collusion"
   | Violation _ -> "violation"
+  | St_gap _ -> "st_gap"
+  | St_request _ -> "st_request"
+  | St_served _ -> "st_served"
+  | St_verified _ -> "st_verified"
+  | St_installed _ -> "st_installed"
+  | St_rejected _ -> "st_rejected"

@@ -30,6 +30,22 @@ type payload =
       (** slots [<= upto] collected under a stable checkpoint *)
   | Collusion  (** coordinator's collusion detector fired *)
   | Violation of { name : string }  (** chaos invariant violation *)
+  | St_gap of { behind : int; target : int }
+      (** gap detected: this replica's frontier [behind] vs. the
+          cluster's attested snapshot boundary [target] *)
+  | St_request of { seq : int; fetch : bool }
+      (** snapshot requested: an offer probe ([fetch = false]) or the
+          full fetch from the chosen donor *)
+  | St_served of { seq : int; bytes : int; dst : int }
+      (** this replica served a full snapshot to [dst] *)
+  | St_verified of { seq : int }
+      (** fetched snapshot passed digest + chain verification *)
+  | St_installed of { seq : int; rounds : int; bytes : int }
+      (** snapshot installed wholesale, skipping [rounds] rounds of
+          consensus replay for [bytes] transferred *)
+  | St_rejected of { seq : int; donor : int; reason : string }
+      (** snapshot from [donor] rejected; recovery proceeds via the next
+          candidate donor *)
 
 type t = { at : int; replica : int; instance : int; payload : payload }
 

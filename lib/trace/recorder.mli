@@ -1,13 +1,23 @@
-(** Bounded ring buffer of trace events.
+(** Bounded ring buffer of trace events, with pinning of rare ones.
 
-    Recording is O(1) and allocation-free (beyond the event itself);
-    once [capacity] events have been recorded the oldest are silently
-    overwritten, keeping the trailing window. *)
+    Recording is O(1) and allocation-free (beyond the event itself).
+    High-volume payloads (network, spans, per-slot events) go to a ring:
+    once [capacity] of them have been recorded the oldest are silently
+    overwritten, keeping the trailing window. Rare protocol-level
+    payloads (primary changes, blames, violations, the state-transfer
+    family) are pinned in a separate bounded store that never wraps, so
+    post-mortem dumps and assertions still see them even when the ring
+    has turned over many times; should the pinned store ever fill, later
+    rare events degrade to ring recording instead of being dropped.
+    {!iter} and {!to_list} merge both streams back into time order. *)
 
 type t
 
 val default_capacity : int
-(** 65536 events. *)
+(** 65536 ring events. *)
+
+val pinned_capacity : int
+(** 16384 pinned events. *)
 
 val create : ?capacity:int -> unit -> t
 
@@ -19,12 +29,16 @@ val recorded : t -> int
 (** Total events ever recorded, including overwritten ones. *)
 
 val dropped : t -> int
-(** Events lost to ring wrap-around: [max 0 (recorded - capacity)]. *)
+(** Events lost to ring wrap-around: ring recordings minus capacity
+    (pinned events are never dropped). *)
 
 val stored : t -> int
-(** Events currently held: [min recorded capacity]. *)
+(** Events currently held, ring window plus pinned. *)
+
+val pinned : t -> int
+(** Rare events currently pinned. *)
 
 val iter : t -> (Event.t -> unit) -> unit
-(** Oldest surviving event first. *)
+(** Surviving events in time order (ring window merged with pinned). *)
 
 val to_list : t -> Event.t list

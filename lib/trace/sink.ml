@@ -47,6 +47,18 @@ let payload_args (p : Event.payload) =
   | Event.Checkpoint_stable { upto } -> Printf.sprintf "\"upto\":%d" upto
   | Event.Collusion -> ""
   | Event.Violation { name } -> Printf.sprintf "\"name\":\"%s\"" (escape name)
+  | Event.St_gap { behind; target } ->
+      Printf.sprintf "\"behind\":%d,\"target\":%d" behind target
+  | Event.St_request { seq; fetch } ->
+      Printf.sprintf "\"seq\":%d,\"fetch\":%b" seq fetch
+  | Event.St_served { seq; bytes; dst } ->
+      Printf.sprintf "\"seq\":%d,\"bytes\":%d,\"dst\":%d" seq bytes dst
+  | Event.St_verified { seq } -> Printf.sprintf "\"seq\":%d" seq
+  | Event.St_installed { seq; rounds; bytes } ->
+      Printf.sprintf "\"seq\":%d,\"rounds\":%d,\"bytes\":%d" seq rounds bytes
+  | Event.St_rejected { seq; donor; reason } ->
+      Printf.sprintf "\"seq\":%d,\"donor\":%d,\"reason\":\"%s\"" seq donor
+        (escape reason)
 
 (* --- JSONL --------------------------------------------------------------- *)
 

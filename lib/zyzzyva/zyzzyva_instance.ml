@@ -6,6 +6,7 @@ module Env = Rcc_replica.Instance_env
 module SL = Rcc_proto_core.Slot_log
 module Quorum = Rcc_proto_core.Quorum
 module Held_batches = Rcc_proto_core.Held_batches
+module Checkpointing = Rcc_proto_core.Checkpointing
 
 (* Protocol-specific slot state; batch / accepted / created_at live in
    the shared {!Rcc_proto_core.Slot_log}. *)
@@ -23,6 +24,7 @@ type t = {
   mutable vc_sent_for : int;
   mutable last_failure_report : int;
   mutable recovering : bool;  (* new primary syncing in-flight slots *)
+  ckpt : Checkpointing.t;
   held : Held_batches.t;  (* submitted while recovering *)
   mutable running : bool;
 }
@@ -44,6 +46,7 @@ let create env =
     vc_sent_for = 0;
     last_failure_report = -1;
     recovering = false;
+    ckpt = Checkpointing.create ~n ~f ~interval:env.Env.checkpoint_interval ();
     held = Held_batches.create ();
     running = false;
   }
@@ -60,19 +63,45 @@ let extend_history t digest =
   t.history <- Rcc_crypto.Sha256.digest_list [ t.history; digest ];
   t.history
 
-(* Bound the slot log: speculative slots older than this are only needed
-   for contracts, which the coordinator serves from its own history. *)
-let retain_slots = 8_192
+(* --- checkpointing ---------------------------------------------------- *)
+
+(* Slots covered by a stable checkpoint are only needed for contracts,
+   which the coordinator serves from its own history — collect them. The
+   checkpoint digest is the chained speculative history at the boundary,
+   so any two replicas voting for one boundary vouch for the same
+   execution prefix. *)
+let advance_ckpt t =
+  (match Checkpointing.try_stabilize t.ckpt ~exec_upto:(SL.frontier t.log) with
+  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | None -> ());
+  match Checkpointing.due t.ckpt ~exec_upto:(SL.frontier t.log) with
+  | Some target ->
+      let digest =
+        match SL.find_opt t.log target with
+        | Some { SL.state = { history }; _ } -> history
+        | None -> ""
+      in
+      t.env.Env.broadcast
+        (Msg.Checkpoint
+           { instance = t.env.Env.instance; seq = target; state_digest = digest })
+  | None -> ()
+
+let on_checkpoint t ~src seq digest =
+  match
+    Checkpointing.on_vote t.ckpt ~src ~seq ~digest
+      ~exec_upto:(SL.frontier t.log)
+  with
+  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | None -> ()
 
 (* Accept pending slots strictly in sequence order, chaining the history
    digest (speculative execution). *)
 let drain_accepts t =
-  ignore
-    (SL.drain t.log ~accept:(fun s ->
+  let advanced =
+    SL.drain t.log ~accept:(fun s ->
          match s.SL.batch with
          | Some batch when not s.SL.accepted ->
              s.SL.accepted <- true;
-             SL.remove t.log (s.SL.round - retain_slots);
              s.SL.state.history <- extend_history t batch.Batch.digest;
              t.env.Env.accept
                {
@@ -84,7 +113,9 @@ let drain_accepts t =
                  history = s.SL.state.history;
                };
              true
-         | Some _ | None -> false))
+         | Some _ | None -> false)
+  in
+  if advanced then advance_ckpt t
 
 let on_order_request t ~src ~view ~seq batch ~history:_ =
   if src = t.primary && view = t.view then begin
@@ -265,6 +296,22 @@ let adopt t ~round batch ~cert:_ =
 
 let proposed_upto t = t.next_seq - 1
 
+let fast_forward t ~proof =
+  let round = proof.Rcc_storage.Checkpoint_store.seq in
+  SL.fast_forward t.log ~round;
+  Checkpointing.install t.ckpt proof;
+  (* Re-seed the speculative history chain from the attested state digest:
+     every replica installing this snapshot chains identically from here.
+     (Never-lagged peers keep their longer chain, so this replica's
+     responses stop counting toward speculative certificates — clients
+     fall back to the commit-certificate path, a liveness nuance only.) *)
+  t.history <- proof.Rcc_storage.Checkpoint_store.state_digest;
+  if t.committed < round - 1 then t.committed <- round - 1;
+  if t.next_seq < round then t.next_seq <- round
+
+let log_stats t = (SL.retained_slots t.log, SL.live_words t.log)
+let checkpoint_log t = Checkpointing.log t.ckpt
+
 let accepted_batch t ~round =
   match SL.find_opt t.log round with
   | Some { SL.accepted = true; batch = Some b; _ } ->
@@ -308,10 +355,12 @@ let handle t ~src msg =
       on_commit_cert t ~seq:cc_seq ~replicas:cc_replicas
   | Msg.View_change { new_view; _ } -> on_view_change t ~src ~new_view
   | Msg.New_view { view; reproposals; _ } -> on_new_view t ~src ~view reproposals
-  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+  | Msg.Checkpoint { seq; state_digest; _ } -> on_checkpoint t ~src seq state_digest
+  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _
   | Msg.Client_request _ | Msg.Local_commit _ | Msg.Hs_proposal _
   | Msg.Hs_vote _ | Msg.Response _ | Msg.Contract _ | Msg.Contract_request _
-  | Msg.Instance_change _ | Msg.View_sync _ ->
+  | Msg.Instance_change _ | Msg.View_sync _ | Msg.Snapshot_request _
+  | Msg.Snapshot_reply _ ->
       ()
 
 let cost_of (costs : Costs.t) msg =
@@ -326,9 +375,10 @@ let cost_of (costs : Costs.t) msg =
   | Msg.Commit_cert { cc_replicas; _ } ->
       costs.Costs.worker_msg
       + (costs.Costs.mac_verify * List.length cc_replicas)
-  | Msg.View_change _ | Msg.New_view _ | Msg.Local_commit _ ->
+  | Msg.View_change _ | Msg.New_view _ | Msg.Local_commit _ | Msg.Checkpoint _ ->
       costs.Costs.worker_msg + costs.Costs.mac_verify
-  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _ | Msg.Checkpoint _
+  | Msg.Pre_prepare _ | Msg.Prepare _ | Msg.Commit _
   | Msg.Client_request _ | Msg.Hs_proposal _ | Msg.Hs_vote _ | Msg.Response _
-  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ | Msg.View_sync _ ->
+  | Msg.Contract _ | Msg.Contract_request _ | Msg.Instance_change _ | Msg.View_sync _ | Msg.Snapshot_request _
+  | Msg.Snapshot_reply _ ->
       costs.Costs.worker_msg

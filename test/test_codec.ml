@@ -100,6 +100,14 @@ let gen_msg =
               return Msg.{ bv_accuser; bv_round; bv_sig })
          in
          return (Msg.View_sync { instance; view; primary; kmal; cert }));
+        (let* sr_seq = gen_small and* fetch = bool in
+         return (Msg.Snapshot_request { sr_seq; fetch }));
+        (let* sp_seq = gen_small and* sp_head = gen_digest
+         and* sp_kv = oneof [ return ""; gen_digest ]
+         and* sp_attesters = gen_ids
+         and* sp_payload = option string in
+         return
+           (Msg.Snapshot_reply { sp_seq; sp_head; sp_kv; sp_attesters; sp_payload }));
       ])
 
 (* Structural equality is fine: messages are pure data. *)

@@ -17,6 +17,7 @@ let () =
       Test_cft.suite;
       Test_coordinator.suite;
       Test_runtime.suite;
+      Test_state_transfer.suite;
       Test_chaos.suite;
       Test_integration.suite;
     ]

@@ -91,6 +91,11 @@ let test_report_formatting () =
       worker_utilization = 0.25;
       sim_events = 99;
       wall_seconds = 0.5;
+      snap_installs = 0;
+      snap_rejects = 0;
+      snap_rounds_skipped = 0;
+      snap_bytes_in = 0;
+      snap_bytes_out = 0;
       per_instance = [||];
     }
   in

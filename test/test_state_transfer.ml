@@ -1,0 +1,472 @@
+(* State-transfer tests: snapshot codec and verification, the manager's
+   probe/fetch/install state machine against stub hooks (donor timeout
+   failover, corrupt-donor rejection), install cache invalidation, and a
+   cluster-level partition/heal run asserting the lagging replica
+   converges through a snapshot rather than replay. *)
+
+module Engine = Rcc_sim.Engine
+module Msg = Rcc_messages.Msg
+module Block = Rcc_storage.Block
+module Ledger = Rcc_storage.Ledger
+module Kv = Rcc_storage.Kv_store
+module Snapshot = Rcc_storage.Snapshot
+module Batch = Rcc_messages.Batch
+module Manager = Rcc_state_transfer.Manager
+module Latch = Rcc_state_transfer.Latch
+module Config = Rcc_runtime.Config
+module Report = Rcc_runtime.Report
+module Cluster = Rcc_runtime.Cluster
+module Script = Rcc_chaos.Script
+module Nemesis = Rcc_chaos.Nemesis
+module Invariant = Rcc_chaos.Invariant
+
+let check = Alcotest.check
+
+let primaries = [ 0; 1 ]
+
+let proof i =
+  {
+    Block.instance = i;
+    batch_digest = Rcc_crypto.Sha256.digest (Printf.sprintf "batch-%d" i);
+    certificate_digest = Rcc_crypto.Sha256.digest (Printf.sprintf "cert-%d" i);
+  }
+
+(* A valid [rounds]-block chain from the [primaries] genesis, with
+   per-round proof digests so every block hashes distinctly. *)
+let ledger_of ~rounds =
+  let ledger = Ledger.create ~primaries in
+  for round = 0 to rounds - 1 do
+    let proofs =
+      [
+        { (proof 0) with
+          Block.batch_digest =
+            Rcc_crypto.Sha256.digest (Printf.sprintf "b0-%d" round);
+        };
+        proof 1;
+      ]
+    in
+    Ledger.append_exn ledger
+      {
+        Block.round;
+        prev_hash = Ledger.head_hash ledger;
+        proofs;
+        primaries;
+        clients = [ round mod 7 ];
+      }
+  done;
+  ledger
+
+(* KV table with the dense YCSB records plus spill keys outside the
+   dense range — both shapes must survive the snapshot roundtrip. *)
+let store_with_spill () =
+  let store = Kv.create () in
+  Kv.init_records store ~count:50;
+  Kv.write store ~key:3 ~value:77;
+  Kv.write store ~key:9_999 ~value:1;
+  Kv.write store ~key:123_456 ~value:42;
+  store
+
+let snapshot_of ~rounds =
+  let ledger = ledger_of ~rounds in
+  let store = store_with_spill () in
+  {
+    Snapshot.seq = rounds;
+    blocks = Ledger.prefix ledger ~upto:rounds;
+    kv = Some (Kv.entries store);
+    replied = [ (4, Rcc_crypto.Sha256.digest "req", rounds - 1, "result") ];
+  }
+
+(* --- snapshot codec ----------------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let snap = snapshot_of ~rounds:12 in
+  let head = Ledger.head_hash (ledger_of ~rounds:12) in
+  match Snapshot.decode (Snapshot.encode snap) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok got ->
+      check Alcotest.int "seq" snap.Snapshot.seq got.Snapshot.seq;
+      check Alcotest.int "blocks" 12 (Array.length got.Snapshot.blocks);
+      check Alcotest.bool "kv preserved" true (snap.Snapshot.kv = got.Snapshot.kv);
+      check Alcotest.bool "replied preserved" true
+        (snap.Snapshot.replied = got.Snapshot.replied);
+      check Alcotest.string "kv digest stable"
+        (Snapshot.kv_digest snap.Snapshot.kv)
+        (Snapshot.kv_digest got.Snapshot.kv);
+      (match Snapshot.verify ~primaries got with
+      | Ok h -> check Alcotest.string "verified head = chain head" head h
+      | Error e -> Alcotest.failf "verify failed: %s" e)
+
+let test_snapshot_roundtrip_unmaterialized () =
+  let snap = { (snapshot_of ~rounds:8) with Snapshot.kv = None; replied = [] } in
+  match Snapshot.decode (Snapshot.encode snap) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok got ->
+      check Alcotest.bool "kv none" true (got.Snapshot.kv = None);
+      check Alcotest.string "kv digest empty" "" (Snapshot.kv_digest got.Snapshot.kv);
+      check Alcotest.bool "verifies" true (Result.is_ok (Snapshot.verify ~primaries got))
+
+(* Single-byte corruptions must either be caught before install — decoder
+   rejection, chain break, or head/kv digest mismatch — or land only in
+   fields the design explicitly leaves unattested: certificate digests
+   and primaries (excluded from block identity because replicas
+   legitimately hold different valid quorums) and the best-effort reply
+   cache. Nothing that reaches agreed state may change. *)
+let test_snapshot_corruption_rejected () =
+  let snap = snapshot_of ~rounds:6 in
+  let attested_head =
+    match Snapshot.verify ~primaries snap with
+    | Ok h -> h
+    | Error e -> Alcotest.failf "pristine snapshot must verify: %s" e
+  in
+  let attested_kv = Snapshot.kv_digest snap.Snapshot.kv in
+  let blob = Snapshot.encode snap in
+  let step = max 1 (String.length blob / 97) in
+  let pos = ref 0 in
+  while !pos < String.length blob do
+    let b = Bytes.of_string blob in
+    Bytes.set b !pos (Char.chr (Char.code (Bytes.get b !pos) lxor 0x40));
+    let attested_fields_intact (forged : Snapshot.t) =
+      forged.Snapshot.seq = snap.Snapshot.seq
+      && Array.length forged.Snapshot.blocks = Array.length snap.Snapshot.blocks
+      && Array.for_all2
+           (fun (f : Block.t) (o : Block.t) ->
+             f.Block.round = o.Block.round
+             && String.equal f.Block.prev_hash o.Block.prev_hash
+             && f.Block.clients = o.Block.clients
+             && List.length f.Block.proofs = List.length o.Block.proofs
+             && List.for_all2
+                  (fun (fp : Block.proof) (op : Block.proof) ->
+                    fp.Block.instance = op.Block.instance
+                    && String.equal fp.Block.batch_digest op.Block.batch_digest)
+                  f.Block.proofs o.Block.proofs)
+           forged.Snapshot.blocks snap.Snapshot.blocks
+      && forged.Snapshot.kv = snap.Snapshot.kv
+    in
+    let ok =
+      match Snapshot.decode (Bytes.unsafe_to_string b) with
+      | Error _ -> true
+      | Ok forged -> (
+          match Snapshot.verify ~primaries forged with
+          | Error _ -> true
+          | Ok head ->
+              if
+                (not (String.equal head attested_head))
+                || not
+                     (String.equal
+                        (Snapshot.kv_digest forged.Snapshot.kv)
+                        attested_kv)
+              then true (* caught by the requester's attested comparison *)
+              else attested_fields_intact forged)
+    in
+    if not ok then
+      Alcotest.failf "corruption at byte %d of %d reached attested state" !pos
+        (String.length blob);
+    pos := !pos + step
+  done
+
+(* --- manager state machine --------------------------------------------- *)
+
+(* A requester manager wired to stub hooks: donors are simulated by
+   feeding replies through [on_msg], sends are captured for inspection,
+   and install lands in a real ledger + store so cache invalidation is
+   exercised too. *)
+type world = {
+  mgr : Manager.t;
+  engine : Engine.t;
+  sent : (Rcc_common.Ids.replica_id option * Msg.t) list ref;
+      (* (Some dst | None = broadcast, msg), newest first *)
+  ledger : Ledger.t;
+  store : Kv.t;
+  executed : int ref;
+  installed : int ref;
+}
+
+let donor_rounds = 32
+
+(* checkpoint_interval 4 -> snapshot boundary every 16 rounds. *)
+let interval = 4
+
+let make_world ?(corrupt = ref false) () =
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let ledger = Ledger.create ~primaries in
+  let store = Kv.create () in
+  let executed = ref (-1) in
+  let installed = ref 0 in
+  let hooks =
+    {
+      Manager.n = 4;
+      f = 1;
+      self = 3;
+      engine;
+      timeout = Engine.ms 100;
+      checkpoint_interval = interval;
+      materialized = true;
+      primaries;
+      send = (fun ~dst msg -> sent := (Some dst, msg) :: !sent);
+      broadcast = (fun msg -> sent := (None, msg) :: !sent);
+      head = (fun () -> Ledger.head_hash ledger);
+      kv_entries = (fun () -> Some (Kv.entries store));
+      blocks_prefix = (fun ~upto -> Ledger.prefix ledger ~upto);
+      replied_entries = (fun () -> []);
+      executed_upto = (fun () -> !executed);
+      attesters = (fun ~seq:_ -> []);
+      corrupt_reply = (fun () -> !corrupt);
+      install =
+        (fun snap ~proof:_ ->
+          Ledger.install ledger snap.Snapshot.blocks;
+          Batch.reset_memo ();
+          (match snap.Snapshot.kv with
+          | Some entries -> Kv.install store entries
+          | None -> ());
+          executed := snap.Snapshot.seq - 1;
+          incr installed);
+    }
+  in
+  { mgr = Manager.create hooks; engine; sent; ledger; store; executed; installed }
+
+let advance w ms_ =
+  let target = Engine.now w.engine + Engine.ms ms_ in
+  Engine.schedule_at w.engine target (fun () -> ());
+  Engine.run w.engine ~until:target
+
+(* The donor's state all stub donors serve from. *)
+let donor_snapshot () =
+  let ledger = ledger_of ~rounds:donor_rounds in
+  let store = store_with_spill () in
+  ( {
+      Snapshot.seq = donor_rounds;
+      blocks = Ledger.prefix ledger ~upto:donor_rounds;
+      kv = Some (Kv.entries store);
+      replied = [];
+    },
+    Ledger.head_hash ledger )
+
+let offer_from w ~src ~head ~kv_digest =
+  Manager.on_msg w.mgr ~src
+    (Msg.Snapshot_reply
+       {
+         sp_seq = donor_rounds;
+         sp_head = head;
+         sp_kv = kv_digest;
+         sp_attesters = [];
+         sp_payload = None;
+       })
+
+let full_reply_from w ~src blob ~head ~kv_digest =
+  Manager.on_msg w.mgr ~src
+    (Msg.Snapshot_reply
+       {
+         sp_seq = donor_rounds;
+         sp_head = head;
+         sp_kv = kv_digest;
+         sp_attesters = [];
+         sp_payload = Some blob;
+       })
+
+let fetch_target w =
+  match !(w.sent) with
+  | (Some dst, Msg.Snapshot_request { fetch = true; _ }) :: _ -> Some dst
+  | _ -> None
+
+(* Stall past the timeout, collect offers from f+1 donors, and return the
+   donor the manager picked. *)
+let stall_and_probe w ~head ~kv_digest =
+  advance w 150;
+  Manager.tick w.mgr;
+  (match !(w.sent) with
+  | (None, Msg.Snapshot_request { fetch = false; _ }) :: _ -> ()
+  | _ -> Alcotest.fail "stall did not broadcast a probe");
+  offer_from w ~src:0 ~head ~kv_digest;
+  check Alcotest.bool "single offer not fetched yet" true (fetch_target w = None);
+  offer_from w ~src:1 ~head ~kv_digest;
+  match fetch_target w with
+  | Some dst -> dst
+  | None -> Alcotest.fail "f+1 matching offers did not start a fetch"
+
+let test_manager_install_path () =
+  let w = make_world () in
+  let snap, head = donor_snapshot () in
+  let kvd = Snapshot.kv_digest snap.Snapshot.kv in
+  let donor = stall_and_probe w ~head ~kv_digest:kvd in
+  check Alcotest.int "fetches from first offerer" 0 donor;
+  full_reply_from w ~src:donor (Snapshot.encode snap) ~head ~kv_digest:kvd;
+  check Alcotest.int "installed" 1 !(w.installed);
+  check Alcotest.int "frontier jumped" (donor_rounds - 1) !(w.executed);
+  check Alcotest.int "ledger replaced" donor_rounds (Ledger.length w.ledger);
+  check Alcotest.string "ledger head = donor head" head (Ledger.head_hash w.ledger);
+  check Alcotest.(option int) "kv spill key installed" (Some 42)
+    (Kv.read w.store 123_456);
+  let stats = Manager.stats w.mgr in
+  check Alcotest.int "stats installs" 1 stats.Manager.installs;
+  check Alcotest.int "stats rounds skipped" donor_rounds stats.Manager.rounds_skipped;
+  check Alcotest.bool "bytes counted" true (stats.Manager.bytes_in > 0)
+
+let test_manager_donor_timeout_failover () =
+  let w = make_world () in
+  let snap, head = donor_snapshot () in
+  let kvd = Snapshot.kv_digest snap.Snapshot.kv in
+  let first = stall_and_probe w ~head ~kv_digest:kvd in
+  (* First donor never answers; the per-donor timeout must fail over to
+     the second offerer, not re-probe from scratch. *)
+  advance w 150;
+  Manager.tick w.mgr;
+  (match fetch_target w with
+  | Some second ->
+      check Alcotest.bool "failover donor differs" true (second <> first);
+      full_reply_from w ~src:second (Snapshot.encode snap) ~head ~kv_digest:kvd
+  | None -> Alcotest.fail "timeout did not fail over to the next donor");
+  check Alcotest.int "installed after failover" 1 !(w.installed);
+  let stats = Manager.stats w.mgr in
+  check Alcotest.int "timeout counted as reject" 1 stats.Manager.rejects
+
+let test_manager_rejects_corrupt_then_recovers () =
+  let w = make_world () in
+  let snap, head = donor_snapshot () in
+  let kvd = Snapshot.kv_digest snap.Snapshot.kv in
+  let blob = Snapshot.encode snap in
+  let corrupt =
+    let b = Bytes.of_string blob in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    Bytes.unsafe_to_string b
+  in
+  let first = stall_and_probe w ~head ~kv_digest:kvd in
+  full_reply_from w ~src:first corrupt ~head ~kv_digest:kvd;
+  check Alcotest.int "corrupt blob not installed" 0 !(w.installed);
+  (match fetch_target w with
+  | Some second ->
+      check Alcotest.bool "failover donor differs" true (second <> first);
+      full_reply_from w ~src:second blob ~head ~kv_digest:kvd
+  | None -> Alcotest.fail "rejection did not fail over to the next donor");
+  check Alcotest.int "honest blob installed" 1 !(w.installed);
+  let stats = Manager.stats w.mgr in
+  check Alcotest.int "one reject" 1 stats.Manager.rejects;
+  check Alcotest.int "one install" 1 stats.Manager.installs
+
+(* A forged head that f+1 colluding offerers agree on still cannot be
+   installed: the blob's recomputed head won't match it (chain check), and
+   a blob doctored to match would need a SHA-256 break. *)
+let test_manager_rejects_head_mismatch () =
+  let w = make_world () in
+  let snap, _head = donor_snapshot () in
+  let kvd = Snapshot.kv_digest snap.Snapshot.kv in
+  let forged = Rcc_crypto.Sha256.digest "forged-head" in
+  let donor = stall_and_probe w ~head:forged ~kv_digest:kvd in
+  full_reply_from w ~src:donor (Snapshot.encode snap) ~head:forged ~kv_digest:kvd;
+  check Alcotest.int "nothing installed" 0 !(w.installed);
+  check Alcotest.int "rejected" 1 (Manager.stats w.mgr).Manager.rejects
+
+(* --- install cache invalidation (satellite: digest-after-install) ------ *)
+
+let test_install_invalidates_caches () =
+  (* Ledger head cache: force the lazy head to be computed for the short
+     chain, then install a longer one — the cached value must not leak. *)
+  let short = ledger_of ~rounds:4 and long = ledger_of ~rounds:9 in
+  let target = Ledger.create ~primaries in
+  Ledger.install target (Ledger.prefix short ~upto:4);
+  let before = Ledger.head_hash target in
+  check Alcotest.string "short head" (Ledger.head_hash short) before;
+  Ledger.install target (Ledger.prefix long ~upto:9);
+  check Alcotest.string "head recomputed after install"
+    (Ledger.head_hash long) (Ledger.head_hash target);
+  check Alcotest.bool "installed chain validates" true
+    (Result.is_ok (Ledger.validate target));
+  (* Batch digest memo: the one-deep memo is keyed by physical array
+     identity, so mutating the memoized array in place would serve a
+     stale digest — reset_memo (called by every install) must drop it. *)
+  let txns = [| Rcc_workload.Txn.{ key = 1; op = Write 5 } |] in
+  let d1 = Batch.digest_of_txns txns in
+  Batch.reset_memo ();
+  txns.(0) <- Rcc_workload.Txn.{ key = 1; op = Write 6 };
+  let d2 = Batch.digest_of_txns txns in
+  check Alcotest.bool "memo dropped: mutated array re-digested" false
+    (String.equal d1 d2)
+
+(* --- cluster-level convergence ----------------------------------------- *)
+
+(* Partition replica 3 for long enough that the cluster's frontier moves
+   thousands of rounds — far past both the contract window and a snapshot
+   boundary — then heal. Replay can't close that gap inside the run, so
+   the assertions below prove the snapshot path: the report counts an
+   install, and the healed replica's ledger prefix-agrees with a donor's
+   and ends within one snapshot interval of it. *)
+let test_cluster_partition_heal_transfer () =
+  let duration = Engine.of_seconds 1.0 in
+  let cfg =
+    Config.make ~protocol:Config.MultiP ~n:4 ~batch_size:10 ~clients:24
+      ~records:2_000 ~duration ~warmup:(duration / 4)
+      ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
+      ~collusion_wait:(Engine.ms 150) ~seed:11 ()
+  in
+  let script =
+    Script.
+      [
+        { at = duration / 10; action = Partition [ [ 3 ] ] };
+        { at = duration * 6 / 10; action = Heal };
+      ]
+  in
+  let cluster = Cluster.build cfg in
+  let _nemesis = Nemesis.install cluster script in
+  let report = Cluster.run cluster in
+  (* Drain in-flight recovery the way the chaos runner does, then judge. *)
+  Cluster.stop_clients cluster;
+  let engine = Cluster.engine cluster in
+  let step = duration / 20 in
+  let rec drain at =
+    if at <= duration * 2 && Invariant.quiesced cluster ~exclude:[] <> [] then begin
+      Engine.run engine ~until:at;
+      drain (at + step)
+    end
+  in
+  drain (duration + step);
+  check Alcotest.bool "no violations after drain" true
+    (Invariant.quiesced cluster ~exclude:[] = []);
+  check Alcotest.bool "snapshot installed" true (report.Report.snap_installs >= 1);
+  check Alcotest.bool "install skipped >= 1000 rounds" true
+    (report.Report.snap_rounds_skipped >= 1_000);
+  check Alcotest.bool "payload bytes flowed" true
+    (report.Report.snap_bytes_in > 0 && report.Report.snap_bytes_out > 0);
+  let healed = Cluster.ledger cluster 3 and donor = Cluster.ledger cluster 0 in
+  let lh = Ledger.length healed and ld = Ledger.length donor in
+  check Alcotest.bool "healed replica caught up past the gap" true (lh >= 1_000);
+  check Alcotest.bool "healed within one snapshot interval of donor" true
+    (ld - lh < 512);
+  let common = min lh ld in
+  (match (Ledger.get healed (common - 1), Ledger.get donor (common - 1)) with
+  | Some a, Some b ->
+      check Alcotest.string "prefix agreement at common frontier"
+        (Rcc_common.Bytes_util.hex (Block.hash b))
+        (Rcc_common.Bytes_util.hex (Block.hash a))
+  | _ -> Alcotest.fail "missing block at common frontier");
+  (* Slot-log GC satellite: consensus memory stays bounded by checkpoint
+     distance, not run length. *)
+  Array.iter
+    (fun (i : Report.instance_stats) ->
+      check Alcotest.bool "retained slots bounded by checkpoint GC" true
+        (i.Report.i_retained_slots < 2_048))
+    report.Report.per_instance;
+  check Alcotest.bool "run executed far more rounds than any slot log retains"
+    true
+    (report.Report.ledger_rounds > 4_000)
+
+let suite =
+  ( "state_transfer",
+    [
+      Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+      Alcotest.test_case "snapshot roundtrip (no kv)" `Quick
+        test_snapshot_roundtrip_unmaterialized;
+      Alcotest.test_case "snapshot corruption rejected" `Quick
+        test_snapshot_corruption_rejected;
+      Alcotest.test_case "manager install path" `Quick test_manager_install_path;
+      Alcotest.test_case "manager donor timeout failover" `Quick
+        test_manager_donor_timeout_failover;
+      Alcotest.test_case "manager corrupt donor failover" `Quick
+        test_manager_rejects_corrupt_then_recovers;
+      Alcotest.test_case "manager head mismatch rejected" `Quick
+        test_manager_rejects_head_mismatch;
+      Alcotest.test_case "install invalidates caches" `Quick
+        test_install_invalidates_caches;
+      Alcotest.test_case "cluster partition-heal converges via snapshot" `Slow
+        test_cluster_partition_heal_transfer;
+    ] )
