@@ -1,0 +1,119 @@
+(* Execute-thread sweep: the conflict-aware parallel scheduler vs the
+   serial execute-thread ceiling (§6's single-execute-thread bottleneck).
+
+   MultiP under a moderately-skewed YCSB workload (theta 0.3, 2M records)
+   with enough closed-loop clients that the offered load exceeds what one
+   execute thread can retire. Serial saturates around the paper's ~340K
+   txn/s ceiling; the parallel scheduler breaks it and keeps rising with
+   the pool size. A high-contention row (theta 0.9, 500K records — the
+   default workload) is included as the honest ablation: when nearly
+   every batch touches the hot keys the dependency groups collapse into
+   one chain and parallel execution cannot beat serial.
+
+   Writes one row per configuration to BENCH_exec_sweep.json (overwritten
+   per run; CI uploads it as a non-gating artifact). *)
+
+module Config = Rcc_runtime.Config
+module Report = Rcc_runtime.Report
+module Experiment = Rcc_runtime.Experiment
+
+type row = {
+  r_label : string;
+  r_mode : Config.exec_mode;
+  r_threads : int;  (* pool size; 1 in serial mode *)
+  r_theta : float;
+  r_report : Report.t;
+}
+
+let config profile ~exec_mode ~exec_threads ~theta ~records =
+  Config.make ~protocol:Config.MultiP ~n:16 ~batch_size:100 ~clients:480
+    ~duration:(Experiment.duration profile)
+    ~warmup:(Experiment.warmup profile)
+    ~theta ~records ~seed:42 ~exec_mode ~exec_threads ~exec_window:8 ()
+
+let run_row profile ~label ~exec_mode ~exec_threads ~theta ~records =
+  let cfg = config profile ~exec_mode ~exec_threads ~theta ~records in
+  let report = Experiment.run_one ~label cfg in
+  {
+    r_label = label;
+    r_mode = exec_mode;
+    r_threads = exec_threads;
+    r_theta = theta;
+    r_report = report;
+  }
+
+let json_of_rows rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      let rep = r.r_report in
+      Printf.bprintf b
+        "  { \"label\": %S, \"exec_mode\": %S, \"exec_threads\": %d,\n\
+        \    \"theta\": %.2f, \"throughput_txn_s\": %.0f,\n\
+        \    \"avg_latency_ms\": %.2f, \"p99_latency_ms\": %.2f,\n\
+        \    \"exec_utilization\": %.3f, \"exec_pool_utilization\": %.3f,\n\
+        \    \"ledger_rounds\": %d, \"ledger_valid\": %b }%s\n"
+        r.r_label
+        (Config.exec_mode_name r.r_mode)
+        r.r_threads r.r_theta rep.Report.throughput
+        (rep.Report.avg_latency *. 1e3)
+        (rep.Report.p99_latency *. 1e3)
+        rep.Report.exec_utilization rep.Report.exec_pool_utilization
+        rep.Report.ledger_rounds rep.Report.ledger_valid
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "]\n";
+  Buffer.contents b
+
+let out_path = "BENCH_exec_sweep.json"
+
+let run profile =
+  let threads =
+    match profile with `Full -> [ 1; 2; 4; 8 ] | `Quick -> [ 2; 4 ]
+  in
+  let low_contention = (0.3, 2_000_000) in
+  let theta, records = low_contention in
+  let serial =
+    run_row profile ~label:"serial" ~exec_mode:Config.Exec_serial
+      ~exec_threads:1 ~theta ~records
+  in
+  let parallel =
+    List.map
+      (fun t ->
+        run_row profile
+          ~label:(Printf.sprintf "parallel t=%d" t)
+          ~exec_mode:Config.Exec_parallel ~exec_threads:t ~theta ~records)
+      threads
+  in
+  (* Honest ablation: the default hot-key workload, where conflict
+     chaining denies the scheduler any parallelism. *)
+  let contended =
+    [
+      run_row profile ~label:"serial theta=0.9" ~exec_mode:Config.Exec_serial
+        ~exec_threads:1 ~theta:0.9 ~records:500_000;
+      run_row profile ~label:"parallel t=4 theta=0.9"
+        ~exec_mode:Config.Exec_parallel ~exec_threads:4 ~theta:0.9
+        ~records:500_000;
+    ]
+  in
+  let rows = (serial :: parallel) @ contended in
+  Printf.printf
+    "\nExec sweep: MultiP n=16 batch=100 clients=480 (theta %.1f, %dK \
+     records)\n"
+    theta (snd low_contention / 1000);
+  Printf.printf "  %-24s %10s %10s %8s %8s\n" "config" "ktxn/s" "p99 ms"
+    "exec%" "pool%";
+  List.iter
+    (fun r ->
+      let rep = r.r_report in
+      Printf.printf "  %-24s %10.1f %10.2f %8.0f %8.0f\n" r.r_label
+        (rep.Report.throughput /. 1e3)
+        (rep.Report.p99_latency *. 1e3)
+        (rep.Report.exec_utilization *. 100.)
+        (rep.Report.exec_pool_utilization *. 100.))
+    rows;
+  let oc = open_out_bin out_path in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out_path

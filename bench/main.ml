@@ -14,6 +14,7 @@ let sections : (string * (Rcc_runtime.Experiment.profile -> unit)) list =
     ("fig11", Fig11.run);
     ("fig12", Fig12.run);
     ("ablation", Ablation.run);
+    ("exec", Exec_sweep.run);
     ("micro", Micro.run);
   ]
 

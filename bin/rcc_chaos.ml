@@ -108,7 +108,7 @@ let assert_transfer ~label ~expect_reject outcome =
   !failures = []
 
 let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
-    quick trace_path trace_ring =
+    quick exec_mode exec_threads trace_path trace_ring =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
   let protocols = protocols_of protocol_sel in
   let duration =
@@ -124,7 +124,7 @@ let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
     Config.make ~protocol ~n ~batch_size:10 ~clients:40 ~records:5_000
       ~duration ~warmup:(duration / 4)
       ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
-      ~collusion_wait:(Engine.ms 150) ~seed ()
+      ~collusion_wait:(Engine.ms 150) ~seed ~exec_mode ~exec_threads ()
   in
   (if smoke then
      List.iter
@@ -179,12 +179,13 @@ let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
          List.iter
            (fun protocol ->
              note
-               (Fuzzer.run_one ~canary ?trace_path ?trace_ring ~protocol ~n
-                  ~duration ~scenario_seed ()))
+               (Fuzzer.run_one ~canary ?trace_path ?trace_ring ~exec_mode
+                  ~exec_threads ~protocol ~n ~duration ~scenario_seed ()))
            protocols
      | None ->
          let summary =
-           Fuzzer.fuzz ~protocols ~n ~duration ~canary ~seed ~runs ()
+           Fuzzer.fuzz ~exec_mode ~exec_threads ~protocols ~n ~duration ~canary
+             ~seed ~runs ()
          in
          Format.printf "%a" Fuzzer.pp_summary summary;
          if summary.Fuzzer.failures <> [] then failed := true);
@@ -222,6 +223,25 @@ let cmd =
              ~doc:"Enable the intentionally-broken no-commits invariant to demo failure reporting.")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Cap duration and runs for CI.") in
+  let exec_mode =
+    let mode_conv =
+      let parse s =
+        match String.lowercase_ascii s with
+        | "serial" -> Ok Config.Exec_serial
+        | "parallel" -> Ok Config.Exec_parallel
+        | other -> Error (`Msg (Printf.sprintf "unknown exec mode %S" other))
+      in
+      Arg.conv
+        (parse, fun fmt m -> Format.pp_print_string fmt (Config.exec_mode_name m))
+    in
+    Arg.(value & opt mode_conv Config.Exec_serial
+         & info [ "exec-mode" ]
+             ~doc:"Execution scheduler under chaos: serial or parallel                    (conflict-aware execute pool).")
+  in
+  let exec_threads =
+    Arg.(value & opt int 4
+         & info [ "exec-threads" ] ~doc:"Execute-pool size (parallel mode).")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -237,7 +257,8 @@ let cmd =
   in
   let term =
     Term.(const run $ protocol $ n $ duration $ seed $ runs $ scenario_seed
-          $ smoke $ transfer $ canary $ quick $ trace $ trace_ring)
+          $ smoke $ transfer $ canary $ quick $ exec_mode $ exec_threads
+          $ trace $ trace_ring)
   in
   Cmd.v
     (Cmd.info "rcc-chaos"

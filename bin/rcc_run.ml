@@ -59,8 +59,21 @@ let fault_conv =
   in
   Arg.conv ~docv:"FAULT" (parse, print)
 
+let exec_mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "serial" -> Ok Rcc_runtime.Config.Exec_serial
+    | "parallel" -> Ok Rcc_runtime.Config.Exec_parallel
+    | other -> Error (`Msg (Printf.sprintf "unknown exec mode %S" other))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt m ->
+        Format.pp_print_string fmt (Rcc_runtime.Config.exec_mode_name m) )
+
 let run protocol n batch_size clients duration warmup replica_timeout
-    client_timeout collusion_wait z seed fault trace trace_ring timeline quiet =
+    client_timeout collusion_wait z seed fault exec_mode exec_threads
+    exec_window theta write_ratio records trace trace_ring timeline quiet =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
   let seconds f = Rcc_sim.Engine.of_seconds f in
   let cfg =
@@ -69,13 +82,23 @@ let run protocol n batch_size clients duration warmup replica_timeout
       ?replica_timeout:(Option.map seconds replica_timeout)
       ?client_timeout:(Option.map seconds client_timeout)
       ?collusion_wait:(Option.map seconds collusion_wait)
-      ?z ~seed ~fault ()
+      ?z ~seed ~fault ~exec_mode ~exec_threads ~exec_window
+      ?theta ?write_ratio ?records ()
   in
   if not quiet then
-    Printf.eprintf "running %s n=%d f=%d z=%d batch=%d clients=%d for %.1fs...\n%!"
+    Printf.eprintf
+      "running %s n=%d f=%d z=%d batch=%d clients=%d exec=%s%s for %.1fs...\n%!"
       (Rcc_runtime.Config.protocol_name protocol)
       cfg.Rcc_runtime.Config.n cfg.Rcc_runtime.Config.f cfg.Rcc_runtime.Config.z
-      batch_size clients duration;
+      batch_size clients
+      (Rcc_runtime.Config.exec_mode_name cfg.Rcc_runtime.Config.exec_mode)
+      (match cfg.Rcc_runtime.Config.exec_mode with
+      | Rcc_runtime.Config.Exec_parallel ->
+          Printf.sprintf "(%d threads, window %d)"
+            cfg.Rcc_runtime.Config.exec_threads
+            cfg.Rcc_runtime.Config.exec_window
+      | Rcc_runtime.Config.Exec_serial -> "")
+      duration;
   let tracer =
     Option.map (fun _ -> Rcc_trace.Recorder.create ?capacity:trace_ring ()) trace
   in
@@ -124,6 +147,32 @@ let cmd =
     Arg.(value & opt fault_conv Rcc_runtime.Config.No_fault
          & info [ "fault" ] ~doc:"Fault injection: none, crash:IDS, dark:INST:VICTIMS, collusion:VICTIM[:ROUND], dos:INST.")
   in
+  let exec_mode =
+    Arg.(value & opt exec_mode_conv Rcc_runtime.Config.Exec_serial
+         & info [ "exec-mode" ]
+             ~doc:"Execution scheduler: serial (strict order, the digest-gated                    default) or parallel (conflict-aware dependency groups on                    an execute pool).")
+  in
+  let exec_threads =
+    Arg.(value & opt int 4
+         & info [ "exec-threads" ] ~doc:"Execute-pool size (parallel mode).")
+  in
+  let exec_window =
+    Arg.(value & opt int 8
+         & info [ "exec-window" ]
+             ~doc:"Max consecutive rounds per conflict-analysis window.")
+  in
+  let theta =
+    Arg.(value & opt (some float) None
+         & info [ "theta" ] ~doc:"YCSB Zipf skew (default 0.9).")
+  in
+  let write_ratio =
+    Arg.(value & opt (some float) None
+         & info [ "write-ratio" ] ~doc:"YCSB write fraction (default 0.9).")
+  in
+  let records =
+    Arg.(value & opt (some int) None
+         & info [ "records" ] ~doc:"YCSB table size (default 500000).")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -142,7 +191,8 @@ let cmd =
   let term =
     Term.(const run $ protocol $ n $ batch $ clients $ duration $ warmup
           $ replica_timeout $ client_timeout $ collusion_wait $ z $ seed $ fault
-          $ trace $ trace_ring $ timeline $ quiet)
+          $ exec_mode $ exec_threads $ exec_window $ theta $ write_ratio
+          $ records $ trace $ trace_ring $ timeline $ quiet)
   in
   Cmd.v (Cmd.info "rcc-run" ~doc:"Run one RCC/BFT deployment in the simulator") term
 

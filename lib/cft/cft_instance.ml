@@ -85,14 +85,18 @@ let on_checkpoint t ~src seq digest =
     Checkpointing.on_vote t.ckpt ~src ~seq ~digest
       ~exec_upto:(SL.frontier t.log)
   with
-  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | Some stable ->
+      SL.gc_upto t.log (stable - 1);
+      t.env.Env.on_stable ~seq:stable
   | None -> ()
 
 let advance_exec_upto t =
   ignore (SL.drain t.log ~accept:(fun s -> s.SL.accepted));
   SL.touch t.log;
   match Checkpointing.try_stabilize t.ckpt ~exec_upto:(SL.frontier t.log) with
-  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | Some stable ->
+      SL.gc_upto t.log (stable - 1);
+      t.env.Env.on_stable ~seq:stable
   | None -> ()
 
 let accept t s =

@@ -24,11 +24,11 @@ let scenario_seed ~master ~run = (master * 1_000_003) + run
 
 (* Timeouts sized so primary replacement and client retries fit inside a
    ~2 s simulated run (mirrors the integration-test fault configs). *)
-let config_for protocol ~n ~duration ~seed =
+let config_for ?exec_mode ?exec_threads protocol ~n ~duration ~seed =
   Config.make ~protocol ~n ~batch_size:10 ~clients:40 ~records:5_000 ~duration
     ~warmup:(duration / 4)
     ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
-    ~collusion_wait:(Engine.ms 150) ~seed ()
+    ~collusion_wait:(Engine.ms 150) ~seed ?exec_mode ?exec_threads ()
 
 let gen_script ~seed ~n ~duration =
   let rng = Rng.create seed in
@@ -134,9 +134,10 @@ let gen_script ~seed ~n ~duration =
   in
   Script.sorted (faults @ cleanup)
 
-let run_one ?(canary = false) ?trace_path ?trace_ring ~protocol ~n ~duration
+let run_one ?(canary = false) ?trace_path ?trace_ring ?exec_mode ?exec_threads
+    ~protocol ~n ~duration
     ~scenario_seed () =
-  let cfg = config_for protocol ~n ~duration ~seed:scenario_seed in
+  let cfg = config_for ?exec_mode ?exec_threads protocol ~n ~duration ~seed:scenario_seed in
   let script = gen_script ~seed:scenario_seed ~n ~duration in
   Runner.run ~canary ~nemesis_seed:scenario_seed ?trace_path ?trace_ring cfg
     script
@@ -159,7 +160,7 @@ let minimize ~still_fails script =
   in
   shrink script
 
-let fuzz ?(protocols = [ Config.MultiP; Config.MultiZ ]) ?(n = 4)
+let fuzz ?exec_mode ?exec_threads ?(protocols = [ Config.MultiP; Config.MultiZ ]) ?(n = 4)
     ?(duration = Engine.of_seconds 2.0) ?(canary = false) ~seed ~runs () =
   let passes = ref 0 in
   let failures = ref [] in
@@ -167,10 +168,13 @@ let fuzz ?(protocols = [ Config.MultiP; Config.MultiZ ]) ?(n = 4)
     (fun protocol ->
       for run = 0 to runs - 1 do
         let scenario_seed = scenario_seed ~master:seed ~run in
-        let outcome = run_one ~canary ~protocol ~n ~duration ~scenario_seed () in
+        let outcome =
+          run_one ~canary ?exec_mode ?exec_threads ~protocol ~n ~duration
+            ~scenario_seed ()
+        in
         if Runner.passed outcome then incr passes
         else begin
-          let cfg = config_for protocol ~n ~duration ~seed:scenario_seed in
+          let cfg = config_for ?exec_mode ?exec_threads protocol ~n ~duration ~seed:scenario_seed in
           let still_fails candidate =
             not
               (Runner.passed

@@ -36,6 +36,8 @@ val run_one :
   ?canary:bool ->
   ?trace_path:string ->
   ?trace_ring:int ->
+  ?exec_mode:Rcc_runtime.Config.exec_mode ->
+  ?exec_threads:int ->
   protocol:Rcc_runtime.Config.protocol ->
   n:int ->
   duration:Rcc_sim.Engine.time ->
@@ -46,6 +48,8 @@ val run_one :
     [trace_ring] are forwarded to {!Runner.run}. *)
 
 val fuzz :
+  ?exec_mode:Rcc_runtime.Config.exec_mode ->
+  ?exec_threads:int ->
   ?protocols:Rcc_runtime.Config.protocol list ->
   ?n:int ->
   ?duration:Rcc_sim.Engine.time ->

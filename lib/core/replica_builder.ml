@@ -25,6 +25,12 @@ type config = {
   history_capacity : int;
   use_permutation : bool;
   exec_on_worker : bool;
+  (* Parallel execution (conflict-aware scheduler). [parallel_exec =
+     false] is the serial ablation, byte-identical to the historical
+     execute thread. *)
+  parallel_exec : bool;
+  exec_threads : int;
+  exec_window : int;
   sign_speculative : bool;
   records : int;
   materialize_state : bool;
@@ -62,6 +68,10 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
 
   let exec_utilization t ~since =
     Cpu.utilization (Node.exec_server t.node) ~since
+
+  let exec_pool_utilization t ~since =
+    Option.map (fun pool -> Cpu.pool_utilization pool ~since)
+      (Node.exec_pool t.node)
 
   let worker_utilization t x ~since = Cpu.utilization (Node.worker t.node x) ~since
 
@@ -239,6 +249,8 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
       Node.create ~engine ~net ~costs:cfg.costs ~self:cfg.self ~z:cfg.z
         ~has_batchers:true ~input_threads:cfg.input_threads
         ~batch_threads:cfg.batch_threads
+        ?exec_pool_size:(if cfg.parallel_exec then Some cfg.exec_threads else None)
+        ()
     in
     let store = Rcc_storage.Kv_store.create () in
     if cfg.materialize_state then
@@ -273,11 +285,17 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     let exec_server =
       if cfg.exec_on_worker then Node.worker node 0 else Node.exec_server node
     in
+    let sched =
+      match Node.exec_pool node with
+      | Some pool when cfg.parallel_exec ->
+          Exec.Parallel { pool; window = max 1 cfg.exec_window }
+      | Some _ | None -> Exec.Serial
+    in
     let exec =
       Exec.create ~engine ~costs:cfg.costs ~server:exec_server ~z:cfg.z
         ~self:cfg.self ~store ~ledger ~txn_table ~current_primaries:primaries
         ~respond ~metrics ~reorder ~materialize:cfg.materialize_state
-        ~sign_speculative:cfg.sign_speculative ()
+        ~sign_speculative:cfg.sign_speculative ~sched ()
     in
     let instances =
       Array.init cfg.z (fun x ->
@@ -301,6 +319,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
                 (fun client msg ->
                   send ~dst:(cfg.client_node_of client) msg);
               accept = (fun acceptance -> Exec.notify exec acceptance);
+              on_stable = (fun ~seq -> Exec.on_stable exec ~instance:x ~seq);
               report_failure =
                 (fun ~round ~blamed ->
                   match !coordinator_ref with

@@ -32,6 +32,13 @@ type config = {
   exec_on_worker : bool;
       (** standalone Zyzzyva: the single worker thread handles ordering
           AND speculative execution (§7.1) *)
+  parallel_exec : bool;
+      (** conflict-aware parallel execution: gather complete rounds into
+          windows, partition by key overlap, execute dependency groups on
+          a multi-server pool; false = serial ablation, byte-identical to
+          the historical single execute thread *)
+  exec_threads : int;  (** execute-pool size (parallel mode) *)
+  exec_window : int;  (** max rounds per conflict-analysis window *)
   sign_speculative : bool;
       (** sign speculative responses (standalone Zyzzyva commit path) *)
   records : int;  (** YCSB table size *)
@@ -79,7 +86,11 @@ module Make (P : Rcc_replica.Instance_intf.S) : sig
 
   val exec_utilization : t -> since:Rcc_sim.Engine.time -> float
   (** Busy fraction of the execute thread since [since] — the ceiling the
-      paper identifies for the MultiBFT variants. *)
+      paper identifies for the MultiBFT variants. In parallel mode this is
+      the scheduler lane (conflict scan + in-order commits). *)
+
+  val exec_pool_utilization : t -> since:Rcc_sim.Engine.time -> float option
+  (** Mean busy fraction of the execute pool; [None] in serial mode. *)
 
   val worker_utilization : t -> instance_id -> since:Rcc_sim.Engine.time -> float
 end

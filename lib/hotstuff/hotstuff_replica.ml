@@ -101,7 +101,9 @@ let decide t s null =
    digest is the decided batch digest at the boundary round. *)
 let advance_ckpt t =
   (match Checkpointing.try_stabilize t.ckpt ~exec_upto:(SL.frontier t.log) with
-  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | Some stable ->
+      SL.gc_upto t.log (stable - 1);
+      t.env.Env.on_stable ~seq:stable
   | None -> ());
   match Checkpointing.due t.ckpt ~exec_upto:(SL.frontier t.log) with
   | Some target ->
@@ -120,7 +122,9 @@ let on_checkpoint t ~src seq digest =
     Checkpointing.on_vote t.ckpt ~src ~seq ~digest
       ~exec_upto:(SL.frontier t.log)
   with
-  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | Some stable ->
+      SL.gc_upto t.log (stable - 1);
+      t.env.Env.on_stable ~seq:stable
   | None -> ()
 
 (* Advance the frontier; blacklisted leaders' pending rounds are skip-voted

@@ -1,3 +1,5 @@
+type key_sets = { rset : int array; wset : int array }
+
 type t = {
   id : int;
   client : Rcc_common.Ids.client_id;
@@ -5,6 +7,7 @@ type t = {
   digest : string;
   signature : Rcc_crypto.Signature.signature;
   wire : int;
+  mutable keys : key_sets option;
 }
 
 let encoded_size = Rcc_workload.Txn.encoded_size
@@ -48,6 +51,58 @@ let reset_memo () =
 
 let wire_size ~ntxns = ntxns * Rcc_workload.Txn.wire_size
 
+(* --- read/write key sets ------------------------------------------------ *)
+
+let empty_keys = { rset = [||]; wset = [||] }
+
+(* Sort [a.(0..n-1)] ascending and drop duplicates in place; returns the
+   deduplicated prefix. *)
+let sorted_dedup a n =
+  if n = 0 then [||]
+  else begin
+    let a = Array.sub a 0 n in
+    Array.sort Int.compare a;
+    let w = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!w - 1) then begin
+        a.(!w) <- a.(i);
+        incr w
+      end
+    done;
+    if !w = n then a else Array.sub a 0 !w
+  end
+
+let compute_key_sets txns =
+  let n = Array.length txns in
+  if n = 0 then empty_keys
+  else begin
+    let r = Array.make n 0 and w = Array.make n 0 in
+    let nr = ref 0 and nw = ref 0 in
+    Array.iter
+      (fun (txn : Rcc_workload.Txn.t) ->
+        match txn.Rcc_workload.Txn.op with
+        | Rcc_workload.Txn.Read ->
+            r.(!nr) <- txn.Rcc_workload.Txn.key;
+            incr nr
+        | Rcc_workload.Txn.Write _ ->
+            w.(!nw) <- txn.Rcc_workload.Txn.key;
+            incr nw)
+      txns;
+    { rset = sorted_dedup r !nr; wset = sorted_dedup w !nw }
+  end
+
+(* Computed on first use and cached in the record (like [wire], but lazy:
+   serial execution never needs key sets, so fault-free serial runs pay
+   nothing). The cache is per-record, so unlike the digest memo it cannot
+   alias across batches. *)
+let key_sets t =
+  match t.keys with
+  | Some k -> k
+  | None ->
+      let k = compute_key_sets t.txns in
+      t.keys <- Some k;
+      k
+
 let create ~id ~client ~txns ~secret =
   let digest = digest_of_txns txns in
   {
@@ -57,6 +112,7 @@ let create ~id ~client ~txns ~secret =
     digest;
     signature = Rcc_crypto.Signature.sign secret digest;
     wire = wire_size ~ntxns:(Array.length txns);
+    keys = None;
   }
 
 let null_client = -1
@@ -69,6 +125,7 @@ let null ~round =
     digest = Rcc_crypto.Sha256.digest ("rcc-null" ^ string_of_int round);
     signature = String.make Rcc_crypto.Signature.signature_size '\x00';
     wire = 0;
+    keys = Some empty_keys;
   }
 
 let is_null t = t.client = null_client

@@ -4,6 +4,13 @@
     SHA-256 digest over their encoding, and the client's signature over the
     digest (§6 "Batching"). Batches are the unit of consensus. *)
 
+type key_sets = {
+  rset : int array;  (** keys read, ascending, deduplicated *)
+  wset : int array;  (** keys written, ascending, deduplicated *)
+}
+(** A batch's YCSB key footprint, the input to conflict analysis
+    (two batches commute iff neither writes a key the other touches). *)
+
 type t = {
   id : int;  (** globally unique request identifier *)
   client : Rcc_common.Ids.client_id;
@@ -13,6 +20,9 @@ type t = {
   wire : int;
       (** cached {!wire_size} of [txns] — [Msg.size] queries it on every
           send, so it is computed once at construction *)
+  mutable keys : key_sets option;
+      (** cached {!key_sets}, computed on first use; serial execution
+          never touches it *)
 }
 
 val create :
@@ -32,6 +42,10 @@ val null_client : Rcc_common.Ids.client_id
 val is_null : t -> bool
 
 val digest_of_txns : Rcc_workload.Txn.t array -> string
+
+val key_sets : t -> key_sets
+(** The batch's read/write key sets, sorted ascending and deduplicated;
+    computed on first use and cached in the record. *)
 
 val reset_memo : unit -> unit
 (** Drop the one-entry digest memo. Called after a snapshot install

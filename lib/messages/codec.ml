@@ -87,7 +87,7 @@ let r_batch r =
   let digest = r_string r in
   let signature = r_string r in
   { Batch.id; client; txns; digest; signature;
-    wire = Batch.wire_size ~ntxns }
+    wire = Batch.wire_size ~ntxns; keys = None }
 
 let r_vote r =
   let bv_accuser = r_int r in

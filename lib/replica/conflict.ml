@@ -1,0 +1,113 @@
+module Batch = Rcc_messages.Batch
+
+type item = {
+  round : Rcc_common.Ids.round;
+  rank : int;
+  acc : Acceptance.t;
+}
+
+type group = {
+  members : item list;
+  txns : int;
+  conflict_keys : int;
+}
+
+(* Number of common elements of two ascending, deduplicated int arrays
+   (linear merge; key sets are small — one batch's worth of keys). *)
+let intersect_count a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then 0
+  else begin
+    let i = ref 0 and j = ref 0 and hits = ref 0 in
+    while !i < na && !j < nb do
+      let x = Array.unsafe_get a !i and y = Array.unsafe_get b !j in
+      if x < y then incr i
+      else if x > y then incr j
+      else begin
+        incr hits;
+        incr i;
+        incr j
+      end
+    done;
+    !hits
+  end
+
+(* Conflicting key count between two batches: write/write and write/read
+   overlaps order the pair; read/read sharing commutes and is free. *)
+let overlap a b =
+  let ka = Batch.key_sets a and kb = Batch.key_sets b in
+  intersect_count ka.Batch.wset kb.Batch.wset
+  + intersect_count ka.Batch.wset kb.Batch.rset
+  + intersect_count ka.Batch.rset kb.Batch.wset
+
+(* A re-ordered duplicate of an earlier batch must observe its first
+   execution (the duplicate-reply cache), so identical non-null digests
+   are serialized into one group even when read-only. *)
+let duplicates a b =
+  (not (Batch.is_null a))
+  && (not (Batch.is_null b))
+  && String.equal a.Batch.digest b.Batch.digest
+
+(* Union-find over item indices, path-halving; [conflicts] accumulates
+   the overlapping-key count per root. *)
+let rec find parent i =
+  let p = parent.(i) in
+  if p = i then i
+  else begin
+    parent.(i) <- parent.(p);
+    find parent parent.(i)
+  end
+
+let partition items =
+  let n = Array.length items in
+  let parent = Array.init n (fun i -> i) in
+  let conflicts = Array.make n 0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let a = items.(i).acc.Acceptance.batch
+      and b = items.(j).acc.Acceptance.batch in
+      let keys = overlap a b in
+      if keys > 0 || duplicates a b then begin
+        let ri = find parent i and rj = find parent j in
+        if ri <> rj then begin
+          (* Union by smaller root index: the canonical representative of
+             a group is its first member in (round, rank) order, which is
+             what makes group numbering deterministic. *)
+          let lo = min ri rj and hi = max ri rj in
+          parent.(hi) <- lo;
+          conflicts.(lo) <- conflicts.(lo) + conflicts.(hi)
+        end;
+        conflicts.(find parent i) <- conflicts.(find parent i) + keys
+      end
+    done
+  done;
+  (* Emit groups ordered by first member; members in (round, rank) order —
+     items arrive sorted, so index order is replay order. *)
+  let acc : (int, item list ref) Hashtbl.t = Hashtbl.create 16 in
+  let roots = ref [] in
+  for i = n - 1 downto 0 do
+    let r = find parent i in
+    match Hashtbl.find_opt acc r with
+    | Some l -> l := items.(i) :: !l
+    | None ->
+        Hashtbl.replace acc r (ref [ items.(i) ]);
+        roots := r :: !roots
+  done;
+  List.map
+    (fun r ->
+      let members = !(Hashtbl.find acc r) in
+      let txns =
+        List.fold_left
+          (fun t it ->
+            t + Array.length it.acc.Acceptance.batch.Batch.txns)
+          0 members
+      in
+      { members; txns; conflict_keys = conflicts.(r) })
+    (List.sort Int.compare !roots)
+
+let total_keys items =
+  Array.fold_left
+    (fun t it ->
+      let k = Batch.key_sets it.acc.Acceptance.batch in
+      t + Array.length k.Batch.rset + Array.length k.Batch.wset)
+    0 items

@@ -3,10 +3,33 @@ module Costs = Rcc_sim.Costs
 module Msg = Rcc_messages.Msg
 module Batch = Rcc_messages.Batch
 
+type sched =
+  | Serial
+  | Parallel of { pool : Rcc_sim.Cpu.pool; window : int }
+
+(* One round of an in-flight parallel window. [ordered] is the round's
+   acceptances in the configured deterministic replay order; the reply
+   arrays are filled by group execution (out of commit order) and read by
+   the in-order commit stage. *)
+type wround = {
+  w_round : int;
+  ordered : Acceptance.t array;
+  reply_round : int array;
+  reply_digest : string array;
+  did_exec : bool array;  (* false = duplicate, replied from cache *)
+}
+
+type window_state = {
+  w_base : int;  (* rounds.(i).w_round = w_base + i *)
+  rounds : wround array;
+  mutable groups_left : int;
+}
+
 type t = {
   engine : Engine.t;
   costs : Costs.t;
   server : Rcc_sim.Cpu.server;
+  sched : sched;
   z : int;
   self : Rcc_common.Ids.replica_id;
   store : Rcc_storage.Kv_store.t;
@@ -20,23 +43,45 @@ type t = {
   materialize : bool;
   sign_speculative : bool;
   pending : (int, Acceptance.t option array) Hashtbl.t;
-  (* (client, batch digest) -> (round, result digest) of the first
-     execution: duplicate-ordered batches re-send the cached reply
-     instead of re-executing (§3.1 request-duplication prevention). *)
-  replied : (Rcc_common.Ids.client_id * string, int * string) Hashtbl.t;
+  (* (client, batch digest) -> (round, result digest, instance) of the
+     first execution: duplicate-ordered batches re-send the cached reply
+     instead of re-executing (§3.1 request-duplication prevention). The
+     instance tag feeds the per-instance retained-count stat. *)
+  replied : (Rcc_common.Ids.client_id * string, int * string * int) Hashtbl.t;
   mutable next_round : int;
   mutable executed_rounds : int;
   mutable executed_txns : int;
+  (* Highest round ever notified — an O(1) watermark replacing the
+     O(pending) fold over the buffer. Exact: every notified round is
+     either still pending (<= high_water by construction), executed
+     (< next_round), or dropped by a snapshot install (< next_round
+     again), so max(high_water, next_round - 1) equals the max over
+     pending U {next_round - 1}. *)
+  mutable high_water : int;
+  (* Parallel-mode state. [install_horizon]: rounds below it were
+     superseded by a snapshot install while their window was in flight;
+     queued group members and commit jobs skip them. *)
+  mutable install_horizon : int;
+  mutable active : window_state option;
+  mutable group_seq : int;
+  (* Duplicate-reply cache bound: per-instance stable checkpoint seqs;
+     entries whose first execution is behind min over instances are
+     evicted (clients never replay a batch that old — checkpoint
+     stability implies 2f+1 replicas answered it). *)
+  stable : int array;
+  mutable evict_floor : int;
+  mutable replied_evicted : int;
 }
 
 let create ~engine ~costs ~server ~z ~self ~store ~ledger ~txn_table
     ~current_primaries ~respond ~metrics ?(reorder = fun a -> a)
     ?(on_executed = fun _ _ -> ()) ?(materialize = true)
-    ?(sign_speculative = false) () =
+    ?(sign_speculative = false) ?(sched = Serial) () =
   {
     engine;
     costs;
     server;
+    sched;
     z;
     self;
     store;
@@ -54,6 +99,13 @@ let create ~engine ~costs ~server ~z ~self ~store ~ledger ~txn_table
     next_round = 0;
     executed_rounds = 0;
     executed_txns = 0;
+    high_water = -1;
+    install_horizon = 0;
+    active = None;
+    group_seq = 0;
+    stable = Array.make z 0;
+    evict_floor = 0;
+    replied_evicted = 0;
   }
 
 let set_on_executed t f = t.on_executed <- f
@@ -66,15 +118,16 @@ let slots t round =
       Hashtbl.replace t.pending round a;
       a
 
+let member_cost t (a : Acceptance.t) =
+  let ntxns = Array.length a.batch.Batch.txns in
+  t.costs.Costs.exec_batch_overhead
+  + (ntxns * t.costs.Costs.txn_exec)
+  + t.costs.Costs.response_create
+  + if a.speculative && t.sign_speculative then t.costs.Costs.sign else 0
+
 let round_cost t accs =
   Array.fold_left
-    (fun acc (a : Acceptance.t) ->
-      let ntxns = Array.length a.batch.Batch.txns in
-      acc
-      + t.costs.Costs.exec_batch_overhead
-      + (ntxns * t.costs.Costs.txn_exec)
-      + t.costs.Costs.response_create
-      + if a.speculative && t.sign_speculative then t.costs.Costs.sign else 0)
+    (fun acc a -> acc + member_cost t a)
     (Costs.hash_cost t.costs 256 (* block hash *))
     accs
 
@@ -92,6 +145,8 @@ let certificate_digest batch_digest cert =
       off := !off + 8)
     cert;
   Rcc_crypto.Sha256.digest (Bytes.unsafe_to_string buf)
+
+(* --- serial path (the ablation baseline; kept byte-identical) ---------- *)
 
 let execute_round t round accs =
   (* A snapshot install can supersede a round while its execution sits in
@@ -128,7 +183,7 @@ let execute_round t round accs =
       if not (Batch.is_null batch) then
         clients := batch.Batch.client :: !clients;
       if dup then begin
-        let first_round, result_digest = Hashtbl.find t.replied key in
+        let first_round, result_digest, _ = Hashtbl.find t.replied key in
         t.respond batch.Batch.client
           (Msg.Response
              {
@@ -161,7 +216,7 @@ let execute_round t round accs =
             txn_count = ntxns;
           };
         if not (Batch.is_null batch) then begin
-          Hashtbl.replace t.replied key (round, result_digest);
+          Hashtbl.replace t.replied key (round, result_digest, a.instance);
           t.respond batch.Batch.client
             (Msg.Response
                {
@@ -192,7 +247,7 @@ let execute_round t round accs =
   t.on_executed round accs
   end
 
-let rec try_advance t =
+let rec try_advance_serial t =
   match Hashtbl.find_opt t.pending t.next_round with
   | None -> ()
   | Some slots ->
@@ -203,14 +258,238 @@ let rec try_advance t =
         t.next_round <- round + 1;
         Rcc_sim.Cpu.submit t.server ~cost:(round_cost t accs) (fun () ->
             execute_round t round accs);
-        try_advance t
+        try_advance_serial t
       end
+
+(* --- parallel path ----------------------------------------------------- *)
+
+(* Replay one batch at group-execution time: duplicate check, KV apply
+   and duplicate-reply recording happen here (other groups of the window
+   are disjoint, so state order within the window is the serial one);
+   client responses, txn-table rows and the ledger block are deferred to
+   the in-order commit stage via the reply arrays. *)
+let execute_member t (w : wround) rank (a : Acceptance.t) =
+  let batch = a.batch in
+  let ntxns = Array.length batch.Batch.txns in
+  if Engine.tracing t.engine then
+    Engine.trace t.engine ~replica:t.self ~instance:a.instance
+      (Rcc_trace.Event.Slot_exec
+         { round = w.w_round; batch = batch.Batch.id; txns = ntxns });
+  let key = (batch.Batch.client, batch.Batch.digest) in
+  if (not (Batch.is_null batch)) && Hashtbl.mem t.replied key then begin
+    let first_round, result_digest, _ = Hashtbl.find t.replied key in
+    w.reply_round.(rank) <- first_round;
+    w.reply_digest.(rank) <- result_digest
+  end
+  else begin
+    if t.materialize then
+      Array.iter
+        (fun txn -> ignore (Rcc_workload.Txn.apply t.store txn))
+        batch.Batch.txns;
+    let result_digest =
+      Rcc_crypto.Sha256.digest_list
+        [
+          batch.Batch.digest;
+          Rcc_common.Bytes_util.u64_string (Int64.of_int w.w_round);
+        ]
+    in
+    if not (Batch.is_null batch) then
+      Hashtbl.replace t.replied key (w.w_round, result_digest, a.instance);
+    w.reply_round.(rank) <- w.w_round;
+    w.reply_digest.(rank) <- result_digest;
+    w.did_exec.(rank) <- true
+  end
+
+(* In-order commit of a fully executed round: block build, txn-table
+   rows, metrics, client responses, coordinator callback. Runs on the
+   scheduler FIFO, so commits retain round order; the ledger guard skips
+   rounds a snapshot install superseded mid-flight. *)
+let commit_round t (w : wround) =
+  if
+    w.w_round >= t.install_horizon
+    && Rcc_storage.Ledger.next_round t.ledger = w.w_round
+  then begin
+    let proofs = ref [] in
+    let clients = ref [] in
+    Array.iteri
+      (fun rank (a : Acceptance.t) ->
+        let batch = a.batch in
+        let ntxns = Array.length batch.Batch.txns in
+        proofs :=
+          {
+            Rcc_storage.Block.instance = a.instance;
+            batch_digest = batch.Batch.digest;
+            certificate_digest = certificate_digest batch.Batch.digest a.cert;
+          }
+          :: !proofs;
+        if not (Batch.is_null batch) then
+          clients := batch.Batch.client :: !clients;
+        if w.did_exec.(rank) then begin
+          t.executed_txns <- t.executed_txns + ntxns;
+          Rcc_storage.Txn_table.record t.txn_table
+            {
+              Rcc_storage.Txn_table.round = w.w_round;
+              instance = a.instance;
+              client = batch.Batch.client;
+              batch_digest = batch.Batch.digest;
+              response_digest = w.reply_digest.(rank);
+              txn_count = ntxns;
+            };
+          Metrics.record_exec t.metrics ~replica:t.self
+            ~now:(Engine.now t.engine) ~ntxns
+        end;
+        if not (Batch.is_null batch) then
+          t.respond batch.Batch.client
+            (Msg.Response
+               {
+                 client = batch.Batch.client;
+                 batch_id = batch.Batch.id;
+                 round = w.reply_round.(rank);
+                 result_digest = w.reply_digest.(rank);
+                 txn_count = ntxns;
+                 speculative = a.speculative;
+                 history = a.history;
+               }))
+      w.ordered;
+    let block =
+      {
+        Rcc_storage.Block.round = w.w_round;
+        prev_hash = Rcc_storage.Ledger.head_hash t.ledger;
+        proofs = List.rev !proofs;
+        primaries = t.current_primaries ();
+        clients = List.rev !clients;
+      }
+    in
+    Rcc_storage.Ledger.append_exn t.ledger block;
+    t.executed_rounds <- t.executed_rounds + 1;
+    t.on_executed w.w_round w.ordered
+  end
+
+let rec try_advance_parallel t pool window =
+  match t.active with
+  | Some _ -> ()  (* one window in flight; re-triggered on completion *)
+  | None ->
+      let gathered = ref [] in
+      let n = ref 0 in
+      let continue_ = ref true in
+      while !continue_ && !n < window do
+        match Hashtbl.find_opt t.pending t.next_round with
+        | Some slots when Array.for_all Option.is_some slots ->
+            let round = t.next_round in
+            let accs = Array.map Option.get slots in
+            Hashtbl.remove t.pending round;
+            t.next_round <- round + 1;
+            gathered := (round, accs) :: !gathered;
+            incr n
+        | _ -> continue_ := false
+      done;
+      if !n > 0 then dispatch_window t pool window (List.rev !gathered)
+
+and dispatch_window t pool window rounds_list =
+  let wrounds =
+    Array.of_list
+      (List.map
+         (fun (round, accs) ->
+           let ordered = t.reorder (Array.copy accs) in
+           let nslots = Array.length ordered in
+           {
+             w_round = round;
+             ordered;
+             reply_round = Array.make nslots 0;
+             reply_digest = Array.make nslots "";
+             did_exec = Array.make nslots false;
+           })
+         rounds_list)
+  in
+  let w_base = wrounds.(0).w_round in
+  let items =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun w ->
+              Array.mapi
+                (fun rank a -> { Conflict.round = w.w_round; rank; acc = a })
+                w.ordered)
+            wrounds))
+  in
+  let groups = Conflict.partition items in
+  let ngroups = List.length groups in
+  (* The conflict scan and per-group dispatch run on the scheduler lane;
+     group execution is chained off its completion time. *)
+  let analysis_cost =
+    (t.costs.Costs.conflict_scan * Conflict.total_keys items)
+    + (t.costs.Costs.exec_dispatch * ngroups)
+  in
+  let ready =
+    Rcc_sim.Cpu.reserve t.server ~ready:(Engine.now t.engine)
+      ~cost:analysis_cost
+  in
+  let ws = { w_base; rounds = wrounds; groups_left = ngroups } in
+  t.active <- Some ws;
+  List.iter
+    (fun (g : Conflict.group) ->
+      let gid = t.group_seq in
+      t.group_seq <- t.group_seq + 1;
+      if Engine.tracing t.engine then begin
+        let distinct_rounds =
+          List.sort_uniq Int.compare
+            (List.map (fun it -> it.Conflict.round) g.members)
+        in
+        Engine.trace t.engine ~replica:t.self ~instance:(-1)
+          (Rcc_trace.Event.Exec_group
+             {
+               group = gid;
+               members = List.length g.members;
+               txns = g.txns;
+               rounds = List.length distinct_rounds;
+             });
+        if g.conflict_keys > 0 then
+          Engine.trace t.engine ~replica:t.self ~instance:(-1)
+            (Rcc_trace.Event.Exec_conflict
+               { group = gid; keys = g.conflict_keys })
+      end;
+      let cost =
+        List.fold_left
+          (fun c it -> c + member_cost t it.Conflict.acc)
+          0 g.members
+      in
+      Rcc_sim.Cpu.pool_submit_ready pool ~ready ~cost (fun () ->
+          List.iter
+            (fun (it : Conflict.item) ->
+              if it.Conflict.round >= t.install_horizon then
+                execute_member t
+                  wrounds.(it.Conflict.round - w_base)
+                  it.Conflict.rank it.Conflict.acc)
+            g.members;
+          ws.groups_left <- ws.groups_left - 1;
+          if ws.groups_left = 0 then complete_window t pool window ws))
+    groups
+
+and complete_window t pool window ws =
+  (* All groups done: queue the in-order commits on the scheduler FIFO
+     (one block hash each), release the window, and gather the next one —
+     its analysis queues behind the commit costs on the same lane, while
+     its group execution overlaps them on the pool. *)
+  Array.iter
+    (fun w ->
+      Rcc_sim.Cpu.submit t.server
+        ~cost:(Costs.hash_cost t.costs 256)
+        (fun () -> commit_round t w))
+    ws.rounds;
+  t.active <- None;
+  try_advance_parallel t pool window
+
+let try_advance t =
+  match t.sched with
+  | Serial -> try_advance_serial t
+  | Parallel { pool; window } -> try_advance_parallel t pool window
 
 let notify t (a : Acceptance.t) =
   if a.round >= t.next_round then begin
     let slots = slots t a.round in
     if Option.is_none slots.(a.instance) then begin
       slots.(a.instance) <- Some a;
+      if a.round > t.high_water then t.high_water <- a.round;
       if a.round = t.next_round then try_advance t
     end
   end
@@ -218,7 +497,8 @@ let notify t (a : Acceptance.t) =
 let next_round t = t.next_round
 
 let max_pending_round t =
-  Hashtbl.fold (fun round _ acc -> max round acc) t.pending (t.next_round - 1)
+  if t.high_water > t.next_round - 1 then t.high_water else t.next_round - 1
+
 let executed_rounds t = t.executed_rounds
 let executed_txns t = t.executed_txns
 
@@ -239,15 +519,53 @@ let accepted t ~round ~instance =
   | Some slots when round >= t.next_round -> slots.(instance)
   | Some _ | None -> None
 
+(* --- duplicate-reply cache bound --------------------------------------- *)
+
+let evict_replied t floor =
+  let dead =
+    Hashtbl.fold
+      (fun key (round, _, _) acc -> if round < floor then key :: acc else acc)
+      t.replied []
+  in
+  List.iter (Hashtbl.remove t.replied) dead;
+  t.replied_evicted <- t.replied_evicted + List.length dead
+
+let on_stable t ~instance ~seq =
+  if instance >= 0 && instance < t.z && seq > t.stable.(instance) then begin
+    t.stable.(instance) <- seq;
+    let floor = Array.fold_left min max_int t.stable in
+    if floor > t.evict_floor then begin
+      t.evict_floor <- floor;
+      evict_replied t floor
+    end
+  end
+
+let replied_retained t =
+  let counts = Array.make t.z 0 in
+  Hashtbl.iter
+    (fun _ (_, _, instance) ->
+      if instance >= 0 && instance < t.z then
+        counts.(instance) <- counts.(instance) + 1)
+    t.replied;
+  counts
+
+let replied_evicted t = t.replied_evicted
+
 (* --- state transfer --------------------------------------------------- *)
 
 let replied_entries t =
   Hashtbl.fold
-    (fun (client, digest) (round, result) acc ->
+    (fun (client, digest) (round, result, _) acc ->
       (client, digest, round, result) :: acc)
     t.replied []
 
 let install_snapshot t ~seq ~replied =
+  (* Rounds below [seq] are baked into the installed state. In parallel
+     mode a window covering them may be mid-execution: raising the
+     horizon makes its queued members and commit jobs skip themselves. *)
+  (match t.sched with
+  | Serial -> ()
+  | Parallel _ -> if seq > t.install_horizon then t.install_horizon <- seq);
   if seq > t.next_round then begin
     (* Acceptances buffered for covered rounds are obsolete — the
        snapshot already contains their effects. Buffered rounds at or
@@ -260,12 +578,14 @@ let install_snapshot t ~seq ~replied =
     List.iter (Hashtbl.remove t.pending) stale;
     t.next_round <- seq;
     (* The donor's duplicate-reply cache keeps §3.1 duplicate suppression
-       alive across the jump; existing (newer) local entries win. *)
+       alive across the jump; existing (newer) local entries win. Donor
+       entries are attributed to instance 0 in the retained-count stat
+       (the wire format does not carry the owning instance). *)
     List.iter
       (fun (client, digest, round, result) ->
         let key = (client, digest) in
         if not (Hashtbl.mem t.replied key) then
-          Hashtbl.replace t.replied key (round, result))
+          Hashtbl.replace t.replied key (round, result, 0))
       replied;
     try_advance t
   end

@@ -1,11 +1,35 @@
-(** The execute thread (§3.4.1 / §6).
+(** The execute stage (§3.4.1 / §6).
 
     Collects per-instance acceptances, and once all [z] instances of a
     round have replicated, executes the round's batches in the configured
     deterministic order, appends the block to the ledger, and responds to
-    clients. Rounds execute strictly in order even when instances run
+    clients. Rounds commit strictly in order even when instances run
     ahead (§3.5 pipelining), which is the only cross-instance coordination
-    in the fault-free case. *)
+    in the fault-free case.
+
+    Two scheduling modes:
+
+    - {!Serial} (the ablation baseline): one execute thread replays a
+      round's batches back-to-back — the global ordering barrier that
+      caps MultiP throughput.
+    - [Parallel]: a conflict-aware scheduler. Complete consecutive
+      rounds are gathered into a window, partitioned into dependency
+      groups by read/write key-set intersection ({!Conflict}), and the
+      groups run on a multi-server execute pool in any interleaving.
+      Group execution applies KV effects and records duplicate replies;
+      block building, transaction-table rows, metrics and client
+      responses are deferred to an in-order commit stage on the
+      scheduler lane, so ledger layout, replay order and the report
+      digest are identical to serial execution for any workload. Windows
+      are pipelined one at a time: the next window's conflict scan and
+      pool execution overlap the previous window's commit jobs. *)
+
+type sched =
+  | Serial
+  | Parallel of { pool : Rcc_sim.Cpu.pool; window : int }
+      (** [window] = max consecutive rounds analyzed per conflict scan;
+          larger windows expose more inter-round parallelism at the cost
+          of a quadratic (in batches) pairwise scan. *)
 
 type t
 
@@ -25,12 +49,15 @@ val create :
   ?on_executed:(Rcc_common.Ids.round -> Acceptance.t array -> unit) ->
   ?materialize:bool ->
   ?sign_speculative:bool ->
+  ?sched:sched ->
   unit ->
   t
 (** [reorder] implements §3.4.1's execution-order selection; the default
     is instance order. RCC installs the digest-seeded permutation.
     [on_executed] fires after a round executes (the coordinator retains
-    the round for contracts and drives pessimistic recovery from it).
+    the round for contracts and drives pessimistic recovery from it); in
+    parallel mode it receives the round's acceptances in replay order,
+    which is safe because the coordinator looks slots up by instance id.
     [materialize = false] (large-scale experiments) charges the CPU cost
     of execution without mutating the KV store, so n replicas need not
     hold n copies of the half-million-record YCSB table; the runtime keeps
@@ -38,7 +65,9 @@ val create :
     [sign_speculative] charges a digital signature per speculative
     response: standalone Zyzzyva clients assemble commit certificates from
     signed responses, whereas under RCC recovery is unification's job and
-    responses carry MACs. *)
+    responses carry MACs.
+    [sched] defaults to {!Serial}, which is byte-identical to the
+    pre-scheduler execute thread. *)
 
 val set_on_executed : t -> (Rcc_common.Ids.round -> Acceptance.t array -> unit) -> unit
 (** Late wiring for the coordinator, which is constructed after the
@@ -53,7 +82,8 @@ val next_round : t -> Rcc_common.Ids.round
 
 val max_pending_round : t -> Rcc_common.Ids.round
 (** Highest round with any acceptance buffered (the pipeline horizon);
-    [next_round t - 1] when nothing is pending. *)
+    [next_round t - 1] when nothing is pending. O(1): maintained as a
+    notify-time watermark rather than a fold over the buffer. *)
 
 val executed_rounds : t -> int
 
@@ -64,6 +94,20 @@ val missing_instances : t -> round:Rcc_common.Ids.round -> Rcc_common.Ids.instan
     collusion-detection signal read by the coordinator. *)
 
 val accepted : t -> round:Rcc_common.Ids.round -> instance:Rcc_common.Ids.instance_id -> Acceptance.t option
+
+val on_stable : t -> instance:Rcc_common.Ids.instance_id -> seq:Rcc_common.Ids.round -> unit
+(** [instance]'s checkpoint became stable for rounds [< seq]. Once every
+    instance's stable frontier passes a round, duplicate-reply entries
+    first executed below the common frontier are evicted — bounding the
+    cache to the unstable window (a client replaying a batch that old
+    would already hold 2f+1 replies). *)
+
+val replied_retained : t -> int array
+(** Per-instance count of duplicate-reply entries currently retained
+    (donor-merged entries count toward instance 0). *)
+
+val replied_evicted : t -> int
+(** Total entries evicted by checkpoint-driven GC since creation. *)
 
 val replied_entries :
   t ->
@@ -80,5 +124,6 @@ val install_snapshot :
     ledger and KV store: jump the execution frontier to [seq], drop
     buffered acceptances the snapshot covers, merge the donor's
     duplicate-reply cache (local entries win), and drain any buffered
-    rounds at or past the boundary. No-op unless [seq] advances the
-    frontier. *)
+    rounds at or past the boundary. In parallel mode, an in-flight window
+    overtaken by the install skips its superseded members and commits.
+    No-op unless [seq] advances the frontier. *)

@@ -29,6 +29,10 @@ type t = {
       (** Direct reply to a client (Zyzzyva LOCAL-COMMIT acks). *)
   accept : Acceptance.t -> unit;
       (** Replication of a round completed at this replica. *)
+  on_stable : seq:round -> unit;
+      (** This instance's checkpoint became stable for rounds [< seq];
+          the execute stage uses the per-instance frontiers to bound its
+          duplicate-reply cache. *)
   report_failure : round:round -> blamed:replica_id -> unit;
       (** Local failure detection; routed to the RCC coordinator (unified
           mode) or handled by the instance's own view-change logic. *)

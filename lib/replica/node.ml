@@ -11,10 +11,12 @@ type t = {
   batchers : Cpu.pool option;
   workers : Cpu.server array;
   exec_server : Cpu.server;
+  exec_pool : Cpu.pool option;
   mutable route : src:int -> ready:Rcc_sim.Engine.time -> Msg.t -> unit;
 }
 
-let create ~engine ~net ~costs ~self ~z ~has_batchers ~input_threads ~batch_threads =
+let create ~engine ~net ~costs ~self ~z ~has_batchers ~input_threads ~batch_threads
+    ?exec_pool_size () =
   let name kind = Printf.sprintf "r%d-%s" self kind in
   let t =
     {
@@ -33,6 +35,11 @@ let create ~engine ~net ~costs ~self ~z ~has_batchers ~input_threads ~batch_thre
               ~name:(Printf.sprintf "r%d-worker%d" self i)
               ());
       exec_server = Cpu.server engine ~owner:self ~name:(name "exec") ();
+      exec_pool =
+        (match exec_pool_size with
+        | Some size when size > 0 ->
+            Some (Cpu.pool engine ~owner:self ~name:(name "exec-pool") ~size ())
+        | Some _ | None -> None);
       route = (fun ~src:_ ~ready:_ _ -> ());
     }
   in
@@ -53,6 +60,7 @@ let costs t = t.costs
 let self t = t.self
 let worker t i = t.workers.(i)
 let exec_server t = t.exec_server
+let exec_pool t = t.exec_pool
 let batchers t = t.batchers
 let set_route t route = t.route <- route
 

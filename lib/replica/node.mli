@@ -17,15 +17,24 @@ val create :
   has_batchers:bool ->
   input_threads:int ->
   batch_threads:int ->
+  ?exec_pool_size:int ->
+  unit ->
   t
 (** Creates the servers and registers the node's delivery handler with the
-    network. Routing starts as a no-op; install it with {!set_route}. *)
+    network. Routing starts as a no-op; install it with {!set_route}.
+    [exec_pool_size > 0] additionally creates the parallel execute pool
+    ({!exec_pool}); the scheduler lane {!exec_server} always exists. *)
 
 val engine : t -> Rcc_sim.Engine.t
 val costs : t -> Rcc_sim.Costs.t
 val self : t -> Rcc_common.Ids.replica_id
 val worker : t -> int -> Rcc_sim.Cpu.server
 val exec_server : t -> Rcc_sim.Cpu.server
+
+val exec_pool : t -> Rcc_sim.Cpu.pool option
+(** The multi-server execute pool, when the node was created with
+    [exec_pool_size > 0] (parallel execution mode). *)
+
 val batchers : t -> Rcc_sim.Cpu.pool option
 
 val set_route :

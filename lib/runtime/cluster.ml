@@ -108,6 +108,14 @@ let log_stats t x =
   | R_hs a -> B_hs.log_stats a.(0) x
   | R_cft a -> B_cft.log_stats a.(0) x
 
+(* Replica 0's execute stage, for the duplicate-reply cache stats. *)
+let exec0 t =
+  match t.replicas with
+  | R_pbft a -> B_pbft.exec a.(0)
+  | R_zyz a -> B_zyz.exec a.(0)
+  | R_hs a -> B_hs.exec a.(0)
+  | R_cft a -> B_cft.exec a.(0)
+
 let net t = t.net
 
 let byz_spec t r =
@@ -248,6 +256,9 @@ let build ?tracer (cfg : Config.t) =
       sign_speculative = (cfg.Config.protocol = Config.Zyzzyva);
       records = cfg.Config.records;
       materialize_state = (self = 0 || cfg.Config.n <= 8);
+      parallel_exec = (cfg.Config.exec_mode = Config.Exec_parallel);
+      exec_threads = cfg.Config.exec_threads;
+      exec_window = cfg.Config.exec_window;
       input_threads = 3;
       batch_threads = 2;
       client_node_of;
@@ -354,6 +365,13 @@ let run t =
       | R_zyz a -> B_zyz.exec_utilization a.(0) ~since:0
       | R_hs a -> B_hs.exec_utilization a.(0) ~since:0
       | R_cft a -> B_cft.exec_utilization a.(0) ~since:0);
+    exec_pool_utilization =
+      Option.value ~default:0.0
+        (match t.replicas with
+        | R_pbft a -> B_pbft.exec_pool_utilization a.(0) ~since:0
+        | R_zyz a -> B_zyz.exec_pool_utilization a.(0) ~since:0
+        | R_hs a -> B_hs.exec_pool_utilization a.(0) ~since:0
+        | R_cft a -> B_cft.exec_pool_utilization a.(0) ~since:0);
     worker_utilization =
       (match t.replicas with
       | R_pbft a -> B_pbft.worker_utilization a.(0) 0 ~since:0
@@ -368,6 +386,7 @@ let run t =
     snap_bytes_in;
     snap_bytes_out;
     per_instance =
+      (let replied_retained = Rcc_replica.Exec.replied_retained (exec0 t) in
       Array.init (Metrics.instances t.metrics) (fun x ->
           let i_retained_slots, i_live_words =
             if x < t.cfg.Config.z then log_stats t x else (0, 0)
@@ -384,7 +403,10 @@ let run t =
             i_view_changes = Metrics.instance_view_changes t.metrics x;
             i_retained_slots;
             i_live_words;
-          });
+            i_replied_retained =
+              (if x < Array.length replied_retained then replied_retained.(x)
+               else 0);
+          }));
   }
 
 let run_config ?tracer cfg = run (build ?tracer cfg)

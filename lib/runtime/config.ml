@@ -26,6 +26,12 @@ type fault =
     }
   | Client_dos of { instance : Rcc_common.Ids.instance_id }
 
+type exec_mode = Exec_serial | Exec_parallel
+
+let exec_mode_name = function
+  | Exec_serial -> "serial"
+  | Exec_parallel -> "parallel"
+
 type t = {
   protocol : protocol;
   n : int;
@@ -53,6 +59,9 @@ type t = {
   instance_change_after : int;
   seed : int;
   fault : fault;
+  exec_mode : exec_mode;
+  exec_threads : int;
+  exec_window : int;
 }
 
 let make ?(batch_size = 100) ?(clients = 240)
@@ -61,7 +70,9 @@ let make ?(batch_size = 100) ?(clients = 240)
     ?(collusion_wait = Engine.s 5) ?(heartbeat = Engine.ms 25)
     ?(recovery = Rcc_core.Coordinator.Optimistic) ?(use_permutation = true)
     ?(records = 500_000) ?(write_ratio = 0.9) ?(theta = 0.9) ?z ?(seed = 42)
-    ?(instance_change_after = 3) ?(fault = No_fault) ~protocol ~n () =
+    ?(instance_change_after = 3) ?(fault = No_fault)
+    ?(exec_mode = Exec_serial) ?(exec_threads = 4) ?(exec_window = 8)
+    ~protocol ~n () =
   if n < 4 then invalid_arg "Config.make: need n >= 4";
   let f = (n - 1) / 3 in
   let z =
@@ -99,6 +110,9 @@ let make ?(batch_size = 100) ?(clients = 240)
     instance_change_after;
     seed;
     fault;
+    exec_mode;
+    exec_threads;
+    exec_window;
   }
 
 let client_instances t =
@@ -119,6 +133,13 @@ let quorum t =
    12-thread layout). Oversubscription inflates CPU costs at half the
    excess ratio: the workers are not all runnable at once. *)
 let contention_factor t =
-  let threads = 3 + 3 + 2 + t.z + 1 + 1 in
+  (* Serial mode runs the historical single execute thread; parallel mode
+     adds the execute pool alongside the scheduler lane. *)
+  let exec_threads =
+    match t.exec_mode with
+    | Exec_serial -> 1
+    | Exec_parallel -> t.exec_threads + 1
+  in
+  let threads = 3 + 3 + 2 + t.z + exec_threads + 1 in
   let pressure = float_of_int threads /. float_of_int t.cores in
   if pressure <= 1.0 then 1.0 else 1.0 +. (0.5 *. (pressure -. 1.0))

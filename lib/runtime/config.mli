@@ -39,6 +39,15 @@ type fault =
       (** The instance's primary silently drops client requests (§3.6);
           starved clients defect via instance-change. *)
 
+type exec_mode =
+  | Exec_serial
+      (** single execute thread, strict f_S(h) order — the ablation
+          baseline and the digest-gated default *)
+  | Exec_parallel
+      (** conflict-aware scheduler over a multi-server execute pool *)
+
+val exec_mode_name : exec_mode -> string
+
 type t = {
   protocol : protocol;
   n : int;
@@ -67,6 +76,9 @@ type t = {
   instance_change_after : int;
   seed : int;
   fault : fault;
+  exec_mode : exec_mode;
+  exec_threads : int;  (** execute-pool size (parallel mode only) *)
+  exec_window : int;  (** max rounds per conflict-analysis window *)
 }
 
 val make :
@@ -87,6 +99,9 @@ val make :
   ?seed:int ->
   ?instance_change_after:int ->
   ?fault:fault ->
+  ?exec_mode:exec_mode ->
+  ?exec_threads:int ->
+  ?exec_window:int ->
   protocol:protocol ->
   n:int ->
   unit ->
@@ -102,4 +117,6 @@ val quorum : t -> Rcc_replica.Client_pool.quorum
 
 val contention_factor : t -> float
 (** Thread-count / core-count pressure used to scale CPU costs (§3.1's
-    parallelism-vs-contention trade-off). *)
+    parallelism-vs-contention trade-off). Parallel execution counts its
+    pool threads, so adding execute servers on a loaded machine honestly
+    prices the extra contention. *)

@@ -11,6 +11,7 @@ type instance_stats = {
   i_view_changes : int;
   i_retained_slots : int;
   i_live_words : int;
+  i_replied_retained : int;
 }
 
 type t = {
@@ -33,6 +34,7 @@ type t = {
   ledger_rounds : int;
   ledger_valid : bool;
   exec_utilization : float;
+  exec_pool_utilization : float;
   worker_utilization : float;
   sim_events : int;
   wall_seconds : float;
@@ -58,12 +60,13 @@ let row t =
 let pp_instance fmt s =
   Format.fprintf fmt
     "  instance %d: %.0f txn/s, lat avg %.2f ms (p50 %.2f, p99 %.2f), \
-     txns=%d view_changes=%d slots=%d (~%d words)"
+     txns=%d view_changes=%d slots=%d (~%d words) replied=%d"
     s.instance s.i_throughput
     (s.i_avg_latency *. 1e3)
     (s.i_p50_latency *. 1e3)
     (s.i_p99_latency *. 1e3)
     s.i_txns s.i_view_changes s.i_retained_slots s.i_live_words
+    s.i_replied_retained
 
 let pp fmt t =
   Format.fprintf fmt

@@ -10,6 +10,9 @@ type instance_stats = {
   i_view_changes : int;
   i_retained_slots : int;  (** slot-log entries alive after checkpoint GC *)
   i_live_words : int;  (** rough heap words those slots pin *)
+  i_replied_retained : int;
+      (** duplicate-reply cache entries retained for this instance after
+          checkpoint-driven eviction (replica 0) *)
 }
 (** One protocol instance's share of the run (z rows for RCC modes). *)
 
@@ -33,6 +36,8 @@ type t = {
   ledger_rounds : int;
   ledger_valid : bool;
   exec_utilization : float;  (** replica 0's execute thread busy fraction *)
+  exec_pool_utilization : float;
+      (** replica 0's execute-pool mean busy fraction; 0 in serial mode *)
   worker_utilization : float;  (** replica 0's instance-0 worker busy fraction *)
   sim_events : int;
   wall_seconds : float;

@@ -12,6 +12,8 @@ type t = {
   txn_exec : Engine.time;
   exec_batch_overhead : Engine.time;
   response_create : Engine.time;
+  conflict_scan : Engine.time;
+  exec_dispatch : Engine.time;
 }
 
 let default =
@@ -29,6 +31,8 @@ let default =
     txn_exec = Engine.ns 2_500;
     exec_batch_overhead = Engine.us 12;
     response_create = Engine.us 3;
+    conflict_scan = Engine.ns 18;
+    exec_dispatch = Engine.us 2;
   }
 
 let hash_cost t nbytes =
@@ -53,4 +57,6 @@ let scaled t factor =
       txn_exec = scale_ns factor t.txn_exec;
       exec_batch_overhead = scale_ns factor t.exec_batch_overhead;
       response_create = scale_ns factor t.response_create;
+      conflict_scan = scale_ns factor t.conflict_scan;
+      exec_dispatch = scale_ns factor t.exec_dispatch;
     }

@@ -21,6 +21,12 @@ type t = {
   txn_exec : Engine.time;  (** execute one YCSB txn on the KV store *)
   exec_batch_overhead : Engine.time;  (** execute-thread per-batch fixed cost *)
   response_create : Engine.time;  (** build + MAC one client response *)
+  conflict_scan : Engine.time;
+      (** conflict analysis per read/write key in the scheduler window
+          (sorted-set merge; parallel exec mode only) *)
+  exec_dispatch : Engine.time;
+      (** scheduler overhead per dependency group handed to the execute
+          pool (parallel exec mode only) *)
 }
 
 val default : t

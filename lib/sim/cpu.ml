@@ -71,5 +71,18 @@ let earliest t =
   t.servers.(!best)
 
 let pool_submit t ~cost job = submit (earliest t) ~cost job
+let pool_submit_ready t ~ready ~cost job = submit_ready (earliest t) ~ready ~cost job
 let pool_reserve t ~ready ~cost = reserve (earliest t) ~ready ~cost
 let pool_servers t = t.servers
+let pool_size t = Array.length t.servers
+
+let pool_busy_time t =
+  Array.fold_left (fun acc s -> acc + s.busy_ns) 0 t.servers
+
+(* Mean busy fraction across the pool: k servers each busy 100% report
+   1.0, matching the single-server convention. *)
+let pool_utilization t ~since =
+  let sum =
+    Array.fold_left (fun acc s -> acc +. utilization s ~since) 0.0 t.servers
+  in
+  sum /. float_of_int (Array.length t.servers)

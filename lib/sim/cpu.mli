@@ -44,5 +44,19 @@ type pool
 
 val pool : Engine.t -> ?owner:int -> name:string -> size:int -> unit -> pool
 val pool_submit : pool -> cost:Engine.time -> (unit -> unit) -> unit
+
+val pool_submit_ready :
+  pool -> ready:Engine.time -> cost:Engine.time -> (unit -> unit) -> unit
+(** Earliest-free dispatch of work that cannot start before [ready] —
+    the execute pool's entry point: a dependency group is dispatched when
+    the conflict scan finishes, not when its acceptances arrived. *)
+
 val pool_reserve : pool -> ready:Engine.time -> cost:Engine.time -> Engine.time
 val pool_servers : pool -> server array
+val pool_size : pool -> int
+
+val pool_busy_time : pool -> Engine.time
+(** Cumulative busy nanoseconds summed over the pool. *)
+
+val pool_utilization : pool -> since:Engine.time -> float
+(** Mean busy fraction across the pool's servers since [since]. *)

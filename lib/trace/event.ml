@@ -9,6 +9,13 @@ type payload =
   | Slot_propose of { round : int }
   | Slot_accept of { round : int; batch : int; txns : int }
   | Slot_exec of { round : int; batch : int; txns : int }
+  (* Parallel-execution family: the conflict scheduler dispatched a
+     dependency group to the execute pool ([Exec_group]); groups glued
+     together by key overlaps also stamp the conflict size
+     ([Exec_conflict]). Group ids are per-replica monotonic, so Chrome
+     traces correlate a group's dispatch with its pool span. *)
+  | Exec_group of { group : int; members : int; txns : int; rounds : int }
+  | Exec_conflict of { group : int; keys : int }
   | Primary_change of { primary : int; view : int }
   | Kmal of { culprit : int }
   | Blame of { round : int; blamed : int; accuser : int }
@@ -40,6 +47,8 @@ let name = function
   | Slot_propose _ -> "slot_propose"
   | Slot_accept _ -> "slot_accept"
   | Slot_exec _ -> "slot_exec"
+  | Exec_group _ -> "exec_group"
+  | Exec_conflict _ -> "exec_conflict"
   | Primary_change _ -> "primary_change"
   | Kmal _ -> "kmal"
   | Blame _ -> "blame"

@@ -21,6 +21,12 @@ type payload =
       (** the instance reported the round accepted upward *)
   | Slot_exec of { round : int; batch : int; txns : int }
       (** the execute stage ran the round's batch for this instance *)
+  | Exec_group of { group : int; members : int; txns : int; rounds : int }
+      (** parallel exec: dependency group [group] dispatched to the
+          execute pool with [members] batches spanning [rounds] rounds *)
+  | Exec_conflict of { group : int; keys : int }
+      (** the conflict scan glued [group] together over [keys]
+          overlapping read/write key relations *)
   | Primary_change of { primary : int; view : int }
   | Kmal of { culprit : int }  (** replica marked known-malicious *)
   | Blame of { round : int; blamed : int; accuser : int }

@@ -34,7 +34,8 @@ let pinned_capacity = 16_384
    pinning. The match is total so a new payload kind must pick a side. *)
 let is_rare = function
   | Event.Net_send _ | Event.Net_deliver _ | Event.Span _
-  | Event.Slot_propose _ | Event.Slot_accept _ | Event.Slot_exec _ ->
+  | Event.Slot_propose _ | Event.Slot_accept _ | Event.Slot_exec _
+  | Event.Exec_group _ | Event.Exec_conflict _ ->
       false
   | Event.Primary_change _ | Event.Kmal _ | Event.Blame _
   | Event.Contract_sent _ | Event.Contract_adopted _

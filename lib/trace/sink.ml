@@ -33,6 +33,11 @@ let payload_args (p : Event.payload) =
   | Event.Slot_accept { round; batch; txns } | Event.Slot_exec { round; batch; txns }
     ->
       Printf.sprintf "\"round\":%d,\"batch\":%d,\"txns\":%d" round batch txns
+  | Event.Exec_group { group; members; txns; rounds } ->
+      Printf.sprintf "\"group\":%d,\"members\":%d,\"txns\":%d,\"rounds\":%d"
+        group members txns rounds
+  | Event.Exec_conflict { group; keys } ->
+      Printf.sprintf "\"group\":%d,\"keys\":%d" group keys
   | Event.Primary_change { primary; view } ->
       Printf.sprintf "\"primary\":%d,\"view\":%d" primary view
   | Event.Kmal { culprit } -> Printf.sprintf "\"culprit\":%d" culprit

@@ -72,7 +72,9 @@ let extend_history t digest =
    execution prefix. *)
 let advance_ckpt t =
   (match Checkpointing.try_stabilize t.ckpt ~exec_upto:(SL.frontier t.log) with
-  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | Some stable ->
+      SL.gc_upto t.log (stable - 1);
+      t.env.Env.on_stable ~seq:stable
   | None -> ());
   match Checkpointing.due t.ckpt ~exec_upto:(SL.frontier t.log) with
   | Some target ->
@@ -91,7 +93,9 @@ let on_checkpoint t ~src seq digest =
     Checkpointing.on_vote t.ckpt ~src ~seq ~digest
       ~exec_upto:(SL.frontier t.log)
   with
-  | Some stable -> SL.gc_upto t.log (stable - 1)
+  | Some stable ->
+      SL.gc_upto t.log (stable - 1);
+      t.env.Env.on_stable ~seq:stable
   | None -> ()
 
 (* Accept pending slots strictly in sequence order, chaining the history

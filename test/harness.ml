@@ -57,6 +57,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
           costs = Rcc_sim.Costs.default;
           timeout;
           checkpoint_interval;
+          on_stable = (fun ~seq:_ -> ());
           send = (fun ?sign:_ ~dst msg -> deliver ~src:self ~dst msg);
           broadcast =
             (fun ?sign:_ ?(exclude = fun _ -> false) msg ->

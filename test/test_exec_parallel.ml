@@ -1,0 +1,376 @@
+(* Conflict-aware parallel execution: partitioner unit tests, the
+   watermark and duplicate-reply-cache bounds, and the serial/parallel
+   equivalence property — any notify arrival order and any execute-pool
+   size must produce the same ledger, KV state and client responses as
+   strict serial execution. *)
+
+module Engine = Rcc_sim.Engine
+module Cpu = Rcc_sim.Cpu
+module Costs = Rcc_sim.Costs
+module Batch = Rcc_messages.Batch
+module Msg = Rcc_messages.Msg
+module Exec = Rcc_replica.Exec
+module Conflict = Rcc_replica.Conflict
+module Acceptance = Rcc_replica.Acceptance
+module Metrics = Rcc_replica.Metrics
+module Txn = Rcc_workload.Txn
+
+let check = Alcotest.check
+
+let keychain = Rcc_crypto.Keychain.create ~seed:7 ~n:4 ~clients:256
+
+let mk_batch ~id ~client txns =
+  Batch.create ~id ~client ~txns:(Array.of_list txns)
+    ~secret:(Rcc_crypto.Keychain.client_secret keychain client)
+
+let acc ~instance ~round batch =
+  {
+    Acceptance.instance;
+    round;
+    batch;
+    cert = [ 0; 1; 2 ];
+    speculative = false;
+    history = "";
+  }
+
+let w k = { Txn.key = k; op = Txn.Write k }
+let r k = { Txn.key = k; op = Txn.Read }
+
+let item ~round ~rank ~instance batch =
+  { Conflict.round; rank; acc = acc ~instance ~round batch }
+
+(* --- partitioner units ------------------------------------------------- *)
+
+let test_overlap () =
+  let a = mk_batch ~id:0 ~client:0 [ w 1; w 2 ] in
+  let b = mk_batch ~id:1 ~client:1 [ w 2; w 3 ] in
+  check Alcotest.int "write/write overlap" 1 (Conflict.overlap a b);
+  let c = mk_batch ~id:2 ~client:2 [ r 1; r 9 ] in
+  check Alcotest.int "write/read overlap" 1 (Conflict.overlap a c);
+  check Alcotest.int "read/write overlap" 1 (Conflict.overlap c a);
+  let d = mk_batch ~id:3 ~client:3 [ r 1; r 9 ] in
+  check Alcotest.int "read/read sharing is free" 0 (Conflict.overlap c d);
+  let e = mk_batch ~id:4 ~client:4 [ w 7 ] in
+  check Alcotest.int "disjoint" 0 (Conflict.overlap a e)
+
+let test_partition_disjoint () =
+  let items =
+    Array.init 4 (fun i ->
+        item ~round:0 ~rank:i ~instance:i
+          (mk_batch ~id:i ~client:i [ w (10 * i); w ((10 * i) + 1) ]))
+  in
+  let groups = Conflict.partition items in
+  check Alcotest.int "disjoint batches stay singletons" 4 (List.length groups);
+  List.iteri
+    (fun i g ->
+      check Alcotest.int "singleton" 1 (List.length g.Conflict.members);
+      check Alcotest.int "group order = first member order" i
+        (List.hd g.Conflict.members).Conflict.rank;
+      check Alcotest.int "no conflict keys" 0 g.Conflict.conflict_keys)
+    groups
+
+let test_partition_transitive () =
+  (* A{1} ~ B{1,2} ~ C{2}: one group even though A and C are disjoint. *)
+  let a = mk_batch ~id:0 ~client:0 [ w 1 ] in
+  let b = mk_batch ~id:1 ~client:1 [ w 1; w 2 ] in
+  let c = mk_batch ~id:2 ~client:2 [ w 2 ] in
+  let d = mk_batch ~id:3 ~client:3 [ w 99 ] in
+  let items =
+    [|
+      item ~round:0 ~rank:0 ~instance:0 a;
+      item ~round:0 ~rank:1 ~instance:1 b;
+      item ~round:0 ~rank:2 ~instance:2 c;
+      item ~round:0 ~rank:3 ~instance:3 d;
+    |]
+  in
+  match Conflict.partition items with
+  | [ g1; g2 ] ->
+      check Alcotest.int "transitive group has 3 members" 3
+        (List.length g1.Conflict.members);
+      check (Alcotest.list Alcotest.int) "members keep (round, rank) order"
+        [ 0; 1; 2 ]
+        (List.map (fun it -> it.Conflict.rank) g1.Conflict.members);
+      check Alcotest.int "glued by 2 overlapping keys" 2 g1.Conflict.conflict_keys;
+      check Alcotest.int "bystander stays alone" 1
+        (List.length g2.Conflict.members)
+  | gs -> Alcotest.failf "expected 2 groups, got %d" (List.length gs)
+
+let test_partition_duplicates () =
+  (* Identical non-null digests (a re-ordered duplicate) must serialize
+     even with no key overlap at all (here: read-only). *)
+  let txns = [ r 5 ] in
+  let a = mk_batch ~id:0 ~client:9 txns in
+  let b = mk_batch ~id:1 ~client:9 txns in
+  check Alcotest.int "read-only duplicates share no conflicting keys" 0
+    (Conflict.overlap a b);
+  let items =
+    [| item ~round:0 ~rank:0 ~instance:0 a; item ~round:1 ~rank:0 ~instance:0 b |]
+  in
+  (match Conflict.partition items with
+  | [ g ] ->
+      check Alcotest.int "duplicates merged" 2 (List.length g.Conflict.members)
+  | gs -> Alcotest.failf "expected 1 group, got %d" (List.length gs));
+  (* Null batches all share digest "" but must NOT merge on it. *)
+  let items =
+    [|
+      item ~round:0 ~rank:0 ~instance:0 (Batch.null ~round:0);
+      item ~round:1 ~rank:0 ~instance:0 (Batch.null ~round:1);
+    |]
+  in
+  check Alcotest.int "null batches never merge as duplicates" 2
+    (List.length (Conflict.partition items))
+
+let test_partition_cross_round () =
+  (* Conflicts across rounds of a window merge; group takes the earliest
+     member as its representative so ordering stays deterministic. *)
+  let items =
+    [|
+      item ~round:3 ~rank:0 ~instance:0 (mk_batch ~id:0 ~client:0 [ w 1 ]);
+      item ~round:3 ~rank:1 ~instance:1 (mk_batch ~id:1 ~client:1 [ w 50 ]);
+      item ~round:4 ~rank:0 ~instance:0 (mk_batch ~id:2 ~client:2 [ r 1 ]);
+      item ~round:4 ~rank:1 ~instance:1 (mk_batch ~id:3 ~client:3 [ w 60 ]);
+    |]
+  in
+  let groups = Conflict.partition items in
+  check Alcotest.int "3 groups" 3 (List.length groups);
+  let first = List.hd groups in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "w1/r1 merged across rounds, ordered by (round, rank)"
+    [ (3, 0); (4, 0) ]
+    (List.map
+       (fun it -> (it.Conflict.round, it.Conflict.rank))
+       first.Conflict.members)
+
+let test_total_keys () =
+  let items =
+    [|
+      item ~round:0 ~rank:0 ~instance:0 (mk_batch ~id:0 ~client:0 [ w 1; w 1; r 2 ]);
+      item ~round:0 ~rank:1 ~instance:1 (mk_batch ~id:1 ~client:1 [ r 9 ]);
+    |]
+  in
+  (* dedup: {1}w {2}r + {9}r = 3 *)
+  check Alcotest.int "total keys deduped" 3 (Conflict.total_keys items)
+
+(* --- exec harness ------------------------------------------------------ *)
+
+type outcome = {
+  o_head : string;
+  o_rounds : int;
+  o_state : string;
+  o_txns : int;
+  o_responses : (int * int * string) list;  (* sorted (client, round, digest) *)
+}
+
+(* Drive a bare execute stage with a synthetic workload: [batches.(r).(i)]
+   ordered by instance [i] in round [r], notified in [order], engine run
+   to quiescence. *)
+let run_exec ~sched_kind ~z ~batches ~order =
+  let engine = Engine.create () in
+  let server = Cpu.server engine ~name:"exec" () in
+  let sched =
+    match sched_kind with
+    | `Serial -> Exec.Serial
+    | `Parallel (threads, window) ->
+        Exec.Parallel
+          { pool = Cpu.pool engine ~name:"exec-pool" ~size:threads (); window }
+  in
+  let store = Rcc_storage.Kv_store.create () in
+  Rcc_storage.Kv_store.init_records store ~count:64;
+  let primaries = List.init z (fun i -> i) in
+  let ledger = Rcc_storage.Ledger.create ~primaries in
+  let txn_table = Rcc_storage.Txn_table.create () in
+  let metrics = Metrics.create ~n:1 ~instances:z ~warmup:0 () in
+  let responses = ref [] in
+  let respond client msg =
+    match msg with
+    | Msg.Response { round; result_digest; _ } ->
+        responses := (client, round, result_digest) :: !responses
+    | _ -> ()
+  in
+  let exec =
+    Exec.create ~engine ~costs:Costs.default ~server ~z ~self:0 ~store ~ledger
+      ~txn_table ~current_primaries:(fun () -> primaries)
+      ~respond ~metrics ~sched ()
+  in
+  List.iter
+    (fun (round, i) -> Exec.notify exec (acc ~instance:i ~round batches.(round).(i)))
+    order;
+  Engine.run engine ~until:max_int;
+  {
+    o_head = Rcc_storage.Ledger.head_hash ledger;
+    o_rounds = Rcc_storage.Ledger.length ledger;
+    o_state = Rcc_storage.Kv_store.state_digest store;
+    o_txns = Exec.executed_txns exec;
+    o_responses = List.sort compare !responses;
+  }
+
+(* Synthetic workload: [rounds] x [z] batches; key range controls the
+   conflict rate (small range = heavy conflicts, forcing multi-member
+   groups). Occasional null batches and cross-round duplicates exercise
+   the hole-filling and §3.1 duplicate-suppression paths. *)
+let gen_batches rng ~rounds ~z ~key_range ~conflict_free =
+  let id = ref 0 in
+  Array.init rounds (fun round ->
+      Array.init z (fun i ->
+          incr id;
+          let slot = (round * z) + i in
+          if (not conflict_free) && Random.State.int rng 10 = 0 then
+            Batch.null ~round
+          else
+            let ntxns = 1 + Random.State.int rng 3 in
+            let txns =
+              List.init ntxns (fun t ->
+                  let key =
+                    if conflict_free then (slot * 8) + t
+                    else Random.State.int rng key_range
+                  in
+                  if Random.State.int rng 3 = 0 then r key else w key)
+            in
+            mk_batch ~id:!id ~client:(slot mod 256) txns))
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let equivalence_prop ~conflict_free (seed, threads, window) =
+  let rng = Random.State.make [| seed |] in
+  let z = 1 + Random.State.int rng 4 in
+  let rounds = 1 + Random.State.int rng 10 in
+  let key_range = 4 + Random.State.int rng 12 in
+  let batches = gen_batches rng ~rounds ~z ~key_range ~conflict_free in
+  let slots =
+    List.concat_map
+      (fun round -> List.init z (fun i -> (round, i)))
+      (List.init rounds (fun r -> r))
+  in
+  let reference = run_exec ~sched_kind:`Serial ~z ~batches ~order:slots in
+  let same label o =
+    if
+      o.o_head <> reference.o_head
+      || o.o_rounds <> reference.o_rounds
+      || o.o_state <> reference.o_state
+      || o.o_txns <> reference.o_txns
+      || o.o_responses <> reference.o_responses
+    then
+      QCheck2.Test.fail_reportf
+        "%s diverged from serial: rounds %d vs %d, txns %d vs %d, head %s vs %s"
+        label o.o_rounds reference.o_rounds o.o_txns reference.o_txns
+        (String.sub (Rcc_common.Bytes_util.hex o.o_head) 0 12)
+        (String.sub (Rcc_common.Bytes_util.hex reference.o_head) 0 12)
+  in
+  (* Serial, shuffled arrivals: gathering is order-insensitive. *)
+  same "serial/shuffled"
+    (run_exec ~sched_kind:`Serial ~z ~batches ~order:(shuffle rng slots));
+  (* Parallel, in-order and shuffled arrivals. *)
+  same "parallel/in-order"
+    (run_exec ~sched_kind:(`Parallel (threads, window)) ~z ~batches ~order:slots);
+  same "parallel/shuffled"
+    (run_exec ~sched_kind:(`Parallel (threads, window)) ~z ~batches
+       ~order:(shuffle rng slots));
+  true
+
+let equivalence_test ~name ~conflict_free =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30 ~name
+       QCheck2.Gen.(
+         triple (int_range 0 1_000_000) (int_range 1 8) (int_range 1 8))
+       (equivalence_prop ~conflict_free))
+
+(* --- watermark --------------------------------------------------------- *)
+
+let bare_exec ~z =
+  let engine = Engine.create () in
+  let server = Cpu.server engine ~name:"exec" () in
+  let store = Rcc_storage.Kv_store.create () in
+  let primaries = List.init z (fun i -> i) in
+  let ledger = Rcc_storage.Ledger.create ~primaries in
+  let exec =
+    Exec.create ~engine ~costs:Costs.default ~server ~z ~self:0 ~store ~ledger
+      ~txn_table:(Rcc_storage.Txn_table.create ())
+      ~current_primaries:(fun () -> primaries)
+      ~respond:(fun _ _ -> ())
+      ~metrics:(Metrics.create ~n:1 ~instances:z ~warmup:0 ())
+      ()
+  in
+  (engine, exec)
+
+let test_watermark () =
+  let engine, exec = bare_exec ~z:2 in
+  check Alcotest.int "empty: next_round - 1" (-1) (Exec.max_pending_round exec);
+  let put round i =
+    Exec.notify exec
+      (acc ~instance:i ~round (mk_batch ~id:((round * 2) + i) ~client:0 [ w 1 ]))
+  in
+  put 5 0;
+  put 3 1;
+  check Alcotest.int "watermark tracks the highest buffered round" 5
+    (Exec.max_pending_round exec);
+  (* Complete rounds 0..1 and drain them. *)
+  for round = 0 to 1 do
+    put round 0;
+    put round 1
+  done;
+  Engine.run engine ~until:max_int;
+  check Alcotest.int "executed prefix" 2 (Exec.next_round exec);
+  check Alcotest.int "watermark survives execution" 5
+    (Exec.max_pending_round exec);
+  (* A snapshot install past everything collapses it to next_round - 1. *)
+  Exec.install_snapshot exec ~seq:9 ~replied:[];
+  check Alcotest.int "install drops stale rounds" 8 (Exec.max_pending_round exec)
+
+(* --- duplicate-reply cache GC ------------------------------------------ *)
+
+let test_replied_gc () =
+  let engine, exec = bare_exec ~z:2 in
+  (* 4 rounds x 2 instances, distinct clients: 8 cache entries. *)
+  for round = 0 to 3 do
+    for i = 0 to 1 do
+      let client = (round * 2) + i in
+      Exec.notify exec
+        (acc ~instance:i ~round (mk_batch ~id:client ~client [ w client ]))
+    done
+  done;
+  Engine.run engine ~until:max_int;
+  let total () = Array.fold_left ( + ) 0 (Exec.replied_retained exec) in
+  check Alcotest.int "all replies retained before any checkpoint" 8 (total ());
+  check (Alcotest.list Alcotest.int) "per-instance split" [ 4; 4 ]
+    (Array.to_list (Exec.replied_retained exec));
+  (* One instance stabilizing is not enough: the floor is the min. *)
+  Exec.on_stable exec ~instance:0 ~seq:3;
+  check Alcotest.int "floor waits for every instance" 8 (total ());
+  Exec.on_stable exec ~instance:1 ~seq:2;
+  check Alcotest.int "entries below min stable evicted" 4 (total ());
+  check Alcotest.int "evicted counted" 4 (Exec.replied_evicted exec);
+  (* Regressing or repeating a frontier never un-evicts. *)
+  Exec.on_stable exec ~instance:1 ~seq:1;
+  Exec.on_stable exec ~instance:1 ~seq:2;
+  check Alcotest.int "monotone" 4 (total ())
+
+let suite =
+  ( "exec_parallel",
+    [
+      Alcotest.test_case "conflict: overlap counting" `Quick test_overlap;
+      Alcotest.test_case "conflict: disjoint partition" `Quick
+        test_partition_disjoint;
+      Alcotest.test_case "conflict: transitive merge" `Quick
+        test_partition_transitive;
+      Alcotest.test_case "conflict: duplicate digests" `Quick
+        test_partition_duplicates;
+      Alcotest.test_case "conflict: cross-round window" `Quick
+        test_partition_cross_round;
+      Alcotest.test_case "conflict: total keys" `Quick test_total_keys;
+      Alcotest.test_case "watermark: max_pending_round" `Quick test_watermark;
+      Alcotest.test_case "replied cache: checkpoint GC" `Quick test_replied_gc;
+      equivalence_test
+        ~name:"parallel = serial (conflict-free workloads, any order/threads)"
+        ~conflict_free:true;
+      equivalence_test
+        ~name:"parallel = serial (conflicting workloads, any order/threads)"
+        ~conflict_free:false;
+    ] )

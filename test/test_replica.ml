@@ -434,6 +434,7 @@ let test_quorum_helpers () =
       costs = Rcc_sim.Costs.default;
       timeout = Engine.s 1;
       checkpoint_interval = 0;
+      on_stable = (fun ~seq:_ -> ());
       send = (fun ?sign:_ ~dst:_ _ -> ());
       broadcast = (fun ?sign:_ ?exclude:_ _ -> ());
       respond = (fun _ _ -> ());

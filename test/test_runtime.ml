@@ -88,6 +88,7 @@ let test_report_formatting () =
       ledger_rounds = 10;
       ledger_valid = true;
       exec_utilization = 0.5;
+      exec_pool_utilization = 0.0;
       worker_utilization = 0.25;
       sim_events = 99;
       wall_seconds = 0.5;
