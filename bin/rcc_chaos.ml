@@ -134,15 +134,11 @@ let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
               (smoke_cfg protocol) (smoke_script duration)))
        protocols
    else if transfer then begin
-     (* MultiZ is excluded: its speculative fast path needs every replica,
-        so a dark replica stalls the whole cluster rather than falling
-        behind it — no snapshot-sized gap can form and the scenario would
-        pass vacuously. MultiP's healthy majority keeps executing, which
-        is what makes the install assertions meaningful. *)
-     if List.mem Config.MultiZ protocols then
-       Format.printf
-         "transfer: skipping multiz (a dark replica stalls the speculative \
-          fast path cluster-wide; no snapshot-sized gap forms)@.";
+     (* MultiZ runs this too since speculative rollback landed: with a
+        replica partitioned away, clients fall back from the all-n
+        speculative quorum to commit certificates, so the healthy
+        majority keeps executing and the healed replica faces a
+        snapshot-sized gap just like MultiP. *)
      List.iter
        (fun protocol ->
          (* Tracing always on: the scenario's verdict reads the events. *)
@@ -171,7 +167,7 @@ let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
          if
            not (assert_transfer ~label:"corrupt-donor" ~expect_reject:true corrupt)
          then failed := true)
-       (List.filter (fun p -> p <> Config.MultiZ) protocols)
+       protocols
    end
    else
      match scenario_seed with

@@ -116,6 +116,18 @@ let history_find t round instance =
       Array.find_opt (fun (a : Acceptance.t) -> a.instance = instance) accs
   | Some _ | None -> None
 
+(* Speculative rollback unwound rounds [>= frontier]: the retained copies
+   describe orderings the view change just invalidated, so contract
+   building and recovery must stop serving them. The rounds re-enter the
+   ring via [on_round_executed] when they re-execute. *)
+let on_rollback t ~frontier =
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (r, _) when r >= frontier -> t.history.(i) <- None
+      | Some _ | None -> ())
+    t.history
+
 (* This replica's knowledge of instance [x]'s round-[r] batch: a pending
    acceptance at the execute thread, an already-executed round in the
    history ring, or the instance's own log. *)

@@ -126,5 +126,11 @@ val on_round_executed : t -> round:round -> Rcc_replica.Acceptance.t array -> un
 (** Execute-thread hook: retains the round for contract building and, in
     pessimistic mode, broadcasts the contract. *)
 
+val on_rollback : t -> frontier:round -> unit
+(** Speculative rollback unwound rounds [>= frontier]: drop their
+    retained copies so contracts and recovery stop serving invalidated
+    orderings; the rounds re-enter via {!on_round_executed} when they
+    re-execute under the new view. *)
+
 val replacements : t -> int
 (** Unified primary replacements performed. *)

@@ -320,6 +320,15 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
                   send ~dst:(cfg.client_node_of client) msg);
               accept = (fun acceptance -> Exec.notify exec acceptance);
               on_stable = (fun ~seq -> Exec.on_stable exec ~instance:x ~seq);
+              rollback =
+                (fun ~frontier ->
+                  (* The coordinator's retained history must drop the
+                     unwound rounds before the execute stage re-buffers
+                     them, or recovery could serve pre-rollback orders. *)
+                  (match !coordinator_ref with
+                  | Some c -> Coordinator.on_rollback c ~frontier
+                  | None -> ());
+                  Exec.rollback_to exec ~frontier ~instance:x);
               report_failure =
                 (fun ~round ~blamed ->
                   match !coordinator_ref with

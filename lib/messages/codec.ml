@@ -158,10 +158,11 @@ let encode msg =
       w_int buf seq;
       w_batch buf batch;
       w_string buf history
-  | Msg.Commit_cert { cc_instance; cc_seq; cc_digest; cc_replicas } ->
+  | Msg.Commit_cert { cc_instance; cc_seq; cc_client; cc_digest; cc_replicas } ->
       Buffer.add_char buf '\x09';
       w_int buf cc_instance;
       w_int buf cc_seq;
+      w_int buf cc_client;
       w_string buf cc_digest;
       w_list buf w_int cc_replicas
   | Msg.Local_commit { instance; seq; client } ->
@@ -283,8 +284,10 @@ let decode_exn s =
     | '\x09' ->
         let cc_instance = r_int r in
         let cc_seq = r_int r in
+        let cc_client = r_int r in
         let cc_digest = r_string r in
-        Msg.Commit_cert { cc_instance; cc_seq; cc_digest; cc_replicas = r_list r r_int }
+        Msg.Commit_cert
+          { cc_instance; cc_seq; cc_client; cc_digest; cc_replicas = r_list r r_int }
     | '\x0a' ->
         let instance = r_int r in
         let seq = r_int r in

@@ -3,6 +3,7 @@ open Rcc_common.Ids
 type commit_cert = {
   cc_instance : instance_id;
   cc_seq : seqno;
+  cc_client : client_id;  (* who holds the certificate: the ack target *)
   cc_digest : string;
   cc_replicas : int list;
 }

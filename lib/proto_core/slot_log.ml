@@ -172,6 +172,23 @@ let fast_forward t ~round =
     touch t
   end
 
+(* Speculative rollback: clear every slot at or above [round] and retreat
+   both watermarks so the new view's authoritative orders rebuild them
+   from scratch. The inverse of [drain] progress; rounds below [round]
+   (attested at the caller by a commit certificate or stable checkpoint)
+   are untouched. The stale table only holds rounds below [base], which
+   the caller guarantees is at most [round], so it needs no sweep. *)
+let unwind t ~round =
+  if round <= t.max_seen then begin
+    let lo = if round > t.base then round else t.base in
+    for r = lo to t.max_seen do
+      t.ring.(idx t r) <- None
+    done;
+    t.max_seen <- round - 1;
+    if t.frontier >= round then t.frontier <- round - 1;
+    touch t
+  end
+
 let retained_slots t =
   let n = ref (Hashtbl.length t.stale) in
   Array.iter (function Some _ -> incr n | None -> ()) t.ring;

@@ -81,6 +81,13 @@ val fast_forward : 'a t -> round:Rcc_common.Ids.round -> unit
     those rounds, so nothing below is incomplete anymore). Slots at or
     above [round] survive. No-op when the frontier is already there. *)
 
+val unwind : 'a t -> round:Rcc_common.Ids.round -> unit
+(** Speculative rollback: clear every slot at or above [round] and move
+    both [max_seen] and the accept frontier back to [round - 1]. The
+    caller must only unwind above its garbage-collection boundary
+    ([round >= base]); rounds below [round] are untouched. No-op when
+    nothing at or above [round] exists. *)
+
 val retained_slots : 'a t -> int
 (** Live slots currently held (ring plus stale table) — the quantity
     checkpoint GC bounds. *)

@@ -26,9 +26,13 @@ type config = {
 type outstanding = {
   batch : Batch.t;
   sent_at : Engine.time;
-  (* response-digest key -> replicas that sent it *)
-  mutable responses : (string * Bitset.t) list;
-  mutable resp_round : int;  (* round reported by the first response *)
+  (* response-digest key -> (replicas that sent it, round they reported).
+     The round rides with its key: a stale speculative response that
+     survived a view change carries a pre-rollback history (its own key),
+     and the commit certificate must name the round of the quorum that
+     actually matched — not whichever response happened to arrive
+     first. *)
+  mutable responses : (string * Bitset.t * int) list;
   mutable commit_acks : Bitset.t option;  (* Zyzzyva commit phase *)
   mutable timer : Engine.timer;
 }
@@ -41,6 +45,14 @@ type client = {
   mutable instance : Rcc_common.Ids.instance_id;
   mutable out : outstanding option;
   mutable resends : int;
+  mutable degraded : bool;
+      (* All_n_speculative only: a timeout fired while a 2f+1-strong
+         response set was already in hand, i.e. some replica is down or
+         cut off and the all-n fast path cannot complete. While set, the
+         commit-certificate phase starts as soon as 2f+1 matching
+         responses arrive instead of waiting out the timer each batch —
+         otherwise one dead replica stalls every client to timeout speed.
+         Cleared by the next full-speculative completion. *)
 }
 
 type t = {
@@ -60,6 +72,25 @@ let send_request t client (batch : Batch.t) =
   let dst = t.primary_of_instance client.instance in
   let msg = Msg.Client_request { instance = client.instance; batch } in
   Net.send t.net ~src:client.machine ~dst ~size:(Msg.size msg) msg
+
+(* Zyzzyva second phase: enough matching speculative responses to form a
+   commit certificate — sequenced at the matching quorum's own round. *)
+let begin_commit_phase t client out ~key ~set ~round =
+  out.commit_acks <- Some (Bitset.create t.cfg.n);
+  let cert =
+    Msg.Commit_cert
+      {
+        cc_instance = client.instance;
+        cc_seq = round;
+        cc_client = client.id;
+        cc_digest = String.sub key 0 (min 32 (String.length key));
+        cc_replicas = Bitset.to_list set;
+      }
+  in
+  let size = Msg.size cert in
+  for dst = 0 to t.cfg.n - 1 do
+    Net.send t.net ~src:client.machine ~dst ~size cert
+  done
 
 let rec complete t client out =
   Engine.cancel out.timer;
@@ -81,25 +112,16 @@ and on_timeout t client out =
   match client.out with
   | Some current when current == out && not t.stopped -> begin
       let cc_quorum = (2 * t.cfg.f) + 1 in
-      let strong = List.find_opt (fun (_, set) -> Bitset.count set >= cc_quorum) in
+      let strong =
+        List.find_opt (fun (_, set, _) -> Bitset.count set >= cc_quorum)
+      in
       match (t.cfg.quorum, out.commit_acks, strong out.responses) with
-      | All_n_speculative, None, Some (key, set) ->
-          (* Zyzzyva second phase: enough matching speculative responses to
-             form a commit certificate. *)
-          out.commit_acks <- Some (Bitset.create t.cfg.n);
-          let cert =
-            Msg.Commit_cert
-              {
-                cc_instance = client.instance;
-                cc_seq = out.resp_round;
-                cc_digest = String.sub key 0 (min 32 (String.length key));
-                cc_replicas = Bitset.to_list set;
-              }
-          in
-          let size = Msg.size cert in
-          for dst = 0 to t.cfg.n - 1 do
-            Net.send t.net ~src:client.machine ~dst ~size cert
-          done;
+      | All_n_speculative, None, Some (key, set, round) ->
+          (* A strong quorum was in hand yet the all-n set never closed:
+             some replica is unreachable. Degrade this client so its next
+             batches fall back without eating the timeout again. *)
+          client.degraded <- true;
+          begin_commit_phase t client out ~key ~set ~round;
           arm_timer t client out
       | (Majority_fplus1 | All_n_speculative), _, _ ->
           (* Resend; after enough failures, defect to another instance
@@ -136,7 +158,6 @@ and send_next t client =
       batch;
       sent_at = Engine.now t.engine;
       responses = [];
-      resp_round = -1;
       commit_acks = None;
       timer = Engine.timer_after t.engine 0 (fun () -> ());
     }
@@ -150,25 +171,40 @@ and send_next t client =
 let handle_response t client_id ~src result_digest history batch_id round =
   let client = t.clients.(client_id) in
   match client.out with
-  | Some out
-    when batch_id = out.batch.Batch.id && Option.is_none out.commit_acks ->
-      if out.resp_round < 0 then out.resp_round <- round;
+  | Some out when batch_id = out.batch.Batch.id ->
+      (* Responses keep accumulating even after the commit phase starts:
+         a degraded client certs at 2f+1, but if the straggler's
+         speculative response lands anyway, the full all-n set commits
+         on the spot — and proves the cluster healed. *)
+      let in_commit_phase = Option.is_some out.commit_acks in
       let key = result_digest ^ history in
-      let set =
-        match List.assoc_opt key out.responses with
-        | Some set -> set
+      let set, set_round =
+        match
+          List.find_opt (fun (k, _, _) -> String.equal k key) out.responses
+        with
+        | Some (_, set, r) -> (set, r)
         | None ->
             let set = Bitset.create t.cfg.n in
-            out.responses <- (key, set) :: out.responses;
-            set
+            out.responses <- (key, set, round) :: out.responses;
+            (set, round)
       in
       if Bitset.add set src then begin
-        let needed =
-          match t.cfg.quorum with
-          | Majority_fplus1 -> t.cfg.f + 1
-          | All_n_speculative -> t.cfg.n
-        in
-        if Bitset.count set >= needed then complete t client out
+        match t.cfg.quorum with
+        | Majority_fplus1 ->
+            if (not in_commit_phase) && Bitset.count set >= t.cfg.f + 1 then
+              complete t client out
+        | All_n_speculative ->
+            let count = Bitset.count set in
+            if count >= t.cfg.n then begin
+              (* The fast path closed again: the cluster healed. *)
+              client.degraded <- false;
+              complete t client out
+            end
+            else if (not in_commit_phase) && client.degraded
+                    && count >= (2 * t.cfg.f) + 1 then
+              (* Known-degraded cluster: go to the commit phase the
+                 moment a strong quorum matches, at its own round. *)
+              begin_commit_phase t client out ~key ~set ~round:set_round
       end
   | Some _ | None -> ()
 
@@ -197,6 +233,7 @@ let create ~engine ~net ~keychain ~metrics ~primary_of_instance cfg =
           instance = c mod cfg.z;
           out = None;
           resends = 0;
+          degraded = false;
         })
   in
   let t =

@@ -23,6 +23,7 @@ type window_state = {
   w_base : int;  (* rounds.(i).w_round = w_base + i *)
   rounds : wround array;
   mutable groups_left : int;
+  gen : int;  (* rollback fence: stale generations skip themselves *)
 }
 
 type t = {
@@ -64,6 +65,17 @@ type t = {
   mutable install_horizon : int;
   mutable active : window_state option;
   mutable group_seq : int;
+  (* Speculative-rollback state. [gen] fences in-flight parallel windows
+     (bumped by [rollback_to]; group callbacks and commit jobs compare
+     against it). [spec_log] keeps each executed round's acceptances
+     (instance-indexed) until the checkpoint frontier passes it, so a
+     rollback can re-buffer the surviving instances' batches for
+     re-execution. [uncommitted] tracks parallel window rounds that
+     executed but have not committed yet — [t.active] alone cannot serve,
+     because [complete_window] clears it before the commit jobs run. *)
+  mutable gen : int;
+  spec_log : (int, Acceptance.t array) Hashtbl.t;
+  uncommitted : (int, wround) Hashtbl.t;
   (* Duplicate-reply cache bound: per-instance stable checkpoint seqs;
      entries whose first execution is behind min over instances are
      evicted (clients never replay a batch that old — checkpoint
@@ -77,6 +89,8 @@ let create ~engine ~costs ~server ~z ~self ~store ~ledger ~txn_table
     ~current_primaries ~respond ~metrics ?(reorder = fun a -> a)
     ?(on_executed = fun _ _ -> ()) ?(materialize = true)
     ?(sign_speculative = false) ?(sched = Serial) () =
+  (* Rollback needs per-round undo records for every KV write. *)
+  if materialize then Rcc_storage.Kv_store.enable_journal store;
   {
     engine;
     costs;
@@ -103,6 +117,9 @@ let create ~engine ~costs ~server ~z ~self ~store ~ledger ~txn_table
     install_horizon = 0;
     active = None;
     group_seq = 0;
+    gen = 0;
+    spec_log = Hashtbl.create 64;
+    uncommitted = Hashtbl.create 16;
     stable = Array.make z 0;
     evict_floor = 0;
     replied_evicted = 0;
@@ -148,13 +165,23 @@ let certificate_digest batch_digest cert =
 
 (* --- serial path (the ablation baseline; kept byte-identical) ---------- *)
 
-let execute_round t round accs =
-  (* A snapshot install can supersede a round while its execution sits in
-     the CPU queue: its effects are already part of the installed state,
-     so replaying it would double-execute (and break the ledger's round
-     sequencing). Fault-free, the guard never fires — rounds execute in
-     exactly ledger order. *)
-  if Rcc_storage.Ledger.next_round t.ledger = round then begin
+let execute_round t round =
+  (* The round's acceptances are re-read from the buffer at run time, not
+     captured at submit: a rollback between submit and execution replaces
+     them (and clears the conflicted instance's slot), so a stale queued
+     job either sees an incomplete round and skips, or executes the
+     post-rollback ordering — both correct. The ledger guard also covers
+     snapshot installs superseding a queued round: its effects are
+     already part of the installed state, so replaying it would
+     double-execute. Fault-free, neither guard ever fires — rounds
+     execute in exactly ledger order. *)
+  match Hashtbl.find_opt t.pending round with
+  | Some slots
+    when Array.for_all Option.is_some slots
+         && Rcc_storage.Ledger.next_round t.ledger = round ->
+  let accs = Array.map Option.get slots in
+  Hashtbl.remove t.pending round;
+  if t.materialize then Rcc_storage.Kv_store.journal_round t.store round;
   let ordered = t.reorder (Array.copy accs) in
   let proofs = ref [] in
   let clients = ref [] in
@@ -244,8 +271,9 @@ let execute_round t round accs =
   in
   Rcc_storage.Ledger.append_exn t.ledger block;
   t.executed_rounds <- t.executed_rounds + 1;
+  Hashtbl.replace t.spec_log round accs;
   t.on_executed round accs
-  end
+  | Some _ | None -> ()
 
 let rec try_advance_serial t =
   match Hashtbl.find_opt t.pending t.next_round with
@@ -254,10 +282,12 @@ let rec try_advance_serial t =
       if Array.for_all Option.is_some slots then begin
         let round = t.next_round in
         let accs = Array.map Option.get slots in
-        Hashtbl.remove t.pending round;
         t.next_round <- round + 1;
+        (* The buffer entry stays until execution runs (see
+           [execute_round]); [notify] cannot mutate it — its round guard
+           rejects rounds below [next_round]. *)
         Rcc_sim.Cpu.submit t.server ~cost:(round_cost t accs) (fun () ->
-            execute_round t round accs);
+            execute_round t round);
         try_advance_serial t
       end
 
@@ -282,10 +312,12 @@ let execute_member t (w : wround) rank (a : Acceptance.t) =
     w.reply_digest.(rank) <- result_digest
   end
   else begin
-    if t.materialize then
+    if t.materialize then begin
+      Rcc_storage.Kv_store.journal_round t.store w.w_round;
       Array.iter
         (fun txn -> ignore (Rcc_workload.Txn.apply t.store txn))
-        batch.Batch.txns;
+        batch.Batch.txns
+    end;
     let result_digest =
       Rcc_crypto.Sha256.digest_list
         [
@@ -305,6 +337,7 @@ let execute_member t (w : wround) rank (a : Acceptance.t) =
    scheduler FIFO, so commits retain round order; the ledger guard skips
    rounds a snapshot install superseded mid-flight. *)
 let commit_round t (w : wround) =
+  Hashtbl.remove t.uncommitted w.w_round;
   if
     w.w_round >= t.install_horizon
     && Rcc_storage.Ledger.next_round t.ledger = w.w_round
@@ -362,6 +395,11 @@ let commit_round t (w : wround) =
     in
     Rcc_storage.Ledger.append_exn t.ledger block;
     t.executed_rounds <- t.executed_rounds + 1;
+    (* Re-index by instance for the speculative log: a rollback
+       re-buffers these into the per-instance pending slots. *)
+    let by_instance = Array.make t.z w.ordered.(0) in
+    Array.iter (fun (a : Acceptance.t) -> by_instance.(a.instance) <- a) w.ordered;
+    Hashtbl.replace t.spec_log w.w_round by_instance;
     t.on_executed w.w_round w.ordered
   end
 
@@ -424,8 +462,9 @@ and dispatch_window t pool window rounds_list =
     Rcc_sim.Cpu.reserve t.server ~ready:(Engine.now t.engine)
       ~cost:analysis_cost
   in
-  let ws = { w_base; rounds = wrounds; groups_left = ngroups } in
+  let ws = { w_base; rounds = wrounds; groups_left = ngroups; gen = t.gen } in
   t.active <- Some ws;
+  Array.iter (fun w -> Hashtbl.replace t.uncommitted w.w_round w) wrounds;
   List.iter
     (fun (g : Conflict.group) ->
       let gid = t.group_seq in
@@ -454,15 +493,20 @@ and dispatch_window t pool window rounds_list =
           0 g.members
       in
       Rcc_sim.Cpu.pool_submit_ready pool ~ready ~cost (fun () ->
-          List.iter
-            (fun (it : Conflict.item) ->
-              if it.Conflict.round >= t.install_horizon then
-                execute_member t
-                  wrounds.(it.Conflict.round - w_base)
-                  it.Conflict.rank it.Conflict.acc)
-            g.members;
-          ws.groups_left <- ws.groups_left - 1;
-          if ws.groups_left = 0 then complete_window t pool window ws))
+          (* A rollback fenced this window: its rounds were re-buffered
+             for re-execution, so the stale group must neither apply
+             state nor complete the (already released) window. *)
+          if ws.gen = t.gen then begin
+            List.iter
+              (fun (it : Conflict.item) ->
+                if it.Conflict.round >= t.install_horizon then
+                  execute_member t
+                    wrounds.(it.Conflict.round - w_base)
+                    it.Conflict.rank it.Conflict.acc)
+              g.members;
+            ws.groups_left <- ws.groups_left - 1;
+            if ws.groups_left = 0 then complete_window t pool window ws
+          end))
     groups
 
 and complete_window t pool window ws =
@@ -474,7 +518,7 @@ and complete_window t pool window ws =
     (fun w ->
       Rcc_sim.Cpu.submit t.server
         ~cost:(Costs.hash_cost t.costs 256)
-        (fun () -> commit_round t w))
+        (fun () -> if ws.gen = t.gen then commit_round t w))
     ws.rounds;
   t.active <- None;
   try_advance_parallel t pool window
@@ -536,7 +580,19 @@ let on_stable t ~instance ~seq =
     let floor = Array.fold_left min max_int t.stable in
     if floor > t.evict_floor then begin
       t.evict_floor <- floor;
-      evict_replied t floor
+      evict_replied t floor;
+      (* Rounds below the cross-instance stable floor can never be rolled
+         back (a conflict at or below an instance's stable checkpoint is
+         left to state transfer), so their undo records and speculative
+         acceptances are dead weight. *)
+      if t.materialize then
+        Rcc_storage.Kv_store.forget_below t.store ~round:floor;
+      let dead =
+        Hashtbl.fold
+          (fun round _ acc -> if round < floor then round :: acc else acc)
+          t.spec_log []
+      in
+      List.iter (Hashtbl.remove t.spec_log) dead
     end
   end
 
@@ -550,6 +606,102 @@ let replied_retained t =
   counts
 
 let replied_evicted t = t.replied_evicted
+
+(* --- speculative rollback ---------------------------------------------- *)
+
+(* Unwind every executed-but-unstable round at or above [frontier]: a
+   view change in [instance] exposed a conflicting ordering, so the
+   speculative suffix is discarded and rebuilt. KV effects are undone
+   from the write journal (reverse order), ledger blocks above the
+   frontier are dropped (the head-hash chain re-derives from the
+   surviving prefix), their txn-table rows and duplicate-reply entries
+   are evicted, and the surviving instances' acceptances re-enter the
+   pending buffer for re-execution once [instance]'s new view re-orders
+   its slots. The caller guarantees [frontier] is above both the commit
+   certificate and the stable checkpoint, so undo records still exist
+   (see [on_stable]'s forget floor). *)
+let rollback_to t ~frontier ~instance =
+  let from = Rcc_storage.Ledger.next_round t.ledger in
+  if Engine.tracing t.engine then begin
+    Engine.trace t.engine ~replica:t.self ~instance
+      (Rcc_trace.Event.Rollback_begin { frontier; from });
+    for r = frontier to from - 1 do
+      let txns =
+        List.fold_left
+          (fun acc (e : Rcc_storage.Txn_table.entry) ->
+            acc + e.Rcc_storage.Txn_table.txn_count)
+          0
+          (Rcc_storage.Txn_table.find t.txn_table ~round:r)
+      in
+      Engine.trace t.engine ~replica:t.self ~instance
+        (Rcc_trace.Event.Rollback_round { round = r; txns })
+    done
+  end;
+  (* Fence any in-flight parallel window: stale group callbacks and
+     commit jobs compare generations and skip themselves. Rounds that
+     already executed inside the fenced window re-enter the buffer below,
+     and their KV effects are undone with the committed suffix — so the
+     undo point is the lowest in-flight round when one sits below the
+     frontier. *)
+  t.gen <- t.gen + 1;
+  t.active <- None;
+  let in_flight = Hashtbl.fold (fun _ w acc -> w :: acc) t.uncommitted [] in
+  Hashtbl.reset t.uncommitted;
+  let kv_undo =
+    List.fold_left (fun m (w : wround) -> min m w.w_round) frontier in_flight
+  in
+  if t.materialize then Rcc_storage.Kv_store.undo_above t.store ~round:kv_undo;
+  Rcc_storage.Ledger.truncate_to t.ledger ~round:frontier;
+  let _, rb_txns =
+    Rcc_storage.Txn_table.remove_from t.txn_table ~round:frontier
+  in
+  let resume = Rcc_storage.Ledger.next_round t.ledger in
+  let rb_rounds = from - resume in
+  t.executed_rounds <- t.executed_rounds - rb_rounds;
+  t.executed_txns <- t.executed_txns - rb_txns;
+  (* A cached reply whose first execution was just undone would answer a
+     future duplicate from state that no longer exists; the re-execution
+     below re-records it. *)
+  let dead =
+    Hashtbl.fold
+      (fun key (round, _, _) acc ->
+        if round >= kv_undo then key :: acc else acc)
+      t.replied []
+  in
+  List.iter (Hashtbl.remove t.replied) dead;
+  t.replied_evicted <- t.replied_evicted + List.length dead;
+  (* Re-buffer the unwound rounds' surviving acceptances — committed
+     rounds from the speculative log plus fenced in-flight window rounds
+     — then clear the conflicted instance's slots at or above the
+     frontier: those forked orders are exactly what is being discarded,
+     and its new view re-delivers replacements. *)
+  let rebuffer round (accs : Acceptance.t array) =
+    let sl = slots t round in
+    Array.iter (fun (a : Acceptance.t) -> sl.(a.instance) <- Some a) accs;
+    if round > t.high_water then t.high_water <- round
+  in
+  let unwound =
+    Hashtbl.fold
+      (fun round accs acc ->
+        if round >= frontier then (round, accs) :: acc else acc)
+      t.spec_log []
+  in
+  List.iter
+    (fun (round, accs) ->
+      Hashtbl.remove t.spec_log round;
+      rebuffer round accs)
+    unwound;
+  List.iter (fun (w : wround) -> rebuffer w.w_round w.ordered) in_flight;
+  Hashtbl.iter
+    (fun round sl -> if round >= frontier then sl.(instance) <- None)
+    t.pending;
+  t.next_round <- resume;
+  Metrics.record_rollback ~instance t.metrics ~rounds:rb_rounds ~txns:rb_txns;
+  if Engine.tracing t.engine then
+    Engine.trace t.engine ~replica:t.self ~instance
+      (Rcc_trace.Event.Rollback_complete
+         { frontier; rounds = rb_rounds; txns = rb_txns });
+  try_advance t
 
 (* --- state transfer --------------------------------------------------- *)
 
@@ -576,6 +728,15 @@ let install_snapshot t ~seq ~replied =
         t.pending []
     in
     List.iter (Hashtbl.remove t.pending) stale;
+    (* Speculative state below the boundary is superseded wholesale: the
+       install replaced the KV (clearing its undo journal), so covered
+       rounds can never be rolled back or re-buffered. *)
+    let stale_spec =
+      Hashtbl.fold
+        (fun round _ acc -> if round < seq then round :: acc else acc)
+        t.spec_log []
+    in
+    List.iter (Hashtbl.remove t.spec_log) stale_spec;
     t.next_round <- seq;
     (* The donor's duplicate-reply cache keeps §3.1 duplicate suppression
        alive across the jump; existing (newer) local entries win. Donor

@@ -109,6 +109,19 @@ val replied_retained : t -> int array
 val replied_evicted : t -> int
 (** Total entries evicted by checkpoint-driven GC since creation. *)
 
+val rollback_to : t -> frontier:Rcc_common.Ids.round -> instance:Rcc_common.Ids.instance_id -> unit
+(** Speculative rollback: a certified view change in [instance] exposed
+    an ordering that conflicts with locally executed speculative rounds.
+    Unwinds every executed-but-unstable round at or above [frontier] —
+    KV effects are undone from the per-round write journal, ledger blocks
+    above the frontier are dropped, and their transaction-table rows and
+    duplicate-reply entries are evicted. The surviving instances'
+    acceptances re-enter the pending buffer and re-execute once
+    [instance]'s new view re-delivers its orders; an in-flight parallel
+    window is fenced the way a snapshot install fences one. The caller
+    must keep [frontier] above [instance]'s commit certificate and stable
+    checkpoint (conflicts at or below stable are state transfer's job). *)
+
 val replied_entries :
   t ->
   (Rcc_common.Ids.client_id * string * Rcc_common.Ids.round * string) list

@@ -36,6 +36,12 @@ type t = {
   report_failure : round:round -> blamed:replica_id -> unit;
       (** Local failure detection; routed to the RCC coordinator (unified
           mode) or handled by the instance's own view-change logic. *)
+  rollback : frontier:round -> unit;
+      (** A certified view change exposed an ordering conflicting with
+          this instance's executed speculative rounds at or above
+          [frontier]; the execute stage must unwind them (and the
+          coordinator forget its retained copies) before the new view's
+          orders re-execute. *)
   sign_blame : view:view -> blamed:replica_id -> round:round -> string;
       (** Sign this replica's accusation against [blamed] for this
           instance with its own key (the coordinator's blame digest), so

@@ -10,6 +10,8 @@ type instance_metrics = {
   i_latency : Stats.Histogram.t;
   i_throughput : Stats.Series.t;
   mutable i_view_changes : int;
+  mutable i_rolled_back_rounds : int;
+  mutable i_rolled_back_txns : int;
 }
 
 type t = {
@@ -46,6 +48,8 @@ let create ~n ?(instances = 1) ~warmup () =
             i_latency = Stats.Histogram.create ();
             i_throughput = Stats.Series.create ~bucket_width:bucket ();
             i_view_changes = 0;
+            i_rolled_back_rounds = 0;
+            i_rolled_back_txns = 0;
           });
     view_changes = 0;
     collusions = 0;
@@ -89,6 +93,13 @@ let record_view_change ?(instance = -1) t =
   t.view_changes <- t.view_changes + 1;
   match sub t instance with
   | Some s -> s.i_view_changes <- s.i_view_changes + 1
+  | None -> ()
+
+let record_rollback ?(instance = -1) t ~rounds ~txns =
+  match sub t instance with
+  | Some s ->
+      s.i_rolled_back_rounds <- s.i_rolled_back_rounds + rounds;
+      s.i_rolled_back_txns <- s.i_rolled_back_txns + txns
   | None -> ()
 
 let record_collusion_detected t = t.collusions <- t.collusions + 1
@@ -145,6 +156,12 @@ let instance_latency_percentile t x p =
 
 let instance_view_changes t x =
   match sub t x with Some s -> s.i_view_changes | None -> 0
+
+let instance_rolled_back_rounds t x =
+  match sub t x with Some s -> s.i_rolled_back_rounds | None -> 0
+
+let instance_rolled_back_txns t x =
+  match sub t x with Some s -> s.i_rolled_back_txns | None -> 0
 
 let instance_timeline t x =
   match sub t x with Some s -> Stats.Series.rates s.i_throughput | None -> [||]

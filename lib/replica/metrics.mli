@@ -36,6 +36,11 @@ val record_exec :
   t -> replica:Rcc_common.Ids.replica_id -> now:Rcc_sim.Engine.time -> ntxns:int -> unit
 
 val record_view_change : ?instance:int -> t -> unit
+
+(** Speculative rollback: [rounds] uncommitted rounds ([txns] executed
+    transactions) were unwound because a view change exposed a
+    conflicting ordering in [instance]. *)
+val record_rollback : ?instance:int -> t -> rounds:int -> txns:int -> unit
 val record_collusion_detected : t -> unit
 val record_contract_bytes : t -> int -> unit
 
@@ -75,4 +80,6 @@ val instance_throughput : t -> int -> duration:Rcc_sim.Engine.time -> float
 val instance_avg_latency : t -> int -> float
 val instance_latency_percentile : t -> int -> float -> float
 val instance_view_changes : t -> int -> int
+val instance_rolled_back_rounds : t -> int -> int
+val instance_rolled_back_txns : t -> int -> int
 val instance_timeline : t -> int -> (float * float) array

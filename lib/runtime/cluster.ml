@@ -406,6 +406,9 @@ let run t =
             i_replied_retained =
               (if x < Array.length replied_retained then replied_retained.(x)
                else 0);
+            i_rolled_back_rounds =
+              Metrics.instance_rolled_back_rounds t.metrics x;
+            i_rolled_back_txns = Metrics.instance_rolled_back_txns t.metrics x;
           }));
   }
 

@@ -12,6 +12,8 @@ type instance_stats = {
   i_retained_slots : int;
   i_live_words : int;
   i_replied_retained : int;
+  i_rolled_back_rounds : int;
+  i_rolled_back_txns : int;
 }
 
 type t = {
@@ -66,7 +68,12 @@ let pp_instance fmt s =
     (s.i_p50_latency *. 1e3)
     (s.i_p99_latency *. 1e3)
     s.i_txns s.i_view_changes s.i_retained_slots s.i_live_words
-    s.i_replied_retained
+    s.i_replied_retained;
+  (* Fault-free runs never roll back; print the counters only when they
+     fired so the baseline report layout is unchanged. *)
+  if s.i_rolled_back_rounds > 0 then
+    Format.fprintf fmt " rolled_back=%d rounds (%d txns)"
+      s.i_rolled_back_rounds s.i_rolled_back_txns
 
 let pp fmt t =
   Format.fprintf fmt

@@ -13,6 +13,10 @@ type instance_stats = {
   i_replied_retained : int;
       (** duplicate-reply cache entries retained for this instance after
           checkpoint-driven eviction (replica 0) *)
+  i_rolled_back_rounds : int;
+      (** speculative rounds unwound on this instance's view changes
+          (replica 0); 0 in fault-free runs *)
+  i_rolled_back_txns : int;  (** executed txns those rounds had applied *)
 }
 (** One protocol instance's share of the run (z rows for RCC modes). *)
 

@@ -291,10 +291,19 @@ let on_offer_probe t ~src ~sr_seq =
            })
   | Some _ | None -> ()
 
+(* Flip a byte every ~1/64th of the blob rather than one byte total: a
+   single flip can land in a field excluded from block identity
+   (certificate digests, primary sets) and sail through verification,
+   which would make the corruption a no-op instead of an attack. *)
 let corrupt blob =
   let b = Bytes.of_string blob in
-  let i = Bytes.length b / 2 in
-  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  let len = Bytes.length b in
+  let step = max 1 (len / 64) in
+  let i = ref (step / 2) in
+  while !i < len do
+    Bytes.set b !i (Char.chr (Char.code (Bytes.get b !i) lxor 0xff));
+    i := !i + step
+  done;
   Bytes.unsafe_to_string b
 
 let on_fetch t ~src ~sr_seq =

@@ -11,6 +11,20 @@ type t = {
   mutable direct_count : int;
   mutable reads : int;
   mutable writes : int;
+  (* Speculative undo journal: the prior (value, version) of every key
+     written while journaling is enabled, tagged with the round that wrote
+     it. Version -1 marks a key that did not exist before the write, so
+     undo removes it again. Parallel int arrays, append-only; entries are
+     dropped from the front as the commit/checkpoint frontier passes
+     ([forget_below]) and replayed from the back on rollback
+     ([undo_above]). Off by default — a single branch on the write path. *)
+  mutable journal_on : bool;
+  mutable j_round : int array;
+  mutable j_key : int array;
+  mutable j_value : int array;
+  mutable j_version : int array;
+  mutable j_len : int;
+  mutable j_current : int;  (* round tag stamped on new entries *)
 }
 
 (* Beyond this the direct array would no longer be a win; spill instead. *)
@@ -23,6 +37,13 @@ let create () =
     direct_count = 0;
     reads = 0;
     writes = 0;
+    journal_on = false;
+    j_round = [||];
+    j_key = [||];
+    j_value = [||];
+    j_version = [||];
+    j_len = 0;
+    j_current = -1;
   }
 
 let grow t key =
@@ -55,13 +76,91 @@ let read t key =
   t.reads <- t.reads + 1;
   match find t key with Some r -> Some r.value | None -> None
 
+(* --- speculative undo journal ----------------------------------------- *)
+
+let enable_journal t = t.journal_on <- true
+let journal_round t round = t.j_current <- round
+let journal_length t = t.j_len
+
+let journal_push t key value version =
+  if t.j_len = Array.length t.j_round then begin
+    let cap = max 256 (2 * t.j_len) in
+    let grow a = Array.append a (Array.make (cap - Array.length a) 0) in
+    t.j_round <- grow t.j_round;
+    t.j_key <- grow t.j_key;
+    t.j_value <- grow t.j_value;
+    t.j_version <- grow t.j_version
+  end;
+  let i = t.j_len in
+  t.j_round.(i) <- t.j_current;
+  t.j_key.(i) <- key;
+  t.j_value.(i) <- value;
+  t.j_version.(i) <- version;
+  t.j_len <- i + 1
+
+let remove_key t key =
+  if key >= 0 && key < max_direct then begin
+    if key < Array.length t.direct then
+      match Array.unsafe_get t.direct key with
+      | Some _ ->
+          Array.unsafe_set t.direct key None;
+          t.direct_count <- t.direct_count - 1
+      | None -> ()
+  end
+  else Hashtbl.remove t.spill key
+
+(* Keep only journal entries satisfying [keep], preserving append order. *)
+let journal_filter t keep =
+  let k = ref 0 in
+  for i = 0 to t.j_len - 1 do
+    if keep t.j_round.(i) then begin
+      if !k <> i then begin
+        t.j_round.(!k) <- t.j_round.(i);
+        t.j_key.(!k) <- t.j_key.(i);
+        t.j_value.(!k) <- t.j_value.(i);
+        t.j_version.(!k) <- t.j_version.(i)
+      end;
+      incr k
+    end
+  done;
+  t.j_len <- !k
+
+let undo_above t ~round =
+  (* Replay newest-first so the oldest surviving pre-state wins. Entries
+     of different rounds may interleave (parallel windows execute rounds
+     out of order), but per key they are in execution order — same-key
+     access is serialized by the conflict groups — so a selective reverse
+     walk restores exactly the state as of the end of round [round - 1]. *)
+  for i = t.j_len - 1 downto 0 do
+    if t.j_round.(i) >= round then begin
+      let key = t.j_key.(i) in
+      if t.j_version.(i) < 0 then remove_key t key
+      else
+        match find t key with
+        | Some r ->
+            r.value <- t.j_value.(i);
+            r.version <- t.j_version.(i)
+        | None ->
+            let r = { value = t.j_value.(i); version = t.j_version.(i) } in
+            if key >= 0 && key < max_direct then set_direct t key r
+            else Hashtbl.replace t.spill key r
+    end
+  done;
+  journal_filter t (fun r -> r < round)
+
+let forget_below t ~round = journal_filter t (fun r -> r >= round)
+
+let journal_clear t = t.j_len <- 0
+
 let write t ~key ~value =
   t.writes <- t.writes + 1;
   match find t key with
   | Some r ->
+      if t.journal_on then journal_push t key r.value r.version;
       r.value <- value;
       r.version <- r.version + 1
   | None ->
+      if t.journal_on then journal_push t key 0 (-1);
       let r = { value; version = 1 } in
       if key >= 0 && key < max_direct then set_direct t key r
       else Hashtbl.replace t.spill key r
@@ -112,6 +211,15 @@ let copy t =
     direct_count = t.direct_count;
     reads = 0;
     writes = 0;
+    (* Copies are scratch stores (digest previews, tests); they start
+       with journalling off and an empty undo log. *)
+    journal_on = false;
+    j_round = [||];
+    j_key = [||];
+    j_value = [||];
+    j_version = [||];
+    j_len = 0;
+    j_current = -1;
   }
 
 (* Wholesale replacement for snapshot install. The access counters are
@@ -120,6 +228,9 @@ let install t new_entries =
   Array.fill t.direct 0 (Array.length t.direct) None;
   Hashtbl.reset t.spill;
   t.direct_count <- 0;
+  (* Journal entries describe pre-install state; none can ever be undone
+     into the installed table. *)
+  t.j_len <- 0;
   Array.iter
     (fun (key, value, version) ->
       let r = { value; version } in

@@ -46,4 +46,37 @@ val copy : t -> t
 
 val install : t -> (int * int * int) array -> unit
 (** Replace the entire table with the given triples (state transfer
-    install). Access counters are left untouched. *)
+    install). Access counters are left untouched; the undo journal is
+    cleared (its entries describe pre-install state). *)
+
+(** {2 Speculative undo journal}
+
+    Support for rolling back speculative rounds on a view change: while
+    journaling is enabled, every write records the key's prior
+    (value, version) tagged with the round set by {!journal_round}, and
+    {!undo_above} restores the state as of the end of an earlier round.
+    Per-key entries must be appended in execution order (the execute
+    stage guarantees this: serial rounds run in order, and the parallel
+    scheduler serializes same-key access inside conflict groups). *)
+
+val enable_journal : t -> unit
+(** Turn journaling on (off by default; a disabled journal costs one
+    branch per write). There is no way to turn it off again — callers
+    bound it with {!forget_below} as rounds become durable instead. *)
+
+val journal_round : t -> int -> unit
+(** Tag subsequent writes with this round. *)
+
+val undo_above : t -> round:int -> unit
+(** Restore every key written at rounds [>= round] to its pre-round
+    state, newest write first, and drop those journal entries. *)
+
+val forget_below : t -> round:int -> unit
+(** Drop journal entries of rounds [< round] — they are attested by a
+    checkpoint or commit certificate and will never be undone. *)
+
+val journal_clear : t -> unit
+(** Drop the whole journal (snapshot install supersedes all of it). *)
+
+val journal_length : t -> int
+(** Live journal entries, for tests and memory accounting. *)

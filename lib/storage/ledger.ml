@@ -78,6 +78,15 @@ let prefix t ~upto =
   let n = min (max upto 0) t.used in
   Array.init n (fun i -> !(t.blocks).(i))
 
+(* Speculative rollback: drop every block at or above [round]. The array
+   keeps its capacity (dropped slots are overwritten by re-appends); the
+   cached head hashed a now-dropped block, so it is invalidated. *)
+let truncate_to t ~round =
+  if round >= 0 && round < t.used then begin
+    t.used <- round;
+    t.head_valid <- false
+  end
+
 let install t blocks =
   t.blocks := Array.copy blocks;
   t.used <- Array.length blocks;

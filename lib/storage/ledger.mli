@@ -29,6 +29,12 @@ val prefix : t -> upto:int -> Block.t array
 (** The first [min upto (length t)] blocks, for serving a snapshot of the
     chain up to a checkpoint boundary. *)
 
+val truncate_to : t -> round:Rcc_common.Ids.round -> unit
+(** Drop every block at or above [round] (speculative rollback on a view
+    change) and invalidate the cached head hash, so the next append
+    chains from block [round - 1] (or genesis). No-op unless
+    [0 <= round < length t]. *)
+
 val install : t -> Block.t array -> unit
 (** Replace the whole chain (state transfer install) and invalidate the
     cached head hash. The blocks must already chain from this ledger's

@@ -25,5 +25,25 @@ let find t ~round =
   | None -> []
   | Some l -> List.sort (fun a b -> compare a.instance b.instance) !l
 
+(* Speculative rollback: drop every row at or above [round], returning
+   how many (rounds, txns) were dropped so the execute stage can adjust
+   its counters. *)
+let remove_from t ~round =
+  let doomed =
+    Hashtbl.fold
+      (fun r _ acc -> if r >= round then r :: acc else acc)
+      t.by_round []
+  in
+  let removed_txns = ref 0 in
+  List.iter
+    (fun r ->
+      (match Hashtbl.find_opt t.by_round r with
+      | Some l -> List.iter (fun e -> removed_txns := !removed_txns + e.txn_count) !l
+      | None -> ());
+      Hashtbl.remove t.by_round r)
+    doomed;
+  t.txns <- t.txns - !removed_txns;
+  (List.length doomed, !removed_txns)
+
 let total_txns t = t.txns
 let rounds t = Hashtbl.length t.by_round

@@ -17,5 +17,9 @@ val record : t -> entry -> unit
 val find : t -> round:Rcc_common.Ids.round -> entry list
 (** Entries of a round, in instance order. *)
 
+val remove_from : t -> round:Rcc_common.Ids.round -> int * int
+(** Drop every entry of rounds [>= round] (speculative rollback).
+    Returns [(rounds_removed, txns_removed)]. *)
+
 val total_txns : t -> int
 val rounds : t -> int

@@ -32,6 +32,13 @@ type payload =
   | St_verified of { seq : int }
   | St_installed of { seq : int; rounds : int; bytes : int }
   | St_rejected of { seq : int; donor : int; reason : string }
+  (* Speculative-rollback family: a view change exposed a conflicting
+     ordering, so uncommitted speculative rounds above the attested
+     frontier [frontier] are unwound — one [Rollback_round] per undone
+     ledger round — and re-executed as the new view re-orders them. *)
+  | Rollback_begin of { frontier : int; from : int }
+  | Rollback_round of { round : int; txns : int }
+  | Rollback_complete of { frontier : int; rounds : int; txns : int }
 
 type t = {
   at : int;  (* simulated ns *)
@@ -63,3 +70,6 @@ let name = function
   | St_verified _ -> "st_verified"
   | St_installed _ -> "st_installed"
   | St_rejected _ -> "st_rejected"
+  | Rollback_begin _ -> "rollback_begin"
+  | Rollback_round _ -> "rollback_round"
+  | Rollback_complete _ -> "rollback_complete"

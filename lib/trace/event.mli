@@ -52,6 +52,13 @@ type payload =
   | St_rejected of { seq : int; donor : int; reason : string }
       (** snapshot from [donor] rejected; recovery proceeds via the next
           candidate donor *)
+  | Rollback_begin of { frontier : int; from : int }
+      (** a view change exposed a conflicting ordering: speculative
+          rounds [frontier .. from - 1] are about to be unwound *)
+  | Rollback_round of { round : int; txns : int }
+      (** one speculative ledger round undone ([txns] effects reverted) *)
+  | Rollback_complete of { frontier : int; rounds : int; txns : int }
+      (** rollback finished; execution resumes at [frontier] *)
 
 type t = { at : int; replica : int; instance : int; payload : payload }
 

@@ -41,7 +41,9 @@ let is_rare = function
   | Event.Contract_sent _ | Event.Contract_adopted _
   | Event.Checkpoint_stable _ | Event.Collusion | Event.Violation _
   | Event.St_gap _ | Event.St_request _ | Event.St_served _
-  | Event.St_verified _ | Event.St_installed _ | Event.St_rejected _ ->
+  | Event.St_verified _ | Event.St_installed _ | Event.St_rejected _
+  | Event.Rollback_begin _ | Event.Rollback_round _
+  | Event.Rollback_complete _ ->
       true
 
 let create ?(capacity = default_capacity) () =

@@ -64,6 +64,13 @@ let payload_args (p : Event.payload) =
   | Event.St_rejected { seq; donor; reason } ->
       Printf.sprintf "\"seq\":%d,\"donor\":%d,\"reason\":\"%s\"" seq donor
         (escape reason)
+  | Event.Rollback_begin { frontier; from } ->
+      Printf.sprintf "\"frontier\":%d,\"from\":%d" frontier from
+  | Event.Rollback_round { round; txns } ->
+      Printf.sprintf "\"round\":%d,\"txns\":%d" round txns
+  | Event.Rollback_complete { frontier; rounds; txns } ->
+      Printf.sprintf "\"frontier\":%d,\"rounds\":%d,\"txns\":%d" frontier
+        rounds txns
 
 (* --- JSONL --------------------------------------------------------------- *)
 

@@ -26,6 +26,10 @@ type t = {
   mutable recovering : bool;  (* new primary syncing in-flight slots *)
   ckpt : Checkpointing.t;
   held : Held_batches.t;  (* submitted while recovering *)
+  ordered : (Rcc_common.Ids.client_id, string * int) Hashtbl.t;
+      (* primary only: each client's last ordered (digest, seq), so a
+         retransmitted batch is re-announced at its original slot instead
+         of being ordered — and executed — a second time *)
   mutable running : bool;
 }
 
@@ -48,6 +52,7 @@ let create env =
     recovering = false;
     ckpt = Checkpointing.create ~n ~f ~interval:env.Env.checkpoint_interval ();
     held = Held_batches.create ();
+    ordered = Hashtbl.create 64;
     running = false;
   }
 
@@ -121,31 +126,105 @@ let drain_accepts t =
   in
   if advanced then advance_ckpt t
 
+(* A certified new view re-ordered [seq] with a different batch than the
+   one this replica speculatively accepted — and, accepts being strictly
+   in order, possibly executed: the Zyzzyva fork. Unwind every
+   speculative slot at or above [seq], re-seed the history chain from the
+   last surviving slot, tell the execute stage to roll its state back
+   (KV undo, ledger truncation), and install the new authoritative batch
+   so the drain re-accepts — and re-executes — the corrected suffix.
+   Rounds at or below a commit certificate or stable checkpoint are
+   attested: a conflict there means this replica's whole prefix lost,
+   which is state transfer's job, not rollback's. Returns whether the
+   rollback ran (the new batch only installs when it did). *)
+let conflict_rollback t ~seq batch =
+  if seq > t.committed && seq > Checkpointing.stable t.ckpt then begin
+    let reseed =
+      if seq = 0 then Some ""
+      else
+        match SL.find_opt t.log (seq - 1) with
+        | Some { SL.accepted = true; state = { history }; _ } -> Some history
+        | Some _ | None -> None
+    in
+    match reseed with
+    | None ->
+        (* Predecessor slot collected (snapshot jump landed between the
+           checkpoint and this conflict): no chain head to rebuild from,
+           so leave the repair to state transfer. *)
+        false
+    | Some h ->
+        SL.unwind t.log ~round:seq;
+        t.history <- h;
+        t.env.Env.rollback ~frontier:seq;
+        (slot t seq).SL.batch <- Some batch;
+        true
+  end
+  else false
+
 let on_order_request t ~src ~view ~seq batch ~history:_ =
   if src = t.primary && view = t.view then begin
     let s = slot t seq in
-    if Option.is_none s.SL.batch then begin
-      s.SL.batch <- Some batch;
-      drain_accepts t
-    end
+    match s.SL.batch with
+    | None ->
+        s.SL.batch <- Some batch;
+        drain_accepts t
+    | Some prev when prev.Batch.digest = batch.Batch.digest -> ()
+    | Some _ when not s.SL.accepted ->
+        (* A buffered order the deposed primary never got accepted: the
+           new view's order simply replaces it. *)
+        s.SL.batch <- Some batch;
+        drain_accepts t
+    | Some _ -> if conflict_rollback t ~seq batch then drain_accepts t
   end
 
+(* A client retransmission of a batch this primary already ordered must
+   not burn a fresh slot: once the duplicate-reply cache entry for the
+   first slot ages past the checkpoint floor, the second slot would
+   re-execute the batch. Re-announce the original order instead — replicas
+   that missed it catch up, the rest treat it as the duplicate it is. *)
+let already_ordered t (batch : Batch.t) =
+  match Hashtbl.find_opt t.ordered batch.Batch.client with
+  | Some (digest, seq) when String.equal digest batch.Batch.digest -> (
+      match SL.find_opt t.log seq with
+      | Some { SL.batch = Some b; _ } when String.equal b.Batch.digest digest ->
+          Some (Some seq)
+      | None when seq < next_accept t ->
+          (* Stable and collected: every correct replica executed and
+             replied; nothing to re-order. *)
+          Some None
+      | Some _ | None -> None (* slot unwound or replaced: order afresh *))
+  | Some _ | None -> None
+
 let propose t batch =
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  let s = slot t seq in
-  s.SL.batch <- Some batch;
-  let exclude dst = Rcc_replica.Byz.excludes t.env.Env.byz ~round:seq dst in
-  t.env.Env.broadcast ~exclude
-    (Msg.Order_request
-       {
-         instance = t.env.Env.instance;
-         view = t.view;
-         seq;
-         batch;
-         history = t.history;
-       });
-  drain_accepts t
+  match already_ordered t batch with
+  | Some None -> ()
+  | Some (Some seq) ->
+      t.env.Env.broadcast
+        (Msg.Order_request
+           {
+             instance = t.env.Env.instance;
+             view = t.view;
+             seq;
+             batch;
+             history = t.history;
+           })
+  | None ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      let s = slot t seq in
+      s.SL.batch <- Some batch;
+      Hashtbl.replace t.ordered batch.Batch.client (batch.Batch.digest, seq);
+      let exclude dst = Rcc_replica.Byz.excludes t.env.Env.byz ~round:seq dst in
+      t.env.Env.broadcast ~exclude
+        (Msg.Order_request
+           {
+             instance = t.env.Env.instance;
+             view = t.view;
+             seq;
+             batch;
+             history = t.history;
+           });
+      drain_accepts t
 
 let submit_batch t batch =
   if is_primary t then
@@ -178,15 +257,18 @@ let detect_failure t ~round =
 
 (* A commit certificate for a sequence number we never accepted is proof
    (relayed through a retrying client) that the primary skipped us. *)
-let on_commit_cert t ~seq ~replicas:_ =
+let on_commit_cert t ~seq ~client ~replicas:_ =
   if seq >= 0 && seq < next_accept t then begin
     if seq > t.committed then t.committed <- seq;
-    match (slot t seq).SL.batch with
-    | Some batch when not (Batch.is_null batch) ->
-        t.env.Env.respond batch.Batch.client
-          (Msg.Local_commit
-             { instance = t.env.Env.instance; seq; client = batch.Batch.client })
-    | Some _ | None -> ()
+    (* Ack the certificate holder directly: the slot may already be
+       collected under a stable checkpoint (the cluster raced far ahead
+       of this client), and a certificate of 2f+1 matching responses is
+       proof enough that the round both executed and committed. Reading
+       the client out of the slot would resurrect an empty slot and
+       silently drop the ack, wedging the client into resending a batch
+       nobody will re-order. *)
+    t.env.Env.respond client
+      (Msg.Local_commit { instance = t.env.Env.instance; seq; client })
   end
   else if seq >= next_accept t then detect_failure t ~round:(next_accept t)
 
@@ -256,6 +338,7 @@ let install_view t ~view ~primary =
   t.view <- view;
   t.primary <- primary;
   t.recovering <- false;
+  Hashtbl.reset t.ordered;
   Held_batches.clear t.held;
   t.last_failure_report <- -1;
   Quorum.Tally.prune t.vc_votes ~upto:view;
@@ -282,6 +365,7 @@ let on_new_view t ~src ~view reproposals =
     t.view <- view;
     t.primary <- src;
     t.recovering <- false;
+    Hashtbl.reset t.ordered;
     Held_batches.clear t.held;
     t.last_failure_report <- -1;
     List.iter
@@ -297,6 +381,14 @@ let adopt t ~round batch ~cert:_ =
     s.SL.batch <- Some batch;
     drain_accepts t
   end
+  else
+    match s.SL.batch with
+    | Some prev when prev.Batch.digest <> batch.Batch.digest ->
+        (* Contract-driven recovery surfaced an attested order conflicting
+           with our speculative acceptance — same fork as a conflicting
+           re-order, same repair. *)
+        if conflict_rollback t ~seq:round batch then drain_accepts t
+    | Some _ | None -> ()
 
 let proposed_upto t = t.next_seq - 1
 
@@ -355,8 +447,8 @@ let handle t ~src msg =
   match msg with
   | Msg.Order_request { view; seq; batch; history; _ } ->
       on_order_request t ~src ~view ~seq batch ~history
-  | Msg.Commit_cert { cc_seq; cc_replicas; _ } ->
-      on_commit_cert t ~seq:cc_seq ~replicas:cc_replicas
+  | Msg.Commit_cert { cc_seq; cc_client; cc_replicas; _ } ->
+      on_commit_cert t ~seq:cc_seq ~client:cc_client ~replicas:cc_replicas
   | Msg.View_change { new_view; _ } -> on_view_change t ~src ~new_view
   | Msg.New_view { view; reproposals; _ } -> on_new_view t ~src ~view reproposals
   | Msg.Checkpoint { seq; state_digest; _ } -> on_checkpoint t ~src seq state_digest

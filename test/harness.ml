@@ -16,6 +16,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     accepted : (int, Rcc_replica.Acceptance.t) Hashtbl.t;
     mutable failures : (int * int) list;  (* (round, blamed) *)
     mutable responses : Msg.t list;  (* replica -> client messages *)
+    mutable rollbacks : int list;  (* frontiers, most recent first *)
   }
 
   type t = {
@@ -90,6 +91,20 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
             (fun ~round ~blamed ->
               let node = node_of self in
               node.failures <- (round, blamed) :: node.failures);
+          rollback =
+            (fun ~frontier ->
+              let node = node_of self in
+              node.rollbacks <- frontier :: node.rollbacks;
+              (* Accepting is executing here (see [accept]), so a
+                 rollback discards the speculative suffix the same way
+                 the real execute stage unwinds its ledger. *)
+              let doomed =
+                Hashtbl.fold
+                  (fun round _ acc ->
+                    if round >= frontier then round :: acc else acc)
+                  node.accepted []
+              in
+              List.iter (Hashtbl.remove node.accepted) doomed);
           sign_blame = (fun ~view:_ ~blamed:_ ~round:_ -> "");
           byz = Rcc_replica.Byz.copy (byz self);
           unified;
@@ -102,6 +117,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
             accepted = Hashtbl.create 64;
             failures = [];
             responses = [];
+            rollbacks = [];
           }
     done;
     let t = { engine; nodes = Array.map Option.get nodes; dead; tracer } in

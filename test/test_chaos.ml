@@ -9,6 +9,7 @@ module Script = Rcc_chaos.Script
 module Runner = Rcc_chaos.Runner
 module Invariant = Rcc_chaos.Invariant
 module Fuzzer = Rcc_chaos.Fuzzer
+module Event = Rcc_trace.Event
 
 let check = Alcotest.check
 let ms = Engine.ms
@@ -99,6 +100,52 @@ let test_canary_reports_failure () =
        (fun (_, v) -> v.Invariant.invariant = "canary-no-commits")
        outcome.Runner.violations)
 
+let test_speculative_fork_heals () =
+  (* Scenario 7000022, open in ROADMAP since PR 1: a partition isolates a
+     MultiZ instance primary mid-speculation, the survivors replace it
+     and order different batches at the same slots. With speculative
+     rollback the fork must heal — slot-agreement and ledger-prefix
+     invariants hold through the view change and the final quiesced
+     check. *)
+  assert_passes "speculative fork (scenario 7000022)"
+    (Fuzzer.run_one ~protocol:Config.MultiZ ~n:4
+       ~duration:(Engine.of_seconds 2.0) ~scenario_seed:7000022 ())
+
+let transfer_script duration =
+  let pct p = duration * p / 100 in
+  Script.
+    [
+      { at = pct 10; action = Partition [ [ 3 ] ] };
+      { at = pct 70; action = Heal };
+    ]
+
+let test_multiz_transfer_install () =
+  (* The multiz state-transfer scenario PR 6 had to skip: replica 3 sits
+     out 60% of the run. Degraded clients keep the healthy majority at
+     full commit-certificate throughput, so the healed replica faces a
+     gap far past the contract window and only a snapshot install can
+     converge it — the trace must show one covering >= 1000 rounds. *)
+  let duration = Engine.of_seconds 2.0 in
+  let cfg =
+    Config.make ~protocol:Config.MultiZ ~n:4 ~batch_size:10 ~clients:40
+      ~records:5_000 ~duration ~warmup:(duration / 4)
+      ~replica_timeout:(ms 250) ~client_timeout:(ms 400)
+      ~collusion_wait:(ms 150) ()
+  in
+  let outcome = Runner.run ~trace_ring:131_072 cfg (transfer_script duration) in
+  assert_passes "multiz transfer" outcome;
+  let installed =
+    List.exists
+      (fun (e : Event.t) ->
+        match e.Event.payload with
+        | Event.St_installed { rounds; _ } ->
+            e.Event.replica = 3 && rounds >= 1_000
+        | _ -> false)
+      outcome.Runner.events
+  in
+  check Alcotest.bool "healed replica installed a >=1000-round snapshot" true
+    installed
+
 let test_fuzzer_deterministic () =
   let report () =
     Format.asprintf "%a" Fuzzer.pp_summary
@@ -139,5 +186,9 @@ let suite =
       Alcotest.test_case "forged view-sync harmless" `Slow
         test_forged_view_sync_harmless;
       Alcotest.test_case "canary failure report" `Slow test_canary_reports_failure;
+      Alcotest.test_case "speculative fork heals (7000022)" `Slow
+        test_speculative_fork_heals;
+      Alcotest.test_case "multiz transfer installs a snapshot" `Slow
+        test_multiz_transfer_install;
       Alcotest.test_case "fuzzer determinism" `Slow test_fuzzer_deterministic;
     ] )

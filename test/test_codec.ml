@@ -63,8 +63,11 @@ let gen_msg =
          and* batch = gen_batch and* history = gen_digest in
          return (Msg.Order_request { instance; view; seq; batch; history }));
         (let* cc_instance = gen_small and* cc_seq = gen_small
+         and* cc_client = gen_small
          and* cc_digest = gen_digest and* cc_replicas = gen_ids in
-         return (Msg.Commit_cert { cc_instance; cc_seq; cc_digest; cc_replicas }));
+         return
+           (Msg.Commit_cert
+              { cc_instance; cc_seq; cc_client; cc_digest; cc_replicas }));
         (let* instance = gen_small and* seq = gen_small and* client = gen_small in
          return (Msg.Local_commit { instance; seq; client }));
         (let* view = gen_small and* phase = int_range 0 3 and* seq = gen_small

@@ -282,6 +282,127 @@ let equivalence_test ~name ~conflict_free =
          triple (int_range 0 1_000_000) (int_range 1 8) (int_range 1 8))
        (equivalence_prop ~conflict_free))
 
+(* --- speculative rollback ---------------------------------------------- *)
+
+(* Fork/heal runner: execute the [fork] ordering end to end, roll
+   instance [x] back to [frontier] (the view change installing a
+   different ordering above it), feed instance [x]'s replacement batches
+   from [final], and run to quiescence again. Other instances' rounds
+   above the frontier re-execute from the exec layer's own uncommitted
+   window — the caller re-notifies nothing for them. *)
+let run_fork_heal ~sched_kind ~z ~fork ~final ~frontier ~x =
+  let rounds = Array.length fork in
+  let engine = Engine.create () in
+  let server = Cpu.server engine ~name:"exec" () in
+  let sched =
+    match sched_kind with
+    | `Serial -> Exec.Serial
+    | `Parallel (threads, window) ->
+        Exec.Parallel
+          { pool = Cpu.pool engine ~name:"exec-pool" ~size:threads (); window }
+  in
+  let store = Rcc_storage.Kv_store.create () in
+  Rcc_storage.Kv_store.init_records store ~count:64;
+  let primaries = List.init z (fun i -> i) in
+  let ledger = Rcc_storage.Ledger.create ~primaries in
+  let exec =
+    Exec.create ~engine ~costs:Costs.default ~server ~z ~self:0 ~store ~ledger
+      ~txn_table:(Rcc_storage.Txn_table.create ())
+      ~current_primaries:(fun () -> primaries)
+      ~respond:(fun _ _ -> ())
+      ~metrics:(Metrics.create ~n:1 ~instances:z ~warmup:0 ())
+      ~sched ()
+  in
+  for round = 0 to rounds - 1 do
+    for i = 0 to z - 1 do
+      Exec.notify exec (acc ~instance:i ~round fork.(round).(i))
+    done
+  done;
+  (* Finite horizon: [run] advances the clock to [until] once the queue
+     drains, and phase 2 below must still be able to schedule work at
+     [now + cost] without overflowing. *)
+  Engine.run engine ~until:(Engine.of_seconds 3600.);
+  Exec.rollback_to exec ~frontier ~instance:x;
+  for round = frontier to rounds - 1 do
+    Exec.notify exec (acc ~instance:x ~round final.(round).(x))
+  done;
+  Engine.run engine ~until:max_int;
+  {
+    o_head = Rcc_storage.Ledger.head_hash ledger;
+    o_rounds = Rcc_storage.Ledger.length ledger;
+    o_state = Rcc_storage.Kv_store.state_digest store;
+    o_txns = Exec.executed_txns exec;
+    o_responses = [];
+  }
+
+(* Execute -> rollback -> re-execute must leave exactly the state of
+   executing the final ordering directly: same ledger head and length,
+   same KV digest, same net executed-txn count — in serial AND parallel
+   mode. This is the tentpole invariant of the speculative-rollback
+   path: a healed fork is indistinguishable from never having forked. *)
+let rollback_equivalence_prop (seed, threads, window) =
+  let rng = Random.State.make [| seed |] in
+  let z = 1 + Random.State.int rng 3 in
+  let rounds = 2 + Random.State.int rng 8 in
+  let key_range = 4 + Random.State.int rng 12 in
+  let fork = gen_batches rng ~rounds ~z ~key_range ~conflict_free:false in
+  let repl = gen_batches rng ~rounds ~z ~key_range ~conflict_free:false in
+  let frontier = Random.State.int rng (rounds + 1) in
+  let x = Random.State.int rng z in
+  (* The final ordering: the fork's agreed prefix, instance [x]'s slots
+     replaced from [frontier] up. *)
+  let final =
+    Array.mapi
+      (fun round row ->
+        Array.mapi
+          (fun i b -> if round >= frontier && i = x then repl.(round).(i) else b)
+          row)
+      fork
+  in
+  let slots =
+    List.concat_map
+      (fun round -> List.init z (fun i -> (round, i)))
+      (List.init rounds (fun r -> r))
+  in
+  let same label (healed : outcome) (direct : outcome) =
+    if
+      healed.o_head <> direct.o_head
+      || healed.o_rounds <> direct.o_rounds
+      || healed.o_state <> direct.o_state
+      || healed.o_txns <> direct.o_txns
+    then
+      QCheck2.Test.fail_reportf
+        "%s: rollback/re-execute diverged from direct execution (frontier %d, \
+         instance %d): rounds %d vs %d, txns %d vs %d, head %s vs %s, kv %s \
+         vs %s"
+        label frontier x healed.o_rounds direct.o_rounds healed.o_txns
+        direct.o_txns
+        (String.sub (Rcc_common.Bytes_util.hex healed.o_head) 0 12)
+        (String.sub (Rcc_common.Bytes_util.hex direct.o_head) 0 12)
+        (String.sub (Rcc_common.Bytes_util.hex healed.o_state) 0 12)
+        (String.sub (Rcc_common.Bytes_util.hex direct.o_state) 0 12)
+  in
+  let direct_serial =
+    run_exec ~sched_kind:`Serial ~z ~batches:final ~order:slots
+  in
+  same "serial"
+    (run_fork_heal ~sched_kind:`Serial ~z ~fork ~final ~frontier ~x)
+    direct_serial;
+  same "parallel"
+    (run_fork_heal
+       ~sched_kind:(`Parallel (threads, window))
+       ~z ~fork ~final ~frontier ~x)
+    { direct_serial with o_responses = [] };
+  true
+
+let rollback_equivalence_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30
+       ~name:"rollback + re-execute = direct execution (serial and parallel)"
+       QCheck2.Gen.(
+         triple (int_range 0 1_000_000) (int_range 1 8) (int_range 1 8))
+       rollback_equivalence_prop)
+
 (* --- watermark --------------------------------------------------------- *)
 
 let bare_exec ~z =
@@ -373,4 +494,5 @@ let suite =
       equivalence_test
         ~name:"parallel = serial (conflicting workloads, any order/threads)"
         ~conflict_free:false;
+      rollback_equivalence_test;
     ] )

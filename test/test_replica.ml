@@ -325,17 +325,18 @@ let make_pool ?(quorum = Client_pool.Majority_fplus1) ?(n = 4)
   in
   { engine; net; pool; requests }
 
-let respond fx ~replica ~client ~batch_id ?(digest = "same") ?(speculative = false) () =
+let respond fx ~replica ~client ~batch_id ?(digest = "same")
+    ?(speculative = false) ?(round = 0) ?(history = "") () =
   let msg =
     Msg.Response
       {
         client;
         batch_id;
-        round = 0;
+        round;
         result_digest = digest;
         txn_count = 5;
         speculative;
-        history = "";
+        history;
       }
   in
   Net.send fx.net ~src:replica ~dst:4 ~size:(Msg.size msg) msg
@@ -420,6 +421,91 @@ let test_zyzzyva_commit_certificate_path () =
   check Alcotest.int "completed via commit path" 1
     (Client_pool.completed_batches fx.pool)
 
+let certs_sent fx =
+  List.filter_map
+    (fun (_, m) ->
+      match m with
+      | Msg.Commit_cert { cc_seq; cc_client; _ } -> Some (cc_seq, cc_client)
+      | _ -> None)
+    !(fx.requests)
+
+let ack fx ~replica ~client ~seq =
+  let msg = Msg.Local_commit { instance = 0; seq; client } in
+  Net.send fx.net ~src:replica ~dst:4 ~size:(Msg.size msg) msg
+
+let test_zyzzyva_cert_names_matching_quorum_round () =
+  (* Regression: a stale speculative response that survived a rollback
+     (old history, old round) arrives first. The commit certificate must
+     be sequenced at the round of the quorum that actually matched, and
+     must name its client — not inherit whichever response came first. *)
+  let fx =
+    make_pool ~quorum:Client_pool.All_n_speculative
+      ~request_timeout:(Engine.ms 20) ()
+  in
+  Client_pool.start fx.pool;
+  Engine.run fx.engine ~until:(Engine.ms 5);
+  respond fx ~replica:0 ~client:0 ~batch_id:0 ~round:3 ~history:"pre-rollback"
+    ();
+  respond fx ~replica:1 ~client:0 ~batch_id:0 ~round:7 ~history:"h" ();
+  respond fx ~replica:2 ~client:0 ~batch_id:0 ~round:7 ~history:"h" ();
+  respond fx ~replica:3 ~client:0 ~batch_id:0 ~round:7 ~history:"h" ();
+  Engine.run fx.engine ~until:(Engine.ms 40);
+  let certs = certs_sent fx in
+  check Alcotest.bool "certs broadcast" true (List.length certs > 0);
+  List.iter
+    (fun (seq, cl) ->
+      check Alcotest.int "cert sequenced at the matching quorum's round" 7 seq;
+      check Alcotest.int "cert names its client" 0 cl)
+    certs
+
+let test_zyzzyva_degraded_client_skips_timeout () =
+  (* One replica never answers. The first batch pays the full request
+     timeout before falling back to the commit-certificate phase; that
+     timeout marks the client degraded, so subsequent batches fall back
+     the moment 2f+1 responses match. A later all-n completion clears
+     the flag and restores timeout-gated fallback. *)
+  let fx =
+    make_pool ~quorum:Client_pool.All_n_speculative
+      ~request_timeout:(Engine.ms 20) ()
+  in
+  Client_pool.start fx.pool;
+  Engine.run fx.engine ~until:(Engine.ms 5);
+  (* Batch 0: 2f+1 responses, then the 20ms timeout forces the cert. *)
+  respond fx ~replica:0 ~client:0 ~batch_id:0 ();
+  respond fx ~replica:1 ~client:0 ~batch_id:0 ();
+  respond fx ~replica:2 ~client:0 ~batch_id:0 ();
+  Engine.run fx.engine ~until:(Engine.ms 30);
+  check Alcotest.int "first fallback waits for the timeout" 4
+    (List.length (certs_sent fx));
+  List.iter (fun r -> ack fx ~replica:r ~client:0 ~seq:0) [ 0; 1; 2 ];
+  Engine.run fx.engine ~until:(Engine.ms 32);
+  (* Batch 2 (ids interleave with client 1): degraded now, so the cert
+     goes out on the third response — well before the timer at ~52ms. *)
+  respond fx ~replica:0 ~client:0 ~batch_id:2 ();
+  respond fx ~replica:1 ~client:0 ~batch_id:2 ();
+  respond fx ~replica:2 ~client:0 ~batch_id:2 ();
+  Engine.run fx.engine ~until:(Engine.ms 35);
+  check Alcotest.int "degraded client certs without waiting" 8
+    (List.length (certs_sent fx));
+  List.iter (fun r -> ack fx ~replica:r ~client:0 ~seq:0) [ 0; 1; 2 ];
+  Engine.run fx.engine ~until:(Engine.ms 37);
+  (* Batch 3 closes all-n: the cluster healed, degradation clears. The
+     third response still triggers a (wasted) cert broadcast, but the
+     fourth commits the fast path and un-degrades the client. *)
+  List.iter
+    (fun r -> respond fx ~replica:r ~client:0 ~batch_id:3 ())
+    [ 0; 1; 2; 3 ];
+  Engine.run fx.engine ~until:(Engine.ms 39);
+  check Alcotest.int "three batches completed" 3
+    (Client_pool.completed_batches fx.pool);
+  (* Batch 4: 2f+1 again, but no longer degraded — no early cert. *)
+  respond fx ~replica:0 ~client:0 ~batch_id:4 ();
+  respond fx ~replica:1 ~client:0 ~batch_id:4 ();
+  respond fx ~replica:2 ~client:0 ~batch_id:4 ();
+  Engine.run fx.engine ~until:(Engine.ms 45);
+  check Alcotest.int "healed client waits for the timeout again" 12
+    (List.length (certs_sent fx))
+
 (* --- instance env helpers ------------------------------------------------------- *)
 
 let test_quorum_helpers () =
@@ -440,6 +526,7 @@ let test_quorum_helpers () =
       respond = (fun _ _ -> ());
       accept = (fun _ -> ());
       report_failure = (fun ~round:_ ~blamed:_ -> ());
+      rollback = (fun ~frontier:_ -> ());
       sign_blame = (fun ~view:_ ~blamed:_ ~round:_ -> "");
       byz = Byz.honest;
       unified = false;
@@ -558,6 +645,10 @@ let suite =
         test_client_timeout_resend_and_instance_change;
       Alcotest.test_case "zyzzyva client all n" `Quick test_zyzzyva_client_needs_all_n;
       Alcotest.test_case "zyzzyva commit path" `Quick test_zyzzyva_commit_certificate_path;
+      Alcotest.test_case "zyzzyva cert round/client" `Quick
+        test_zyzzyva_cert_names_matching_quorum_round;
+      Alcotest.test_case "zyzzyva degraded fallback" `Quick
+        test_zyzzyva_degraded_client_skips_timeout;
       Alcotest.test_case "quorum helpers" `Quick test_quorum_helpers;
       Alcotest.test_case "byz excludes" `Quick test_byz_excludes;
       Alcotest.test_case "equivocation rejected" `Quick test_equivocate_rejected;

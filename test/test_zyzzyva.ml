@@ -65,7 +65,13 @@ let test_commit_cert_local_commit () =
   let inst1 = H.inst t 1 in
   Z.handle inst1 ~src:0
     (Msg.Commit_cert
-       { cc_instance = 0; cc_seq = 0; cc_digest = ""; cc_replicas = [ 0; 1; 2 ] });
+       {
+         cc_instance = 0;
+         cc_seq = 0;
+         cc_client = 0;
+         cc_digest = "";
+         cc_replicas = [ 0; 1; 2 ];
+       });
   check Alcotest.int "committed watermark" 0 (Z.committed_upto inst1);
   check Alcotest.bool "local-commit sent to client" true
     (List.exists
@@ -79,7 +85,13 @@ let test_commit_cert_beyond_accept_triggers_blame () =
   let inst2 = H.inst t 2 in
   Z.handle inst2 ~src:0
     (Msg.Commit_cert
-       { cc_instance = 0; cc_seq = 5; cc_digest = ""; cc_replicas = [ 0; 1; 3 ] });
+       {
+         cc_instance = 0;
+         cc_seq = 5;
+         cc_client = 0;
+         cc_digest = "";
+         cc_replicas = [ 0; 1; 3 ];
+       });
   check Alcotest.bool "failure reported" true ((H.node t 2).H.failures <> [])
 
 let test_non_primary_order_request_ignored () =
