@@ -70,12 +70,12 @@ type smoke = {
   s_digest : string;
 }
 
-let smoke_config ~duration =
-  Config.make ~protocol:Config.MultiP ~n:16 ~batch_size:100 ~clients:120
+let smoke_config ~duration ~clients =
+  Config.make ~protocol:Config.MultiP ~n:16 ~batch_size:100 ~clients
     ~duration ~warmup:(Engine.of_seconds 0.15) ~seed:42 ()
 
-let run_smoke ~duration =
-  let cfg = smoke_config ~duration in
+let run_smoke ~duration ~clients =
+  let cfg = smoke_config ~duration ~clients in
   Gc.full_major ();
   let words0 = Gc.minor_words () in
   let report = Rcc_runtime.Cluster.run_config cfg in
@@ -254,6 +254,9 @@ let () =
   let digest_only = ref false in
   let label = ref "" in
   let out = ref "BENCH_simperf.json" in
+  (* 120 is the historical smoke population; --clients 240 is the second
+     determinism gate (the default closed-loop sweep population). *)
+  let clients = ref 120 in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -268,10 +271,14 @@ let () =
     | "--out" :: path :: rest ->
         out := path;
         parse rest
+    | "--clients" :: c :: rest ->
+        clients := int_of_string c;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S\n\
-           usage: perf.exe [--smoke] [--digest-only] [--label STR] [--out FILE]\n"
+           usage: perf.exe [--smoke] [--digest-only] [--clients N] \
+           [--label STR] [--out FILE]\n"
           arg;
         exit 2
   in
@@ -281,7 +288,7 @@ let () =
   in
   if !digest_only then begin
     (* CI determinism gate: print only the fixed-seed report digest. *)
-    let smoke = run_smoke ~duration in
+    let smoke = run_smoke ~duration ~clients:!clients in
     print_string smoke.s_digest;
     print_newline ()
   end
@@ -293,7 +300,7 @@ let () =
     in
     Printf.eprintf "[simperf] smoke cluster (%.1fs simulated)...\n%!"
       (Engine.to_seconds duration);
-    let smoke = run_smoke ~duration in
+    let smoke = run_smoke ~duration ~clients:!clients in
     Printf.eprintf
       "[simperf]   %d events in %.2fs wall = %.0f events/s, %.2f words/event\n%!"
       smoke.s_events smoke.s_wall

@@ -1,0 +1,260 @@
+(* Paper-scale load sweep (§VII testbed shape: up to 46 replicas, up to
+   1M clients): clients ∈ {240, 10K, 100K, 1M} × n ∈ {4, 16, 31, 46, 64}
+   for multip and multiz, writing BENCH_scale.json. This is the
+   experiment that locates the coordinator-cost knee the paper claims
+   RCC flattens: as n grows, events and contract bytes per committed
+   transaction rise, and the knee is where throughput stops tracking the
+   offered load.
+
+     dune exec bench/scale_sweep.exe                      # full grid
+     dune exec bench/scale_sweep.exe -- --smoke           # CI: 10K × n=16
+     dune exec bench/scale_sweep.exe -- --out other.json
+
+   Load model per cell:
+   - 240 clients run closed-loop (one outstanding request each), exactly
+     the historical sweep methodology.
+   - 10K/100K/1M clients run open-loop at a fixed offered load above the
+     n=16 saturation point, uniform arrivals, with a bounded in-flight
+     cap. The pool footprint scales with the client count while message
+     memory stays bounded by the cap, so the 1M-client cells measure the
+     flat-array pool, not a million in-flight batches.
+
+   Besides the per-cell run metrics, the sweep measures the pool's
+   resident footprint directly: a standalone pool per population size,
+   major-collected before and after construction, reported as live
+   words per client (the ≤ ~60 words/client acceptance bound). *)
+
+module Engine = Rcc_sim.Engine
+module Net = Rcc_sim.Net
+module Config = Rcc_runtime.Config
+module Report = Rcc_runtime.Report
+module Client_pool = Rcc_replica.Client_pool
+
+(* Offered load for the open-loop cells: comfortably above the ~380K
+   txn/s the n=16 smoke sustains, so throughput is capacity-bound and
+   the knee shows as the gap between offered and committed. *)
+let open_loop_rate = 500_000.0
+let max_in_flight = 10_000
+
+type cell = {
+  c_protocol : Config.protocol;
+  c_n : int;
+  c_clients : int;
+}
+
+type measured = {
+  m_cell : cell;
+  m_mode : string;
+  m_report : Report.t;
+  m_minor_words : float;
+  m_live_words : int;  (* major-collected live heap after the run *)
+}
+
+let protocols = [ Config.MultiP; Config.MultiZ ]
+let ns = [ 4; 16; 31; 46; 64 ]
+let populations = [ 240; 10_000; 100_000; 1_000_000 ]
+
+let config_of_cell ~duration ~warmup { c_protocol; c_n; c_clients } =
+  if c_clients <= 240 then
+    Config.make ~protocol:c_protocol ~n:c_n ~batch_size:100
+      ~clients:c_clients ~duration ~warmup ~seed:42 ()
+  else
+    Config.make ~protocol:c_protocol ~n:c_n ~batch_size:100
+      ~clients:c_clients ~duration ~warmup ~seed:42
+      ~arrival_rate:open_loop_rate ~arrival_process:Config.Uniform
+      ~max_in_flight ()
+
+let run_cell ~duration ~warmup cell =
+  let cfg = config_of_cell ~duration ~warmup cell in
+  Gc.full_major ();
+  let words0 = Gc.minor_words () in
+  let cluster = Rcc_runtime.Cluster.build cfg in
+  let report = Rcc_runtime.Cluster.run cluster in
+  let minor = Gc.minor_words () -. words0 in
+  (* Live words while the cluster is still rooted: replica state, slot
+     logs, and the client pool — the resident cost of the cell. *)
+  Gc.full_major ();
+  let live = (Gc.stat ()).Gc.live_words in
+  ignore (Sys.opaque_identity cluster);
+  {
+    m_cell = cell;
+    m_mode = (if Config.open_loop cfg then "open" else "closed");
+    m_report = report;
+    m_minor_words = minor;
+    m_live_words = live;
+  }
+
+(* --- pool footprint ------------------------------------------------------ *)
+
+(* Live words one pool pins per client, measured on a standalone pool
+   (no replicas, no cluster) so the number is pool-attributable. *)
+let pool_words_per_client clients =
+  let n = 4 in
+  let machines = max 1 (min 1024 ((clients + 19) / 20)) in
+  let engine = Engine.create () in
+  let net =
+    Net.create engine ~nodes:(n + machines) ~latency:(Engine.us 10) ~jitter:0
+      ~gbps:10.0 ~rng:(Rcc_common.Rng.create 3) ()
+  in
+  for replica = 0 to n - 1 do
+    Net.register net replica (fun ~src:_ ~size:_ _ -> ())
+  done;
+  let keychain = Rcc_crypto.Keychain.create ~seed:8 ~n ~clients in
+  let metrics = Rcc_replica.Metrics.create ~n ~warmup:0 () in
+  Gc.full_major ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let pool =
+    Client_pool.create ~engine ~net ~keychain ~metrics
+      ~primary_of_instance:(fun i -> i mod n)
+      {
+        Client_pool.n;
+        f = (n - 1) / 3;
+        z = 2;
+        clients;
+        machines;
+        batch_size = 100;
+        quorum = Client_pool.Majority_fplus1;
+        request_timeout = Engine.of_seconds 15.0;
+        instance_change_after = 2;
+        first_node = n;
+        records = 500_000;
+        write_ratio = 0.9;
+        theta = 0.9;
+        seed = 42;
+        arrival =
+          Client_pool.Open_loop
+            {
+              rate = open_loop_rate;
+              process = Client_pool.Uniform;
+              max_in_flight;
+            };
+      }
+  in
+  Gc.full_major ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  ignore (Client_pool.completed_batches pool);
+  float_of_int (live1 - live0) /. float_of_int clients
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json_of_measured m =
+  let r = m.m_report in
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "    { \"protocol\": %S, \"n\": %d, \"clients\": %d, \"mode\": %S,\n"
+    r.Report.protocol m.m_cell.c_n m.m_cell.c_clients m.m_mode;
+  Printf.bprintf b
+    "      \"sim_events\": %d, \"wall_seconds\": %.3f, \"events_per_sec\": \
+     %.0f, \"words_per_event\": %.2f,\n"
+    r.Report.sim_events r.Report.wall_seconds
+    (float_of_int r.Report.sim_events /. r.Report.wall_seconds)
+    (m.m_minor_words /. float_of_int (max 1 r.Report.sim_events));
+  Printf.bprintf b
+    "      \"throughput_txn_s\": %.0f, \"committed_txns\": %d, \
+     \"avg_latency_s\": %.6f, \"p50_latency_s\": %.6f, \"p99_latency_s\": \
+     %.6f,\n"
+    r.Report.throughput r.Report.committed_txns r.Report.avg_latency
+    r.Report.p50_latency r.Report.p99_latency;
+  (match r.Report.open_loop with
+  | Some o ->
+      Printf.bprintf b
+        "      \"offered_txn_s\": %.0f, \"offered_txns\": %d, \
+         \"injected_txns\": %d, \"dropped_txns\": %d, \"queue_p99\": %.0f,\n"
+        o.Report.offered_rate o.Report.offered_txns o.Report.injected_txns
+        o.Report.dropped_txns o.Report.queue_p99
+  | None -> ());
+  Printf.bprintf b "      \"live_words\": %d }" m.m_live_words;
+  Buffer.contents b
+
+let write_json ~path ~footprints ~cells =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"pool_footprint\": [\n";
+  List.iteri
+    (fun i (clients, wpc) ->
+      Printf.bprintf b "    { \"clients\": %d, \"words_per_client\": %.2f }%s\n"
+        clients wpc
+        (if i = List.length footprints - 1 then "" else ","))
+    footprints;
+  Buffer.add_string b "  ],\n  \"grid\": [\n";
+  List.iteri
+    (fun i m ->
+      Buffer.add_string b (json_of_measured m);
+      Buffer.add_string b (if i = List.length cells - 1 then "\n" else ",\n"))
+    cells;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+(* --- main ---------------------------------------------------------------- *)
+
+let () =
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
+  let smoke = ref false in
+  let out = ref "BENCH_scale.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: path :: rest ->
+        out := path;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %S\nusage: scale_sweep.exe [--smoke] [--out FILE]\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let duration = Engine.of_seconds (if !smoke then 0.2 else 0.3) in
+  let warmup = Engine.of_seconds (if !smoke then 0.05 else 0.1) in
+  let grid =
+    if !smoke then
+      List.map
+        (fun p -> { c_protocol = p; c_n = 16; c_clients = 10_000 })
+        protocols
+    else
+      (* Smallest cells first: live-heap growth then stays monotone with
+         the cell size rather than whipsawing the allocator. *)
+      List.concat_map
+        (fun c_clients ->
+          List.concat_map
+            (fun c_n ->
+              List.map
+                (fun c_protocol -> { c_protocol; c_n; c_clients })
+                protocols)
+            ns)
+        populations
+  in
+  let footprint_sizes = if !smoke then [ 10_000 ] else populations in
+  Printf.eprintf "[scale] pool footprint (standalone pools)...\n%!";
+  let footprints =
+    List.map
+      (fun clients ->
+        let wpc = pool_words_per_client clients in
+        Printf.eprintf "[scale]   %8d clients: %6.2f words/client\n%!" clients
+          wpc;
+        (clients, wpc))
+      footprint_sizes
+  in
+  let total = List.length grid in
+  let cells =
+    List.mapi
+      (fun i cell ->
+        Printf.eprintf "[scale] (%d/%d) %s n=%d clients=%d...\n%!" (i + 1)
+          total
+          (Config.protocol_name cell.c_protocol)
+          cell.c_n cell.c_clients;
+        let m = run_cell ~duration ~warmup cell in
+        Printf.eprintf
+          "[scale]   tput=%.0f txn/s p99=%.1fms events=%d wall=%.1fs \
+           live=%.1fMw\n\
+           %!"
+          m.m_report.Report.throughput
+          (m.m_report.Report.p99_latency *. 1e3)
+          m.m_report.Report.sim_events m.m_report.Report.wall_seconds
+          (float_of_int m.m_live_words /. 1e6);
+        m)
+      grid
+  in
+  write_json ~path:!out ~footprints ~cells;
+  Printf.eprintf "[scale] wrote %s (%d cells)\n%!" !out total

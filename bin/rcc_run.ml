@@ -73,7 +73,8 @@ let exec_mode_conv =
 
 let run protocol n batch_size clients duration warmup replica_timeout
     client_timeout collusion_wait z seed fault exec_mode exec_threads
-    exec_window theta write_ratio records trace trace_ring timeline quiet =
+    exec_window theta write_ratio records arrival_rate arrival_process
+    max_in_flight trace trace_ring timeline quiet =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
   let seconds f = Rcc_sim.Engine.of_seconds f in
   let cfg =
@@ -83,7 +84,8 @@ let run protocol n batch_size clients duration warmup replica_timeout
       ?client_timeout:(Option.map seconds client_timeout)
       ?collusion_wait:(Option.map seconds collusion_wait)
       ?z ~seed ~fault ~exec_mode ~exec_threads ~exec_window
-      ?theta ?write_ratio ?records ()
+      ?theta ?write_ratio ?records ?arrival_rate ~arrival_process
+      ?max_in_flight ()
   in
   if not quiet then
     Printf.eprintf
@@ -129,7 +131,7 @@ let cmd =
   in
   let n = Arg.(value & opt int 16 & info [ "n"; "replicas" ] ~doc:"Number of replicas.") in
   let batch = Arg.(value & opt int 100 & info [ "b"; "batch" ] ~doc:"Transactions per batch.") in
-  let clients = Arg.(value & opt int 120 & info [ "clients" ] ~doc:"Total closed-loop clients.") in
+  let clients = Arg.(value & opt int 120 & info [ "clients" ] ~doc:"Total simulated clients (closed-loop loopers, or the open-loop pool size).") in
   let duration = Arg.(value & opt float 1.0 & info [ "duration" ] ~doc:"Simulated seconds.") in
   let warmup = Arg.(value & opt float 0.3 & info [ "warmup" ] ~doc:"Warmup seconds (excluded from stats).") in
   let replica_timeout =
@@ -173,6 +175,39 @@ let cmd =
     Arg.(value & opt (some int) None
          & info [ "records" ] ~doc:"YCSB table size (default 500000).")
   in
+  let arrival_rate =
+    Arg.(value & opt (some float) None
+         & info [ "arrival-rate" ] ~docv:"TXN_PER_S"
+             ~doc:"Open-loop offered load in transactions per second. When \
+                   set, requests arrive under a deterministic arrival \
+                   process and claim idle clients instead of each client \
+                   looping; the default (unset) keeps closed-loop clients.")
+  in
+  let arrival_process =
+    let process_conv =
+      let parse s =
+        match String.lowercase_ascii s with
+        | "poisson" -> Ok Rcc_runtime.Config.Poisson
+        | "uniform" -> Ok Rcc_runtime.Config.Uniform
+        | other -> Error (`Msg (Printf.sprintf "unknown arrival process %S" other))
+      in
+      Arg.conv
+        ( parse,
+          fun fmt p ->
+            Format.pp_print_string fmt
+              (Rcc_runtime.Config.arrival_process_name p) )
+    in
+    Arg.(value & opt process_conv Rcc_runtime.Config.Poisson
+         & info [ "arrival" ] ~docv:"PROCESS"
+             ~doc:"Open-loop arrival process: poisson or uniform.")
+  in
+  let max_in_flight =
+    Arg.(value & opt (some int) None
+         & info [ "max-in-flight" ] ~docv:"N"
+             ~doc:"Open-loop cap on concurrent outstanding requests; \
+                   arrivals beyond it are counted as drops. Default: one \
+                   per client.")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -192,7 +227,8 @@ let cmd =
     Term.(const run $ protocol $ n $ batch $ clients $ duration $ warmup
           $ replica_timeout $ client_timeout $ collusion_wait $ z $ seed $ fault
           $ exec_mode $ exec_threads $ exec_window $ theta $ write_ratio
-          $ records $ trace $ trace_ring $ timeline $ quiet)
+          $ records $ arrival_rate $ arrival_process $ max_in_flight
+          $ trace $ trace_ring $ timeline $ quiet)
   in
   Cmd.v (Cmd.info "rcc-run" ~doc:"Run one RCC/BFT deployment in the simulator") term
 

@@ -103,6 +103,7 @@ let run ?check_every ?(expect_progress = true) ?(quiesced_check = true)
      cluster still fails, an in-flight one gets to finish its recovery. *)
   if quiesced_check then begin
     Cluster.stop_clients cluster;
+    let sent_at_stop = Cluster.client_requests_sent cluster in
     let step = max 1 (duration / 20) in
     let bound = duration + max step (duration / 2) in
     let rec drain at =
@@ -114,7 +115,23 @@ let run ?check_every ?(expect_progress = true) ?(quiesced_check = true)
         drain (at + step)
       end
     in
-    drain (duration + step)
+    drain (duration + step);
+    (* The drain must be injection-free: with the pool stopped, neither
+       closed-loop next-requests, retry timers, nor the open-loop arrival
+       process may put new client requests on the network — a leak here
+       means the quiesced judgement races fresh load. *)
+    let sent_after = Cluster.client_requests_sent cluster in
+    if sent_after > sent_at_stop then
+      record
+        [
+          {
+            Invariant.invariant = "drain-injection-free";
+            detail =
+              Printf.sprintf
+                "%d client requests injected after stop_clients"
+                (sent_after - sent_at_stop);
+          };
+        ]
   end;
   let exclude = excluded cluster nemesis in
   record

@@ -3,6 +3,10 @@ type t = { mutable state : int64 }
 let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let skip t k =
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int k) golden_gamma)
 
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in

@@ -14,6 +14,17 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Used to give each replica / client / link its own stream. *)
 
+val copy : t -> t
+(** [copy t] is an independent generator frozen at [t]'s current state;
+    advancing one does not affect the other. *)
+
+val skip : t -> int -> unit
+(** [skip t k] advances [t] past the next [k] draws in O(1), leaving it
+    in exactly the state [k] calls to {!next_int64} would. SplitMix64's
+    state moves by a fixed increment per draw, so lazily-derived
+    consumers (e.g. per-client keys) can jump straight to their slice of
+    the stream and still reproduce the eager values bit-for-bit. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit value. *)
 

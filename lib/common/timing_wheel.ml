@@ -1,0 +1,101 @@
+(* Hashed timing wheel: a ring of buckets, each covering [granularity]
+   time units. Entry [e] lives in bucket [(deadline / granularity) mod
+   slots]; the sweep walks the ring one tick at a time and fires
+   everything that came due, keeping entries that belong to a later lap
+   in place. Buckets are parallel int arrays grown geometrically, so a
+   sweep allocates nothing in steady state. *)
+
+type bucket = {
+  mutable deadlines : int array;
+  mutable payloads : int array;
+  mutable len : int;
+}
+
+type t = {
+  granularity : int;
+  slots : int;
+  buckets : bucket array;
+  head : bucket;
+      (* Entries scheduled at or behind the sweep position. They cannot
+         go into the ring: mid-sweep the head may already have passed
+         their bucket, which would strand them for a full lap. The head
+         bucket is swept first on every [advance]. *)
+  mutable current_tick : int;  (* deadline / granularity of the sweep head *)
+  mutable pending : int;
+}
+
+let create ?(slots = 256) ~granularity () =
+  if granularity <= 0 then invalid_arg "Timing_wheel.create: granularity <= 0";
+  if slots <= 0 then invalid_arg "Timing_wheel.create: slots <= 0";
+  {
+    granularity;
+    slots;
+    buckets =
+      Array.init slots (fun _ ->
+          { deadlines = [||]; payloads = [||]; len = 0 });
+    head = { deadlines = [||]; payloads = [||]; len = 0 };
+    current_tick = 0;
+    pending = 0;
+  }
+
+let granularity t = t.granularity
+let pending t = t.pending
+let is_empty t = t.pending = 0
+
+let push b ~deadline payload =
+  let cap = Array.length b.deadlines in
+  if b.len = cap then begin
+    let cap' = if cap = 0 then 8 else cap * 2 in
+    let d = Array.make cap' 0 and p = Array.make cap' 0 in
+    Array.blit b.deadlines 0 d 0 b.len;
+    Array.blit b.payloads 0 p 0 b.len;
+    b.deadlines <- d;
+    b.payloads <- p
+  end;
+  b.deadlines.(b.len) <- deadline;
+  b.payloads.(b.len) <- payload;
+  b.len <- b.len + 1
+
+let schedule t ~deadline payload =
+  let tick = deadline / t.granularity in
+  if tick <= t.current_tick then push t.head ~deadline payload
+  else push t.buckets.(tick mod t.slots) ~deadline payload;
+  t.pending <- t.pending + 1
+
+(* Detach a bucket's arrays and fire every due entry. Detaching before
+   firing matters: callbacks may [schedule] back into this same slot (a
+   retry one full lap ahead, or a past-due deadline going to [head]),
+   and those must not be swept — or worse, clobbered — mid-iteration.
+   Returns entries that are not due yet to [keep]. *)
+let sweep_bucket t b ~now ~tick ~keep fire =
+  if b.len > 0 then begin
+    let deadlines = b.deadlines and payloads = b.payloads and len = b.len in
+    b.deadlines <- [||];
+    b.payloads <- [||];
+    b.len <- 0;
+    for i = 0 to len - 1 do
+      let deadline = deadlines.(i) in
+      if deadline / t.granularity <= tick && deadline <= now then begin
+        t.pending <- t.pending - 1;
+        fire payloads.(i)
+      end
+      else
+        (* Later lap, or same tick but not yet due (partial tick):
+           keep for a later sweep. *)
+        push keep ~deadline payloads.(i)
+    done
+  end
+
+let advance t ~now fire =
+  let target_tick = now / t.granularity in
+  (* Past-due parkings first; anything [fire] re-parks lands in the
+     fresh head arrays and waits for the next advance. *)
+  sweep_bucket t t.head ~now ~tick:t.current_tick ~keep:t.head fire;
+  let continue = ref true in
+  while !continue && t.current_tick <= target_tick do
+    let b = t.buckets.(t.current_tick mod t.slots) in
+    sweep_bucket t b ~now ~tick:t.current_tick ~keep:b fire;
+    if t.current_tick < target_tick then
+      t.current_tick <- t.current_tick + 1
+    else continue := false
+  done

@@ -1,0 +1,40 @@
+(** Hashed timing wheel for batched deadline scanning.
+
+    Designed for client pools with hundreds of thousands of outstanding
+    timeouts: instead of one simulator timer per client, entries hash
+    into a ring of coarse-granularity buckets and a single periodic
+    sweep fires everything that came due. Payloads are plain [int]s
+    (callers pack a generation counter next to an index for lazy
+    cancellation — a stale generation is simply ignored when it fires).
+
+    The wheel itself never talks to a clock or an engine; the owner
+    drives it by calling {!advance} with the current time. *)
+
+type t
+
+val create : ?slots:int -> granularity:int -> unit -> t
+(** [create ~granularity ()] makes an empty wheel whose buckets each
+    cover [granularity] time units. [slots] (default 256) is the ring
+    size; entries further than [slots * granularity] ahead simply stay
+    in their bucket for a later lap. [granularity] must be positive. *)
+
+val schedule : t -> deadline:int -> int -> unit
+(** [schedule t ~deadline payload] registers [payload] to fire once
+    [advance] passes [deadline]. Deadlines at or before the wheel's
+    current position fire on the very next {!advance}. *)
+
+val advance : t -> now:int -> (int -> unit) -> unit
+(** [advance t ~now fire] calls [fire payload] for every entry whose
+    deadline is [<= now]. Entries fire in non-decreasing bucket order;
+    within one bucket, in insertion order. [fire] may call {!schedule}
+    (e.g. to arm a retry): a deadline at or behind the sweep position
+    fires on the next [advance] — never recursively within the same
+    sweep — while a due deadline ahead of the position may still fire
+    later in the same [advance] when its bucket is reached. [now] must
+    not go backwards across calls. *)
+
+val pending : t -> int
+(** Entries scheduled and not yet fired. *)
+
+val granularity : t -> int
+val is_empty : t -> bool

@@ -50,6 +50,27 @@ let seed_of_digest digest ~len =
   let m = if Int64.compare m 0L < 0 then Int64.add m fact else m in
   Int64.to_int m
 
+(* len! stops fitting an int past 20, so paper-scale rounds (z > 20,
+   i.e. n > 58) derive the order from a digest-seeded Fisher–Yates
+   shuffle instead of a factorial-number-system index. The determinism
+   contract is the same — every replica computes the same permutation
+   from the same digests and no single instance reliably controls it —
+   only the index space changes. *)
+let shuffle_of_digest digest ~len =
+  if String.length digest < 8 then
+    invalid_arg "Permutation.shuffle_of_digest: short digest";
+  let seed = Int64.to_int (Rcc_common.Bytes_util.get_u64be digest 0) in
+  let rng = Rcc_common.Rng.create seed in
+  let a = Array.init len (fun i -> i) in
+  for i = len - 1 downto 1 do
+    let j = Rcc_common.Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
 let order_of_round ~digests ~len =
   let d = Rcc_crypto.Sha256.digest_list digests in
-  of_index (seed_of_digest d ~len) ~len
+  if len <= 20 then of_index (seed_of_digest d ~len) ~len
+  else shuffle_of_digest d ~len

@@ -28,4 +28,6 @@ val seed_of_digest : string -> len:int -> int
 
 val order_of_round : digests:string list -> len:int -> int array
 (** The round's execution order: digest the concatenated batch digests and
-    apply {!of_index}. *)
+    apply {!of_index}. Beyond [len = 20] (where [len!] overflows an int)
+    the order comes from a digest-seeded Fisher–Yates shuffle instead —
+    the same all-replicas-agree determinism, a different index space. *)

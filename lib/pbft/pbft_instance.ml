@@ -30,6 +30,10 @@ type t = {
   mutable last_failure_report : int;  (* round of last report, -1 if none *)
   ckpt : Checkpointing.t;
   held : Held_batches.t;  (* submitted during a view change *)
+  ordered : (Rcc_common.Ids.client_id, string * int) Hashtbl.t;
+      (* primary only: each client's last ordered (digest, seq), so a
+         retransmission of an already-ordered batch has no chance
+         of being ordered — and executed — a second time *)
   mutable running : bool;
 }
 
@@ -57,6 +61,7 @@ let create env =
     last_failure_report = -1;
     ckpt = Checkpointing.create ~n ~f ~interval:env.Env.checkpoint_interval ();
     held = Held_batches.create ();
+    ordered = Hashtbl.create 64;
     running = false;
   }
 
@@ -216,12 +221,31 @@ let on_commit t ~src ~view ~seq ~digest =
 
 (* --- proposing ------------------------------------------------------ *)
 
-let propose t batch =
+(* A client retransmission of a batch this primary already ordered must
+   not burn a fresh slot: once the duplicate-reply cache entry for the
+   first slot ages past the checkpoint floor, the second slot would
+   re-execute the batch. Re-announce the original order instead — replicas
+   that missed it catch up, the rest treat it as the duplicate it is. *)
+let already_ordered t (batch : Batch.t) =
+  match Hashtbl.find_opt t.ordered batch.Batch.client with
+  | Some (digest, seq) when String.equal digest batch.Batch.digest -> (
+      match SL.find_opt t.log seq with
+      | Some { SL.batch = Some b; _ } when String.equal b.Batch.digest digest ->
+          Some (Some seq)
+      | None when seq <= SL.frontier t.log ->
+          (* Stable and collected: every correct replica executed and
+             replied; nothing to re-order. *)
+          Some None
+      | Some _ | None -> None (* slot unwound or replaced: order afresh *))
+  | Some _ | None -> None
+
+let propose_fresh t batch =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let s = slot t seq in
   s.SL.batch <- Some batch;
   s.SL.digest <- Some batch.Batch.digest;
+  Hashtbl.replace t.ordered batch.Batch.client (batch.Batch.digest, seq);
   ignore (Quorum.vote (ph s).prepares t.env.Env.self);
   (ph s).prepare_sent <- true;
   if t.env.Env.byz.Rcc_replica.Byz.equivocate then begin
@@ -246,6 +270,15 @@ let propose t batch =
       (Msg.Pre_prepare { instance = t.env.Env.instance; view = t.view; seq; batch })
   end;
   check_prepared t s
+
+let propose t batch =
+  match already_ordered t batch with
+  | Some None -> ()
+  | Some (Some seq) ->
+      t.env.Env.broadcast
+        (Msg.Pre_prepare
+           { instance = t.env.Env.instance; view = t.view; seq; batch })
+  | None -> propose_fresh t batch
 
 let submit_batch t batch =
   if is_primary t then begin
@@ -370,6 +403,7 @@ let install_view t ~view ~primary =
   t.view <- view;
   t.primary <- primary;
   t.in_view_change <- false;
+  Hashtbl.reset t.ordered;
   (* Batches held through the view change flush at the end of
      [finish_repropose] if we lead the new view; a backup must not sit
      on them — its clients' requests are the new primary's job. *)
@@ -409,6 +443,7 @@ let on_new_view t ~src ~view reproposals =
     t.view <- view;
     t.primary <- primary;
     t.in_view_change <- false;
+    Hashtbl.reset t.ordered;
     t.last_failure_report <- -1;
     List.iter
       (fun (seq, batch) ->

@@ -1,8 +1,25 @@
-(** Closed-loop simulated clients (§7.2's up-to-1M clients on 50 machines).
+(** Simulated clients (§7.2's up-to-1M clients on client machines).
 
-    Each logical client sends one batched request at a time to the primary
-    of its assigned instance (§3.1 client-replica mapping: client [c] is
-    served by instance [c mod z]) and waits for its completion quorum:
+    Per-client state lives in flat parallel arrays (a handful of words
+    per client), so pools of 100K–1M clients fit comfortably. Two load
+    modes:
+
+    - {b Closed loop} (the default, and the paper's §7 methodology): each
+      logical client keeps exactly one batched request outstanding,
+      sending the next the moment the previous completes. Timeouts are
+      one engine timer per request, exactly as the seed pool scheduled
+      them — closed-loop runs are event-for-event identical to it, which
+      the perf-digest determinism gate relies on.
+    - {b Open loop} ([Open_loop]): requests arrive at a configured
+      offered load (txn/s) under a deterministic Poisson or uniform
+      process, each arrival claiming the longest-idle client. Arrivals
+      beyond [max_in_flight] (or when every client is busy) are counted
+      as drops, not queued. Timeouts batch through a
+      {!Rcc_common.Timing_wheel} instead of per-request timers.
+
+    Requests go to the primary of the client's assigned instance (§3.1
+    client-replica mapping: client [c] is served by instance [c mod z])
+    and wait for a completion quorum:
 
     - [Majority_fplus1] — PBFT / MultiP / HotStuff: f+1 matching responses.
     - [All_n_speculative] — Zyzzyva / MultiZ: n matching speculative
@@ -14,6 +31,17 @@
     [instance_change_after] resends switch instances (§3.6). *)
 
 type quorum = Majority_fplus1 | All_n_speculative
+type arrival_process = Poisson | Uniform
+
+type arrival =
+  | Closed_loop
+  | Open_loop of {
+      rate : float;  (** offered load, txn/s across the whole pool *)
+      process : arrival_process;
+      max_in_flight : int;
+          (** cap on concurrent outstanding requests; [<= 0] means one
+              per client (the closed-loop ceiling) *)
+    }
 
 type config = {
   n : int;
@@ -30,6 +58,16 @@ type config = {
   write_ratio : float;
   theta : float;
   seed : int;
+  arrival : arrival;
+}
+
+type open_loop_stats = {
+  offered_batches : int;  (** arrival events fired (injected + dropped) *)
+  injected_batches : int;
+  dropped_batches : int;  (** shed at the in-flight cap / all clients busy *)
+  queue_p50 : float;  (** in-flight depth percentiles, sampled per arrival *)
+  queue_p99 : float;
+  max_depth : int;
 }
 
 type t
@@ -45,17 +83,24 @@ val create :
 (** Registers the client machines' delivery handlers. *)
 
 val start : t -> unit
-(** Every client sends its first request (staggered over the first
-    millisecond). *)
+(** Closed loop: every client sends its first request (staggered over the
+    first millisecond). Open loop: the arrival process starts ticking. *)
 
 val stop : t -> unit
-(** Stop the closed loop: no new requests are sent and pending retry
-    timers become no-ops. Completions of already-issued requests are
-    still recorded. *)
+(** Stop injecting load: closed-loop clients send no next request,
+    open-loop arrivals cease, and pending retry timers become no-ops.
+    Completions of already-issued requests are still recorded. *)
 
 val completed_batches : t -> int
-
 val instance_changes : t -> int
+
+val requests_sent : t -> int
+(** Total client requests put on the network, including resends. The
+    chaos runner samples this at [stop] to assert the drain phase is
+    injection-free. *)
+
+val open_loop_stats : t -> open_loop_stats option
+(** [None] for closed-loop pools. *)
 
 val client_instance : t -> Rcc_common.Ids.client_id -> Rcc_common.Ids.instance_id
 (** Current instance assignment (visible for the DoS-resolution tests). *)

@@ -205,7 +205,12 @@ let build ?tracer (cfg : Config.t) =
   let engine = Engine.create () in
   Option.iter (Engine.set_tracer engine) tracer;
   let clients = Config.total_clients cfg in
-  let machines = max 1 (min 50 ((clients + 19) / 20)) in
+  (* ~20 clients per simulated client machine, as the paper's testbed.
+     The ceiling is 1024 machines (not the old 50): at paper scale — 1M
+     clients — per-machine network nodes are cheap, and a 50-machine pool
+     would serialize 20K clients behind each NIC. Configs of <= 1000
+     clients land below either cap, so default runs are unchanged. *)
+  let machines = max 1 (min 1024 ((clients + 19) / 20)) in
   let rng = Rcc_common.Rng.create cfg.Config.seed in
   let net =
     Net.create engine
@@ -303,6 +308,7 @@ let build ?tracer (cfg : Config.t) =
         write_ratio = cfg.Config.write_ratio;
         theta = cfg.Config.theta;
         seed = cfg.Config.seed + 1;
+        arrival = Config.client_arrival cfg;
       }
   in
   { cfg; engine; net; metrics; replicas; pool; machines }
@@ -315,10 +321,13 @@ let affected_replica (cfg : Config.t) =
   | Config.No_fault | Config.Crash _ | Config.Client_dos _ ->
       0
 
-(* Stop the closed-loop clients injecting new load — used by the chaos
-   runner's drain phase so in-flight recovery can complete before the
-   final quiesced judgement. *)
+(* Stop the clients injecting new load — used by the chaos runner's drain
+   phase so in-flight recovery can complete before the final quiesced
+   judgement. Silences both closed-loop next-requests and the open-loop
+   arrival process. *)
 let stop_clients t = Client_pool.stop t.pool
+
+let client_requests_sent t = Client_pool.requests_sent t.pool
 
 let run t =
   let wall_start = Sys.time () in
@@ -385,6 +394,20 @@ let run t =
     snap_rounds_skipped;
     snap_bytes_in;
     snap_bytes_out;
+    open_loop =
+      Option.map
+        (fun (s : Client_pool.open_loop_stats) ->
+          let batch = t.cfg.Config.batch_size in
+          {
+            Report.offered_rate = t.cfg.Config.arrival_rate;
+            offered_txns = s.Client_pool.offered_batches * batch;
+            injected_txns = s.Client_pool.injected_batches * batch;
+            dropped_txns = s.Client_pool.dropped_batches * batch;
+            queue_p50 = s.Client_pool.queue_p50;
+            queue_p99 = s.Client_pool.queue_p99;
+            max_depth = s.Client_pool.max_depth;
+          })
+        (Client_pool.open_loop_stats t.pool);
     per_instance =
       (let replied_retained = Rcc_replica.Exec.replied_retained (exec0 t) in
       Array.init (Metrics.instances t.metrics) (fun x ->

@@ -16,11 +16,16 @@ val run_config : ?tracer:Rcc_trace.Recorder.t -> Config.t -> Report.t
 (** [build] + [run]. *)
 
 val stop_clients : t -> unit
-(** Stop the closed-loop clients from injecting or retrying requests.
-    Used between [run] and a drain phase: with the load source off, the
-    engine can be stepped further so in-flight recovery (catch-up
-    execution, view-sync adoption) completes before a final invariant
-    judgement. *)
+(** Stop the clients from injecting or retrying requests — closed-loop
+    next-requests and the open-loop arrival process alike. Used between
+    [run] and a drain phase: with the load source off, the engine can be
+    stepped further so in-flight recovery (catch-up execution, view-sync
+    adoption) completes before a final invariant judgement. *)
+
+val client_requests_sent : t -> int
+(** Total client requests (including resends) the pool has put on the
+    network; the chaos runner samples it at [stop_clients] to assert the
+    drain is injection-free. *)
 
 (* Introspection for tests and examples (valid after [run]). *)
 

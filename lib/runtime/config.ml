@@ -32,6 +32,10 @@ let exec_mode_name = function
   | Exec_serial -> "serial"
   | Exec_parallel -> "parallel"
 
+type arrival_process = Poisson | Uniform
+
+let arrival_process_name = function Poisson -> "poisson" | Uniform -> "uniform"
+
 type t = {
   protocol : protocol;
   n : int;
@@ -62,6 +66,10 @@ type t = {
   exec_mode : exec_mode;
   exec_threads : int;
   exec_window : int;
+  arrival_rate : float;
+      (* offered load in txn/s; 0.0 selects the closed-loop default *)
+  arrival_process : arrival_process;
+  max_in_flight : int;  (* open-loop in-flight cap; <= 0 = one per client *)
 }
 
 let make ?(batch_size = 100) ?(clients = 240)
@@ -72,6 +80,7 @@ let make ?(batch_size = 100) ?(clients = 240)
     ?(records = 500_000) ?(write_ratio = 0.9) ?(theta = 0.9) ?z ?(seed = 42)
     ?(instance_change_after = 3) ?(fault = No_fault)
     ?(exec_mode = Exec_serial) ?(exec_threads = 4) ?(exec_window = 8)
+    ?(arrival_rate = 0.0) ?(arrival_process = Poisson) ?(max_in_flight = 0)
     ~protocol ~n () =
   if n < 4 then invalid_arg "Config.make: need n >= 4";
   let f = (n - 1) / 3 in
@@ -113,6 +122,9 @@ let make ?(batch_size = 100) ?(clients = 240)
     exec_mode;
     exec_threads;
     exec_window;
+    arrival_rate;
+    arrival_process;
+    max_in_flight;
   }
 
 let client_instances t =
@@ -121,6 +133,21 @@ let client_instances t =
   | Pbft | Zyzzyva | MultiP | MultiZ | Cft | MultiC -> t.z
 
 let total_clients t = t.clients
+
+let open_loop t = t.arrival_rate > 0.0
+
+let client_arrival t =
+  if t.arrival_rate <= 0.0 then Rcc_replica.Client_pool.Closed_loop
+  else
+    Rcc_replica.Client_pool.Open_loop
+      {
+        rate = t.arrival_rate;
+        process =
+          (match t.arrival_process with
+          | Poisson -> Rcc_replica.Client_pool.Poisson
+          | Uniform -> Rcc_replica.Client_pool.Uniform);
+        max_in_flight = t.max_in_flight;
+      }
 
 let quorum t =
   match t.protocol with

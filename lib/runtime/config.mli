@@ -48,6 +48,12 @@ type exec_mode =
 
 val exec_mode_name : exec_mode -> string
 
+type arrival_process =
+  | Poisson  (** exponential inter-arrival gaps (deterministic from seed) *)
+  | Uniform  (** fixed inter-arrival gaps *)
+
+val arrival_process_name : arrival_process -> string
+
 type t = {
   protocol : protocol;
   n : int;
@@ -79,6 +85,13 @@ type t = {
   exec_mode : exec_mode;
   exec_threads : int;  (** execute-pool size (parallel mode only) *)
   exec_window : int;  (** max rounds per conflict-analysis window *)
+  arrival_rate : float;
+      (** offered load in txn/s; 0.0 (the default) selects closed-loop
+          clients, anything positive selects open-loop arrivals *)
+  arrival_process : arrival_process;
+  max_in_flight : int;
+      (** open-loop cap on concurrent outstanding requests; [<= 0] means
+          one per client *)
 }
 
 val make :
@@ -102,6 +115,9 @@ val make :
   ?exec_mode:exec_mode ->
   ?exec_threads:int ->
   ?exec_window:int ->
+  ?arrival_rate:float ->
+  ?arrival_process:arrival_process ->
+  ?max_in_flight:int ->
   protocol:protocol ->
   n:int ->
   unit ->
@@ -114,6 +130,12 @@ val client_instances : t -> int
 val total_clients : t -> int
 
 val quorum : t -> Rcc_replica.Client_pool.quorum
+
+val open_loop : t -> bool
+(** [arrival_rate > 0]. *)
+
+val client_arrival : t -> Rcc_replica.Client_pool.arrival
+(** The pool-level arrival mode this config selects. *)
 
 val contention_factor : t -> float
 (** Thread-count / core-count pressure used to scale CPU costs (§3.1's

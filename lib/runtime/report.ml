@@ -16,6 +16,18 @@ type instance_stats = {
   i_rolled_back_txns : int;
 }
 
+(* Open-loop runs only: offered vs. completed load and backpressure.
+   [None] for closed-loop runs, so their report text is unchanged. *)
+type open_loop = {
+  offered_rate : float;  (* configured arrival rate, txn/s *)
+  offered_txns : int;  (* txns the arrival process tried to inject *)
+  injected_txns : int;
+  dropped_txns : int;  (* shed at the in-flight cap *)
+  queue_p50 : float;  (* in-flight request depth, sampled per arrival *)
+  queue_p99 : float;
+  max_depth : int;
+}
+
 type t = {
   protocol : string;
   n : int;
@@ -45,6 +57,7 @@ type t = {
   snap_rounds_skipped : int;
   snap_bytes_in : int;
   snap_bytes_out : int;
+  open_loop : open_loop option;
   per_instance : instance_stats array;
       (* empty or length 1 when the run has a single logical instance *)
 }
@@ -88,6 +101,14 @@ let pp fmt t =
     t.wall_seconds
     (t.exec_utilization *. 100.0)
     (t.worker_utilization *. 100.0);
+  (match t.open_loop with
+  | Some o ->
+      Format.fprintf fmt
+        "@,open-loop: offered %.0f txn/s (%d txns), injected=%d dropped=%d \
+         queue p50=%.0f p99=%.0f max=%d"
+        o.offered_rate o.offered_txns o.injected_txns o.dropped_txns
+        o.queue_p50 o.queue_p99 o.max_depth
+  | None -> ());
   if t.snap_installs + t.snap_rejects > 0 then
     Format.fprintf fmt
       "@,state transfer: installs=%d rejects=%d rounds_skipped=%d in=%dB out=%dB"

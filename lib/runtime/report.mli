@@ -20,6 +20,17 @@ type instance_stats = {
 }
 (** One protocol instance's share of the run (z rows for RCC modes). *)
 
+type open_loop = {
+  offered_rate : float;  (** configured arrival rate, txn/s *)
+  offered_txns : int;  (** txns the arrival process tried to inject *)
+  injected_txns : int;
+  dropped_txns : int;  (** shed at the in-flight cap / all clients busy *)
+  queue_p50 : float;  (** in-flight request depth, sampled per arrival *)
+  queue_p99 : float;
+  max_depth : int;
+}
+(** Offered vs. completed load for open-loop runs. *)
+
 type t = {
   protocol : string;
   n : int;
@@ -50,6 +61,7 @@ type t = {
   snap_rounds_skipped : int;  (** consensus rounds covered by installs *)
   snap_bytes_in : int;  (** snapshot payload bytes received *)
   snap_bytes_out : int;  (** snapshot payload bytes served *)
+  open_loop : open_loop option;  (** [None] for closed-loop runs *)
   per_instance : instance_stats array;
       (** per-instance breakdown; printed by {!pp} when longer than 1 *)
 }

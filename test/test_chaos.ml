@@ -111,6 +111,17 @@ let test_speculative_fork_heals () =
     (Fuzzer.run_one ~protocol:Config.MultiZ ~n:4
        ~duration:(Engine.of_seconds 2.0) ~scenario_seed:7000022 ())
 
+let test_retransmission_dedup () =
+  (* Scenario 7000021, open in ROADMAP since PR 8: under partition +
+     crash + forged views a MultiP (PBFT) primary re-ordered a client's
+     retransmitted batch at a fresh slot after the replied-cache floor
+     passed the first execution, tripping no-duplicate-execution. The
+     per-primary [ordered] table now re-announces the original
+     Pre_prepare instead of burning a new slot. *)
+  assert_passes "retransmission dedup (scenario 7000021)"
+    (Fuzzer.run_one ~protocol:Config.MultiP ~n:4
+       ~duration:(Engine.of_seconds 2.0) ~scenario_seed:7000021 ())
+
 let transfer_script duration =
   let pct p = duration * p / 100 in
   Script.
@@ -188,6 +199,8 @@ let suite =
       Alcotest.test_case "canary failure report" `Slow test_canary_reports_failure;
       Alcotest.test_case "speculative fork heals (7000022)" `Slow
         test_speculative_fork_heals;
+      Alcotest.test_case "retransmission dedup (7000021)" `Slow
+        test_retransmission_dedup;
       Alcotest.test_case "multiz transfer installs a snapshot" `Slow
         test_multiz_transfer_install;
       Alcotest.test_case "fuzzer determinism" `Slow test_fuzzer_deterministic;

@@ -10,6 +10,7 @@ let () =
       Test_messages.suite;
       Test_codec.suite;
       Test_replica.suite;
+      Test_client_pool.suite;
       Test_exec_parallel.suite;
       Test_core.suite;
       Test_pbft.suite;

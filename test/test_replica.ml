@@ -321,6 +321,7 @@ let make_pool ?(quorum = Client_pool.Majority_fplus1) ?(n = 4)
         write_ratio = 0.9;
         theta = 0.5;
         seed = 5;
+        arrival = Client_pool.Closed_loop;
       }
   in
   { engine; net; pool; requests }

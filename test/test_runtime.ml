@@ -97,6 +97,7 @@ let test_report_formatting () =
       snap_rounds_skipped = 0;
       snap_bytes_in = 0;
       snap_bytes_out = 0;
+      open_loop = None;
       per_instance = [||];
     }
   in
