@@ -3,6 +3,8 @@
      dune exec bin/rcc_chaos.exe -- --seed 7 --runs 10            # fuzz both
      dune exec bin/rcc_chaos.exe -- --smoke                       # bundled scenario
      dune exec bin/rcc_chaos.exe -- --protocol multip --scenario-seed 7000021
+     dune exec bin/rcc_chaos.exe -- --restart                     # restart-from-disk
+     dune exec bin/rcc_chaos.exe -- --journal --runs 10           # storage fuzzing
      dune exec bin/rcc_chaos.exe -- --canary --runs 1             # failure demo
 
    Output is deterministic: the same flags and seeds produce
@@ -65,6 +67,36 @@ let corrupt_transfer_script duration =
     ]
   @ List.map (fun r -> { Script.at = pct 85; action = Script.Byz_off r }) donors
 
+(* Bundled restart-from-disk scenario (journaling on): replica 3 loses
+   power mid-run and comes back as a fresh incarnation that trusts
+   nothing but its disk. With an honest disk the journal suffix replays
+   to the durable frontier and the replica rejoins without the full
+   state-transfer blob: the trace must show a deep replayed frontier,
+   and any snapshot install may only be an incremental one covering the
+   short outage window (state transfer races the 250 ms contract-
+   recovery timers for the rounds missed while dead, and often wins),
+   never the snapshot-sized catch-up an empty replica would need. *)
+let restart_script duration =
+  let pct p = duration * p / 100 in
+  [
+    { Script.at = pct 45; action = Script.Crash 3 };
+    { Script.at = pct 45 + Engine.ms 5; action = Script.Restart_from_disk 3 };
+  ]
+
+(* Lying-disk variant: storage faults are armed long before the crash, so
+   the journal holds torn / corrupt / lost records. Recovery must detect
+   every bad record (truncate, never trust) and close the resulting gap
+   through state transfer — the trace must show the detection or the
+   fallback install. *)
+let faulty_restart_script duration =
+  let pct p = duration * p / 100 in
+  [
+    { Script.at = pct 5; action = Script.Storage_faults (3, 0.25) };
+    { Script.at = pct 45; action = Script.Crash 3 };
+    { Script.at = pct 55; action = Script.Restart_from_disk 3 };
+    { Script.at = pct 60; action = Script.Storage_faults (3, 0.0) };
+  ]
+
 module Event = Rcc_trace.Event
 
 let first_event events ~replica ~matches =
@@ -107,8 +139,76 @@ let assert_transfer ~label ~expect_reject outcome =
     (List.rev !failures);
   !failures = []
 
-let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
-    quick exec_mode exec_threads trace_path trace_ring =
+(* Trace assertions for the restart-from-disk scenarios. *)
+let assert_restart ~label ~faulty outcome =
+  let events = outcome.Runner.events in
+  let failures = ref [] in
+  let fail msg = failures := msg :: !failures in
+  let replay_complete =
+    first_event events ~replica:3 ~matches:(function
+      | Event.Journal_replay_complete _ -> true
+      | _ -> false)
+  in
+  let has matches = first_event events ~replica:3 ~matches <> None in
+  (match replay_complete with
+  | None -> fail "no journal replay on the restarted replica"
+  | Some { Event.payload = Event.Journal_replay_complete { frontier; _ }; _ }
+    when (not faulty) && frontier < 1_024 ->
+      (* Honest disk: snapshot + suffix must prove the bulk of the
+         pre-crash prefix, thousands of rounds at chaos throughput. *)
+      fail
+        (Printf.sprintf "journal replay recovered only %d rounds (want >= 1024)"
+           frontier)
+  | Some { Event.payload = Event.Journal_replay_complete { frontier; _ }; _ }
+    when faulty && frontier < 1 ->
+      fail "journal replay recovered an empty frontier"
+  | Some _ -> ());
+  if faulty then begin
+    (* The disk lied; every injected fault must be detected — truncation
+       of the journal suffix — or repaired via a snapshot install. *)
+    if outcome.Runner.report.Rcc_runtime.Report.jrn_faults = 0 then
+      fail "no storage faults were injected";
+    if
+      not
+        (has (function
+           | Event.Journal_truncated _ | Event.St_installed _ -> true
+           | _ -> false))
+    then fail "faulty disk: neither truncation nor a fallback install"
+  end
+  else begin
+    (* Honest disk: the replayed frontier carries the rejoin. Catch-up
+       for the rounds missed while dead may still win the race against
+       contract recovery as an incremental install, but every install
+       must start at or above the replayed frontier — a blob re-covering
+       disk-proven rounds would mean the journal under-delivered. *)
+    let frontier =
+      match replay_complete with
+      | Some
+          { Event.payload = Event.Journal_replay_complete { frontier; _ }; _ }
+        ->
+          frontier
+      | _ -> 0
+    in
+    match
+      first_event events ~replica:3 ~matches:(function
+        | Event.St_installed { seq; rounds; _ } -> seq - rounds < frontier
+        | _ -> false)
+    with
+    | Some { Event.payload = Event.St_installed { seq; rounds; _ }; _ } ->
+        fail
+          (Printf.sprintf
+             "clean-disk install re-covered disk-proven rounds (base %d < \
+              replayed frontier %d)"
+             (seq - rounds) frontier)
+    | _ -> ()
+  end;
+  List.iter
+    (fun msg -> Format.printf "FAIL restart(%s): %s@." label msg)
+    (List.rev !failures);
+  !failures = []
+
+let run protocol_sel n duration seed runs scenario_seed smoke transfer restart
+    journal canary quick exec_mode exec_threads trace_path trace_ring =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
   let protocols = protocols_of protocol_sel in
   let duration =
@@ -120,11 +220,11 @@ let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
     if not (Runner.passed outcome) then failed := true;
     Format.printf "%a" Runner.pp_outcome outcome
   in
-  let smoke_cfg protocol =
+  let smoke_cfg ?(journal = journal) protocol =
     Config.make ~protocol ~n ~batch_size:10 ~clients:40 ~records:5_000
       ~duration ~warmup:(duration / 4)
       ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
-      ~collusion_wait:(Engine.ms 150) ~seed ~exec_mode ~exec_threads ()
+      ~collusion_wait:(Engine.ms 150) ~seed ~exec_mode ~exec_threads ~journal ()
   in
   (if smoke then
      List.iter
@@ -169,6 +269,36 @@ let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
          then failed := true)
        protocols
    end
+   else if restart then
+     List.iter
+       (fun protocol ->
+         let ring = Option.value trace_ring ~default:131_072 in
+         let variant_path suffix =
+           match trace_path with
+           | None -> None
+           | Some p when Filename.check_suffix p ".jsonl" ->
+               Some (Filename.chop_suffix p ".jsonl" ^ suffix ^ ".jsonl")
+           | Some p -> Some (p ^ suffix)
+         in
+         let clean =
+           Runner.run ~canary ~nemesis_seed:seed ?trace_path:(variant_path "")
+             ~trace_ring:ring
+             (smoke_cfg ~journal:true protocol)
+             (restart_script duration)
+         in
+         note clean;
+         if not (assert_restart ~label:"clean-disk" ~faulty:false clean) then
+           failed := true;
+         let faulty =
+           Runner.run ~canary ~nemesis_seed:seed
+             ?trace_path:(variant_path ".faulty") ~trace_ring:ring
+             (smoke_cfg ~journal:true protocol)
+             (faulty_restart_script duration)
+         in
+         note faulty;
+         if not (assert_restart ~label:"faulty-disk" ~faulty:true faulty) then
+           failed := true)
+       protocols
    else
      match scenario_seed with
      | Some scenario_seed ->
@@ -176,12 +306,13 @@ let run protocol_sel n duration seed runs scenario_seed smoke transfer canary
            (fun protocol ->
              note
                (Fuzzer.run_one ~canary ?trace_path ?trace_ring ~exec_mode
-                  ~exec_threads ~protocol ~n ~duration ~scenario_seed ()))
+                  ~exec_threads ~journal ~protocol ~n ~duration ~scenario_seed
+                  ()))
            protocols
      | None ->
          let summary =
            Fuzzer.fuzz ~exec_mode ~exec_threads ~protocols ~n ~duration ~canary
-             ~seed ~runs ()
+             ~journal ~seed ~runs ()
          in
          Format.printf "%a" Fuzzer.pp_summary summary;
          if summary.Fuzzer.failures <> [] then failed := true);
@@ -212,6 +343,22 @@ let cmd =
                    partition healed into a snapshot install, and a \
                    corrupt-donor variant that must reject forged payloads \
                    before recovering.")
+  in
+  let restart =
+    Arg.(value & flag
+         & info [ "restart" ]
+             ~doc:"Run the bundled restart-from-disk scenarios (journaling \
+                   on): a clean-disk power failure whose journal replay must \
+                   carry the rejoin, and a lying-disk variant whose injected \
+                   faults must be detected or repaired via state transfer.")
+  in
+  let journal =
+    Arg.(value & flag
+         & info [ "journal" ]
+             ~doc:"Give every replica a durable write-ahead journal and \
+                   unlock the fuzzer's storage episode families \
+                   (power-failure restart-from-disk, lying disks, restart \
+                   storms).")
   in
   let canary =
     Arg.(value & flag
@@ -253,8 +400,8 @@ let cmd =
   in
   let term =
     Term.(const run $ protocol $ n $ duration $ seed $ runs $ scenario_seed
-          $ smoke $ transfer $ canary $ quick $ exec_mode $ exec_threads
-          $ trace $ trace_ring)
+          $ smoke $ transfer $ restart $ journal $ canary $ quick $ exec_mode
+          $ exec_threads $ trace $ trace_ring)
   in
   Cmd.v
     (Cmd.info "rcc-chaos"

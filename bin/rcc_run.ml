@@ -74,7 +74,7 @@ let exec_mode_conv =
 let run protocol n batch_size clients duration warmup replica_timeout
     client_timeout collusion_wait z seed fault exec_mode exec_threads
     exec_window theta write_ratio records arrival_rate arrival_process
-    max_in_flight trace trace_ring timeline quiet =
+    max_in_flight journal storage_faults trace trace_ring timeline quiet =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024 };
   let seconds f = Rcc_sim.Engine.of_seconds f in
   let cfg =
@@ -85,7 +85,7 @@ let run protocol n batch_size clients duration warmup replica_timeout
       ?collusion_wait:(Option.map seconds collusion_wait)
       ?z ~seed ~fault ~exec_mode ~exec_threads ~exec_window
       ?theta ?write_ratio ?records ?arrival_rate ~arrival_process
-      ?max_in_flight ()
+      ?max_in_flight ~journal ~storage_faults ()
   in
   if not quiet then
     Printf.eprintf
@@ -208,6 +208,22 @@ let cmd =
                    arrivals beyond it are counted as drops. Default: one \
                    per client.")
   in
+  let journal =
+    Arg.(value & flag
+         & info [ "journal" ]
+             ~doc:"Give every replica a durable write-ahead journal plus \
+                   periodic checkpoint snapshots on a simulated disk \
+                   (group-committed, modeled fsync cost, off the execute \
+                   path). Off by default: fault-free digests are \
+                   byte-identical without it.")
+  in
+  let storage_faults =
+    Arg.(value & opt float 0.0
+         & info [ "storage-faults" ] ~docv:"P"
+             ~doc:"Probability each journal record / snapshot write is \
+                   torn, corrupted or silently lost (per fault mode). \
+                   Requires --journal to matter.")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -228,7 +244,7 @@ let cmd =
           $ replica_timeout $ client_timeout $ collusion_wait $ z $ seed $ fault
           $ exec_mode $ exec_threads $ exec_window $ theta $ write_ratio
           $ records $ arrival_rate $ arrival_process $ max_in_flight
-          $ trace $ trace_ring $ timeline $ quiet)
+          $ journal $ storage_faults $ trace $ trace_ring $ timeline $ quiet)
   in
   Cmd.v (Cmd.info "rcc-run" ~doc:"Run one RCC/BFT deployment in the simulator") term
 

@@ -287,6 +287,11 @@ let install_view t ~view ~primary =
 
 let set_primary t replica ~view = install_view t ~view ~primary:replica
 
+(* Restart-from-disk: hold proposals until a leader change re-establishes
+   the in-flight frontier; the lost incarnation may have replicated
+   entries past what the disk proves. *)
+let resign_primary t = if is_primary t then t.in_transfer <- true
+
 let on_view_change t ~src ~new_view =
   if (not t.env.Env.unified) && new_view > t.view then begin
     let votes = Quorum.Tally.votes t.vc_votes new_view in

@@ -24,13 +24,13 @@ let scenario_seed ~master ~run = (master * 1_000_003) + run
 
 (* Timeouts sized so primary replacement and client retries fit inside a
    ~2 s simulated run (mirrors the integration-test fault configs). *)
-let config_for ?exec_mode ?exec_threads protocol ~n ~duration ~seed =
+let config_for ?exec_mode ?exec_threads ?journal protocol ~n ~duration ~seed =
   Config.make ~protocol ~n ~batch_size:10 ~clients:40 ~records:5_000 ~duration
     ~warmup:(duration / 4)
     ~replica_timeout:(Engine.ms 250) ~client_timeout:(Engine.ms 400)
-    ~collusion_wait:(Engine.ms 150) ~seed ?exec_mode ?exec_threads ()
+    ~collusion_wait:(Engine.ms 150) ~seed ?exec_mode ?exec_threads ?journal ()
 
-let gen_script ~seed ~n ~duration =
+let gen_script ?(journal = false) ~seed ~n ~duration () =
   let rng = Rng.create seed in
   let victim = Rng.int rng n in
   let other () =
@@ -47,7 +47,10 @@ let gen_script ~seed ~n ~duration =
   let byzantine = ref false in
   let episode i =
     let at = start + (i * span) + Rng.int rng (max 1 (span / 2)) in
-    match Rng.int rng 10 with
+    (* The journal episode families live past index 9, behind the
+       [journal] flag: with it off the draw is [int 10] exactly as
+       before, so historical fixed-seed scripts stay byte-identical. *)
+    match Rng.int rng (if journal then 13 else 10) with
     | 0 -> [ { Script.at; action = Script.Partition [ [ victim ] ] } ]
     | 1 ->
         crashed := true;
@@ -112,7 +115,7 @@ let gen_script ~seed ~n ~duration =
           { Script.at = at + (span / 3) + 1; action = Script.Crash donor };
           { Script.at = at + (span * 2 / 3); action = Script.Restart donor };
         ]
-    | _ ->
+    | 9 ->
         (* Transfer family: a byzantine donor serves corrupted snapshot
            payloads. Verification must reject them and the victim must
            still recover through an honest donor. *)
@@ -122,6 +125,42 @@ let gen_script ~seed ~n ~duration =
           { Script.at = at + (span / 4); action = Script.Partition [ [ victim ] ] };
           { Script.at = at + (span * 2 / 3); action = Script.Heal };
           { Script.at = heal_at; action = Script.Byz_off corruptor };
+        ]
+    | 10 ->
+        (* Journal family: power failure. The victim loses power mid-run
+           and comes back as a fresh incarnation trusting only its disk —
+           snapshot install + journal-suffix replay, state transfer for
+           whatever was never flushed. *)
+        crashed := true;
+        [
+          { Script.at; action = Script.Crash victim };
+          { Script.at = at + (span / 2); action = Script.Restart_from_disk victim };
+        ]
+    | 11 ->
+        (* Journal family: lying disk. Faults are armed before the crash
+           so the journal tail written closest to the failure is suspect;
+           recovery must truncate at the first bad record and close the
+           gap through state transfer — never install corrupt state. *)
+        crashed := true;
+        let p = 0.05 +. (0.2 *. Rng.float rng 1.0) in
+        [
+          { Script.at; action = Script.Storage_faults (victim, p) };
+          { Script.at = at + (span / 4); action = Script.Crash victim };
+          { Script.at = at + (span / 2); action = Script.Restart_from_disk victim };
+          { Script.at = heal_at; action = Script.Storage_faults (victim, 0.0) };
+        ]
+    | _ ->
+        (* Journal family: staggered restart storm. Two replicas
+           power-cycle back-to-back (never concurrently — n = 4 only
+           tolerates one down), so the second recovery runs while the
+           first recovered replica is still catching up. *)
+        crashed := true;
+        let down = other () in
+        [
+          { Script.at; action = Script.Crash victim };
+          { Script.at = at + (span / 3); action = Script.Restart_from_disk victim };
+          { Script.at = at + (span / 2); action = Script.Crash down };
+          { Script.at = at + (span * 5 / 6); action = Script.Restart_from_disk down };
         ]
   in
   let faults = List.concat_map episode (List.init episodes (fun i -> i)) in
@@ -135,10 +174,13 @@ let gen_script ~seed ~n ~duration =
   Script.sorted (faults @ cleanup)
 
 let run_one ?(canary = false) ?trace_path ?trace_ring ?exec_mode ?exec_threads
-    ~protocol ~n ~duration
+    ?(journal = false) ~protocol ~n ~duration
     ~scenario_seed () =
-  let cfg = config_for ?exec_mode ?exec_threads protocol ~n ~duration ~seed:scenario_seed in
-  let script = gen_script ~seed:scenario_seed ~n ~duration in
+  let cfg =
+    config_for ?exec_mode ?exec_threads ~journal protocol ~n ~duration
+      ~seed:scenario_seed
+  in
+  let script = gen_script ~journal ~seed:scenario_seed ~n ~duration () in
   Runner.run ~canary ~nemesis_seed:scenario_seed ?trace_path ?trace_ring cfg
     script
 
@@ -161,7 +203,8 @@ let minimize ~still_fails script =
   shrink script
 
 let fuzz ?exec_mode ?exec_threads ?(protocols = [ Config.MultiP; Config.MultiZ ]) ?(n = 4)
-    ?(duration = Engine.of_seconds 2.0) ?(canary = false) ~seed ~runs () =
+    ?(duration = Engine.of_seconds 2.0) ?(canary = false) ?(journal = false)
+    ~seed ~runs () =
   let passes = ref 0 in
   let failures = ref [] in
   List.iter
@@ -169,12 +212,15 @@ let fuzz ?exec_mode ?exec_threads ?(protocols = [ Config.MultiP; Config.MultiZ ]
       for run = 0 to runs - 1 do
         let scenario_seed = scenario_seed ~master:seed ~run in
         let outcome =
-          run_one ~canary ?exec_mode ?exec_threads ~protocol ~n ~duration
-            ~scenario_seed ()
+          run_one ~canary ?exec_mode ?exec_threads ~journal ~protocol ~n
+            ~duration ~scenario_seed ()
         in
         if Runner.passed outcome then incr passes
         else begin
-          let cfg = config_for ?exec_mode ?exec_threads protocol ~n ~duration ~seed:scenario_seed in
+          let cfg =
+            config_for ?exec_mode ?exec_threads ~journal protocol ~n ~duration
+              ~seed:scenario_seed
+          in
           let still_fails candidate =
             not
               (Runner.passed

@@ -29,8 +29,13 @@ type summary = {
 val scenario_seed : master:int -> run:int -> int
 
 val gen_script :
-  seed:int -> n:int -> duration:Rcc_sim.Engine.time -> Script.t
-(** The fault schedule for one scenario, derived from [seed] alone. *)
+  ?journal:bool ->
+  seed:int -> n:int -> duration:Rcc_sim.Engine.time -> unit -> Script.t
+(** The fault schedule for one scenario, derived from [seed] alone.
+    [journal] (default false) unlocks the storage episode families —
+    power-failure restart-from-disk, lying-disk recovery, staggered
+    restart storms; off, the generator's random stream is exactly the
+    historical one, so fixed-seed scripts stay byte-identical. *)
 
 val run_one :
   ?canary:bool ->
@@ -38,6 +43,7 @@ val run_one :
   ?trace_ring:int ->
   ?exec_mode:Rcc_runtime.Config.exec_mode ->
   ?exec_threads:int ->
+  ?journal:bool ->
   protocol:Rcc_runtime.Config.protocol ->
   n:int ->
   duration:Rcc_sim.Engine.time ->
@@ -54,6 +60,7 @@ val fuzz :
   ?n:int ->
   ?duration:Rcc_sim.Engine.time ->
   ?canary:bool ->
+  ?journal:bool ->
   seed:int ->
   runs:int ->
   unit ->

@@ -176,12 +176,34 @@ let check_coordinator_agreement cluster replicas =
           else [])
         rest
 
+(* --- durable frontier ----------------------------------------------------- *)
+
+(* A journal-recovered replica proved a durable frontier at restart; its
+   ledger regressing below that would mean recovery installed state the
+   disk never justified (or a later rollback destroyed durable rounds). *)
+let check_durable_frontier cluster replicas =
+  List.filter_map
+    (fun r ->
+      let floor = Cluster.recovery_floor cluster r in
+      if floor = 0 then None
+      else
+        let len = Ledger.length (Cluster.ledger cluster r) in
+        if len < floor then
+          Some
+            (fail "durable-frontier"
+               "replica %d regressed to %d rounds below its recovered \
+                durable frontier %d"
+               r len floor)
+        else None)
+    replicas
+
 let safety cluster ~exclude =
   let replicas = checked_replicas cluster ~exclude in
   check_chains cluster replicas
   @ check_prefixes cluster replicas
   @ check_no_duplicate_execution cluster replicas
   @ check_coordinator_structure cluster replicas
+  @ check_durable_frontier cluster replicas
 
 let quiesced cluster ~exclude =
   let replicas = checked_replicas cluster ~exclude in

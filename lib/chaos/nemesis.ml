@@ -91,6 +91,14 @@ let apply t action =
       t.byz_tainted.(r) <- true;
       Byz.set (Cluster.byz_spec t.cluster r) (spec_of_behaviour behaviour)
   | Script.Byz_off r -> Byz.set (Cluster.byz_spec t.cluster r) Byz.honest
+  | Script.Restart_from_disk r ->
+      (* The successor incarnation is live again ([Cluster.restart_from_disk]
+         clears the dead flag), so the invariant checker re-includes it:
+         a journal-recovered replica re-enters the agreement and
+         no-divergence guarantees after its drain window. *)
+      t.crashed.(r) <- false;
+      ignore (Cluster.restart_from_disk t.cluster r)
+  | Script.Storage_faults (r, p) -> Cluster.set_storage_faults t.cluster r p
 
 let install ?(seed = 0x6e656d) cluster script =
   let cfg = Cluster.config cluster in

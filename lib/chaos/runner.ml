@@ -18,7 +18,12 @@ let passed outcome = outcome.violations = []
 
 (* Replicas outside the safety guarantee right now: every spec that is
    currently byzantine (configured faults stay on; scripted ones may have
-   been switched off, which [Nemesis.tainted] still remembers). *)
+   been switched off, which [Nemesis.tainted] still remembers), plus the
+   currently-dead set — a crashed replica cannot be expected to agree.
+   Crucially this is [dead_now], not [ever_crashed]: a replica revived or
+   journal-recovered via [Restart_from_disk] drops back out of the dead
+   set and re-enters the agreement / no-divergence checks after its
+   drain window. *)
 let excluded cluster nemesis =
   let n = (Cluster.config cluster).Config.n in
   let byz_now =
@@ -26,7 +31,8 @@ let excluded cluster nemesis =
       (fun r -> (Cluster.byz_spec cluster r).Byz.byzantine)
       (List.init n (fun r -> r))
   in
-  List.sort_uniq compare (byz_now @ Nemesis.tainted nemesis)
+  List.sort_uniq compare
+    (byz_now @ Nemesis.tainted nemesis @ Nemesis.dead_now nemesis)
 
 (* A replica the script and config never touch, to witness liveness. *)
 let witness cfg script =

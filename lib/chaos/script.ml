@@ -26,6 +26,8 @@ type action =
   | Restart of replica_id
   | Byz_on of replica_id * behaviour
   | Byz_off of replica_id
+  | Restart_from_disk of replica_id
+  | Storage_faults of replica_id * float
 
 type event = { at : Rcc_sim.Engine.time; action : action }
 
@@ -40,9 +42,9 @@ let faulty_replicas t =
     (List.concat_map
        (fun e ->
          match e.action with
-         | Crash r | Byz_on (r, _) -> [ r ]
+         | Crash r | Byz_on (r, _) | Storage_faults (r, _) -> [ r ]
          | Partition _ | Heal | Delay_links _ | Drop_links _
-         | Duplicate_links _ | Restart _ | Byz_off _ ->
+         | Duplicate_links _ | Restart _ | Restart_from_disk _ | Byz_off _ ->
              [])
        t)
 
@@ -74,6 +76,8 @@ let action_to_string = function
   | Restart r -> Printf.sprintf "restart %d" r
   | Byz_on (r, b) -> Printf.sprintf "byz %d %s" r (behaviour_to_string b)
   | Byz_off r -> Printf.sprintf "honest %d" r
+  | Restart_from_disk r -> Printf.sprintf "restart_from_disk %d" r
+  | Storage_faults (r, p) -> Printf.sprintf "storage_faults %d p=%.2f" r p
 
 let to_string t =
   String.concat ""

@@ -52,6 +52,16 @@ type action =
   | Byz_on of replica_id * behaviour
       (** flip the replica's live {!Rcc_replica.Byz.t} spec *)
   | Byz_off of replica_id  (** back to honest *)
+  | Restart_from_disk of replica_id
+      (** replace the (crashed) replica with a fresh incarnation that
+          trusts nothing but its persistent disk: newest verifiable
+          snapshot + journal-suffix replay, then state transfer for the
+          rest. Distinct from [Restart], which revives the same
+          in-memory incarnation. With journaling off the successor comes
+          up empty and recovers entirely through state transfer. *)
+  | Storage_faults of replica_id * float
+      (** make the replica's disk lie: each record write is torn /
+          corrupted / lost with this per-mode probability (0.0 heals) *)
 
 type event = { at : Rcc_sim.Engine.time; action : action }
 
@@ -64,7 +74,8 @@ val last_event_time : t -> Rcc_sim.Engine.time
 (** 0 for the empty script. *)
 
 val faulty_replicas : t -> replica_id list
-(** Replicas the script ever crashes or makes byzantine, sorted. *)
+(** Replicas the script ever crashes, makes byzantine, or gives a lying
+    disk, sorted. *)
 
 val pp : Format.formatter -> t -> unit
 

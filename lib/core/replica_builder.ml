@@ -38,6 +38,10 @@ type config = {
   batch_threads : int;
   client_node_of : client_id -> int;
   byz : Rcc_replica.Byz.t;
+  (* Durable write-ahead journal for this incarnation, attached over the
+     replica's persistent [Sim_disk]; [None] = in-memory-only replica
+     (the digest-gated default). *)
+  journal : Rcc_journal.Journal.t option;
 }
 
 module Make (P : Rcc_replica.Instance_intf.S) = struct
@@ -54,11 +58,13 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     client_map : Client_map.t;
     transfer : Transfer.t;
     mutable false_blames_sent : bool;
+    mutable halted : bool;
   }
 
   let config t = t.cfg
   let instance t x = t.instances.(x)
   let exec t = t.exec
+  let journal t = t.cfg.journal
   let coordinator t = t.coordinator
   let store t = t.store
   let ledger t = t.ledger
@@ -297,6 +303,20 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
         ~respond ~metrics ~reorder ~materialize:cfg.materialize_state
         ~sign_speculative:cfg.sign_speculative ~sched ()
     in
+    (match cfg.journal with
+    | Some j ->
+        Exec.set_persist exec
+          {
+            Exec.p_round =
+              (fun ~round ordered ->
+                Rcc_journal.Journal.log_round j ~round
+                  ~primaries:(primaries ()) ordered);
+            p_rollback =
+              (fun ~frontier -> Rcc_journal.Journal.log_rollback j ~frontier);
+            p_stable =
+              (fun ~floor -> Rcc_journal.Journal.log_stable j ~floor);
+          }
+    | None -> ());
     let instances =
       Array.init cfg.z (fun x ->
           let worker = Node.worker node x in
@@ -441,14 +461,45 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
               Array.iter (fun inst -> P.fast_forward inst ~proof) instances);
         }
     in
+    (* Durable checkpoint cadence: every state-transfer boundary (4 x the
+       protocol checkpoint interval, matching the boundary latch), persist
+       a full snapshot into a disk slot. Gated on [Exec.settled] so a
+       parallel window mid-flight never leaks a half-executed KV state
+       into a durable checkpoint — a skipped boundary just lengthens the
+       replay suffix. *)
+    let journal_checkpoint =
+      match cfg.journal with
+      | None -> fun _ -> ()
+      | Some j ->
+          let interval = max 1 (4 * cfg.checkpoint_interval) in
+          fun round ->
+            let seq = round + 1 in
+            if
+              seq mod interval = 0
+              && Exec.settled exec
+              && Rcc_storage.Ledger.next_round ledger = seq
+            then
+              Rcc_journal.Journal.write_snapshot j ~seq
+                {
+                  Rcc_storage.Snapshot.seq;
+                  blocks = Rcc_storage.Ledger.prefix ledger ~upto:seq;
+                  kv =
+                    (if cfg.materialize_state then
+                       Some (Rcc_storage.Kv_store.entries store)
+                     else None);
+                  replied = Exec.replied_entries exec;
+                }
+    in
     (match coordinator with
     | Some c ->
         Exec.set_on_executed exec (fun round accs ->
             Transfer.on_executed transfer ~round;
+            journal_checkpoint round;
             Coordinator.on_round_executed c ~round accs)
     | None ->
         Exec.set_on_executed exec (fun round _ ->
-            Transfer.on_executed transfer ~round));
+            Transfer.on_executed transfer ~round;
+            journal_checkpoint round));
     let t =
       {
         cfg;
@@ -465,6 +516,7 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
         client_map = Client_map.create ~z:cfg.z ~cap_per_instance:4096;
         transfer;
         false_blames_sent = false;
+        halted = false;
       }
     in
     install_route t;
@@ -487,6 +539,8 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
     let last_heartbeat = Array.make cfg.z (-1) in
     let _send, broadcast = Node.sender t.node ~worker:(Node.exec_server t.node) in
     let rec tick () =
+      if t.halted then ()
+      else begin
       let round = Exec.next_round t.exec in
       let now = Engine.now engine in
       Transfer.tick t.transfer;
@@ -591,10 +645,65 @@ module Make (P : Rcc_replica.Instance_intf.S) = struct
         end
       end;
       Engine.schedule_after engine (max 1 (cfg.heartbeat / 2)) tick
+      end
     in
     Engine.schedule_after engine cfg.heartbeat tick
 
   let start t =
     Array.iter P.start t.instances;
     monitor t
+
+  (* Crash semantics for a restart-from-disk: the orphaned incarnation
+     must go silent — its node drops deliveries and suppresses queued
+     sends, the monitor stops rescheduling, and un-flushed journal
+     records are lost (they were never durable). The persistent disk
+     survives for the successor incarnation to recover from. *)
+  let halt t =
+    t.halted <- true;
+    Node.halt t.node;
+    Option.iter Rcc_journal.Journal.halt t.cfg.journal
+
+  (* Restart-from-disk recovery, run on a freshly created builder before
+     [start]: rebuild ledger / KV / txn-table from the newest verifiable
+     snapshot plus the journal suffix, then advance the execution
+     frontier and every instance's slot log to the recovered boundary.
+     Anything the disk could not prove is left behind the frontier;
+     state transfer closes that gap once the replica is live. *)
+  let restore t =
+    (* Regardless of what the disk proves, the successor must not resume
+       sequencing on instances it leads: the lost incarnation may have
+       assigned (and broadcast) rounds past the durable frontier, and
+       re-using those numbers would equivocate. Resigning holds client
+       batches until the ordinary view path re-establishes a primary
+       through the state-exchange takeover. *)
+    Array.iter P.resign_primary t.instances;
+    match t.cfg.journal with
+    | None -> None
+    | Some j ->
+        let r =
+          Rcc_journal.Journal.recover ~engine:(Node.engine t.node)
+            ~self:t.cfg.self
+            ~disk:(Rcc_journal.Journal.disk j)
+            ~ledger:t.ledger ~store:t.store ~txn_table:t.txn_table
+            ~primaries:(List.init t.cfg.z (fun x -> x))
+            ~materialize:t.cfg.materialize_state ()
+        in
+        Batch.reset_memo ();
+        let frontier = r.Rcc_journal.Journal.r_frontier in
+        if frontier > 0 then begin
+          Exec.install_snapshot t.exec ~seq:frontier
+            ~replied:r.Rcc_journal.Journal.r_replied;
+          let proof =
+            {
+              Rcc_storage.Checkpoint_store.seq = frontier;
+              state_digest =
+                (if t.cfg.materialize_state then
+                   Rcc_storage.Kv_store.state_digest t.store
+                 else "");
+              attesters = [];
+            }
+          in
+          Array.iter (fun inst -> P.fast_forward inst ~proof) t.instances
+        end;
+        Some r
 end

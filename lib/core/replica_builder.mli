@@ -47,6 +47,10 @@ type config = {
   batch_threads : int;
   client_node_of : client_id -> int;
   byz : Rcc_replica.Byz.t;
+  journal : Rcc_journal.Journal.t option;
+      (** durable write-ahead journal for this incarnation, attached over
+          the replica's persistent disk; [None] = in-memory-only replica
+          (the digest-gated default) *)
 }
 
 module Make (P : Rcc_replica.Instance_intf.S) : sig
@@ -64,6 +68,20 @@ module Make (P : Rcc_replica.Instance_intf.S) : sig
 
   val start : t -> unit
   (** Arm all instance watchdogs. *)
+
+  val halt : t -> unit
+  (** Silence this incarnation permanently (restart-from-disk): deliveries
+      drop, queued sends become no-ops, the liveness monitor stops, and
+      un-flushed journal records are lost. The persistent disk survives. *)
+
+  val restore : t -> Rcc_journal.Journal.recovery option
+  (** Run restart-from-disk recovery on a freshly created builder (before
+      {!start}): install the newest verifiable snapshot, replay the
+      journal suffix through the real execution path, and fast-forward
+      the execute stage and every instance to the recovered frontier.
+      Returns the recovery summary; [None] without a journal. *)
+
+  val journal : t -> Rcc_journal.Journal.t option
 
   val config : t -> config
   val instance : t -> instance_id -> P.t

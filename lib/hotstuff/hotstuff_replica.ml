@@ -300,6 +300,11 @@ let accepted_batch t ~round =
 
 let incomplete_rounds t = SL.incomplete_rounds t.log
 
+(* Rotating leadership: proposals derive from the vote chain, not a
+   volatile per-primary sequence counter, so a restarted replica has
+   nothing stale to resign. *)
+let resign_primary _ = ()
+
 let fast_forward t ~proof =
   let round = proof.Rcc_storage.Checkpoint_store.seq in
   SL.fast_forward t.log ~round;

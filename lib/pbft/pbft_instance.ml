@@ -414,6 +414,11 @@ let install_view t ~view ~primary =
 
 let set_primary t replica ~view = install_view t ~view ~primary:replica
 
+(* Restart-from-disk: the lost incarnation may have pre-prepared rounds
+   past the durable frontier; re-assigning those seqs would equivocate.
+   Hold everything until a view change re-elects sequencing. *)
+let resign_primary t = if is_primary t then t.in_view_change <- true
+
 let on_view_change t ~src ~new_view =
   (* Standalone PBFT election: the new primary is view mod n. Under RCC the
      router sends VIEW-CHANGE messages to the coordinator instead. *)

@@ -7,6 +7,18 @@ type sched =
   | Serial
   | Parallel of { pool : Rcc_sim.Cpu.pool; window : int }
 
+(* Durable-journal seam: the journal (when enabled) observes executed
+   rounds in replay order, rollbacks, and stable-floor advances without
+   this module depending on the storage layer above it. *)
+type persist = {
+  p_round : round:int -> Acceptance.t array -> unit;
+      (* acceptances in deterministic replay order *)
+  p_rollback : frontier:int -> unit;
+      (* ledger truncated back to [frontier] *)
+  p_stable : floor:int -> unit;
+      (* cross-instance stable floor advanced *)
+}
+
 (* One round of an in-flight parallel window. [ordered] is the round's
    acceptances in the configured deterministic replay order; the reply
    arrays are filled by group execution (out of commit order) and read by
@@ -83,6 +95,7 @@ type t = {
   stable : int array;
   mutable evict_floor : int;
   mutable replied_evicted : int;
+  mutable persist : persist option;
 }
 
 let create ~engine ~costs ~server ~z ~self ~store ~ledger ~txn_table
@@ -123,9 +136,20 @@ let create ~engine ~costs ~server ~z ~self ~store ~ledger ~txn_table
     stable = Array.make z 0;
     evict_floor = 0;
     replied_evicted = 0;
+    persist = None;
   }
 
 let set_on_executed t f = t.on_executed <- f
+let set_persist t p = t.persist <- Some p
+
+(* True when no round is mid-execution: serial always (rounds run whole
+   on one server job), parallel only between windows with all commits
+   drained. Snapshot capture is gated on this so the KV never leaks a
+   half-window state into a durable checkpoint. *)
+let settled t =
+  match t.sched with
+  | Serial -> true
+  | Parallel _ -> t.active = None && Hashtbl.length t.uncommitted = 0
 
 let slots t round =
   match Hashtbl.find_opt t.pending round with
@@ -272,6 +296,9 @@ let execute_round t round =
   Rcc_storage.Ledger.append_exn t.ledger block;
   t.executed_rounds <- t.executed_rounds + 1;
   Hashtbl.replace t.spec_log round accs;
+  (match t.persist with
+  | Some p -> p.p_round ~round ordered
+  | None -> ());
   t.on_executed round accs
   | Some _ | None -> ()
 
@@ -400,6 +427,9 @@ let commit_round t (w : wround) =
     let by_instance = Array.make t.z w.ordered.(0) in
     Array.iter (fun (a : Acceptance.t) -> by_instance.(a.instance) <- a) w.ordered;
     Hashtbl.replace t.spec_log w.w_round by_instance;
+    (match t.persist with
+    | Some p -> p.p_round ~round:w.w_round w.ordered
+    | None -> ());
     t.on_executed w.w_round w.ordered
   end
 
@@ -592,7 +622,10 @@ let on_stable t ~instance ~seq =
           (fun round _ acc -> if round < floor then round :: acc else acc)
           t.spec_log []
       in
-      List.iter (Hashtbl.remove t.spec_log) dead
+      List.iter (Hashtbl.remove t.spec_log) dead;
+      match t.persist with
+      | Some p -> p.p_stable ~floor
+      | None -> ()
     end
   end
 
@@ -696,6 +729,9 @@ let rollback_to t ~frontier ~instance =
     (fun round sl -> if round >= frontier then sl.(instance) <- None)
     t.pending;
   t.next_round <- resume;
+  (match t.persist with
+  | Some p -> p.p_rollback ~frontier:resume
+  | None -> ());
   Metrics.record_rollback ~instance t.metrics ~rounds:rb_rounds ~txns:rb_txns;
   if Engine.tracing t.engine then
     Engine.trace t.engine ~replica:t.self ~instance

@@ -31,6 +31,22 @@ type sched =
           larger windows expose more inter-round parallelism at the cost
           of a quadratic (in batches) pairwise scan. *)
 
+type persist = {
+  p_round : round:Rcc_common.Ids.round -> Acceptance.t array -> unit;
+      (** a round committed to the ledger; acceptances in deterministic
+          replay order *)
+  p_rollback : frontier:Rcc_common.Ids.round -> unit;
+      (** speculative rollback truncated the ledger back to [frontier]
+          (the post-truncate next round) *)
+  p_stable : floor:Rcc_common.Ids.round -> unit;
+      (** the cross-instance stable checkpoint floor advanced to
+          [floor] *)
+}
+(** Observer seam for the durable write-ahead journal: the journal layer
+    (which lives above this library) registers callbacks instead of this
+    module depending on it. All three fire synchronously on the execute
+    lane, after the corresponding state change is applied. *)
+
 type t
 
 val create :
@@ -72,6 +88,20 @@ val create :
 val set_on_executed : t -> (Rcc_common.Ids.round -> Acceptance.t array -> unit) -> unit
 (** Late wiring for the coordinator, which is constructed after the
     execute thread. *)
+
+val set_persist : t -> persist -> unit
+(** Register the durable-journal observer (see {!persist}). *)
+
+val settled : t -> bool
+(** No round is mid-execution: always true in serial mode; in parallel
+    mode, true between windows once every commit job drained. Durable
+    snapshot capture is gated on this so a checkpoint never serializes a
+    half-executed window. *)
+
+val certificate_digest : string -> int list -> string
+(** [certificate_digest batch_digest cert] is the digest stored in block
+    proofs for an acceptance backed by [cert]. Exposed so journal replay
+    can rebuild byte-identical blocks from logged acceptances. *)
 
 val notify : t -> Acceptance.t -> unit
 (** An instance replicated its round-[r] batch. Idempotent per

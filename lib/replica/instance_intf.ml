@@ -46,6 +46,16 @@ module type S = sig
       batches without double-proposing in-flight rounds. Protocols that
       manage their own pacemaker (HotStuff) return [max_int] to opt out. *)
 
+  val resign_primary : t -> unit
+  (** Called on a freshly recovered incarnation (restart-from-disk) whose
+      volatile sequencing state is stale: if this replica currently leads
+      the instance it must stop proposing — holding submitted batches —
+      until a view change re-establishes sequencing through the usual
+      state-exchange takeover. The lost incarnation may already have
+      assigned (and broadcast) sequence numbers past anything the disk
+      proves; re-using them would equivocate. No-op on backups, and for
+      rotating-leader protocols with no volatile sequencing state. *)
+
   val fast_forward : t -> proof:Rcc_storage.Checkpoint_store.proof -> unit
   (** A snapshot covering rounds [< proof.seq] was just installed:
       collect those slots, advance the accept frontier to [proof.seq - 1],

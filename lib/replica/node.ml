@@ -13,6 +13,7 @@ type t = {
   exec_server : Cpu.server;
   exec_pool : Cpu.pool option;
   mutable route : src:int -> ready:Rcc_sim.Engine.time -> Msg.t -> unit;
+  mutable halted : bool;
 }
 
 let create ~engine ~net ~costs ~self ~z ~has_batchers ~input_threads ~batch_threads
@@ -41,9 +42,11 @@ let create ~engine ~net ~costs ~self ~z ~has_batchers ~input_threads ~batch_thre
             Some (Cpu.pool engine ~owner:self ~name:(name "exec-pool") ~size ())
         | Some _ | None -> None);
       route = (fun ~src:_ ~ready:_ _ -> ());
+      halted = false;
     }
   in
   Net.register net self (fun ~src ~size:_ msg ->
+      if t.halted then () else
       (* Input-thread stage fused into the arrival event: the parse cost
          queues virtually and the route schedules downstream work to start
          no earlier than [ready]. *)
@@ -63,6 +66,8 @@ let exec_server t = t.exec_server
 let exec_pool t = t.exec_pool
 let batchers t = t.batchers
 let set_route t route = t.route <- route
+let halt t = t.halted <- true
+let halted t = t.halted
 
 let auth_cost t ~sign ndest =
   let c = t.costs in
@@ -76,8 +81,10 @@ let auth_cost t ~sign ndest =
 let sender t ~worker =
   let send ?(sign = false) ?size ~dst msg =
     Cpu.submit worker ~cost:(auth_cost t ~sign 1) (fun () ->
-        let size = match size with Some s -> s | None -> Msg.size msg in
-        Net.send t.net ~src:t.self ~dst ~size msg)
+        if not t.halted then begin
+          let size = match size with Some s -> s | None -> Msg.size msg in
+          Net.send t.net ~src:t.self ~dst ~size msg
+        end)
   in
   let broadcast ?(sign = false) ?size ?(exclude = fun _ -> false) ~n msg =
     let dests = ref [] in
@@ -86,9 +93,12 @@ let sender t ~worker =
     done;
     let dests = !dests in
     Cpu.submit worker ~cost:(auth_cost t ~sign (List.length dests)) (fun () ->
-        let size = match size with Some s -> s | None -> Msg.size msg in
-        List.iter (fun dst -> Net.send t.net ~src:t.self ~dst ~size msg) dests)
+        if not t.halted then begin
+          let size = match size with Some s -> s | None -> Msg.size msg in
+          List.iter (fun dst -> Net.send t.net ~src:t.self ~dst ~size msg) dests
+        end)
   in
   (send, broadcast)
 
-let send_direct t ~dst msg = Net.send t.net ~src:t.self ~dst ~size:(Msg.size msg) msg
+let send_direct t ~dst msg =
+  if not t.halted then Net.send t.net ~src:t.self ~dst ~size:(Msg.size msg) msg

@@ -37,6 +37,15 @@ val exec_pool : t -> Rcc_sim.Cpu.pool option
 
 val batchers : t -> Rcc_sim.Cpu.pool option
 
+val halt : t -> unit
+(** Permanently silence this node object: inbound deliveries are dropped
+    before routing and queued/future sends become no-ops. Used when a
+    replica restarts from disk — the successor incarnation re-registers
+    the network handler, and halting the orphan guarantees its still-
+    scheduled CPU jobs can never speak for the replica again. *)
+
+val halted : t -> bool
+
 val set_route :
   t -> (src:int -> ready:Rcc_sim.Engine.time -> Rcc_messages.Msg.t -> unit) -> unit
 (** The route function runs at message arrival; [ready] is when the input

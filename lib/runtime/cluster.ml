@@ -5,6 +5,8 @@ module Metrics = Rcc_replica.Metrics
 module Client_pool = Rcc_replica.Client_pool
 module Byz = Rcc_replica.Byz
 module Builder = Rcc_core.Replica_builder
+module Journal = Rcc_journal.Journal
+module Sim_disk = Rcc_journal.Sim_disk
 
 module B_pbft = Builder.Make (Rcc_pbft.Pbft_instance)
 module B_zyz = Builder.Make (Rcc_zyzzyva.Zyzzyva_instance)
@@ -21,10 +23,23 @@ type t = {
   cfg : Config.t;
   engine : Engine.t;
   net : Msg.t Net.t;
+  keychain : Rcc_crypto.Keychain.t;
   metrics : Metrics.t;
   replicas : replicas;
   pool : Client_pool.t;
   machines : int;
+  (* Persistent per-replica disks: they outlive builder incarnations, so
+     a restart-from-disk recovers from what the previous incarnation
+     flushed. Empty-of-content but always allocated (allocation costs no
+     engine events, so digests are unaffected). *)
+  disks : Sim_disk.t array;
+  mk_cfg : Rcc_common.Ids.replica_id -> Builder.config;
+  (* Durable frontier proved by replica [r]'s most recent recovery; the
+     chaos invariant asserts its ledger never regresses below this. *)
+  recovery_floor : int array;
+  mutable restarts : int;
+  mutable replayed_rounds : int;
+  mutable replayed_txns : int;
 }
 
 let config t = t.cfg
@@ -124,6 +139,101 @@ let byz_spec t r =
   | R_zyz a -> (B_zyz.config a.(r)).Builder.byz
   | R_hs a -> (B_hs.config a.(r)).Builder.byz
   | R_cft a -> (B_cft.config a.(r)).Builder.byz
+
+(* --- restart-from-disk ---------------------------------------------------- *)
+
+(* Replace replica [r] with a fresh incarnation recovered from its
+   persistent disk: halt the orphan (drops deliveries, suppresses queued
+   sends, loses un-flushed journal records), build a successor over the
+   same disk — [create] re-registers the net handler, displacing the
+   orphan's — run journal recovery, then start it. Distinct from a
+   nemesis [Restart]: that revives the same in-memory incarnation; this
+   one trusts nothing but the disk. *)
+let restart_from_disk t r =
+  let recov =
+    match t.replicas with
+    | R_pbft a ->
+        B_pbft.halt a.(r);
+        let b =
+          B_pbft.create ~engine:t.engine ~net:t.net ~keychain:t.keychain
+            ~metrics:t.metrics (t.mk_cfg r)
+        in
+        let recov = B_pbft.restore b in
+        a.(r) <- b;
+        B_pbft.start b;
+        recov
+    | R_zyz a ->
+        B_zyz.halt a.(r);
+        let b =
+          B_zyz.create ~engine:t.engine ~net:t.net ~keychain:t.keychain
+            ~metrics:t.metrics (t.mk_cfg r)
+        in
+        let recov = B_zyz.restore b in
+        a.(r) <- b;
+        B_zyz.start b;
+        recov
+    | R_hs a ->
+        B_hs.halt a.(r);
+        let b =
+          B_hs.create ~engine:t.engine ~net:t.net ~keychain:t.keychain
+            ~metrics:t.metrics (t.mk_cfg r)
+        in
+        let recov = B_hs.restore b in
+        a.(r) <- b;
+        B_hs.start b;
+        recov
+    | R_cft a ->
+        B_cft.halt a.(r);
+        let b =
+          B_cft.create ~engine:t.engine ~net:t.net ~keychain:t.keychain
+            ~metrics:t.metrics (t.mk_cfg r)
+        in
+        let recov = B_cft.restore b in
+        a.(r) <- b;
+        B_cft.start b;
+        recov
+  in
+  Net.set_dead t.net r false;
+  t.restarts <- t.restarts + 1;
+  (match recov with
+  | Some rv ->
+      t.recovery_floor.(r) <- rv.Journal.r_frontier;
+      t.replayed_rounds <- t.replayed_rounds + rv.Journal.r_replayed_rounds;
+      t.replayed_txns <- t.replayed_txns + rv.Journal.r_replayed_txns
+  | None -> ());
+  recov
+
+let set_storage_faults t r p =
+  Sim_disk.set_faults t.disks.(r) (Sim_disk.uniform_faults p)
+
+let recovery_floor t r = t.recovery_floor.(r)
+let restarts t = t.restarts
+let disk t r = t.disks.(r)
+
+let journal_of t r =
+  match t.replicas with
+  | R_pbft a -> B_pbft.journal a.(r)
+  | R_zyz a -> B_zyz.journal a.(r)
+  | R_hs a -> B_hs.journal a.(r)
+  | R_cft a -> B_cft.journal a.(r)
+
+(* Journal-writer totals over the *current* incarnations (a restart drops
+   the orphan's counters) plus disk-level fault totals, which persist. *)
+let journal_totals t =
+  let a = ref 0 and fl = ref 0 and by = ref 0 and sn = ref 0 in
+  for r = 0 to t.cfg.Config.n - 1 do
+    match journal_of t r with
+    | None -> ()
+    | Some j ->
+        a := !a + Journal.appends j;
+        fl := !fl + Journal.flushes j;
+        by := !by + Journal.bytes_flushed j;
+        sn := !sn + Journal.snapshots_written j
+  done;
+  let faults =
+    Array.fold_left (fun acc d -> acc + Sim_disk.faults_injected d) 0 t.disks
+  in
+  (!a, !fl, !by, !sn, faults)
 
 (* Replica [r]'s own belief about the primary set: its coordinator's in
    unified mode, its instances' views otherwise. *)
@@ -233,6 +343,16 @@ let build ?tracer (cfg : Config.t) =
     Rcc_sim.Costs.scaled Rcc_sim.Costs.default (Config.contention_factor cfg)
   in
   let client_node_of c = cfg.Config.n + (c mod machines) in
+  (* One persistent disk per replica slot, deterministically seeded; the
+     same disk is handed to every incarnation of that replica. *)
+  let disks =
+    Array.init cfg.Config.n (fun r ->
+        let d = Sim_disk.create ~seed:(cfg.Config.seed + (7919 * (r + 1))) in
+        if cfg.Config.storage_faults > 0.0 then
+          Sim_disk.set_faults d
+            (Sim_disk.uniform_faults cfg.Config.storage_faults);
+        d)
+  in
   let builder_cfg self =
     {
       Builder.n = cfg.Config.n;
@@ -268,6 +388,10 @@ let build ?tracer (cfg : Config.t) =
       batch_threads = 2;
       client_node_of;
       byz = byz_of cfg self;
+      journal =
+        (if cfg.Config.journal then
+           Some (Journal.attach ~engine ~costs ~disk:disks.(self) ~self ())
+         else None);
     }
   in
   let replicas =
@@ -311,7 +435,22 @@ let build ?tracer (cfg : Config.t) =
         arrival = Config.client_arrival cfg;
       }
   in
-  { cfg; engine; net; metrics; replicas; pool; machines }
+  {
+    cfg;
+    engine;
+    net;
+    keychain;
+    metrics;
+    replicas;
+    pool;
+    machines;
+    disks;
+    mk_cfg = builder_cfg;
+    recovery_floor = Array.make cfg.Config.n 0;
+    restarts = 0;
+    replayed_rounds = 0;
+    replayed_txns = 0;
+  }
 
 let affected_replica (cfg : Config.t) =
   match cfg.Config.fault with
@@ -343,6 +482,9 @@ let run t =
   let snap_installs, snap_rejects, snap_rounds_skipped, snap_bytes_in,
       snap_bytes_out =
     transfer_totals t
+  in
+  let jrn_appends, jrn_flushes, jrn_bytes, jrn_snapshots, jrn_faults =
+    journal_totals t
   in
   {
     Report.protocol = Config.protocol_name t.cfg.Config.protocol;
@@ -394,6 +536,14 @@ let run t =
     snap_rounds_skipped;
     snap_bytes_in;
     snap_bytes_out;
+    jrn_appends;
+    jrn_flushes;
+    jrn_bytes;
+    jrn_snapshots;
+    jrn_faults;
+    jrn_restarts = t.restarts;
+    jrn_replayed_rounds = t.replayed_rounds;
+    jrn_replayed_txns = t.replayed_txns;
     open_loop =
       Option.map
         (fun (s : Client_pool.open_loop_stats) ->

@@ -60,3 +60,32 @@ val known_malicious_view :
 
 val replacements_of : t -> Rcc_common.Ids.replica_id -> int
 (** Unified primary replacements performed by replica [r]'s coordinator. *)
+
+(* Durable storage: restart-from-disk and storage-fault injection. All of
+   these require the config to have been built with [journal = true];
+   without it the disks exist but hold nothing. *)
+
+val restart_from_disk :
+  t -> Rcc_common.Ids.replica_id -> Rcc_journal.Journal.recovery option
+(** Replace replica [r] with a fresh incarnation recovered from its
+    persistent disk: the orphan is halted (un-flushed journal records are
+    lost — crash semantics), the successor installs the newest verifiable
+    snapshot, replays the journal suffix, re-registers the network
+    handler and starts. Also clears the net dead flag. Returns the
+    recovery summary ([None] when journaling is off: the successor comes
+    up empty and relies entirely on state transfer). *)
+
+val set_storage_faults : t -> Rcc_common.Ids.replica_id -> float -> unit
+(** Make replica [r]'s disk lie: each subsequent record write is torn /
+    corrupted / silently lost with the given per-mode probability.
+    [0.0] restores an honest disk. *)
+
+val recovery_floor : t -> Rcc_common.Ids.replica_id -> int
+(** Durable frontier proved by [r]'s most recent restart-from-disk (0 if
+    never restarted) — a recovered replica's ledger must never regress
+    below this. *)
+
+val restarts : t -> int
+val disk : t -> Rcc_common.Ids.replica_id -> Rcc_journal.Sim_disk.t
+val journal_of :
+  t -> Rcc_common.Ids.replica_id -> Rcc_journal.Journal.t option

@@ -70,6 +70,9 @@ type t = {
       (* offered load in txn/s; 0.0 selects the closed-loop default *)
   arrival_process : arrival_process;
   max_in_flight : int;  (* open-loop in-flight cap; <= 0 = one per client *)
+  journal : bool;  (* durable write-ahead journal; off by default so
+                      fault-free perf digests stay byte-identical *)
+  storage_faults : float;  (* per-record fault probability on every disk *)
 }
 
 let make ?(batch_size = 100) ?(clients = 240)
@@ -81,7 +84,7 @@ let make ?(batch_size = 100) ?(clients = 240)
     ?(instance_change_after = 3) ?(fault = No_fault)
     ?(exec_mode = Exec_serial) ?(exec_threads = 4) ?(exec_window = 8)
     ?(arrival_rate = 0.0) ?(arrival_process = Poisson) ?(max_in_flight = 0)
-    ~protocol ~n () =
+    ?(journal = false) ?(storage_faults = 0.0) ~protocol ~n () =
   if n < 4 then invalid_arg "Config.make: need n >= 4";
   let f = (n - 1) / 3 in
   let z =
@@ -125,6 +128,8 @@ let make ?(batch_size = 100) ?(clients = 240)
     arrival_rate;
     arrival_process;
     max_in_flight;
+    journal;
+    storage_faults;
   }
 
 let client_instances t =

@@ -92,6 +92,13 @@ type t = {
   max_in_flight : int;
       (** open-loop cap on concurrent outstanding requests; [<= 0] means
           one per client *)
+  journal : bool;
+      (** give every replica a durable write-ahead journal + checkpoint
+          snapshots on a simulated disk, and restart-from-disk recovery;
+          off by default so fault-free perf digests stay byte-identical *)
+  storage_faults : float;
+      (** probability each journal record / snapshot write is torn,
+          corrupted or lost (applied per mode); 0.0 = honest disks *)
 }
 
 val make :
@@ -118,6 +125,8 @@ val make :
   ?arrival_rate:float ->
   ?arrival_process:arrival_process ->
   ?max_in_flight:int ->
+  ?journal:bool ->
+  ?storage_faults:float ->
   protocol:protocol ->
   n:int ->
   unit ->

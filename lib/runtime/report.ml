@@ -57,6 +57,14 @@ type t = {
   snap_rounds_skipped : int;
   snap_bytes_in : int;
   snap_bytes_out : int;
+  jrn_appends : int;
+  jrn_flushes : int;
+  jrn_bytes : int;
+  jrn_snapshots : int;
+  jrn_faults : int;
+  jrn_restarts : int;
+  jrn_replayed_rounds : int;
+  jrn_replayed_txns : int;
   open_loop : open_loop option;
   per_instance : instance_stats array;
       (* empty or length 1 when the run has a single logical instance *)
@@ -114,6 +122,17 @@ let pp fmt t =
       "@,state transfer: installs=%d rejects=%d rounds_skipped=%d in=%dB out=%dB"
       t.snap_installs t.snap_rejects t.snap_rounds_skipped t.snap_bytes_in
       t.snap_bytes_out;
+  (* Journal counters appear only when journaling ran, so fault-free
+     digest runs keep the historical report layout. *)
+  if t.jrn_appends + t.jrn_restarts > 0 then begin
+    Format.fprintf fmt
+      "@,journal: appends=%d flushes=%d bytes=%d snapshots=%d faults=%d"
+      t.jrn_appends t.jrn_flushes t.jrn_bytes t.jrn_snapshots t.jrn_faults;
+    if t.jrn_restarts > 0 then
+      Format.fprintf fmt
+        "@,recovery: restarts=%d replayed=%d rounds (%d txns)"
+        t.jrn_restarts t.jrn_replayed_rounds t.jrn_replayed_txns
+  end;
   if Array.length t.per_instance > 1 then
     Array.iter (fun s -> Format.fprintf fmt "@,%a" pp_instance s) t.per_instance;
   Format.fprintf fmt "@]"

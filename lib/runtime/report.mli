@@ -61,6 +61,14 @@ type t = {
   snap_rounds_skipped : int;  (** consensus rounds covered by installs *)
   snap_bytes_in : int;  (** snapshot payload bytes received *)
   snap_bytes_out : int;  (** snapshot payload bytes served *)
+  jrn_appends : int;  (** journal records appended (all replicas) *)
+  jrn_flushes : int;  (** group-commit flushes (modeled fsyncs) *)
+  jrn_bytes : int;  (** journal bytes flushed to disk *)
+  jrn_snapshots : int;  (** durable checkpoint snapshots written *)
+  jrn_faults : int;  (** storage faults injected across all disks *)
+  jrn_restarts : int;  (** restart-from-disk recoveries performed *)
+  jrn_replayed_rounds : int;  (** rounds re-executed from the journal *)
+  jrn_replayed_txns : int;
   open_loop : open_loop option;  (** [None] for closed-loop runs *)
   per_instance : instance_stats array;
       (** per-instance breakdown; printed by {!pp} when longer than 1 *)

@@ -14,6 +14,8 @@ type t = {
   response_create : Engine.time;
   conflict_scan : Engine.time;
   exec_dispatch : Engine.time;
+  fsync : Engine.time;
+  disk_per_byte : float;
 }
 
 let default =
@@ -33,6 +35,8 @@ let default =
     response_create = Engine.us 3;
     conflict_scan = Engine.ns 18;
     exec_dispatch = Engine.us 2;
+    fsync = Engine.us 50;
+    disk_per_byte = 1.0;
   }
 
 let hash_cost t nbytes =
@@ -41,7 +45,11 @@ let hash_cost t nbytes =
 let scale_ns factor v = int_of_float (float_of_int v *. factor)
 
 let scaled t factor =
-  if factor <= 1.0 then t
+  (* factor = 1 is the identity; non-positive factors are nonsense and
+     return the table unchanged rather than zeroing every cost. Anything
+     else — including 0 < factor < 1 for faster-hardware ablations —
+     scales every field. *)
+  if factor = 1.0 || factor <= 0.0 then t
   else
     {
       mac_gen = scale_ns factor t.mac_gen;
@@ -59,4 +67,6 @@ let scaled t factor =
       response_create = scale_ns factor t.response_create;
       conflict_scan = scale_ns factor t.conflict_scan;
       exec_dispatch = scale_ns factor t.exec_dispatch;
+      fsync = scale_ns factor t.fsync;
+      disk_per_byte = t.disk_per_byte *. factor;
     }

@@ -27,6 +27,11 @@ type t = {
   exec_dispatch : Engine.time;
       (** scheduler overhead per dependency group handed to the execute
           pool (parallel exec mode only) *)
+  fsync : Engine.time;
+      (** durable-journal flush fixed cost (one group-commit fsync;
+          NVMe-class device) *)
+  disk_per_byte : float;
+      (** sequential journal write ns/byte on the disk lane *)
 }
 
 val default : t
@@ -35,5 +40,7 @@ val hash_cost : t -> int -> Engine.time
 (** [hash_cost t nbytes] is the cost of digesting [nbytes]. *)
 
 val scaled : t -> float -> t
-(** [scaled t factor] multiplies every CPU cost by [factor]; used to model
-    core contention when a replica runs more threads than cores. *)
+(** [scaled t factor] multiplies every cost by [factor]: [> 1] models core
+    contention when a replica runs more threads than cores, [0 < factor
+    < 1] models faster hardware. [factor = 1] and non-positive factors
+    return [t] unchanged. *)

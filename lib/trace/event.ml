@@ -39,6 +39,16 @@ type payload =
   | Rollback_begin of { frontier : int; from : int }
   | Rollback_round of { round : int; txns : int }
   | Rollback_complete of { frontier : int; rounds : int; txns : int }
+  (* Durable-journal family: group-commit flushes to the simulated disk,
+     checkpoint snapshot writes, injected storage faults, and
+     restart-from-disk recovery (scan, per-round replay, completion). *)
+  | Journal_flush of { records : int; bytes : int; durable : int }
+  | Journal_snapshot of { seq : int; bytes : int }
+  | Journal_fault of { kind : string }
+  | Journal_truncated of { durable : int; dropped : int }
+  | Journal_replay_begin of { seq : int }
+  | Journal_replay_round of { round : int; txns : int }
+  | Journal_replay_complete of { frontier : int; rounds : int; txns : int }
 
 type t = {
   at : int;  (* simulated ns *)
@@ -73,3 +83,10 @@ let name = function
   | Rollback_begin _ -> "rollback_begin"
   | Rollback_round _ -> "rollback_round"
   | Rollback_complete _ -> "rollback_complete"
+  | Journal_flush _ -> "journal_flush"
+  | Journal_snapshot _ -> "journal_snapshot"
+  | Journal_fault _ -> "journal_fault"
+  | Journal_truncated _ -> "journal_truncated"
+  | Journal_replay_begin _ -> "journal_replay_begin"
+  | Journal_replay_round _ -> "journal_replay_round"
+  | Journal_replay_complete _ -> "journal_replay_complete"

@@ -59,6 +59,28 @@ type payload =
       (** one speculative ledger round undone ([txns] effects reverted) *)
   | Rollback_complete of { frontier : int; rounds : int; txns : int }
       (** rollback finished; execution resumes at [frontier] *)
+  | Journal_flush of { records : int; bytes : int; durable : int }
+      (** a group-commit flush made [records] journal records durable;
+          [durable] is the highest round the disk now proves *)
+  | Journal_snapshot of { seq : int; bytes : int }
+      (** a checkpoint snapshot covering rounds [< seq] was written to a
+          disk snapshot slot *)
+  | Journal_fault of { kind : string }
+      (** the fault-injecting disk model corrupted a write
+          ([kind] = torn | corrupt | lost) *)
+  | Journal_truncated of { durable : int; dropped : int }
+      (** recovery hit a torn/corrupt record: the journal is truncated to
+          the last valid record ([durable] rounds provable, [dropped]
+          bytes discarded) *)
+  | Journal_replay_begin of { seq : int }
+      (** restart-from-disk recovery started from snapshot boundary
+          [seq] (0 = no usable snapshot) *)
+  | Journal_replay_round of { round : int; txns : int }
+      (** one journaled round re-executed during recovery *)
+  | Journal_replay_complete of { frontier : int; rounds : int; txns : int }
+      (** recovery finished: the replica's frontier is [frontier] after
+          replaying [rounds] journaled rounds; anything beyond is state
+          transfer's job *)
 
 type t = { at : int; replica : int; instance : int; payload : payload }
 

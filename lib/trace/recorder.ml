@@ -35,7 +35,8 @@ let pinned_capacity = 16_384
 let is_rare = function
   | Event.Net_send _ | Event.Net_deliver _ | Event.Span _
   | Event.Slot_propose _ | Event.Slot_accept _ | Event.Slot_exec _
-  | Event.Exec_group _ | Event.Exec_conflict _ ->
+  | Event.Exec_group _ | Event.Exec_conflict _
+  | Event.Journal_flush _ | Event.Journal_replay_round _ ->
       false
   | Event.Primary_change _ | Event.Kmal _ | Event.Blame _
   | Event.Contract_sent _ | Event.Contract_adopted _
@@ -43,7 +44,9 @@ let is_rare = function
   | Event.St_gap _ | Event.St_request _ | Event.St_served _
   | Event.St_verified _ | Event.St_installed _ | Event.St_rejected _
   | Event.Rollback_begin _ | Event.Rollback_round _
-  | Event.Rollback_complete _ ->
+  | Event.Rollback_complete _ | Event.Journal_snapshot _
+  | Event.Journal_fault _ | Event.Journal_truncated _
+  | Event.Journal_replay_begin _ | Event.Journal_replay_complete _ ->
       true
 
 let create ?(capacity = default_capacity) () =

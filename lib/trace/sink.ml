@@ -71,6 +71,21 @@ let payload_args (p : Event.payload) =
   | Event.Rollback_complete { frontier; rounds; txns } ->
       Printf.sprintf "\"frontier\":%d,\"rounds\":%d,\"txns\":%d" frontier
         rounds txns
+  | Event.Journal_flush { records; bytes; durable } ->
+      Printf.sprintf "\"records\":%d,\"bytes\":%d,\"durable\":%d" records
+        bytes durable
+  | Event.Journal_snapshot { seq; bytes } ->
+      Printf.sprintf "\"seq\":%d,\"bytes\":%d" seq bytes
+  | Event.Journal_fault { kind } ->
+      Printf.sprintf "\"kind\":\"%s\"" (escape kind)
+  | Event.Journal_truncated { durable; dropped } ->
+      Printf.sprintf "\"durable\":%d,\"dropped\":%d" durable dropped
+  | Event.Journal_replay_begin { seq } -> Printf.sprintf "\"seq\":%d" seq
+  | Event.Journal_replay_round { round; txns } ->
+      Printf.sprintf "\"round\":%d,\"txns\":%d" round txns
+  | Event.Journal_replay_complete { frontier; rounds; txns } ->
+      Printf.sprintf "\"frontier\":%d,\"rounds\":%d,\"txns\":%d" frontier
+        rounds txns
 
 (* --- JSONL --------------------------------------------------------------- *)
 

@@ -346,6 +346,11 @@ let install_view t ~view ~primary =
 
 let set_primary t replica ~view = install_view t ~view ~primary:replica
 
+(* Restart-from-disk: the lost incarnation may have ordered slots past
+   the durable frontier; re-assigning them would fork the speculative
+   histories. Hold everything until a view change re-elects sequencing. *)
+let resign_primary t = if is_primary t then t.recovering <- true
+
 let on_view_change t ~src ~new_view =
   if (not t.env.Env.unified) && new_view > t.view then begin
     let votes = Quorum.Tally.votes t.vc_votes new_view in

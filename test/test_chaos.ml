@@ -122,6 +122,19 @@ let test_retransmission_dedup () =
     (Fuzzer.run_one ~protocol:Config.MultiP ~n:4
        ~duration:(Engine.of_seconds 2.0) ~scenario_seed:7000021 ())
 
+let test_restart_primary_resigns () =
+  (* Scenario 9000030, found by the journal fuzzer: a restart-from-disk
+     at 506 ms revives a MultiZ instance primary whose volatile next_seq
+     regressed to the durable frontier, and re-assigning already
+     broadcast slots forked the speculative history (slot-agreement
+     violation at round 4352). Builder.restore now resigns every
+     instance the successor leads until the view path re-establishes
+     sequencing, so the scenario must pass with a primary replacement
+     instead of an equivocation. *)
+  assert_passes "restart-from-disk primary resigns (scenario 9000030)"
+    (Fuzzer.run_one ~journal:true ~protocol:Config.MultiZ ~n:4
+       ~duration:(Engine.of_seconds 2.0) ~scenario_seed:9000030 ())
+
 let transfer_script duration =
   let pct p = duration * p / 100 in
   Script.
@@ -203,5 +216,7 @@ let suite =
         test_retransmission_dedup;
       Alcotest.test_case "multiz transfer installs a snapshot" `Slow
         test_multiz_transfer_install;
+      Alcotest.test_case "restart-from-disk primary resigns (9000030)" `Slow
+        test_restart_primary_resigns;
       Alcotest.test_case "fuzzer determinism" `Slow test_fuzzer_deterministic;
     ] )

@@ -20,6 +20,7 @@ let () =
       Test_coordinator.suite;
       Test_runtime.suite;
       Test_state_transfer.suite;
+      Test_journal.suite;
       Test_chaos.suite;
       Test_integration.suite;
     ]

@@ -97,6 +97,14 @@ let test_report_formatting () =
       snap_rounds_skipped = 0;
       snap_bytes_in = 0;
       snap_bytes_out = 0;
+      jrn_appends = 0;
+      jrn_flushes = 0;
+      jrn_bytes = 0;
+      jrn_snapshots = 0;
+      jrn_faults = 0;
+      jrn_restarts = 0;
+      jrn_replayed_rounds = 0;
+      jrn_replayed_txns = 0;
       open_loop = None;
       per_instance = [||];
     }

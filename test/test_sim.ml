@@ -324,8 +324,22 @@ let test_costs_scaling () =
   let base = Costs.default in
   let scaled = Costs.scaled base 2.0 in
   check Alcotest.int "sign doubles" (2 * base.Costs.sign) scaled.Costs.sign;
-  check Alcotest.int "identity below 1" base.Costs.sign
+  (* Down-scaling used to be a silent no-op (any factor <= 1.0 returned
+     [t] unchanged); [0 < factor < 1] now means faster hardware. *)
+  check Alcotest.int "sign halves" (base.Costs.sign / 2)
     (Costs.scaled base 0.5).Costs.sign;
+  check Alcotest.int "identity at 1" base.Costs.sign
+    (Costs.scaled base 1.0).Costs.sign;
+  check Alcotest.int "identity at 0 (nonsense factor)" base.Costs.sign
+    (Costs.scaled base 0.0).Costs.sign;
+  check Alcotest.int "identity below 0 (nonsense factor)" base.Costs.sign
+    (Costs.scaled base (-2.0)).Costs.sign;
+  check Alcotest.int "fsync halves" (base.Costs.fsync / 2)
+    (Costs.scaled base 0.5).Costs.fsync;
+  check Alcotest.bool "disk_per_byte scales" true
+    (Float.abs ((Costs.scaled base 0.5).Costs.disk_per_byte
+                -. (0.5 *. base.Costs.disk_per_byte))
+     < 1e-9);
   check Alcotest.bool "hash grows with size" true
     (Costs.hash_cost base 5400 > Costs.hash_cost base 250)
 
